@@ -1,0 +1,78 @@
+// Ablation: MCKP solver choice. The exact DP is pseudo-polynomial and
+// already fast (see bench_solver_scaling); this bench asks how much
+// allocation QUALITY the greedy convex-hull heuristic gives up across
+// the Fig. 2 workload (random 16-app sets from the 189 scenarios), and
+// how the ION option granularity ({0,1,2,4,8} vs finer sets) moves the
+// aggregate.
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "platform/perf_model.hpp"
+#include "platform/profile.hpp"
+#include "workload/pattern.hpp"
+
+int main() {
+  using namespace iofa;
+  bench::banner("Ablation: MCKP solver & option granularity",
+                "DESIGN.md Sec. 4",
+                "1,000 random 16-app sets; greedy-vs-DP quality and "
+                "finer ION option grids");
+
+  platform::PerfModel model(platform::mn4_params());
+  const auto grid = workload::mn4_scenario_grid();
+
+  const std::vector<std::vector<int>> grids{
+      {0, 1, 2, 4, 8},            // the paper's power-of-two options
+      {0, 1, 2, 3, 4, 6, 8},      // finer
+      {0, 2, 8},                  // coarser
+  };
+  const char* grid_names[] = {"{0,1,2,4,8}", "{0,1,2,3,4,6,8}", "{0,2,8}"};
+
+  constexpr std::size_t kSets = 1000;
+  constexpr int kPool = 24;  // where Fig. 3 peaks
+
+  Table table({"options", "solver", "median_GB/s", "vs_exact"});
+  for (std::size_t g = 0; g < grids.size(); ++g) {
+    std::vector<platform::BandwidthCurve> curves;
+    curves.reserve(grid.size());
+    for (const auto& p : grid) {
+      curves.push_back(platform::curve_from_model(model, p, grids[g]));
+    }
+    std::vector<double> exact(kSets), greedy(kSets);
+    for (std::size_t s = 0; s < kSets; ++s) {
+      Rng rng(999 + s);
+      core::AllocationProblem prob;
+      prob.pool = kPool;
+      for (int a = 0; a < 16; ++a) {
+        const std::size_t idx = rng.index(grid.size());
+        prob.apps.push_back(core::AppEntry{
+            "S", grid[idx].compute_nodes, grid[idx].processes(),
+            curves[idx]});
+      }
+      exact[s] = core::MckpPolicy().allocate(prob).aggregate_bw(prob);
+      core::MckpPolicy::Options o;
+      o.greedy = true;
+      greedy[s] = core::MckpPolicy(o).allocate(prob).aggregate_bw(prob);
+    }
+    const double med_exact = median(exact);
+    const double med_greedy = median(greedy);
+    table.add_row({grid_names[g], "DP (exact)", fmt(med_exact / 1000, 3),
+                   "1.000"});
+    table.add_row({grid_names[g], "greedy hull",
+                   fmt(med_greedy / 1000, 3),
+                   fmt(med_greedy / med_exact, 4)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\ntakeaways: the greedy heuristic is near-optimal on "
+               "these concave-ish curves\n(the DP's exactness matters "
+               "at tight pools / adversarial curves, and it is cheap\n"
+               "anyway); finer option grids buy little because the "
+               "divisibility constraint\nkeeps load balanced, as the "
+               "paper argues in Sec. 3.1.\n";
+  return 0;
+}

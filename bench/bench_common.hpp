@@ -1,0 +1,39 @@
+#pragma once
+// Shared helpers for the benchmark harness: every bench regenerates one
+// of the paper's tables or figures and prints paper-vs-measured rows.
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policies.hpp"
+#include "platform/profile.hpp"
+#include "workload/kernels.hpp"
+
+namespace iofa::bench {
+
+/// Print the standard bench banner.
+inline void banner(const std::string& experiment,
+                   const std::string& paper_ref,
+                   const std::string& what) {
+  std::cout << "==============================================================\n"
+            << experiment << " - " << paper_ref << "\n"
+            << what << "\n"
+            << "==============================================================\n";
+}
+
+/// The Section 5.2 allocation problem over the reference profiles.
+inline core::AllocationProblem section52_problem(int pool) {
+  core::AllocationProblem prob;
+  prob.pool = pool;
+  prob.static_ratio = 32.0;
+  const auto db = platform::g5k_reference_profiles();
+  for (const auto& app : workload::section52_applications()) {
+    prob.apps.push_back(core::AppEntry{app.label, app.compute_nodes,
+                                       app.processes, db.at(app.label)});
+  }
+  return prob;
+}
+
+}  // namespace iofa::bench

@@ -1,0 +1,60 @@
+// Cross-validation: the request-level FORGE-DES engine vs the analytic
+// performance model on the Table 2 patterns (Fig. 1 geometry). The two
+// substrates share calibration constants but disagree mechanically (one
+// queues individual requests, the other is closed-form); agreement on
+// curve shape is evidence the policy experiments don't hinge on the
+// analytic shortcut.
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "common/table.hpp"
+#include "platform/perf_model.hpp"
+#include "sim/forge_des.hpp"
+#include "workload/pattern.hpp"
+
+int main() {
+  using namespace iofa;
+  bench::banner("DES cross-validation", "DESIGN.md Sec. 5",
+                "Analytic model vs request-level DES on the Table 2 "
+                "patterns (MB/s)");
+
+  platform::PerfModel model(platform::mn4_params());
+  sim::ForgeDesParams des;
+  des.replay_volume_cap = 512 * MiB;
+
+  Table table({"pattern", "ions", "analytic", "DES", "DES/analytic",
+               "same_best_side"});
+  int agreements = 0;
+  int comparisons = 0;
+  for (const auto& np : workload::table2_patterns()) {
+    double model_best_fwd = 0.0;
+    double des_best_fwd = 0.0;
+    double model_direct = 0.0;
+    double des_direct = 0.0;
+    for (int k : {0, 1, 2, 4, 8}) {
+      const double analytic = model.bandwidth(np.pattern, k);
+      const auto r = sim::forge_des_replay(np.pattern, k, des);
+      if (k == 0) {
+        model_direct = analytic;
+        des_direct = r.bandwidth;
+      } else {
+        model_best_fwd = std::max(model_best_fwd, analytic);
+        des_best_fwd = std::max(des_best_fwd, r.bandwidth);
+      }
+      table.add_row({std::string(1, np.name), std::to_string(k),
+                     fmt(analytic, 1), fmt(r.bandwidth, 1),
+                     fmt(r.bandwidth / std::max(analytic, 1e-9), 2), ""});
+    }
+    const bool model_says_forward = model_best_fwd > model_direct;
+    const bool des_says_forward = des_best_fwd > des_direct;
+    ++comparisons;
+    if (model_says_forward == des_says_forward) ++agreements;
+    table.add_row({std::string(1, np.name), "-", "-", "-", "-",
+                   model_says_forward == des_says_forward ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::cout << "\nforwarding-decision agreement: " << agreements << "/"
+            << comparisons << " patterns\n";
+  return 0;
+}

@@ -1,0 +1,170 @@
+// Fig. 2 + Section 3.2 statistics: median aggregated bandwidth of
+// 10,000 random sets of 16 applications (drawn from the 189 MN4
+// scenarios) under every arbitration policy, as the number of available
+// forwarding nodes grows from 0 to 128.
+//
+// Paper shapes to reproduce:
+//   * MCKP tracks ORACLE and reaches it around 56 available IONs;
+//   * STATIC/SIZE/PROCESS saturate far below MCKP;
+//   * ONE is a net slowdown vs ZERO (median -82% in the paper);
+//   * ORACLE improves on ZERO by a median ~25%.
+
+#include <algorithm>
+#include <iostream>
+#include <mutex>
+
+#include "bench/bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "platform/perf_model.hpp"
+#include "platform/profile.hpp"
+#include "workload/pattern.hpp"
+
+namespace {
+
+constexpr std::size_t kSets = 10000;
+constexpr std::size_t kAppsPerSet = 16;
+constexpr std::uint64_t kSeed = 20210517;  // IPDPS'21 start date
+
+}  // namespace
+
+int main() {
+  using namespace iofa;
+  bench::banner("Figure 2", "IPDPS'21 Sec. 3.2",
+                "Median aggregated bandwidth (GB/s) of 10,000 sets of 16 "
+                "apps vs available IONs; seed " +
+                    std::to_string(kSeed));
+
+  platform::PerfModel model(platform::mn4_params());
+  const auto grid = workload::mn4_scenario_grid();
+  const auto options = platform::default_ion_options();
+
+  // Pre-compute all 189 curves once.
+  std::vector<platform::BandwidthCurve> curves;
+  curves.reserve(grid.size());
+  for (const auto& p : grid) {
+    curves.push_back(platform::curve_from_model(model, p, options));
+  }
+
+  const std::vector<int> pools{0,  8,  16, 24, 32,  40,  48,  56, 64,
+                               72, 80, 88, 96, 104, 112, 120, 128};
+  const auto policies = core::standard_policies();
+
+  // results[pool][policy] -> per-set aggregated bandwidth (MB/s).
+  std::vector<std::vector<std::vector<double>>> results(
+      pools.size(), std::vector<std::vector<double>>(
+                        policies.size(), std::vector<double>(kSets)));
+  std::vector<double> set_nodes(kSets);
+
+  parallel_for(kSets, [&](std::size_t s) {
+    Rng rng(kSeed + s);
+    core::AllocationProblem prob;
+    prob.apps.reserve(kAppsPerSet);
+    int nodes = 0;
+    for (std::size_t a = 0; a < kAppsPerSet; ++a) {
+      const std::size_t idx = rng.index(grid.size());
+      const auto& p = grid[idx];
+      prob.apps.push_back(core::AppEntry{
+          "S" + std::to_string(idx), p.compute_nodes, p.processes(),
+          curves[idx]});
+      nodes += p.compute_nodes;
+    }
+    set_nodes[s] = nodes;
+    for (std::size_t pi = 0; pi < pools.size(); ++pi) {
+      prob.pool = pools[pi];
+      for (std::size_t po = 0; po < policies.size(); ++po) {
+        results[pi][po][s] =
+            policies[po]->allocate(prob).aggregate_bw(prob);
+      }
+    }
+  });
+
+  // ---- Fig. 2 table: median GB/s per policy per pool -----------------
+  std::vector<std::string> header{"IONs"};
+  for (const auto& p : policies) header.push_back(p->name());
+  Table table(header);
+  for (std::size_t pi = 0; pi < pools.size(); ++pi) {
+    std::vector<std::string> row{std::to_string(pools[pi])};
+    for (std::size_t po = 0; po < policies.size(); ++po) {
+      row.push_back(fmt(median(results[pi][po]) / 1000.0, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  // ---- Section 3.2 statistics ----------------------------------------
+  const auto nodes_summary = summarize(set_nodes);
+  std::cout << "\ncompute nodes per set: min " << nodes_summary.min
+            << " median " << nodes_summary.median << " max "
+            << nodes_summary.max
+            << "  (paper: 88 / 256 / 512)\n";
+
+  // Find the policy columns by name.
+  auto col = [&](const std::string& name) {
+    for (std::size_t po = 0; po < policies.size(); ++po) {
+      if (policies[po]->name() == name) return po;
+    }
+    throw std::runtime_error("missing policy " + name);
+  };
+  const std::size_t zero = col("ZERO"), one = col("ONE"),
+                    st = col("STATIC"), mckp = col("MCKP"),
+                    oracle = col("ORACLE");
+
+  // ONE vs ZERO (pool-independent; use the largest pool entry).
+  {
+    std::vector<double> slowdown(kSets);
+    for (std::size_t s = 0; s < kSets; ++s) {
+      const double z = results.back()[zero][s];
+      const double o = results.back()[one][s];
+      slowdown[s] = (z - o) / z * 100.0;
+    }
+    std::cout << "ONE vs ZERO median slowdown: " << fmt(median(slowdown), 2)
+              << "%  (paper: 82.11%)\n";
+  }
+  // ORACLE vs ZERO.
+  {
+    std::vector<double> boost(kSets);
+    for (std::size_t s = 0; s < kSets; ++s) {
+      boost[s] = (results.back()[oracle][s] / results.back()[zero][s] -
+                  1.0) *
+                 100.0;
+    }
+    const auto sum = summarize(boost);
+    std::cout << "ORACLE vs ZERO improvement: min " << fmt(sum.min, 2)
+              << "% median " << fmt(sum.median, 2) << "% max "
+              << fmt(sum.max, 2)
+              << "%  (paper: 0.83% / 25.63% / 121.68%)\n";
+  }
+  // First pool where MCKP matches ORACLE (medians within 1%).
+  {
+    int match_pool = -1;
+    for (std::size_t pi = 0; pi < pools.size(); ++pi) {
+      if (median(results[pi][mckp]) >=
+          0.99 * median(results[pi][oracle])) {
+        match_pool = pools[pi];
+        break;
+      }
+    }
+    std::cout << "MCKP reaches ORACLE at " << match_pool
+              << " IONs  (paper: 56)\n";
+  }
+  // MCKP vs STATIC at 56 IONs.
+  {
+    const std::size_t pi56 =
+        static_cast<std::size_t>(std::find(pools.begin(), pools.end(), 56) -
+                                 pools.begin());
+    std::vector<double> boost(kSets);
+    for (std::size_t s = 0; s < kSets; ++s) {
+      boost[s] = (results[pi56][mckp][s] / results[pi56][st][s] - 1.0) *
+                 100.0;
+    }
+    const auto sum = summarize(boost);
+    std::cout << "MCKP vs STATIC at 56 IONs: min " << fmt(sum.min, 2)
+              << "% median " << fmt(sum.median, 2) << "% max "
+              << fmt(sum.max, 2)
+              << "%  (paper: 4.08% / 211.38% / 739.22%)\n";
+  }
+  return 0;
+}

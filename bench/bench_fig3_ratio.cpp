@@ -1,0 +1,93 @@
+// Fig. 3: distribution (min / median / max) of the improvement of MCKP
+// over STATIC across the 10,000 random 16-app sets, per pool size.
+//
+// Paper shapes: highest median improvement (5.11x) around 24 IONs
+// (1 ION : 20 compute nodes); MCKP never below 1.0x; the ratio decays
+// towards 1.6-2.7x at 64-128 IONs; overall mean ~2.6x, peak 23.75x.
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "platform/perf_model.hpp"
+#include "platform/profile.hpp"
+#include "workload/pattern.hpp"
+
+namespace {
+constexpr std::size_t kSets = 10000;
+constexpr std::size_t kAppsPerSet = 16;
+constexpr std::uint64_t kSeed = 20210517;
+}  // namespace
+
+int main() {
+  using namespace iofa;
+  bench::banner("Figure 3", "IPDPS'21 Sec. 3.2",
+                "MCKP over STATIC aggregated-bandwidth ratio per pool "
+                "size; seed " + std::to_string(kSeed));
+
+  platform::PerfModel model(platform::mn4_params());
+  const auto grid = workload::mn4_scenario_grid();
+  const auto options = platform::default_ion_options();
+  std::vector<platform::BandwidthCurve> curves;
+  for (const auto& p : grid) {
+    curves.push_back(platform::curve_from_model(model, p, options));
+  }
+
+  const std::vector<int> pools{8,  16, 24, 32,  40,  48,  56, 64,
+                               72, 80, 88, 96, 104, 112, 120, 128};
+  std::vector<std::vector<double>> ratios(pools.size(),
+                                          std::vector<double>(kSets));
+
+  const core::MckpPolicy mckp;
+  const core::StaticPolicy st;
+
+  parallel_for(kSets, [&](std::size_t s) {
+    Rng rng(kSeed + s);  // same sets as bench_fig2_policies
+    core::AllocationProblem prob;
+    for (std::size_t a = 0; a < kAppsPerSet; ++a) {
+      const std::size_t idx = rng.index(grid.size());
+      const auto& p = grid[idx];
+      prob.apps.push_back(core::AppEntry{
+          "S" + std::to_string(idx), p.compute_nodes, p.processes(),
+          curves[idx]});
+    }
+    for (std::size_t pi = 0; pi < pools.size(); ++pi) {
+      prob.pool = pools[pi];
+      const double m = mckp.allocate(prob).aggregate_bw(prob);
+      const double t = st.allocate(prob).aggregate_bw(prob);
+      ratios[pi][s] = m / t;
+    }
+  });
+
+  Table table({"IONs", "min", "median", "max"});
+  OnlineStats all;
+  double global_max = 0.0;
+  int best_pool = 0;
+  double best_median = 0.0;
+  for (std::size_t pi = 0; pi < pools.size(); ++pi) {
+    const auto sum = summarize(ratios[pi]);
+    table.add_row({std::to_string(pools[pi]), fmt(sum.min, 2),
+                   fmt(sum.median, 2), fmt(sum.max, 2)});
+    for (double r : ratios[pi]) all.add(r);
+    global_max = std::max(global_max, sum.max);
+    if (sum.median > best_median) {
+      best_median = sum.median;
+      best_pool = pools[pi];
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nhighest median improvement: " << fmt(best_median, 2)
+            << "x at " << best_pool
+            << " IONs  (paper: 5.11x at 24 IONs)\n";
+  std::cout << "mean improvement over all pools: " << fmt(all.mean(), 2)
+            << "x  (paper: ~2.6x)\n";
+  std::cout << "peak improvement: " << fmt(global_max, 2)
+            << "x  (paper: up to 23.75x)\n";
+  std::cout << "minimum ratio ever observed: " << fmt(all.min(), 3)
+            << "  (paper: MCKP never below STATIC, i.e. >= 1.0)\n";
+  return 0;
+}

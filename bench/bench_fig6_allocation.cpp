@@ -1,0 +1,51 @@
+// Fig. 6: global aggregated bandwidth of the six Section 5.2
+// applications under the policies, as the available ION pool grows from
+// 4 to 36 (plus the direct-access and ONE baselines).
+//
+// Paper shapes: MCKP dominates at every pool size, reaches ORACLE (the
+// "OPTIMAL" box) at 36 IONs; STATIC and SIZE stay flat and low; ONE is a
+// 39.17% slowdown against direct access.
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "common/table.hpp"
+#include "core/policies.hpp"
+
+int main() {
+  using namespace iofa;
+  bench::banner("Figure 6", "IPDPS'21 Sec. 5.2",
+                "Aggregated bandwidth (GB/s) of the 6-application set vs "
+                "available IONs");
+
+  const auto policies = core::standard_policies();
+  std::vector<std::string> header{"IONs"};
+  for (const auto& p : policies) header.push_back(p->name());
+  Table table(header);
+
+  for (int pool = 4; pool <= 36; pool += 4) {
+    const auto prob = bench::section52_problem(pool);
+    std::vector<std::string> row{std::to_string(pool)};
+    for (const auto& p : policies) {
+      row.push_back(fmt(p->allocate(prob).aggregate_bw(prob) / 1000.0, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  const auto prob36 = bench::section52_problem(36);
+  const double mckp36 =
+      core::MckpPolicy().allocate(prob36).aggregate_bw(prob36);
+  const double oracle36 =
+      core::OraclePolicy().allocate(prob36).aggregate_bw(prob36);
+  const double zero =
+      core::ZeroPolicy().allocate(prob36).aggregate_bw(prob36);
+  const double one =
+      core::OnePolicy().allocate(prob36).aggregate_bw(prob36);
+  std::cout << "\nMCKP == ORACLE at 36 IONs: "
+            << (mckp36 >= oracle36 - 1e-6 ? "yes" : "NO")
+            << "  (paper: yes)\n";
+  std::cout << "ONE vs direct access: " << fmt((zero - one) / zero * 100, 2)
+            << "% slowdown  (paper: 39.17%)\n";
+  return 0;
+}

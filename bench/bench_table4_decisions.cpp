@@ -1,0 +1,61 @@
+// Table 4: allocated forwarders and achieved bandwidth of the six
+// Section 5.2 applications under STATIC, SIZE and MCKP with 12 IONs.
+//
+// Reproduction is exact: STATIC/SIZE give {1,2,1,2,1,2} at 1478 MB/s
+// aggregate; MCKP gives {0,1,8,2,0,0} at 6791.9 MB/s (4.59x STATIC,
+// 4.10x PROCESS).
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "common/table.hpp"
+#include "core/policies.hpp"
+
+int main() {
+  using namespace iofa;
+  bench::banner("Table 4", "IPDPS'21 Sec. 5.2",
+                "Allocated forwarders and bandwidth per application at "
+                "12 available IONs");
+
+  const auto prob = bench::section52_problem(12);
+  const core::StaticPolicy st;
+  const core::SizePolicy size;
+  const core::MckpPolicy mckp;
+  const core::ProcessPolicy process;
+
+  const auto a_st = st.allocate(prob);
+  const auto a_size = size.allocate(prob);
+  const auto a_mckp = mckp.allocate(prob);
+  const auto a_proc = process.allocate(prob);
+
+  Table table({"app", "STATIC_ions", "STATIC_MB/s", "SIZE_ions",
+               "SIZE_MB/s", "MCKP_ions", "MCKP_MB/s"});
+  for (std::size_t i = 0; i < prob.apps.size(); ++i) {
+    const auto& app = prob.apps[i];
+    table.add_row({app.label,
+                   std::to_string(a_st.ions[i]),
+                   fmt(app.curve.at(a_st.ions[i]), 1),
+                   std::to_string(a_size.ions[i]),
+                   fmt(app.curve.at(a_size.ions[i]), 1),
+                   std::to_string(a_mckp.ions[i]),
+                   fmt(app.curve.at(a_mckp.ions[i]), 1)});
+  }
+  table.print(std::cout);
+
+  const double bw_st = a_st.aggregate_bw(prob);
+  const double bw_mckp = a_mckp.aggregate_bw(prob);
+  const double bw_proc = a_proc.aggregate_bw(prob);
+  std::cout << "\naggregates: STATIC " << fmt(bw_st, 1) << "  SIZE "
+            << fmt(a_size.aggregate_bw(prob), 1) << "  PROCESS "
+            << fmt(bw_proc, 1) << "  MCKP " << fmt(bw_mckp, 1)
+            << " MB/s\n";
+  std::cout << "MCKP / STATIC = " << fmt(bw_mckp / bw_st, 2)
+            << "x  (paper: 4.59x)\n";
+  std::cout << "MCKP / PROCESS = " << fmt(bw_mckp / bw_proc, 2)
+            << "x  (paper: 4.10x)\n";
+  std::cout << "paper Table 4 rows: STATIC/SIZE {1,2,1,2,1,2} with "
+               "{77.6, 594.2, 268.4, 411.9, 77.8, 48.1} MB/s;\n"
+               "MCKP {0,1,8,2,0,0} with {195.7, 597.2, 5089.9, 411.9, "
+               "255.9, 241.3} MB/s.\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+#pragma once
+#include <map>
+
+#include "agios/scheduler.hpp"
+
+namespace iofa::agios {
+
+/// aIOLi-style scheduling (Lebre et al., the algorithm AGIOS inherits):
+/// per-file queues kept sorted by offset; each file is served in offset
+/// order with a byte quantum that GROWS while the file keeps presenting
+/// contiguous work (rewarding sequential streams) and resets when the
+/// stream breaks. Contiguous neighbours within the quantum are dispatched
+/// as one aggregated access.
+class AioliScheduler final : public Scheduler {
+ public:
+  AioliScheduler(std::uint64_t base_quantum, std::uint64_t max_quantum,
+                 Seconds wait_window)
+      : base_quantum_(base_quantum),
+        max_quantum_(max_quantum),
+        wait_window_(wait_window) {}
+
+  std::string name() const override { return "aIOLi"; }
+  void add(SchedRequest req) override;
+  std::optional<Dispatch> pop(Seconds now) override;
+  std::optional<Seconds> next_ready_time(Seconds now) const override;
+  std::size_t queued() const override { return count_; }
+
+ private:
+  struct FileQueue {
+    std::multimap<std::uint64_t, SchedRequest> by_offset;
+    std::uint64_t quantum;          ///< current (adaptive) quantum
+    std::uint64_t next_offset = 0;  ///< where the stream left off
+    Seconds oldest_arrival = 0.0;
+  };
+
+  std::uint64_t base_quantum_;
+  std::uint64_t max_quantum_;
+  Seconds wait_window_;
+  std::map<std::uint64_t, FileQueue> files_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace iofa::agios

@@ -1,0 +1,21 @@
+#include "agios/fifo.hpp"
+
+namespace iofa::agios {
+
+void FifoScheduler::add(SchedRequest req) { queue_.push_back(req); }
+
+std::optional<Dispatch> FifoScheduler::pop(Seconds now) {
+  (void)now;
+  if (queue_.empty()) return std::nullopt;
+  const SchedRequest req = queue_.front();
+  queue_.pop_front();
+  Dispatch d;
+  d.file_id = req.file_id;
+  d.op = req.op;
+  d.offset = req.offset;
+  d.size = req.size;
+  d.parts = {req};
+  return d;
+}
+
+}  // namespace iofa::agios

@@ -1,0 +1,20 @@
+#pragma once
+#include <deque>
+
+#include "agios/scheduler.hpp"
+
+namespace iofa::agios {
+
+/// Arrival-order scheduling (the baseline of Ohta et al.).
+class FifoScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "FIFO"; }
+  void add(SchedRequest req) override;
+  std::optional<Dispatch> pop(Seconds now) override;
+  std::size_t queued() const override { return queue_.size(); }
+
+ private:
+  std::deque<SchedRequest> queue_;
+};
+
+}  // namespace iofa::agios

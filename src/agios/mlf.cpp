@@ -1,0 +1,73 @@
+#include "agios/mlf.hpp"
+
+#include <algorithm>
+
+namespace iofa::agios {
+
+void MlfScheduler::enlist(std::uint64_t file_id, FileState& fs) {
+  if (fs.enlisted || fs.queue.empty()) return;
+  level_queues_[static_cast<std::size_t>(fs.level)].push_back(file_id);
+  fs.enlisted = true;
+  if (fs.budget == 0) fs.budget = quantum_at(fs.level);
+}
+
+void MlfScheduler::add(SchedRequest req) {
+  auto [it, inserted] = files_.try_emplace(req.file_id);
+  if (inserted) {
+    it->second.level = 0;  // new files start at the top level
+    it->second.budget = quantum_at(0);
+  }
+  it->second.queue.push_back(req);
+  ++count_;
+  enlist(req.file_id, it->second);
+}
+
+std::optional<Dispatch> MlfScheduler::pop(Seconds now) {
+  (void)now;
+  if (count_ == 0) return std::nullopt;
+
+  for (auto& level : level_queues_) {
+    while (!level.empty()) {
+      const std::uint64_t file_id = level.front();
+      auto it = files_.find(file_id);
+      if (it == files_.end() || it->second.queue.empty()) {
+        level.pop_front();
+        if (it != files_.end()) it->second.enlisted = false;
+        continue;
+      }
+      FileState& fs = it->second;
+      const SchedRequest req = fs.queue.front();
+      fs.queue.pop_front();
+      --count_;
+      fs.budget -= std::min(fs.budget, req.size);
+
+      if (fs.budget == 0) {
+        // Quantum exhausted: demote and re-enlist on the lower level.
+        level.pop_front();
+        fs.enlisted = false;
+        fs.level = std::min(fs.level + 1, levels_ - 1);
+        fs.budget = quantum_at(fs.level);
+        enlist(file_id, fs);
+      } else if (fs.queue.empty()) {
+        level.pop_front();
+        fs.enlisted = false;
+      }
+
+      Dispatch d;
+      d.file_id = req.file_id;
+      d.op = req.op;
+      d.offset = req.offset;
+      d.size = req.size;
+      d.parts = {req};
+      return d;
+    }
+  }
+  return std::nullopt;
+}
+
+int MlfScheduler::level_of(std::uint64_t file_id) const {
+  auto it = files_.find(file_id);
+  return it == files_.end() ? -1 : it->second.level;
+}
+
+}  // namespace iofa::agios

@@ -1,0 +1,51 @@
+#pragma once
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "agios/scheduler.hpp"
+
+namespace iofa::agios {
+
+/// MLF (multilevel feedback, the AGIOS variant): per-file queues live on
+/// priority levels; a file enters at the top level and is demoted one
+/// level each time it exhausts its quantum, with each lower level
+/// granting a doubled quantum. Small bursty files finish quickly at the
+/// top; heavy streamers sink to lower levels where their longer turns
+/// amortise seeks without starving the others (levels are served
+/// round-robin, top level first).
+class MlfScheduler final : public Scheduler {
+ public:
+  MlfScheduler(std::uint64_t base_quantum, int levels)
+      : base_quantum_(base_quantum),
+        levels_(std::max(1, levels)),
+        level_queues_(static_cast<std::size_t>(std::max(1, levels))) {}
+
+  std::string name() const override { return "MLF"; }
+  void add(SchedRequest req) override;
+  std::optional<Dispatch> pop(Seconds now) override;
+  std::size_t queued() const override { return count_; }
+
+  int level_of(std::uint64_t file_id) const;  ///< -1 if unknown
+
+ private:
+  struct FileState {
+    std::deque<SchedRequest> queue;
+    int level = 0;
+    std::uint64_t budget = 0;  ///< bytes left in the current turn
+    bool enlisted = false;     ///< present in its level's round-robin
+  };
+
+  std::uint64_t quantum_at(int level) const {
+    return base_quantum_ << level;
+  }
+  void enlist(std::uint64_t file_id, FileState& fs);
+
+  std::uint64_t base_quantum_;
+  int levels_;
+  std::map<std::uint64_t, FileState> files_;
+  std::vector<std::deque<std::uint64_t>> level_queues_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace iofa::agios

@@ -1,0 +1,57 @@
+#include "agios/quantum.hpp"
+
+#include <algorithm>
+
+namespace iofa::agios {
+
+void QuantumScheduler::add(SchedRequest req) {
+  auto [it, inserted] = files_.try_emplace(req.file_id);
+  if (it->second.empty()) {
+    round_robin_.push_back(req.file_id);
+    if (round_robin_.size() == 1) budget_ = quantum_;
+  }
+  it->second.push_back(req);
+  ++count_;
+}
+
+std::optional<Dispatch> QuantumScheduler::pop(Seconds now) {
+  (void)now;
+  if (count_ == 0) return std::nullopt;
+
+  // Advance to a file with pending requests; rotate when the current
+  // file's quantum is exhausted.
+  while (!round_robin_.empty()) {
+    const std::uint64_t file = round_robin_.front();
+    auto it = files_.find(file);
+    if (it == files_.end() || it->second.empty()) {
+      round_robin_.pop_front();
+      budget_ = quantum_;
+      continue;
+    }
+    if (budget_ == 0) {
+      round_robin_.pop_front();
+      round_robin_.push_back(file);
+      budget_ = quantum_;
+      continue;
+    }
+    const SchedRequest req = it->second.front();
+    it->second.pop_front();
+    --count_;
+    budget_ -= std::min(budget_, req.size);
+    if (it->second.empty()) {
+      // Retire the file from the rotation; it re-enters on next add().
+      round_robin_.pop_front();
+      budget_ = quantum_;
+    }
+    Dispatch d;
+    d.file_id = req.file_id;
+    d.op = req.op;
+    d.offset = req.offset;
+    d.size = req.size;
+    d.parts = {req};
+    return d;
+  }
+  return std::nullopt;
+}
+
+}  // namespace iofa::agios

@@ -1,0 +1,30 @@
+#pragma once
+#include <deque>
+#include <list>
+#include <map>
+
+#include "agios/scheduler.hpp"
+
+namespace iofa::agios {
+
+/// HBRR-style quantum scheduling (Ohta et al.): per-file queues served
+/// round-robin, each receiving a byte quantum per turn, so one noisy
+/// file cannot monopolise the ION while others starve.
+class QuantumScheduler final : public Scheduler {
+ public:
+  explicit QuantumScheduler(std::uint64_t quantum) : quantum_(quantum) {}
+
+  std::string name() const override { return "HBRR"; }
+  void add(SchedRequest req) override;
+  std::optional<Dispatch> pop(Seconds now) override;
+  std::size_t queued() const override { return count_; }
+
+ private:
+  std::uint64_t quantum_;
+  std::map<std::uint64_t, std::deque<SchedRequest>> files_;
+  std::list<std::uint64_t> round_robin_;  ///< files with pending work
+  std::uint64_t budget_ = 0;  ///< bytes left in the current file's turn
+  std::size_t count_ = 0;
+};
+
+}  // namespace iofa::agios

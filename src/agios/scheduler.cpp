@@ -1,0 +1,51 @@
+#include "agios/scheduler.hpp"
+
+#include "agios/aggregation.hpp"
+#include "agios/aioli.hpp"
+#include "agios/fifo.hpp"
+#include "agios/mlf.hpp"
+#include "agios/quantum.hpp"
+#include "agios/sjf.hpp"
+#include "agios/twins.hpp"
+
+namespace iofa::agios {
+
+std::string to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::Fifo: return "FIFO";
+    case SchedulerKind::Sjf: return "SJF";
+    case SchedulerKind::TimeWindowAggregation: return "TO-AGG";
+    case SchedulerKind::Twins: return "TWINS";
+    case SchedulerKind::Hbrr: return "HBRR";
+    case SchedulerKind::Aioli: return "aIOLi";
+    case SchedulerKind::Mlf: return "MLF";
+  }
+  return "?";
+}
+
+std::unique_ptr<Scheduler> make_scheduler(const SchedulerConfig& config) {
+  switch (config.kind) {
+    case SchedulerKind::Fifo:
+      return std::make_unique<FifoScheduler>();
+    case SchedulerKind::Sjf:
+      return std::make_unique<SjfScheduler>(config.aging_limit);
+    case SchedulerKind::TimeWindowAggregation:
+      return std::make_unique<AggregationScheduler>(config.aggregation_window,
+                                                    config.max_aggregate);
+    case SchedulerKind::Twins:
+      return std::make_unique<TwinsScheduler>(config.twins_window,
+                                              config.data_servers);
+    case SchedulerKind::Hbrr:
+      return std::make_unique<QuantumScheduler>(config.quantum);
+    case SchedulerKind::Aioli:
+      return std::make_unique<AioliScheduler>(config.aioli_base_quantum,
+                                              config.aioli_max_quantum,
+                                              config.aioli_wait_window);
+    case SchedulerKind::Mlf:
+      return std::make_unique<MlfScheduler>(config.mlf_base_quantum,
+                                            config.mlf_levels);
+  }
+  return nullptr;
+}
+
+}  // namespace iofa::agios

@@ -1,0 +1,61 @@
+#include "agios/sjf.hpp"
+
+#include <algorithm>
+
+namespace iofa::agios {
+
+void SjfScheduler::add(SchedRequest req) {
+  by_size_[req.size].push_back(req);
+  by_arrival_.push_back(req);
+  ++count_;
+}
+
+void SjfScheduler::erase_from_arrival(std::uint64_t tag) {
+  for (auto it = by_arrival_.begin(); it != by_arrival_.end(); ++it) {
+    if (it->tag == tag) {
+      by_arrival_.erase(it);
+      return;
+    }
+  }
+}
+
+void SjfScheduler::erase_from_size(const SchedRequest& req) {
+  auto it = by_size_.find(req.size);
+  if (it == by_size_.end()) return;
+  auto& bucket = it->second;
+  for (auto b = bucket.begin(); b != bucket.end(); ++b) {
+    if (b->tag == req.tag) {
+      bucket.erase(b);
+      break;
+    }
+  }
+  if (bucket.empty()) by_size_.erase(it);
+}
+
+std::optional<Dispatch> SjfScheduler::pop(Seconds now) {
+  if (count_ == 0) return std::nullopt;
+
+  SchedRequest pick;
+  const SchedRequest& oldest = by_arrival_.front();
+  if (now - oldest.arrival >= aging_limit_) {
+    pick = oldest;
+    by_arrival_.pop_front();
+    erase_from_size(pick);
+  } else {
+    pick = by_size_.begin()->second.front();
+    by_size_.begin()->second.pop_front();
+    if (by_size_.begin()->second.empty()) by_size_.erase(by_size_.begin());
+    erase_from_arrival(pick.tag);
+  }
+  --count_;
+
+  Dispatch d;
+  d.file_id = pick.file_id;
+  d.op = pick.op;
+  d.offset = pick.offset;
+  d.size = pick.size;
+  d.parts = {pick};
+  return d;
+}
+
+}  // namespace iofa::agios

@@ -1,0 +1,32 @@
+#pragma once
+#include <deque>
+#include <map>
+
+#include "agios/scheduler.hpp"
+
+namespace iofa::agios {
+
+/// Shortest-job-first: smallest request next, bounded by an aging limit
+/// so large requests cannot starve behind a stream of small ones.
+class SjfScheduler final : public Scheduler {
+ public:
+  explicit SjfScheduler(Seconds aging_limit) : aging_limit_(aging_limit) {}
+
+  std::string name() const override { return "SJF"; }
+  void add(SchedRequest req) override;
+  std::optional<Dispatch> pop(Seconds now) override;
+  std::size_t queued() const override { return count_; }
+
+ private:
+  Seconds aging_limit_;
+  // Size-ordered buckets; each bucket FIFO within the same size.
+  std::map<std::uint64_t, std::deque<SchedRequest>> by_size_;
+  // Arrival order for aging.
+  std::deque<SchedRequest> by_arrival_;
+  std::size_t count_ = 0;
+
+  void erase_from_arrival(std::uint64_t tag);
+  void erase_from_size(const SchedRequest& req);
+};
+
+}  // namespace iofa::agios

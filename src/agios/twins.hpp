@@ -1,0 +1,43 @@
+#pragma once
+#include <deque>
+#include <vector>
+
+#include "agios/scheduler.hpp"
+
+namespace iofa::agios {
+
+/// TWINS (Bez et al., PDP 2017): divides time into windows and, during
+/// each window, dispatches only requests that target one PFS data
+/// server, rotating round-robin across servers. This coordinates the
+/// accesses of concurrent IONs so the data servers see fewer competing
+/// streams at a time.
+class TwinsScheduler final : public Scheduler {
+ public:
+  TwinsScheduler(Seconds window, int data_servers,
+                 std::uint64_t stripe_size = 1024 * 1024)
+      : window_(window),
+        servers_(std::max(1, data_servers)),
+        stripe_(stripe_size),
+        queues_(static_cast<std::size_t>(std::max(1, data_servers))) {}
+
+  std::string name() const override { return "TWINS"; }
+  void add(SchedRequest req) override;
+  std::optional<Dispatch> pop(Seconds now) override;
+  std::optional<Seconds> next_ready_time(Seconds now) const override;
+  std::size_t queued() const override { return count_; }
+
+  /// The data server an access lands on (Lustre-like striping).
+  int server_of(const SchedRequest& req) const;
+
+ private:
+  int window_index(Seconds now) const;
+  int current_server(Seconds now) const;
+
+  Seconds window_;
+  int servers_;
+  std::uint64_t stripe_;
+  std::vector<std::deque<SchedRequest>> queues_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace iofa::agios

@@ -1,0 +1,80 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace iofa {
+
+Histogram::Histogram(Scale scale, double lo, double hi, std::size_t bins)
+    : scale_(scale), lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(bins > 0);
+  assert(hi > lo);
+  if (scale_ == Scale::Log2) {
+    assert(lo > 0.0);
+    log_lo_ = std::log2(lo);
+    log_step_ = (std::log2(hi) - log_lo_) / static_cast<double>(bins);
+  }
+}
+
+std::size_t Histogram::bin_of(double x) const {
+  if (scale_ == Scale::Linear) {
+    const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+    const double idx = (x - lo_) / w;
+    if (idx < 0.0) return counts_.size();
+    const auto b = static_cast<std::size_t>(idx);
+    return b;
+  }
+  if (x <= 0.0) return counts_.size();
+  const double idx = (std::log2(x) - log_lo_) / log_step_;
+  if (idx < 0.0) return counts_.size();
+  return static_cast<std::size_t>(idx);
+}
+
+void Histogram::add(double x, std::uint64_t weight) {
+  total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  const std::size_t b = bin_of(x);
+  if (b >= counts_.size()) {
+    overflow_ += weight;
+    return;
+  }
+  counts_[b] += weight;
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  if (scale_ == Scale::Linear) {
+    const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + w * static_cast<double>(bin);
+  }
+  return std::exp2(log_lo_ + log_step_ * static_cast<double>(bin));
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+std::string Histogram::to_string(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar =
+        static_cast<std::size_t>(static_cast<double>(counts_[i]) /
+                                 static_cast<double>(peak) *
+                                 static_cast<double>(width));
+    os << "[" << bin_lo(i) << ", " << bin_hi(i) << ") "
+       << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  if (underflow_ > 0) os << "underflow: " << underflow_ << "\n";
+  if (overflow_ > 0) os << "overflow: " << overflow_ << "\n";
+  return os.str();
+}
+
+}  // namespace iofa

@@ -1,0 +1,45 @@
+#pragma once
+// Fixed-bin histogram for distributions of bandwidths, latencies and
+// request sizes. Supports linear and log2 binning.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iofa {
+
+class Histogram {
+ public:
+  enum class Scale { Linear, Log2 };
+
+  /// Linear: bins of equal width across [lo, hi).
+  /// Log2: bin i covers [lo*2^i, lo*2^(i+1)); requires lo > 0.
+  Histogram(Scale scale, double lo, double hi, std::size_t bins);
+
+  void add(double x, std::uint64_t weight = 1);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_[bin]; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+
+  /// Inclusive lower edge of a bin.
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// ASCII rendering used by the bench harness.
+  std::string to_string(std::size_t width = 40) const;
+
+ private:
+  std::size_t bin_of(double x) const;  ///< bins() => out of range
+
+  Scale scale_;
+  double lo_, hi_;
+  double log_lo_ = 0.0, log_step_ = 0.0;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+}  // namespace iofa

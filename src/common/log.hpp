@@ -1,0 +1,53 @@
+#pragma once
+// Minimal thread-safe leveled logging. Off (Warn) by default so tests and
+// benches stay quiet; examples turn Info on to narrate what happens.
+
+#include <sstream>
+#include <string>
+
+namespace iofa {
+
+enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit `msg` if `level` is at or above the global level.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_trace(Args&&... args) {
+  if (log_level() <= LogLevel::Trace)
+    log_message(LogLevel::Trace, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::Debug)
+    log_message(LogLevel::Debug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::Info)
+    log_message(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::Warn)
+    log_message(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::Error)
+    log_message(LogLevel::Error, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace iofa

@@ -1,0 +1,122 @@
+#pragma once
+// Bounded multi-producer / multi-consumer queue with close semantics.
+//
+// This is the transport between GekkoFWD client shims and ION daemons:
+// it plays the role Mercury RPC plays in the real GekkoFS deployment
+// (in-process, since our cluster is emulated inside one address space).
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace iofa {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while full. Returns false if the queue was closed.
+  bool push(T item) {
+    std::unique_lock lk(mu_);
+    not_full_.wait(lk, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push. Returns false when full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard lk(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Returns nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lk(mu_);
+    not_empty_.wait(lk, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Pop with a deadline. Returns nullopt on timeout or once closed and
+  /// drained.
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lk(mu_);
+    if (!not_empty_.wait_for(lk, timeout,
+                             [&] { return closed_ || !items_.empty(); })) {
+      return std::nullopt;
+    }
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::optional<T> out;
+    {
+      std::lock_guard lk(mu_);
+      if (items_.empty()) return std::nullopt;
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// After close(): pushes fail, pops drain the remaining items then
+  /// return nullopt.
+  void close() {
+    {
+      std::lock_guard lk(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lk(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lk(mu_);
+    return items_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace iofa

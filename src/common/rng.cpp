@@ -1,0 +1,79 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace iofa {
+
+std::uint64_t SplitMix64::next() {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+  const std::uint64_t range = hi - lo + 1;
+  if (range == 0) return next();  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = (~0ULL) - (~0ULL) % range;
+  std::uint64_t x;
+  do {
+    x = next();
+  } while (x >= limit);
+  return lo + x % range;
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  return static_cast<int>(
+      uniform_u64(0, static_cast<std::uint64_t>(hi - lo))) + lo;
+}
+
+std::size_t Rng::index(std::size_t n) {
+  return static_cast<std::size_t>(uniform_u64(0, n - 1));
+}
+
+double Rng::uniform01() {
+  // 53 random mantissa bits.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform01();
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1 = uniform01();
+  while (u1 <= 1e-300) u1 = uniform01();
+  const double u2 = uniform01();
+  const double mag =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  return mean + stddev * mag;
+}
+
+Rng Rng::fork() { return Rng(next()); }
+
+}  // namespace iofa

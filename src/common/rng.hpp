@@ -1,0 +1,74 @@
+#pragma once
+// Deterministic, seedable random number generation.
+//
+// All stochastic components of the library (queue generation, scenario
+// sampling, workload jitter) draw from Xoshiro256** seeded through
+// SplitMix64, so every experiment is reproducible from a single uint64 seed.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace iofa {
+
+/// SplitMix64: used to expand a single seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast, high-quality 64-bit PRNG.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi);
+  int uniform_int(int lo, int hi);
+  std::size_t index(std::size_t n);  ///< uniform in [0, n)
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Normal variate via Box-Muller.
+  double normal(double mean, double stddev);
+
+  /// Fork an independent child stream (stable given call order).
+  Rng fork();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Pick a uniformly random element. Requires non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    return items[index(items.size())];
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace iofa

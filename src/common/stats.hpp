@@ -1,0 +1,67 @@
+#pragma once
+// Descriptive statistics used by the benchmark harness and the
+// arbitration evaluation (min / median / max summaries, percentiles,
+// online mean/variance).
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace iofa {
+
+/// Online (Welford) accumulator for mean and variance.
+class OnlineStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  ///< sample variance; 0 for n < 2
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Five-number style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+
+  std::string to_string() const;
+};
+
+/// Linear-interpolated percentile, q in [0, 1]. Sorts a copy.
+double percentile(std::span<const double> sample, double q);
+double median(std::span<const double> sample);
+
+/// Compute the full summary of a sample (empty sample -> zeros).
+Summary summarize(std::span<const double> sample);
+
+/// Geometric mean; ignores non-positive entries.
+double geomean(std::span<const double> sample);
+
+inline double percentile(const std::vector<double>& v, double q) {
+  return percentile(std::span<const double>(v), q);
+}
+inline double median(const std::vector<double>& v) {
+  return median(std::span<const double>(v));
+}
+inline Summary summarize(const std::vector<double>& v) {
+  return summarize(std::span<const double>(v));
+}
+
+}  // namespace iofa

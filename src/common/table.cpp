@@ -1,0 +1,74 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+namespace iofa {
+
+std::string fmt(double value, int prec) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << value;
+  return os.str();
+}
+
+std::string fmt_bytes(double bytes) {
+  static const char* suffix[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  int s = 0;
+  while (bytes >= 1024.0 && s < 5) {
+    bytes /= 1024.0;
+    ++s;
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(bytes < 10 ? 2 : 1) << bytes << " "
+     << suffix[s];
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2)
+         << cells[c];
+    }
+    os << "\n";
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ",";
+      if (cells[c].find(',') != std::string::npos)
+        os << '"' << cells[c] << '"';
+      else
+        os << cells[c];
+    }
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace iofa

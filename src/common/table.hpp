@@ -1,0 +1,35 @@
+#pragma once
+// Aligned plain-text tables and CSV output for the benchmark harness.
+// Every bench binary regenerates one of the paper's tables/figures as a
+// table of rows; this keeps their output uniform and diff-able.
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace iofa {
+
+/// Format a double with `prec` fractional digits (fixed notation).
+std::string fmt(double value, int prec = 2);
+/// Format bytes as a human-readable size ("1.5 GiB").
+std::string fmt_bytes(double bytes);
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Aligned fixed-width rendering.
+  void print(std::ostream& os) const;
+  /// Comma-separated rendering (quotes cells containing commas).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace iofa

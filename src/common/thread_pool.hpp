@@ -1,0 +1,51 @@
+#pragma once
+// Small fixed-size thread pool with futures, plus a blocking
+// parallel_for used by the benchmark harness to run repetitions
+// concurrently.
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/queue.hpp"
+
+namespace iofa {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads = std::thread::hardware_concurrency());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; the returned future resolves with its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto fut = task->get_future();
+    tasks_.push([task] { (*task)(); });
+    return fut;
+  }
+
+ private:
+  void worker_loop();
+
+  BoundedQueue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+};
+
+/// Run fn(i) for i in [0, n) across up to `threads` workers; blocks until
+/// all iterations complete. Exceptions propagate from the first failing
+/// iteration.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads = std::thread::hardware_concurrency());
+
+}  // namespace iofa

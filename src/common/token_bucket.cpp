@@ -1,0 +1,65 @@
+#include "common/token_bucket.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+namespace iofa {
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst)
+    : rate_(rate_per_sec), burst_(burst), tokens_(burst),
+      last_(Clock::now()) {
+  assert(rate_per_sec > 0.0);
+  assert(burst > 0.0);
+}
+
+void TokenBucket::refill_locked(Clock::time_point now) {
+  const std::chrono::duration<double> dt = now - last_;
+  last_ = now;
+  tokens_ = std::min(burst_, tokens_ + dt.count() * rate_);
+}
+
+void TokenBucket::acquire(double n) {
+  // Debt model: consume immediately (the fill level may go negative) and
+  // sleep until this caller's share of the debt is repaid. Concurrent
+  // callers thus queue up in admission order and the aggregate rate is
+  // conserved, while arbitrarily large requests stay O(1).
+  double deficit;
+  double rate;
+  {
+    std::lock_guard lk(mu_);
+    refill_locked(Clock::now());
+    deficit = n - tokens_;
+    tokens_ -= n;
+    rate = rate_;
+  }
+  if (deficit <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(deficit / rate));
+}
+
+bool TokenBucket::try_acquire(double n) {
+  std::lock_guard lk(mu_);
+  refill_locked(Clock::now());
+  if (tokens_ < n) return false;
+  tokens_ -= n;
+  return true;
+}
+
+double TokenBucket::available() {
+  std::lock_guard lk(mu_);
+  refill_locked(Clock::now());
+  return tokens_;
+}
+
+void TokenBucket::set_rate(double rate_per_sec) {
+  std::lock_guard lk(mu_);
+  refill_locked(Clock::now());
+  rate_ = rate_per_sec;
+}
+
+double TokenBucket::rate() const {
+  std::lock_guard lk(mu_);
+  return rate_;
+}
+
+}  // namespace iofa

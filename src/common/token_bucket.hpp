@@ -1,0 +1,48 @@
+#pragma once
+// Thread-safe token-bucket rate limiter.
+//
+// The emulated PFS backend uses one bucket per device to throttle the
+// aggregate drain bandwidth: every request must acquire its byte count in
+// tokens before it completes. The rate is adjustable at runtime so tests
+// can model degradation and benches can model contention.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace iofa {
+
+class TokenBucket {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// rate: tokens (bytes) replenished per second; burst: bucket capacity.
+  TokenBucket(double rate_per_sec, double burst);
+
+  /// Block until `n` tokens have been consumed. `n` may exceed the burst
+  /// size; the bucket then runs a token debt and the caller sleeps until
+  /// its share of the debt is repaid (admission-order queueing). A rate
+  /// change during an in-flight acquire() applies to later calls.
+  void acquire(double n);
+
+  /// Non-blocking: consume `n` tokens if currently available.
+  bool try_acquire(double n);
+
+  /// Tokens currently available (refreshes the fill level first).
+  double available();
+
+  /// Change the refill rate. Tokens already accrued are kept.
+  void set_rate(double rate_per_sec);
+  double rate() const;
+
+ private:
+  void refill_locked(Clock::time_point now);
+
+  mutable std::mutex mu_;
+  double rate_;
+  double burst_;
+  double tokens_;
+  Clock::time_point last_;
+};
+
+}  // namespace iofa

@@ -1,0 +1,36 @@
+#pragma once
+// Units used across the library.
+//
+// Data volumes are plain uint64_t byte counts; bandwidths are double MB/s
+// (decimal MB = 1e6 bytes, matching how the paper reports bandwidth);
+// simulated time is double seconds.
+
+#include <cstdint>
+
+namespace iofa {
+
+using Bytes = std::uint64_t;
+using Seconds = double;    ///< simulated or measured wall time
+using MBps = double;       ///< bandwidth in decimal megabytes per second
+
+inline constexpr Bytes KiB = 1024ULL;
+inline constexpr Bytes MiB = 1024ULL * KiB;
+inline constexpr Bytes GiB = 1024ULL * MiB;
+
+inline constexpr Bytes MB = 1000ULL * 1000ULL;   ///< decimal megabyte
+inline constexpr Bytes GB = 1000ULL * MB;        ///< decimal gigabyte
+
+/// Bandwidth of transferring `bytes` in `elapsed` seconds, in MB/s.
+/// Returns 0 for non-positive elapsed time.
+inline MBps bandwidth_mbps(Bytes bytes, Seconds elapsed) {
+  if (elapsed <= 0.0) return 0.0;
+  return static_cast<double>(bytes) / 1.0e6 / elapsed;
+}
+
+/// Time to transfer `bytes` at `rate` MB/s. Returns +inf for rate <= 0.
+inline Seconds transfer_time(Bytes bytes, MBps rate) {
+  if (rate <= 0.0) return 1.0e300;
+  return static_cast<double>(bytes) / (rate * 1.0e6);
+}
+
+}  // namespace iofa

@@ -1,0 +1,212 @@
+#include "core/arbiter.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <set>
+#include <sstream>
+
+namespace iofa::core {
+
+std::string Mapping::to_string() const {
+  std::ostringstream os;
+  os << "# iofa mapping epoch=" << epoch << " pool=" << pool << "\n";
+  for (const auto& [id, entry] : jobs) {
+    os << "job " << id << " app " << entry.app_label;
+    if (entry.shared) {
+      os << " shared";
+      for (std::size_t i = 0; i < entry.ions.size(); ++i) {
+        os << (i ? "," : " ");
+        os << entry.ions[i];
+      }
+    } else if (entry.ions.empty()) {
+      os << " direct";
+    } else {
+      os << " ions ";
+      for (std::size_t i = 0; i < entry.ions.size(); ++i) {
+        if (i) os << ",";
+        os << entry.ions[i];
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::optional<Mapping> Mapping::parse(const std::string& text) {
+  Mapping m;
+  std::istringstream is(text);
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tok;
+    ls >> tok;
+    if (tok == "#") {
+      // "# iofa mapping epoch=N pool=P"
+      std::string word;
+      while (ls >> word) {
+        if (word.rfind("epoch=", 0) == 0) {
+          m.epoch = std::stoull(word.substr(6));
+          saw_header = true;
+        } else if (word.rfind("pool=", 0) == 0) {
+          m.pool = std::stoi(word.substr(5));
+        }
+      }
+      continue;
+    }
+    if (tok != "job") return std::nullopt;
+    JobId id = 0;
+    std::string app_kw, label, mode;
+    if (!(ls >> id >> app_kw >> label >> mode)) return std::nullopt;
+    if (app_kw != "app") return std::nullopt;
+    Entry entry;
+    entry.app_label = label;
+    if (mode == "shared") {
+      entry.shared = true;
+      std::string list;
+      if (ls >> list) {
+        std::istringstream es(list);
+        std::string item;
+        while (std::getline(es, item, ',')) {
+          entry.ions.push_back(std::stoi(item));
+        }
+      }
+    } else if (mode == "direct") {
+      // empty ion list
+    } else if (mode == "ions") {
+      std::string list;
+      if (!(ls >> list)) return std::nullopt;
+      std::istringstream es(list);
+      std::string item;
+      while (std::getline(es, item, ',')) {
+        entry.ions.push_back(std::stoi(item));
+      }
+    } else {
+      return std::nullopt;
+    }
+    m.jobs.emplace(id, std::move(entry));
+  }
+  if (!saw_header) return std::nullopt;
+  return m;
+}
+
+Arbiter::Arbiter(std::shared_ptr<ArbitrationPolicy> policy,
+                 ArbiterOptions options)
+    : policy_(std::move(policy)), options_(options) {
+  mapping_.pool = options_.pool;
+}
+
+const Mapping& Arbiter::job_started(JobId id, AppEntry app) {
+  running_.emplace(id, std::move(app));
+  arbitrate();
+  return mapping_;
+}
+
+const Mapping& Arbiter::job_finished(JobId id) {
+  running_.erase(id);
+  counts_.erase(id);
+  mapping_.jobs.erase(id);
+  arbitrate();
+  return mapping_;
+}
+
+const Mapping& Arbiter::set_pool(int pool) {
+  options_.pool = pool;
+  arbitrate();
+  return mapping_;
+}
+
+void Arbiter::arbitrate() {
+  AllocationProblem problem;
+  problem.pool = options_.pool;
+  problem.static_ratio = options_.static_ratio;
+  std::vector<JobId> order;
+  for (const auto& [id, app] : running_) {
+    order.push_back(id);
+    problem.apps.push_back(app);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const Allocation alloc = policy_->allocate(problem);
+  const auto t1 = std::chrono::steady_clock::now();
+  last_solve_seconds_ =
+      std::chrono::duration<double>(t1 - t0).count();
+
+  std::map<JobId, int> counts;
+  std::map<JobId, bool> shared;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const JobId id = order[i];
+    const bool is_shared =
+        i < alloc.shared.size() && alloc.shared[i] != 0;
+    int n = is_shared ? 0 : alloc.ions[i];
+    if (!options_.reallocate_running) {
+      // STATIC never reshuffles running jobs.
+      auto it = counts_.find(id);
+      if (it != counts_.end()) n = it->second;
+    }
+    counts[id] = n;
+    shared[id] = is_shared;
+  }
+  counts_ = counts;
+  materialize(counts, shared);
+}
+
+void Arbiter::materialize(const std::map<JobId, int>& counts,
+                          const std::map<JobId, bool>& shared) {
+  ++mapping_.epoch;
+  mapping_.pool = options_.pool;
+
+  // The shared ION, when needed, is the highest-numbered node.
+  bool any_shared = false;
+  for (const auto& [id, s] : shared) any_shared |= s;
+  const int shared_ion = options_.pool - 1;
+  const int usable = any_shared ? options_.pool - 1 : options_.pool;
+
+  // Phase 1: retain as much of each job's previous assignment as its new
+  // count allows; collect everything else as free.
+  std::set<int> free_ions;
+  for (int i = 0; i < usable; ++i) free_ions.insert(i);
+
+  std::map<JobId, std::vector<int>> kept;
+  for (const auto& [id, n] : counts) {
+    std::vector<int> keep;
+    auto it = mapping_.jobs.find(id);
+    if (it != mapping_.jobs.end() && !it->second.shared) {
+      for (int ion : it->second.ions) {
+        if (static_cast<int>(keep.size()) < n && ion < usable) {
+          keep.push_back(ion);
+        }
+      }
+    }
+    kept[id] = std::move(keep);
+  }
+  for (const auto& [id, ions] : kept) {
+    for (int ion : ions) free_ions.erase(ion);
+  }
+
+  // Phase 2: top up from the free pool, lowest id first.
+  Mapping next;
+  next.epoch = mapping_.epoch;
+  next.pool = mapping_.pool;
+  for (const auto& [id, n] : counts) {
+    Mapping::Entry entry;
+    entry.app_label = running_.at(id).label;
+    entry.shared = shared.at(id);
+    if (entry.shared) {
+      entry.ions = {shared_ion};
+    } else {
+      entry.ions = kept[id];
+      while (static_cast<int>(entry.ions.size()) < n && !free_ions.empty()) {
+        entry.ions.push_back(*free_ions.begin());
+        free_ions.erase(free_ions.begin());
+      }
+      std::sort(entry.ions.begin(), entry.ions.end());
+    }
+    next.jobs.emplace(id, std::move(entry));
+  }
+  mapping_ = std::move(next);
+}
+
+}  // namespace iofa::core

@@ -1,0 +1,88 @@
+#pragma once
+// The arbiter: re-evaluates the ION allocation every time the set of
+// running jobs changes (job started / job finished), translates the
+// chosen counts into concrete ION identities with minimal churn, and
+// publishes the result as an epoch-stamped mapping - the "mapping file"
+// GekkoFWD clients poll at runtime.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/policies.hpp"
+
+namespace iofa::core {
+
+using JobId = std::uint64_t;
+
+/// Epoch-stamped assignment of concrete ION identities to jobs.
+struct Mapping {
+  std::uint64_t epoch = 0;
+  int pool = 0;
+
+  struct Entry {
+    std::string app_label;
+    std::vector<int> ions;  ///< empty means direct PFS access
+    bool shared = false;    ///< true when using the system-wide shared ION
+    bool operator==(const Entry&) const = default;
+  };
+  std::map<JobId, Entry> jobs;
+
+  std::string to_string() const;
+  /// Parse a serialized mapping; returns nullopt on malformed input.
+  static std::optional<Mapping> parse(const std::string& text);
+
+  bool operator==(const Mapping&) const = default;
+};
+
+struct ArbiterOptions {
+  int pool = 0;                      ///< forwarding nodes 0..pool-1
+  std::optional<double> static_ratio;
+  /// When false, running jobs keep their allocation and only new jobs
+  /// receive nodes from the free pool (the paper's STATIC behaviour).
+  bool reallocate_running = true;
+};
+
+class Arbiter {
+ public:
+  Arbiter(std::shared_ptr<ArbitrationPolicy> policy, ArbiterOptions options);
+
+  /// Register a job and re-arbitrate. Returns the new mapping.
+  const Mapping& job_started(JobId id, AppEntry app);
+  /// Remove a job and re-arbitrate.
+  const Mapping& job_finished(JobId id);
+
+  /// Resize the forwarding pool (elastic recruitment of idle compute
+  /// nodes - recruited IONs take ids >= the old pool size) and
+  /// re-arbitrate. Returns the new mapping.
+  const Mapping& set_pool(int pool);
+  int pool() const { return options_.pool; }
+
+  const Mapping& mapping() const { return mapping_; }
+  std::size_t running_jobs() const { return running_.size(); }
+
+  /// Wall time of the last policy solve (the 399 us figure of Sec. 5.3).
+  Seconds last_solve_seconds() const { return last_solve_seconds_; }
+
+  /// Last allocation decision (per running job, same order as
+  /// mapping().jobs iteration).
+  const std::map<JobId, int>& last_counts() const { return counts_; }
+
+ private:
+  void arbitrate();
+  void materialize(const std::map<JobId, int>& counts,
+                   const std::map<JobId, bool>& shared);
+
+  std::shared_ptr<ArbitrationPolicy> policy_;
+  ArbiterOptions options_;
+  std::map<JobId, AppEntry> running_;
+  std::map<JobId, int> counts_;
+  Mapping mapping_;
+  Seconds last_solve_seconds_ = 0.0;
+};
+
+}  // namespace iofa::core

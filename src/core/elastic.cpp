@@ -1,0 +1,44 @@
+#include "core/elastic.hpp"
+
+#include <algorithm>
+
+namespace iofa::core {
+
+ElasticDecision ElasticPool::recommend(const AllocationProblem& problem,
+                                       int idle_nodes) const {
+  const MckpPolicy mckp;
+  AllocationProblem scratch = problem;
+
+  auto value_at = [&](int pool) {
+    scratch.pool = pool;
+    return mckp.allocate(scratch).aggregate_bw(scratch);
+  };
+
+  ElasticDecision decision;
+  decision.pool = options_.base_pool;
+  decision.base_value = value_at(options_.base_pool);
+  decision.elastic_value = decision.base_value;
+
+  // Pick the recruitment count with the best NET benefit (aggregate
+  // bandwidth minus the per-node opportunity cost). Scanning the whole
+  // budget instead of stopping at the first flat step matters because
+  // the feasible ION options are power-of-two shaped: the next upgrade
+  // may need two or four nodes at once.
+  const int budget =
+      std::max(0, std::min(idle_nodes, options_.max_recruited));
+  double best_net = decision.base_value;
+  for (int r = 1; r <= budget; ++r) {
+    const MBps value = value_at(options_.base_pool + r);
+    const double net =
+        value - options_.recruit_gain_threshold * static_cast<double>(r);
+    if (net > best_net) {
+      best_net = net;
+      decision.pool = options_.base_pool + r;
+      decision.recruited = r;
+      decision.elastic_value = value;
+    }
+  }
+  return decision;
+}
+
+}  // namespace iofa::core

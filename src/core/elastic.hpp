@@ -1,0 +1,47 @@
+#pragma once
+// Elastic forwarding pools - the paper's future-work item: "expand the
+// technique to supercomputers where forwarding is not yet deployed,
+// recruiting idle compute nodes to act as temporary I/O nodes".
+//
+// ElasticPool decides how many idle compute nodes to recruit as
+// temporary IONs on top of the base pool: it evaluates the MCKP optimum
+// at increasing pool sizes and recruits while the marginal aggregate-
+// bandwidth gain of one more ION clears a configurable threshold (the
+// opportunity cost of taking a node away from the compute pool).
+
+#include "core/policies.hpp"
+
+namespace iofa::core {
+
+struct ElasticOptions {
+  int base_pool = 0;          ///< permanently provisioned IONs
+  int max_recruited = 0;      ///< cap on temporary IONs
+  /// Minimum aggregate MB/s one recruited node must add to be worth it.
+  MBps recruit_gain_threshold = 50.0;
+};
+
+struct ElasticDecision {
+  int pool = 0;        ///< total IONs to use (base + recruited)
+  int recruited = 0;
+  MBps base_value = 0.0;     ///< MCKP aggregate at the base pool
+  MBps elastic_value = 0.0;  ///< MCKP aggregate at the chosen pool
+};
+
+class ElasticPool {
+ public:
+  explicit ElasticPool(ElasticOptions options) : options_(options) {}
+
+  /// Recommend a pool size for the given job set when `idle_nodes`
+  /// compute nodes are currently unused. The problem's own `pool` field
+  /// is ignored; recruitment never exceeds min(idle_nodes,
+  /// max_recruited).
+  ElasticDecision recommend(const AllocationProblem& problem,
+                            int idle_nodes) const;
+
+  const ElasticOptions& options() const { return options_; }
+
+ private:
+  ElasticOptions options_;
+};
+
+}  // namespace iofa::core

@@ -1,0 +1,171 @@
+#include "core/mckp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace iofa::core {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+std::optional<MckpSolution> solve_mckp_dp(
+    const std::vector<MckpClass>& classes, int capacity) {
+  assert(capacity >= 0);
+  const std::size_t k = classes.size();
+  const std::size_t w_dim = static_cast<std::size_t>(capacity) + 1;
+
+  if (k == 0) return MckpSolution{{}, 0.0, 0};
+  for (const auto& cls : classes) {
+    if (cls.empty()) return std::nullopt;
+  }
+
+  // dp[w]: best value after processing the classes so far with total
+  // weight exactly <= w reachable states; kNegInf marks unreachable.
+  std::vector<double> dp(w_dim, kNegInf);
+  std::vector<double> next(w_dim, kNegInf);
+  // choice[i][w]: item picked for class i at state weight w.
+  std::vector<std::vector<std::uint16_t>> choice(
+      k, std::vector<std::uint16_t>(w_dim, 0));
+
+  dp[0] = 0.0;
+  // Non-zero weights start unreachable so each class contributes exactly
+  // one item.
+  for (std::size_t i = 0; i < k; ++i) {
+    std::fill(next.begin(), next.end(), kNegInf);
+    const auto& cls = classes[i];
+    for (std::size_t j = 0; j < cls.size(); ++j) {
+      const int w = cls[j].weight;
+      if (w < 0 || w > capacity) continue;
+      const double v = cls[j].value;
+      for (std::size_t prev_w = 0; prev_w + static_cast<std::size_t>(w) <
+                                   w_dim;
+           ++prev_w) {
+        if (dp[prev_w] == kNegInf) continue;
+        const std::size_t new_w = prev_w + static_cast<std::size_t>(w);
+        const double cand = dp[prev_w] + v;
+        if (cand > next[new_w]) {
+          next[new_w] = cand;
+          choice[i][new_w] = static_cast<std::uint16_t>(j);
+        }
+      }
+    }
+    dp.swap(next);
+  }
+
+  // Best final state across all weights <= capacity.
+  std::size_t best_w = 0;
+  double best_v = kNegInf;
+  for (std::size_t w = 0; w < w_dim; ++w) {
+    if (dp[w] > best_v) {
+      best_v = dp[w];
+      best_w = w;
+    }
+  }
+  if (best_v == kNegInf) return std::nullopt;
+
+  // Reconstruct by replaying choices backwards.
+  MckpSolution sol;
+  sol.choice.resize(k);
+  sol.value = best_v;
+  sol.weight = static_cast<int>(best_w);
+  std::size_t w = best_w;
+  for (std::size_t i = k; i-- > 0;) {
+    const std::size_t j = choice[i][w];
+    sol.choice[i] = j;
+    w -= static_cast<std::size_t>(classes[i][j].weight);
+  }
+  assert(w == 0);
+  return sol;
+}
+
+std::optional<MckpSolution> solve_mckp_greedy(
+    const std::vector<MckpClass>& classes, int capacity) {
+  const std::size_t k = classes.size();
+  MckpSolution sol;
+  sol.choice.resize(k);
+
+  // Start every class at its minimum-weight item (best value among ties).
+  for (std::size_t i = 0; i < k; ++i) {
+    if (classes[i].empty()) return std::nullopt;
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < classes[i].size(); ++j) {
+      const auto& it = classes[i][j];
+      const auto& cur = classes[i][best];
+      if (it.weight < cur.weight ||
+          (it.weight == cur.weight && it.value > cur.value)) {
+        best = j;
+      }
+    }
+    sol.choice[i] = best;
+    sol.weight += classes[i][best].weight;
+    sol.value += classes[i][best].value;
+  }
+  if (sol.weight > capacity) return std::nullopt;
+
+  // Repeatedly take the best-efficiency upgrade that fits.
+  for (;;) {
+    double best_eff = 0.0;
+    std::size_t best_class = k;
+    std::size_t best_item = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto& cur = classes[i][sol.choice[i]];
+      for (std::size_t j = 0; j < classes[i].size(); ++j) {
+        const auto& cand = classes[i][j];
+        const int dw = cand.weight - cur.weight;
+        const double dv = cand.value - cur.value;
+        if (dw <= 0 || dv <= 0.0) continue;
+        if (sol.weight + dw > capacity) continue;
+        const double eff = dv / static_cast<double>(dw);
+        if (eff > best_eff) {
+          best_eff = eff;
+          best_class = i;
+          best_item = j;
+        }
+      }
+    }
+    if (best_class == k) break;
+    const auto& cur = classes[best_class][sol.choice[best_class]];
+    const auto& cand = classes[best_class][best_item];
+    sol.weight += cand.weight - cur.weight;
+    sol.value += cand.value - cur.value;
+    sol.choice[best_class] = best_item;
+  }
+  return sol;
+}
+
+namespace {
+
+void brute_rec(const std::vector<MckpClass>& classes, int capacity,
+               std::size_t i, std::vector<std::size_t>& pick, int weight,
+               double value, std::optional<MckpSolution>& best) {
+  if (weight > capacity) return;
+  if (i == classes.size()) {
+    if (!best || value > best->value) {
+      best = MckpSolution{pick, value, weight};
+    }
+    return;
+  }
+  for (std::size_t j = 0; j < classes[i].size(); ++j) {
+    pick[i] = j;
+    brute_rec(classes, capacity, i + 1, pick,
+              weight + classes[i][j].weight, value + classes[i][j].value,
+              best);
+  }
+}
+
+}  // namespace
+
+std::optional<MckpSolution> solve_mckp_bruteforce(
+    const std::vector<MckpClass>& classes, int capacity) {
+  for (const auto& cls : classes) {
+    if (cls.empty()) return std::nullopt;
+  }
+  std::optional<MckpSolution> best;
+  std::vector<std::size_t> pick(classes.size(), 0);
+  brute_rec(classes, capacity, 0, pick, 0, 0.0, best);
+  return best;
+}
+
+}  // namespace iofa::core

@@ -1,0 +1,53 @@
+#pragma once
+// Multiple-Choice Knapsack solvers.
+//
+// The allocation problem of Section 3: classes are applications, the
+// items of a class are the feasible ION counts for that application
+// (weight = number of IONs, value = predicted bandwidth), the knapsack
+// capacity is the forwarding pool size. Exactly one item is chosen per
+// class to maximise total value under the capacity.
+//
+// Three solvers:
+//   solve_mckp_dp          - exact pseudo-polynomial dynamic program,
+//                            O(W * sum_i N_i) as in the paper;
+//   solve_mckp_greedy      - dominance-filtered incremental-efficiency
+//                            heuristic (ablation baseline);
+//   solve_mckp_bruteforce  - exhaustive reference for property tests.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace iofa::core {
+
+struct MckpItem {
+  int weight = 0;     ///< IONs consumed
+  double value = 0.0; ///< predicted bandwidth (MB/s)
+};
+
+using MckpClass = std::vector<MckpItem>;
+
+struct MckpSolution {
+  std::vector<std::size_t> choice;  ///< item index per class
+  double value = 0.0;
+  int weight = 0;
+};
+
+/// Exact DP. Returns nullopt when no feasible selection exists (i.e. the
+/// minimum-weight items already exceed the capacity). Classes must be
+/// non-empty; capacity >= 0.
+std::optional<MckpSolution> solve_mckp_dp(
+    const std::vector<MckpClass>& classes, int capacity);
+
+/// Greedy on the per-class convex hull of (weight, value): start from the
+/// minimum-weight item of each class, then repeatedly apply the upgrade
+/// with the best marginal value per ION that still fits. Feasible whenever
+/// the DP is; not always optimal.
+std::optional<MckpSolution> solve_mckp_greedy(
+    const std::vector<MckpClass>& classes, int capacity);
+
+/// Exhaustive search; only for small instances (tests).
+std::optional<MckpSolution> solve_mckp_bruteforce(
+    const std::vector<MckpClass>& classes, int capacity);
+
+}  // namespace iofa::core

@@ -1,0 +1,105 @@
+#include "core/related.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iofa::core {
+
+namespace {
+
+/// The static default an application would receive (same rule as
+/// StaticPolicy, one app at a time).
+int static_default(const AllocationProblem& problem, const AppEntry& app) {
+  const double ratio =
+      problem.static_ratio.has_value()
+          ? *problem.static_ratio
+          : static_cast<double>(problem.total_compute_nodes()) /
+                std::max(1, problem.pool);
+  const int want = static_cast<int>(std::ceil(
+      static_cast<double>(app.compute_nodes) / std::max(ratio, 1e-9)));
+  int snapped = app.curve.snap_option(std::max(1, want));
+  if (snapped == 0) {
+    for (int opt : app.curve.options()) {
+      if (opt > 0) {
+        snapped = opt;
+        break;
+      }
+    }
+  }
+  return snapped;
+}
+
+}  // namespace
+
+Allocation DfraPolicy::allocate(const AllocationProblem& problem) const {
+  Allocation alloc;
+  alloc.ions.reserve(problem.apps.size());
+  int remaining = problem.pool;
+
+  // Jobs are considered in submission order (the order of `apps`), each
+  // deciding once and keeping its grant - DFRA's "allocation remains
+  // fixed once the job starts".
+  for (const auto& app : problem.apps) {
+    const int def = static_default(problem, app);
+    const double def_bw = app.curve.at(def);
+    const int best = app.curve.best_option_up_to(
+        std::max(def, remaining));
+    const double best_bw = app.curve.at(best);
+
+    int grant = def;
+    if (best != def && def_bw > 0.0 &&
+        best_bw / def_bw >= options_.upgrade_threshold &&
+        best <= remaining) {
+      grant = best;  // upgrade for capacity (or isolation)
+    }
+    grant = std::min(grant, std::max(0, remaining));
+    grant = app.curve.snap_option(grant);
+    alloc.ions.push_back(grant);
+    remaining -= grant;
+  }
+  alloc.respects_pool = remaining >= 0;
+  return alloc;
+}
+
+Allocation RecruitmentPolicy::allocate(
+    const AllocationProblem& problem) const {
+  // Start from STATIC...
+  Allocation alloc = StaticPolicy().allocate(problem);
+
+  // ...then hand the unused IONs, one upgrade at a time, to whichever
+  // application gains the most bandwidth per recruited node. Primary
+  // assignments are never reduced.
+  auto used = [&] {
+    int total = 0;
+    for (int n : alloc.ions) total += n;
+    return total;
+  };
+  for (;;) {
+    const int free_ions = problem.pool - used();
+    if (free_ions <= 0) break;
+    double best_gain = 0.0;
+    std::size_t best_app = problem.apps.size();
+    int best_next = 0;
+    for (std::size_t i = 0; i < problem.apps.size(); ++i) {
+      const auto& curve = problem.apps[i].curve;
+      for (int opt : curve.options()) {
+        if (opt <= alloc.ions[i]) continue;
+        const int extra = opt - alloc.ions[i];
+        if (extra > free_ions) continue;
+        const double gain =
+            (curve.at(opt) - curve.at(alloc.ions[i])) / extra;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_app = i;
+          best_next = opt;
+        }
+      }
+    }
+    if (best_app == problem.apps.size()) break;
+    alloc.ions[best_app] = best_next;
+  }
+  alloc.respects_pool = used() <= problem.pool;
+  return alloc;
+}
+
+}  // namespace iofa::core

@@ -1,0 +1,44 @@
+#pragma once
+// Baselines reimplemented from the paper's related work (Section 6), so
+// the MCKP policy can be compared against the actual prior approaches
+// and not only against STATIC:
+//
+//   DfraPolicy        - Ji et al., FAST'19 ("DFRA"): decide per job AT
+//                       SUBMISSION from its I/O history - grant the
+//                       job's best option if the predicted gain over the
+//                       static default clears a threshold, first-come-
+//                       first-served out of the remaining pool; never
+//                       remap a running job.
+//   RecruitmentPolicy - Yu et al., ICCC'17: start from the STATIC
+//                       mapping and recruit the currently-unused IONs
+//                       for the applications that benefit the most; the
+//                       primary static assignment is never taken away.
+
+#include "core/policies.hpp"
+
+namespace iofa::core {
+
+class DfraPolicy final : public ArbitrationPolicy {
+ public:
+  struct Options {
+    /// Minimum speedup (best over static default) to upgrade a job.
+    double upgrade_threshold = 1.2;
+  };
+
+  DfraPolicy() = default;
+  explicit DfraPolicy(Options options) : options_(options) {}
+
+  std::string name() const override { return "DFRA"; }
+  Allocation allocate(const AllocationProblem& problem) const override;
+
+ private:
+  Options options_;
+};
+
+class RecruitmentPolicy final : public ArbitrationPolicy {
+ public:
+  std::string name() const override { return "RECRUIT"; }
+  Allocation allocate(const AllocationProblem& problem) const override;
+};
+
+}  // namespace iofa::core

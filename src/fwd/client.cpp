@@ -1,0 +1,171 @@
+#include "fwd/client.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <future>
+
+#include "gkfs/chunk.hpp"
+
+namespace iofa::fwd {
+
+Client::Client(ClientConfig config, ForwardingService& service)
+    : config_(std::move(config)),
+      service_(service),
+      view_(service.mapping_store(), config_.job, config_.poll_period),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Seconds Client::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void Client::record(std::uint32_t rank, trace::OpKind op,
+                    const std::string& path, std::uint64_t offset,
+                    std::uint64_t size, Seconds t0, Seconds t1) {
+  if (!trace_) return;
+  trace::RequestRecord rec;
+  rec.rank = rank;
+  rec.file_id = trace::hash_path(path);
+  rec.op = op;
+  rec.offset = offset;
+  rec.size = size;
+  rec.t_start = t0;
+  rec.t_end = t1;
+  trace_->append(rec);
+}
+
+std::size_t Client::scatter(std::uint32_t rank, FwdOp op,
+                            const std::string& path, std::uint64_t offset,
+                            std::uint64_t size,
+                            std::span<const std::byte> wdata,
+                            std::span<std::byte> rdata,
+                            const std::vector<int>& targets) {
+  // GekkoFS chunk distribution: one sub-request per chunk, each to the
+  // chunk's home daemon - over ALL daemons in burst-buffer mode, over
+  // the job's assigned ION subset in forwarding mode.
+  (void)rank;
+  const std::uint64_t id = gkfs::hash_path(path);
+  const auto daemons = targets.size();
+  struct Pending {
+    std::future<std::size_t> fut;
+    std::shared_ptr<std::vector<std::byte>> buf;
+    std::uint64_t rel = 0;
+  };
+  std::vector<Pending> pending;
+  std::size_t n = 0;
+  for (const auto& slice : gkfs::split_range(offset, size)) {
+    FwdRequest req;
+    req.op = op;
+    req.path = path;
+    req.file_id = id;
+    req.offset = slice.file_offset;
+    req.size = slice.size;
+    req.stream_weight = config_.stream_weight;
+    const std::uint64_t rel = slice.file_offset - offset;
+    if (op == FwdOp::Write && config_.store_data && !wdata.empty()) {
+      auto sub = wdata.subspan(rel, slice.size);
+      req.data = std::make_shared<std::vector<std::byte>>(sub.begin(),
+                                                          sub.end());
+    } else if (op == FwdOp::Read && config_.store_data &&
+               !rdata.empty()) {
+      req.data = std::make_shared<std::vector<std::byte>>(slice.size);
+    }
+    req.done = std::make_shared<std::promise<std::size_t>>();
+    Pending p;
+    p.fut = req.done->get_future();
+    p.buf = req.data;
+    p.rel = rel;
+    const int target = targets[gkfs::daemon_of(id, slice.chunk, daemons)];
+    if (!service_.daemon(target).submit(std::move(req))) {
+      continue;  // daemon shut down; sub-request dropped
+    }
+    pending.push_back(std::move(p));
+    forwarded_ops_.fetch_add(1);
+  }
+  for (auto& p : pending) {
+    const std::size_t got = p.fut.get();
+    if (op == FwdOp::Read && p.buf && !rdata.empty()) {
+      std::memcpy(rdata.data() + p.rel, p.buf->data(),
+                  std::min<std::size_t>(got, p.buf->size()));
+    }
+    n += got;
+  }
+  return n;
+}
+
+std::size_t Client::pwrite(std::uint32_t rank, const std::string& path,
+                           std::uint64_t offset, std::uint64_t size,
+                           std::span<const std::byte> data) {
+  const Seconds t0 = now();
+  std::size_t n = 0;
+  if (config_.mode == ClientMode::BurstBuffer) {
+    n = scatter(rank, FwdOp::Write, path, offset, size, data, {},
+                all_daemons());
+  } else {
+    const auto ions = view_.ions();
+    if (ions.empty()) {
+      service_.pfs().write(path, offset, size, data,
+                           config_.stream_weight);
+      n = size;
+      direct_ops_.fetch_add(1);
+    } else {
+      n = scatter(rank, FwdOp::Write, path, offset, size, data, {}, ions);
+    }
+  }
+  record(rank, trace::OpKind::Write, path, offset, size, t0, now());
+  return n;
+}
+
+std::size_t Client::pread(std::uint32_t rank, const std::string& path,
+                          std::uint64_t offset, std::uint64_t size,
+                          std::span<std::byte> out) {
+  const Seconds t0 = now();
+  std::size_t n = 0;
+  if (config_.mode == ClientMode::BurstBuffer) {
+    n = scatter(rank, FwdOp::Read, path, offset, size, {}, out,
+                all_daemons());
+  } else {
+    const auto ions = view_.ions();
+    if (ions.empty()) {
+      n = service_.pfs().read(path, offset, size, out,
+                              config_.stream_weight);
+      direct_ops_.fetch_add(1);
+    } else {
+      n = scatter(rank, FwdOp::Read, path, offset, size, {}, out, ions);
+    }
+  }
+  record(rank, trace::OpKind::Read, path, offset, size, t0, now());
+  return n;
+}
+
+void Client::fsync(const std::string& path) {
+  auto fsync_one = [&](int ion) {
+    FwdRequest req;
+    req.op = FwdOp::Fsync;
+    req.path = path;
+    req.file_id = gkfs::hash_path(path);
+    req.done = std::make_shared<std::promise<std::size_t>>();
+    auto fut = req.done->get_future();
+    if (service_.daemon(ion).submit(std::move(req))) fut.get();
+  };
+  if (config_.mode == ClientMode::BurstBuffer) {
+    // Chunks are scattered: every daemon may hold staged data.
+    for (int d = 0; d < service_.ion_count(); ++d) fsync_one(d);
+    return;
+  }
+  const auto ions = view_.ions();
+  if (ions.empty()) return;  // direct writes are already on the PFS
+  for (int ion : ions) fsync_one(ion);
+}
+
+std::vector<int> Client::all_daemons() const {
+  std::vector<int> out(static_cast<std::size_t>(service_.ion_count()));
+  for (int d = 0; d < service_.ion_count(); ++d) {
+    out[static_cast<std::size_t>(d)] = d;
+  }
+  return out;
+}
+
+}  // namespace iofa::fwd

@@ -1,0 +1,100 @@
+#pragma once
+// GekkoFWD client shim: the per-job interception layer. In the real
+// system this is the syscall-intercepting GekkoFS client; here it is the
+// API the workload kernels call. Every operation consults the cached
+// mapping view: with an empty ION list it goes straight to the PFS,
+// otherwise it is forwarded to ONE of the job's assigned IONs, selected
+// by hashing the file's path (GekkoFWD semantics - all traffic of a file
+// goes through a single ION while the mapping holds).
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/units.hpp"
+#include "fwd/mapping.hpp"
+#include "fwd/request.hpp"
+#include "fwd/service.hpp"
+#include "trace/record.hpp"
+
+namespace iofa::fwd {
+
+/// How the shim routes I/O:
+///   Forwarding  - GekkoFWD: traffic is chunk-hashed across the job's
+///                 ASSIGNED IONs only (GekkoFS distribution restricted
+///                 to the mapped subset), falling back to direct PFS
+///                 access when unmapped;
+///   BurstBuffer - native GekkoFS: chunks scatter across ALL daemons,
+///                 regardless of the mapping.
+enum class ClientMode { Forwarding, BurstBuffer };
+
+struct ClientConfig {
+  core::JobId job = 0;
+  std::string app_label;
+  /// Logical client processes each issuing thread stands for.
+  double stream_weight = 1.0;
+  /// Mapping poll period (the paper's default is 10 s on real clusters).
+  Seconds poll_period = 0.05;
+  /// Null payloads: account bytes without materialising them.
+  bool store_data = true;
+  ClientMode mode = ClientMode::Forwarding;
+};
+
+class Client {
+ public:
+  Client(ClientConfig config, ForwardingService& service);
+
+  /// Attach a trace log; all subsequent operations are recorded.
+  void set_trace(std::shared_ptr<trace::TraceLog> log) {
+    trace_ = std::move(log);
+  }
+
+  /// Positional write. `data` may be empty in accounting-only mode.
+  /// Returns bytes written. Thread-safe. Requests spanning multiple
+  /// 512 KiB chunks are split and scattered per the routing mode.
+  std::size_t pwrite(std::uint32_t rank, const std::string& path,
+                     std::uint64_t offset, std::uint64_t size,
+                     std::span<const std::byte> data = {});
+
+  /// Positional read into `out` (or accounting-only when empty).
+  std::size_t pread(std::uint32_t rank, const std::string& path,
+                    std::uint64_t offset, std::uint64_t size,
+                    std::span<std::byte> out = {});
+
+  /// Flush a file's forwarded writes to the PFS and wait.
+  void fsync(const std::string& path);
+
+  /// Force a mapping refresh (tests; normally polling suffices).
+  void refresh_mapping() { view_.refresh_now(); }
+
+  std::uint64_t forwarded_ops() const { return forwarded_ops_.load(); }
+  std::uint64_t direct_ops() const { return direct_ops_.load(); }
+
+  const ClientConfig& config() const { return config_; }
+  ForwardingService& service() { return service_; }
+
+ private:
+  /// Chunk the request and scatter it across `targets` by (path, chunk)
+  /// hash (GekkoFS distribution). Returns bytes transferred.
+  std::size_t scatter(std::uint32_t rank, FwdOp op, const std::string& path,
+                      std::uint64_t offset, std::uint64_t size,
+                      std::span<const std::byte> wdata,
+                      std::span<std::byte> rdata,
+                      const std::vector<int>& targets);
+  std::vector<int> all_daemons() const;
+  Seconds now() const;
+  void record(std::uint32_t rank, trace::OpKind op, const std::string& path,
+              std::uint64_t offset, std::uint64_t size, Seconds t0,
+              Seconds t1);
+
+  ClientConfig config_;
+  ForwardingService& service_;
+  ClientMappingView view_;
+  std::shared_ptr<trace::TraceLog> trace_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> forwarded_ops_{0};
+  std::atomic<std::uint64_t> direct_ops_{0};
+};
+
+}  // namespace iofa::fwd

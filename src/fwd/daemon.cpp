@@ -1,0 +1,294 @@
+#include "fwd/daemon.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "gkfs/chunk.hpp"
+
+namespace iofa::fwd {
+
+using namespace std::chrono_literals;
+
+IonDaemon::IonDaemon(int id, IonParams params, EmulatedPfs& pfs)
+    : id_(id),
+      params_(params),
+      pfs_(pfs),
+      ingest_bucket_(params.ingest_bandwidth,
+                     std::max(params.ingest_bandwidth * 0.02,
+                              static_cast<double>(4 * MiB))),
+      ingest_(params.queue_capacity),
+      flush_queue_(params.queue_capacity * 4),
+      scheduler_(agios::make_scheduler(params.scheduler)),
+      epoch_(std::chrono::steady_clock::now()) {
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  flusher_ = std::thread([this] { flusher_loop(); });
+}
+
+IonDaemon::~IonDaemon() { shutdown(); }
+
+Seconds IonDaemon::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+bool IonDaemon::submit(FwdRequest req) {
+  if (!running_.load()) return false;
+  {
+    std::lock_guard lk(pending_mu_);
+    ++pending_requests_;
+  }
+  if (!ingest_.push(std::move(req))) {
+    std::lock_guard lk(pending_mu_);
+    --pending_requests_;
+    pending_cv_.notify_all();
+    return false;
+  }
+  return true;
+}
+
+void IonDaemon::drain() {
+  std::unique_lock lk(pending_mu_);
+  pending_cv_.wait(lk, [&] {
+    return pending_requests_ == 0 && pending_flushes_ == 0;
+  });
+}
+
+void IonDaemon::shutdown() {
+  if (!running_.exchange(false)) return;
+  ingest_.close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  flush_queue_.close();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+void IonDaemon::dispatcher_loop() {
+  auto ingest_one = [&](FwdRequest&& req) {
+    if (req.op == FwdOp::Fsync) {
+      // Order the marker after everything staged so far.
+      FlushItem marker;
+      marker.path = req.path;
+      marker.fsync_done = req.done;
+      {
+        std::lock_guard lk(pending_mu_);
+        ++pending_flushes_;
+      }
+      flush_queue_.push(std::move(marker));
+      std::lock_guard lk(pending_mu_);
+      --pending_requests_;
+      pending_cv_.notify_all();
+      return;
+    }
+    const std::uint64_t tag = next_tag_++;
+    agios::SchedRequest sr;
+    sr.tag = tag;
+    sr.file_id = req.file_id;
+    sr.op = req.op == FwdOp::Write ? agios::ReqOp::Write
+                                   : agios::ReqOp::Read;
+    sr.offset = req.offset;
+    sr.size = req.size;
+    sr.arrival = now();
+    in_flight_.emplace(tag, std::move(req));
+    scheduler_->add(sr);
+  };
+
+  while (true) {
+    // Pull everything immediately available into the scheduler.
+    while (auto req = ingest_.try_pop()) ingest_one(std::move(*req));
+
+    if (auto dispatch = scheduler_->pop(now())) {
+      process(*dispatch);
+      continue;
+    }
+
+    // Nothing ready: wait for new arrivals, bounded by the scheduler's
+    // own readiness horizon (aggregation / TWINS windows).
+    std::chrono::duration<double> wait = 2ms;
+    if (auto ready_at = scheduler_->next_ready_time(now())) {
+      wait = std::min(wait, std::chrono::duration<double>(
+                                std::max(1e-5, *ready_at - now())));
+    }
+    auto req = ingest_.pop_for(wait);
+    if (req) {
+      ingest_one(std::move(*req));
+      continue;
+    }
+    if (ingest_.closed()) {
+      if (ingest_.empty() && scheduler_->empty()) break;
+      // Queue closed but the scheduler is still holding requests back
+      // (aggregation/TWINS window): let real time pass instead of
+      // spinning on the already-closed queue.
+      std::this_thread::sleep_for(100us);
+    }
+  }
+}
+
+void IonDaemon::process(const agios::Dispatch& dispatch) {
+  // One ingest charge per dispatch: aggregation amortises the per-access
+  // overhead, which is exactly how forwarding recovers small-request
+  // bandwidth.
+  ingest_bucket_.acquire(static_cast<double>(dispatch.size) +
+                         static_cast<double>(params_.op_overhead));
+
+  {
+    std::lock_guard lk(stats_mu_);
+    ++stats_.dispatches;
+    stats_.requests += dispatch.parts.size();
+    stats_.bytes_in += dispatch.size;
+  }
+
+  for (const auto& part : dispatch.parts) {
+    auto it = in_flight_.find(part.tag);
+    assert(it != in_flight_.end());
+    FwdRequest req = std::move(it->second);
+    in_flight_.erase(it);
+
+    if (req.op == FwdOp::Write) {
+      if (params_.store_data && req.data && !req.data->empty()) {
+        for (const auto& slice : gkfs::split_range(req.offset, req.size)) {
+          staging_.write(
+              req.file_id, slice.chunk, slice.offset_in_chunk,
+              std::span<const std::byte>(*req.data)
+                  .subspan(slice.file_offset - req.offset, slice.size));
+        }
+      }
+      mark_dirty(req.file_id, req.offset, req.size);
+      FlushItem item;
+      item.path = req.path;
+      item.offset = req.offset;
+      item.size = req.size;
+      item.data = req.data;
+      {
+        std::lock_guard lk(pending_mu_);
+        ++pending_flushes_;
+      }
+      if (params_.write_through) {
+        // Ack from the flusher, after the PFS write.
+        item.write_done = req.done;
+      } else if (req.done) {
+        req.done->set_value(req.size);
+      }
+      flush_queue_.push(std::move(item));
+    } else {
+      // Read: prefer the staging store while the range is dirty here.
+      std::size_t n = req.size;
+      if (is_dirty(req.file_id, req.offset, req.size)) {
+        if (params_.store_data && req.data && !req.data->empty()) {
+          for (const auto& slice :
+               gkfs::split_range(req.offset, req.size)) {
+            staging_.read(
+                req.file_id, slice.chunk, slice.offset_in_chunk,
+                std::span<std::byte>(*req.data)
+                    .subspan(slice.file_offset - req.offset, slice.size));
+          }
+        }
+        std::lock_guard lk(stats_mu_);
+        ++stats_.reads_local;
+      } else {
+        std::span<std::byte> out =
+            (req.data && !req.data->empty())
+                ? std::span<std::byte>(*req.data).first(req.size)
+                : std::span<std::byte>();
+        // The ION is ONE reader at the PFS no matter how many client
+        // processes it stands for - that is the flow-reshaping benefit.
+        n = pfs_.read(req.path, req.offset, req.size, out,
+                      /*stream_weight=*/1.0);
+        std::lock_guard lk(stats_mu_);
+        ++stats_.reads_pfs;
+      }
+      if (req.done) req.done->set_value(n);
+    }
+    std::lock_guard lk(pending_mu_);
+    --pending_requests_;
+    pending_cv_.notify_all();
+  }
+}
+
+void IonDaemon::flusher_loop() {
+  while (auto item = flush_queue_.pop()) {
+    if (item->fsync_done) {
+      item->fsync_done->set_value(0);
+    } else {
+      std::span<const std::byte> data =
+          (item->data && !item->data->empty())
+              ? std::span<const std::byte>(*item->data).first(item->size)
+              : std::span<const std::byte>();
+      pfs_.write(item->path, item->offset, item->size, data,
+                 /*stream_weight=*/1.0);
+      mark_clean(gkfs::hash_path(item->path), item->offset, item->size);
+      if (item->write_done) item->write_done->set_value(item->size);
+      std::lock_guard lk(stats_mu_);
+      stats_.bytes_flushed += item->size;
+    }
+    std::lock_guard lk(pending_mu_);
+    --pending_flushes_;
+    pending_cv_.notify_all();
+  }
+}
+
+void IonDaemon::mark_dirty(std::uint64_t file_id, std::uint64_t offset,
+                           std::uint64_t size) {
+  std::lock_guard lk(dirty_mu_);
+  auto& ranges = dirty_[file_id];
+  std::uint64_t lo = offset;
+  std::uint64_t hi = offset + size;
+  // Merge with any overlapping/adjacent intervals.
+  auto it = ranges.lower_bound(lo);
+  if (it != ranges.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= lo) it = prev;
+  }
+  while (it != ranges.end() && it->first <= hi) {
+    lo = std::min(lo, it->first);
+    hi = std::max(hi, it->second);
+    it = ranges.erase(it);
+  }
+  ranges.emplace(lo, hi);
+}
+
+void IonDaemon::mark_clean(std::uint64_t file_id, std::uint64_t offset,
+                           std::uint64_t size) {
+  std::lock_guard lk(dirty_mu_);
+  auto fit = dirty_.find(file_id);
+  if (fit == dirty_.end()) return;
+  auto& ranges = fit->second;
+  const std::uint64_t lo = offset;
+  const std::uint64_t hi = offset + size;
+  auto it = ranges.lower_bound(lo);
+  if (it != ranges.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > lo) it = prev;
+  }
+  while (it != ranges.end() && it->first < hi) {
+    const std::uint64_t r_lo = it->first;
+    const std::uint64_t r_hi = it->second;
+    it = ranges.erase(it);
+    if (r_lo < lo) ranges.emplace(r_lo, lo);
+    if (r_hi > hi) ranges.emplace(hi, r_hi);
+    if (r_hi >= hi) break;
+  }
+  if (ranges.empty()) dirty_.erase(fit);
+}
+
+bool IonDaemon::is_dirty(std::uint64_t file_id, std::uint64_t offset,
+                         std::uint64_t size) const {
+  std::lock_guard lk(dirty_mu_);
+  auto fit = dirty_.find(file_id);
+  if (fit == dirty_.end()) return false;
+  const auto& ranges = fit->second;
+  const std::uint64_t hi = offset + size;
+  auto it = ranges.lower_bound(offset + 1);
+  if (it != ranges.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > offset) return true;
+  }
+  if (it != ranges.end() && it->first < hi) return true;
+  return false;
+}
+
+IonDaemon::Stats IonDaemon::stats() const {
+  std::lock_guard lk(stats_mu_);
+  return stats_;
+}
+
+}  // namespace iofa::fwd

@@ -1,0 +1,134 @@
+#pragma once
+// GekkoFWD ION daemon.
+//
+// One daemon = one temporary I/O node: an ingest queue fed by client
+// shims, an AGIOS scheduler deciding dispatch order and aggregation, a
+// node-local staging store (the GekkoFS burst-buffer role), and a
+// background flusher that drains staged writes to the PFS in order.
+// Writes complete towards the client once staged (write-behind);
+// durability is obtained with fsync, which the flusher acknowledges
+// after everything staged before it has reached the PFS.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "agios/scheduler.hpp"
+#include "common/queue.hpp"
+#include "common/token_bucket.hpp"
+#include "common/units.hpp"
+#include "fwd/pfs_backend.hpp"
+#include "fwd/request.hpp"
+#include "gkfs/chunk_store.hpp"
+
+namespace iofa::fwd {
+
+struct IonParams {
+  double ingest_bandwidth = 650.0e6;  ///< bytes/s relay capacity
+  Bytes op_overhead = 64 * KiB;       ///< token surcharge per dispatch
+  std::size_t queue_capacity = 256;
+  agios::SchedulerConfig scheduler;
+  bool store_data = true;  ///< keep staged bytes for read-back
+  /// Write-through: acknowledge writes only after the PFS has them
+  /// (no burst-buffer effect; ablation of the write-behind staging).
+  bool write_through = false;
+};
+
+class IonDaemon {
+ public:
+  IonDaemon(int id, IonParams params, EmulatedPfs& pfs);
+  ~IonDaemon();
+
+  IonDaemon(const IonDaemon&) = delete;
+  IonDaemon& operator=(const IonDaemon&) = delete;
+
+  int id() const { return id_; }
+
+  /// Enqueue a request (blocking when the ingest queue is full).
+  /// Returns false after shutdown.
+  bool submit(FwdRequest req);
+
+  /// Block until every accepted request has been dispatched AND every
+  /// staged write has been flushed to the PFS.
+  void drain();
+
+  /// Stop accepting requests, drain, and join the worker threads.
+  void shutdown();
+
+  // --- stats -----------------------------------------------------------
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t dispatches = 0;
+    Bytes bytes_in = 0;
+    Bytes bytes_flushed = 0;
+    std::uint64_t reads_local = 0;  ///< served from the staging store
+    std::uint64_t reads_pfs = 0;
+  };
+  Stats stats() const;
+  std::size_t queue_depth() const { return ingest_.size(); }
+
+ private:
+  struct FlushItem {
+    std::string path;
+    std::uint64_t offset = 0;
+    std::uint64_t size = 0;
+    std::shared_ptr<std::vector<std::byte>> data;
+    std::shared_ptr<std::promise<std::size_t>> fsync_done;  ///< marker
+    /// Write-through mode: the write's own completion promise.
+    std::shared_ptr<std::promise<std::size_t>> write_done;
+  };
+
+  void dispatcher_loop();
+  void flusher_loop();
+  void process(const agios::Dispatch& dispatch);
+  Seconds now() const;
+
+  /// Dirty interval bookkeeping per file (staged but not yet flushed).
+  void mark_dirty(std::uint64_t file_id, std::uint64_t offset,
+                  std::uint64_t size);
+  void mark_clean(std::uint64_t file_id, std::uint64_t offset,
+                  std::uint64_t size);
+  bool is_dirty(std::uint64_t file_id, std::uint64_t offset,
+                std::uint64_t size) const;
+
+  int id_;
+  IonParams params_;
+  EmulatedPfs& pfs_;
+  TokenBucket ingest_bucket_;
+
+  BoundedQueue<FwdRequest> ingest_;
+  BoundedQueue<FlushItem> flush_queue_;
+
+  std::unique_ptr<agios::Scheduler> scheduler_;
+  std::unordered_map<std::uint64_t, FwdRequest> in_flight_;
+  std::uint64_t next_tag_ = 1;
+
+  gkfs::ChunkStore staging_;
+  mutable std::mutex dirty_mu_;
+  // file_id -> (offset -> end), disjoint merged intervals.
+  std::unordered_map<std::uint64_t, std::map<std::uint64_t, std::uint64_t>>
+      dirty_;
+
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex pending_mu_;
+  std::condition_variable pending_cv_;
+  std::uint64_t pending_requests_ = 0;  ///< accepted, not yet dispatched
+  std::uint64_t pending_flushes_ = 0;   ///< staged, not yet on the PFS
+
+  std::atomic<bool> running_{true};
+  std::thread dispatcher_;
+  std::thread flusher_;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace iofa::fwd

@@ -1,0 +1,66 @@
+#include "fwd/mapping.hpp"
+
+namespace iofa::fwd {
+
+void MappingStore::publish(core::Mapping mapping) {
+  std::lock_guard lk(mu_);
+  mapping_ = std::move(mapping);
+  epoch_.store(mapping_.epoch, std::memory_order_release);
+}
+
+core::Mapping MappingStore::get() const {
+  std::lock_guard lk(mu_);
+  return mapping_;
+}
+
+std::uint64_t MappingStore::epoch() const {
+  return epoch_.load(std::memory_order_acquire);
+}
+
+std::optional<core::Mapping::Entry> MappingStore::lookup(
+    core::JobId job) const {
+  std::lock_guard lk(mu_);
+  auto it = mapping_.jobs.find(job);
+  if (it == mapping_.jobs.end()) return std::nullopt;
+  return it->second;
+}
+
+ClientMappingView::ClientMappingView(const MappingStore& store,
+                                     core::JobId job, Seconds poll_period)
+    : store_(store),
+      job_(job),
+      poll_period_(poll_period),
+      last_poll_(std::chrono::steady_clock::now() -
+                 std::chrono::hours(1)) {}
+
+std::vector<int> ClientMappingView::ions() {
+  std::lock_guard lk(mu_);
+  const auto now = std::chrono::steady_clock::now();
+  const double since =
+      std::chrono::duration<double>(now - last_poll_).count();
+  if (since >= poll_period_) {
+    last_poll_ = now;
+    ++polls_;
+    if (auto entry = store_.lookup(job_)) {
+      cached_ = entry->ions;
+    } else {
+      cached_.clear();
+    }
+    observed_epoch_ = store_.epoch();
+  }
+  return cached_;
+}
+
+void ClientMappingView::refresh_now() {
+  std::lock_guard lk(mu_);
+  last_poll_ = std::chrono::steady_clock::now();
+  ++polls_;
+  if (auto entry = store_.lookup(job_)) {
+    cached_ = entry->ions;
+  } else {
+    cached_.clear();
+  }
+  observed_epoch_ = store_.epoch();
+}
+
+}  // namespace iofa::fwd

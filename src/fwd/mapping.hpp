@@ -1,0 +1,62 @@
+#pragma once
+// Runtime mapping distribution: the arbiter publishes epoch-stamped
+// mappings into a MappingStore; client shims keep a cached view and
+// refresh it periodically (the paper's clients poll the mapping file
+// every 10 s by default - the poll period here is configurable and
+// usually scaled down with everything else).
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/arbiter.hpp"
+
+namespace iofa::fwd {
+
+class MappingStore {
+ public:
+  /// Publish a new mapping (replaces the previous one).
+  void publish(core::Mapping mapping);
+
+  core::Mapping get() const;
+  std::uint64_t epoch() const;
+
+  /// Entry for one job, if present in the current mapping.
+  std::optional<core::Mapping::Entry> lookup(core::JobId job) const;
+
+ private:
+  mutable std::mutex mu_;
+  core::Mapping mapping_;
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+/// A client's cached view of its own mapping entry. Refreshes from the
+/// store at most once per poll period (checked on each access, so no
+/// watcher thread is needed); refresh_now() forces it.
+class ClientMappingView {
+ public:
+  ClientMappingView(const MappingStore& store, core::JobId job,
+                    Seconds poll_period);
+
+  /// Current ION list (empty = direct access). Triggers a poll when due.
+  std::vector<int> ions();
+  bool direct() { return ions().empty(); }
+
+  void refresh_now();
+  std::uint64_t observed_epoch() const { return observed_epoch_; }
+  std::uint64_t polls() const { return polls_; }
+
+ private:
+  const MappingStore& store_;
+  core::JobId job_;
+  Seconds poll_period_;
+  std::chrono::steady_clock::time_point last_poll_;
+  std::mutex mu_;
+  std::vector<int> cached_;
+  std::uint64_t observed_epoch_ = 0;
+  std::uint64_t polls_ = 0;
+};
+
+}  // namespace iofa::fwd

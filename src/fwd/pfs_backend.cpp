@@ -1,0 +1,112 @@
+#include "fwd/pfs_backend.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "gkfs/chunk.hpp"
+
+namespace iofa::fwd {
+
+EmulatedPfs::EmulatedPfs(PfsParams params)
+    : params_(params),
+      write_bucket_(params.write_bandwidth,
+                    std::max(params.write_bandwidth * 0.02,
+                             static_cast<double>(8 * MiB))),
+      read_bucket_(params.read_bandwidth,
+                   std::max(params.read_bandwidth * 0.02,
+                            static_cast<double>(8 * MiB))) {}
+
+std::shared_ptr<EmulatedPfs::FileLock> EmulatedPfs::lock_for(
+    const std::string& path) {
+  std::lock_guard lk(locks_mu_);
+  auto& slot = locks_[path];
+  if (!slot) slot = std::make_shared<FileLock>();
+  return slot;
+}
+
+double EmulatedPfs::charge(std::uint64_t size, double stream_weight,
+                           bool is_read, double extra_factor) {
+  const double streams =
+      weighted_streams_.fetch_add(stream_weight) + stream_weight;
+  const double contention =
+      1.0 + params_.contention_coeff * std::max(0.0, streams - 1.0);
+  const double tokens =
+      (static_cast<double>(size) +
+       static_cast<double>(params_.op_overhead)) *
+      contention * extra_factor;
+  (is_read ? read_bucket_ : write_bucket_).acquire(tokens);
+  weighted_streams_.fetch_sub(stream_weight);
+  return tokens;
+}
+
+void EmulatedPfs::write(const std::string& path, std::uint64_t offset,
+                        std::uint64_t size, std::span<const std::byte> data,
+                        double stream_weight) {
+  auto lock = lock_for(path);
+  lock->waiters.fetch_add(1);
+  {
+    std::lock_guard file_lk(lock->mu);
+    // Concurrent writers queued on this file pay the lock-domain
+    // surcharge (token revocation traffic in a real PFS).
+    const int queued = lock->waiters.load();
+    const double extra =
+        queued > 1 ? 1.0 + params_.shared_lock_overhead : 1.0;
+    charge(size, stream_weight, /*is_read=*/false, extra);
+    if (params_.store_data && !data.empty()) {
+      assert(data.size() >= size);
+      const std::uint64_t id = gkfs::hash_path(path);
+      for (const auto& slice : gkfs::split_range(offset, size)) {
+        store_.write(id, slice.chunk, slice.offset_in_chunk,
+                     data.subspan(slice.file_offset - offset, slice.size));
+      }
+    }
+    metadata_.extend(path, offset + size);
+  }
+  lock->waiters.fetch_sub(1);
+  bytes_written_.fetch_add(size);
+  write_ops_.fetch_add(1);
+}
+
+std::size_t EmulatedPfs::read(const std::string& path, std::uint64_t offset,
+                              std::uint64_t size, std::span<std::byte> out,
+                              double stream_weight) {
+  charge(size, stream_weight, /*is_read=*/true, 1.0);
+  bytes_read_.fetch_add(size);
+  read_ops_.fetch_add(1);
+
+  const auto md = metadata_.stat(path);
+  if (!md) return params_.store_data ? 0 : size;
+  const std::uint64_t readable =
+      offset >= md->size
+          ? 0
+          : std::min<std::uint64_t>(size, md->size - offset);
+  if (!params_.store_data || out.empty()) return readable;
+  const std::uint64_t id = gkfs::hash_path(path);
+  const std::uint64_t n = std::min<std::uint64_t>(readable, out.size());
+  for (const auto& slice : gkfs::split_range(offset, n)) {
+    store_.read(id, slice.chunk, slice.offset_in_chunk,
+                out.subspan(slice.file_offset - offset, slice.size));
+  }
+  return n;
+}
+
+bool EmulatedPfs::create(const std::string& path) {
+  return metadata_.create(path);
+}
+
+std::optional<gkfs::Metadata> EmulatedPfs::stat(
+    const std::string& path) const {
+  return metadata_.stat(path);
+}
+
+bool EmulatedPfs::remove(const std::string& path) {
+  if (!metadata_.remove(path)) return false;
+  store_.remove_file(gkfs::hash_path(path));
+  return true;
+}
+
+double EmulatedPfs::active_streams() const {
+  return weighted_streams_.load();
+}
+
+}  // namespace iofa::fwd

@@ -1,0 +1,108 @@
+#pragma once
+// Emulated parallel file system backend (the Lustre/GPFS stand-in).
+//
+// The device is modelled, the concurrency is real: callers are actual
+// threads (client shims in direct mode, ION daemons in forwarded mode)
+// whose requests are admitted through a shared token bucket. Three
+// effects produce the contention landscape the paper measures:
+//
+//   * aggregate ceiling  - a token bucket drains `size + op_overhead`
+//     tokens per request, so the device saturates at its bandwidth and
+//     small requests pay proportionally more;
+//   * stream contention  - each in-flight request raises a weighted
+//     "active streams" gauge; token cost is multiplied by
+//     (1 + contention_coeff * (streams - 1)), so many concurrent
+//     writers degrade efficiency super-linearly (the eta(n) term of the
+//     analytic model, emerging here from real concurrency);
+//   * shared-file locking - writes to one file serialise on a per-file
+//     lock domain (GPFS/Lustre token management), so a shared file is a
+//     bottleneck no matter how many clients push into it.
+//
+// Data can be physically stored (verification tests read it back) or
+// accounted only (large benchmark volumes).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "common/token_bucket.hpp"
+#include "common/units.hpp"
+#include "gkfs/chunk_store.hpp"
+#include "gkfs/metadata.hpp"
+
+namespace iofa::fwd {
+
+struct PfsParams {
+  double write_bandwidth = 900.0e6;  ///< bytes/s aggregate
+  double read_bandwidth = 1400.0e6;
+  Bytes op_overhead = 256 * KiB;     ///< token surcharge per request
+  double contention_coeff = 0.01;    ///< per extra weighted stream
+  double shared_lock_overhead = 0.5; ///< extra cost factor under a file
+                                     ///  lock held by >1 concurrent writer
+  bool store_data = true;            ///< keep bytes for read-back
+};
+
+class EmulatedPfs {
+ public:
+  explicit EmulatedPfs(PfsParams params);
+
+  /// Blocking positional write. `stream_weight` is the number of logical
+  /// client processes this calling thread represents (threads are scaled
+  /// down from the app's process count).
+  void write(const std::string& path, std::uint64_t offset,
+             std::uint64_t size, std::span<const std::byte> data,
+             double stream_weight = 1.0);
+
+  /// Blocking positional read; returns bytes read (clamped at EOF when
+  /// data is stored; `size` otherwise).
+  std::size_t read(const std::string& path, std::uint64_t offset,
+                   std::uint64_t size, std::span<std::byte> out,
+                   double stream_weight = 1.0);
+
+  bool create(const std::string& path);
+  std::optional<gkfs::Metadata> stat(const std::string& path) const;
+  bool remove(const std::string& path);
+
+  // --- stats -----------------------------------------------------------
+  Bytes bytes_written() const { return bytes_written_.load(); }
+  Bytes bytes_read() const { return bytes_read_.load(); }
+  std::uint64_t write_ops() const { return write_ops_.load(); }
+  std::uint64_t read_ops() const { return read_ops_.load(); }
+  double active_streams() const;
+
+  const PfsParams& params() const { return params_; }
+
+ private:
+  /// Per-file lock domain: serialises writers and counts holders.
+  struct FileLock {
+    std::mutex mu;
+    std::atomic<int> waiters{0};
+  };
+  std::shared_ptr<FileLock> lock_for(const std::string& path);
+
+  double charge(std::uint64_t size, double stream_weight, bool is_read,
+                double extra_factor);
+
+  PfsParams params_;
+  TokenBucket write_bucket_;
+  TokenBucket read_bucket_;
+
+  mutable std::mutex locks_mu_;
+  std::unordered_map<std::string, std::shared_ptr<FileLock>> locks_;
+
+  gkfs::MetadataStore metadata_;
+  gkfs::ChunkStore store_;
+
+  std::atomic<double> weighted_streams_{0.0};
+  std::atomic<Bytes> bytes_written_{0};
+  std::atomic<Bytes> bytes_read_{0};
+  std::atomic<std::uint64_t> write_ops_{0};
+  std::atomic<std::uint64_t> read_ops_{0};
+};
+
+}  // namespace iofa::fwd

@@ -1,0 +1,178 @@
+#include "fwd/posix_shim.hpp"
+
+#include <algorithm>
+
+namespace iofa::fwd {
+
+PosixShim::PosixShim(Client& client) : client_(client) {}
+
+PosixShim::OpenFile* PosixShim::lookup(int fd) {
+  auto it = files_.find(fd);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+int PosixShim::open(const std::string& path, unsigned flags,
+                    std::uint32_t rank) {
+  std::lock_guard lk(mu_);
+  // Existence is judged against the PFS namespace (forwarded data is
+  // eventually durable there) plus files this shim created.
+  std::uint64_t size = 0;
+  bool exists = false;
+  if (auto md = client_.service().pfs().stat(path)) {
+    exists = true;
+    size = md->size;
+  }
+  if (!exists) {
+    for (const auto& [ofd, of] : files_) {
+      if (of.path == path) {
+        exists = true;
+        size = of.size;
+        break;
+      }
+    }
+  }
+  if (!exists && !(flags & kCreate)) return -1;
+  if (!exists) client_.service().pfs().create(path);
+
+  OpenFile of;
+  of.path = path;
+  of.rank = rank;
+  of.flags = flags;
+  of.size = (flags & kTruncate) ? 0 : size;
+  of.offset = 0;
+
+  const int fd = next_fd_++;
+  files_.emplace(fd, std::move(of));
+  return fd;
+}
+
+std::int64_t PosixShim::write(int fd, std::span<const std::byte> data) {
+  std::uint64_t offset = 0;
+  std::uint32_t rank = 0;
+  std::string path;
+  {
+    std::lock_guard lk(mu_);
+    OpenFile* of = lookup(fd);
+    if (of == nullptr || !(of->flags & kWrite)) return -1;
+    offset = (of->flags & kAppend) ? of->size : of->offset;
+    rank = of->rank;
+    path = of->path;
+    // Reserve the range now so concurrent writers through other
+    // descriptors do not land on the same offset.
+    of->offset = offset + data.size();
+    of->size = std::max(of->size, offset + data.size());
+  }
+  const std::size_t n =
+      client_.pwrite(rank, path, offset, data.size(), data);
+  return static_cast<std::int64_t>(n);
+}
+
+std::int64_t PosixShim::pwrite(int fd, std::span<const std::byte> data,
+                               std::uint64_t offset) {
+  std::uint32_t rank = 0;
+  std::string path;
+  {
+    std::lock_guard lk(mu_);
+    OpenFile* of = lookup(fd);
+    if (of == nullptr || !(of->flags & kWrite)) return -1;
+    rank = of->rank;
+    path = of->path;
+    of->size = std::max(of->size, offset + data.size());
+  }
+  return static_cast<std::int64_t>(
+      client_.pwrite(rank, path, offset, data.size(), data));
+}
+
+std::int64_t PosixShim::read(int fd, std::span<std::byte> out) {
+  std::uint64_t offset = 0;
+  std::uint64_t readable = 0;
+  std::uint32_t rank = 0;
+  std::string path;
+  {
+    std::lock_guard lk(mu_);
+    OpenFile* of = lookup(fd);
+    if (of == nullptr || !(of->flags & kRead)) return -1;
+    offset = of->offset;
+    readable = of->size > offset
+                   ? std::min<std::uint64_t>(out.size(), of->size - offset)
+                   : 0;
+    of->offset = offset + readable;
+    rank = of->rank;
+    path = of->path;
+  }
+  if (readable == 0) return 0;  // EOF
+  return static_cast<std::int64_t>(
+      client_.pread(rank, path, offset, readable, out.first(readable)));
+}
+
+std::int64_t PosixShim::pread(int fd, std::span<std::byte> out,
+                              std::uint64_t offset) {
+  std::uint32_t rank = 0;
+  std::string path;
+  std::uint64_t readable = 0;
+  {
+    std::lock_guard lk(mu_);
+    OpenFile* of = lookup(fd);
+    if (of == nullptr || !(of->flags & kRead)) return -1;
+    readable = of->size > offset
+                   ? std::min<std::uint64_t>(out.size(), of->size - offset)
+                   : 0;
+    rank = of->rank;
+    path = of->path;
+  }
+  if (readable == 0) return 0;
+  return static_cast<std::int64_t>(
+      client_.pread(rank, path, offset, readable, out.first(readable)));
+}
+
+std::int64_t PosixShim::lseek(int fd, std::int64_t offset, Whence whence) {
+  std::lock_guard lk(mu_);
+  OpenFile* of = lookup(fd);
+  if (of == nullptr) return -1;
+  std::int64_t base = 0;
+  switch (whence) {
+    case Whence::Set: base = 0; break;
+    case Whence::Cur: base = static_cast<std::int64_t>(of->offset); break;
+    case Whence::End: base = static_cast<std::int64_t>(of->size); break;
+  }
+  const std::int64_t target = base + offset;
+  if (target < 0) return -1;
+  of->offset = static_cast<std::uint64_t>(target);
+  return target;
+}
+
+int PosixShim::fsync(int fd) {
+  std::string path;
+  {
+    std::lock_guard lk(mu_);
+    OpenFile* of = lookup(fd);
+    if (of == nullptr) return -1;
+    path = of->path;
+  }
+  client_.fsync(path);
+  return 0;
+}
+
+int PosixShim::close(int fd) {
+  std::string path;
+  bool written = false;
+  {
+    std::lock_guard lk(mu_);
+    OpenFile* of = lookup(fd);
+    if (of == nullptr) return -1;
+    path = of->path;
+    written = (of->flags & kWrite) != 0;
+    files_.erase(fd);
+  }
+  // GekkoFS semantics: close synchronises the file, so a subsequent
+  // open() sees its final size on the PFS namespace.
+  if (written) client_.fsync(path);
+  return 0;
+}
+
+std::size_t PosixShim::open_descriptors() const {
+  std::lock_guard lk(mu_);
+  return files_.size();
+}
+
+}  // namespace iofa::fwd

@@ -1,0 +1,81 @@
+#pragma once
+// POSIX-style descriptor interface over the GekkoFWD client.
+//
+// The real GekkoFWD intercepts the application's syscalls (open, read,
+// write, lseek, fsync, close) through the GekkoFS client library, so
+// applications run unmodified. This shim is that surface for in-process
+// workloads: descriptor table, per-descriptor file offsets, sequential
+// read/write on top of the positional Client API, and O_APPEND-style
+// semantics. Thread-safe; descriptors may be shared across threads
+// (offsets then interleave, as with real shared descriptors).
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "fwd/client.hpp"
+
+namespace iofa::fwd {
+
+class PosixShim {
+ public:
+  enum OpenFlags : unsigned {
+    kRead = 1u << 0,
+    kWrite = 1u << 1,
+    kCreate = 1u << 2,
+    kTruncate = 1u << 3,
+    kAppend = 1u << 4,
+  };
+
+  explicit PosixShim(Client& client);
+
+  /// Open (and possibly create) `path`. Returns a descriptor >= 3, or
+  /// -1 when the file does not exist and kCreate was not given.
+  int open(const std::string& path, unsigned flags, std::uint32_t rank = 0);
+
+  /// Sequential write at the descriptor's offset (end of file under
+  /// kAppend). Returns bytes written or -1 on a bad descriptor.
+  std::int64_t write(int fd, std::span<const std::byte> data);
+  /// Positional write; does not move the offset.
+  std::int64_t pwrite(int fd, std::span<const std::byte> data,
+                      std::uint64_t offset);
+
+  /// Sequential read at the descriptor's offset. Returns bytes read
+  /// (0 at EOF) or -1 on a bad descriptor.
+  std::int64_t read(int fd, std::span<std::byte> out);
+  std::int64_t pread(int fd, std::span<std::byte> out,
+                     std::uint64_t offset);
+
+  enum class Whence { Set, Cur, End };
+  /// Reposition the offset; returns the new offset or -1.
+  std::int64_t lseek(int fd, std::int64_t offset, Whence whence);
+
+  /// Flush the file's forwarded writes to the PFS.
+  int fsync(int fd);
+
+  int close(int fd);
+
+  std::size_t open_descriptors() const;
+
+ private:
+  struct OpenFile {
+    std::string path;
+    std::uint32_t rank = 0;
+    unsigned flags = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t size = 0;  ///< shim-tracked logical size
+  };
+
+  OpenFile* lookup(int fd);
+
+  Client& client_;
+  mutable std::mutex mu_;
+  std::unordered_map<int, OpenFile> files_;
+  int next_fd_ = 3;  // 0..2 reserved, as in POSIX
+};
+
+}  // namespace iofa::fwd

@@ -1,0 +1,35 @@
+#pragma once
+// The forwarded-request envelope travelling from client shims to ION
+// daemons (the in-process stand-in for GekkoFS's Mercury RPCs).
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace iofa::fwd {
+
+enum class FwdOp : std::uint8_t { Write, Read, Fsync };
+
+struct FwdRequest {
+  FwdOp op = FwdOp::Write;
+  std::string path;
+  std::uint64_t file_id = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  /// Number of logical client processes this request's issuing thread
+  /// stands for (threads are scaled down from the app's process count).
+  double stream_weight = 1.0;
+  /// Write payload / read destination. Null in accounting-only mode:
+  /// the bytes are charged and tracked but never materialised.
+  std::shared_ptr<std::vector<std::byte>> data;
+  /// Fulfilled with the bytes transferred once the daemon finishes the
+  /// request (for writes: once staged; durability comes from Fsync).
+  std::shared_ptr<std::promise<std::size_t>> done;
+  std::uint64_t tag = 0;  ///< daemon-local scheduler handle
+};
+
+}  // namespace iofa::fwd

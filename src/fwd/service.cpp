@@ -1,0 +1,29 @@
+#include "fwd/service.hpp"
+
+namespace iofa::fwd {
+
+ForwardingService::ForwardingService(ServiceConfig config)
+    : config_(config), pfs_(std::make_unique<EmulatedPfs>(config.pfs)) {
+  daemons_.reserve(static_cast<std::size_t>(config.ion_count));
+  for (int i = 0; i < config.ion_count; ++i) {
+    IonParams params = config.ion;
+    params.store_data = config.pfs.store_data && params.store_data;
+    daemons_.push_back(std::make_unique<IonDaemon>(i, params, *pfs_));
+  }
+}
+
+ForwardingService::~ForwardingService() { shutdown(); }
+
+void ForwardingService::apply_mapping(const core::Mapping& mapping) {
+  mapping_store_.publish(mapping);
+}
+
+void ForwardingService::drain() {
+  for (auto& d : daemons_) d->drain();
+}
+
+void ForwardingService::shutdown() {
+  for (auto& d : daemons_) d->shutdown();
+}
+
+}  // namespace iofa::fwd

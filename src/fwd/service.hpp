@@ -1,0 +1,57 @@
+#pragma once
+// The GekkoFWD forwarding service: the emulated PFS, the pool of ION
+// daemons, and the mapping store the arbiter publishes into. One
+// instance represents the forwarding deployment of a cluster; client
+// shims (one per job) are created against it.
+
+#include <memory>
+#include <vector>
+
+#include "core/arbiter.hpp"
+#include "fwd/daemon.hpp"
+#include "fwd/mapping.hpp"
+#include "fwd/pfs_backend.hpp"
+
+namespace iofa::fwd {
+
+struct ServiceConfig {
+  int ion_count = 4;
+  PfsParams pfs;
+  IonParams ion;
+};
+
+class ForwardingService {
+ public:
+  explicit ForwardingService(ServiceConfig config);
+  ~ForwardingService();
+
+  ForwardingService(const ForwardingService&) = delete;
+  ForwardingService& operator=(const ForwardingService&) = delete;
+
+  int ion_count() const { return static_cast<int>(daemons_.size()); }
+  EmulatedPfs& pfs() { return *pfs_; }
+  const EmulatedPfs& pfs() const { return *pfs_; }
+  IonDaemon& daemon(int id) { return *daemons_[static_cast<size_t>(id)]; }
+
+  MappingStore& mapping_store() { return mapping_store_; }
+  const MappingStore& mapping_store() const { return mapping_store_; }
+
+  /// Publish a new arbitration result to the clients.
+  void apply_mapping(const core::Mapping& mapping);
+
+  /// Block until every daemon has dispatched its queue and flushed its
+  /// staged data to the PFS.
+  void drain();
+
+  void shutdown();
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  ServiceConfig config_;
+  std::unique_ptr<EmulatedPfs> pfs_;
+  std::vector<std::unique_ptr<IonDaemon>> daemons_;
+  MappingStore mapping_store_;
+};
+
+}  // namespace iofa::fwd

@@ -1,0 +1,81 @@
+#include "gkfs/chunk_store.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace iofa::gkfs {
+
+ChunkStore::ChunkStore(Bytes chunk_size) : chunk_size_(chunk_size) {}
+
+ChunkStore::Shard& ChunkStore::shard_for(const Key& k) const {
+  return shards_[KeyHash{}(k) % kShards];
+}
+
+void ChunkStore::write(std::uint64_t file_id, std::uint64_t chunk,
+                       std::uint64_t offset_in_chunk,
+                       std::span<const std::byte> data) {
+  assert(offset_in_chunk + data.size() <= chunk_size_);
+  const Key key{file_id, chunk};
+  Shard& shard = shard_for(key);
+  std::lock_guard lk(shard.mu);
+  auto& buf = shard.chunks[key];
+  if (buf.size() < offset_in_chunk + data.size()) {
+    buf.resize(offset_in_chunk + data.size());
+  }
+  std::memcpy(buf.data() + offset_in_chunk, data.data(), data.size());
+}
+
+std::size_t ChunkStore::read(std::uint64_t file_id, std::uint64_t chunk,
+                             std::uint64_t offset_in_chunk,
+                             std::span<std::byte> out) const {
+  const Key key{file_id, chunk};
+  Shard& shard = shard_for(key);
+  std::lock_guard lk(shard.mu);
+  auto it = shard.chunks.find(key);
+  if (it == shard.chunks.end()) {
+    std::memset(out.data(), 0, out.size());
+    return out.size();
+  }
+  const auto& buf = it->second;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::uint64_t pos = offset_in_chunk + i;
+    out[i] = pos < buf.size() ? buf[pos] : std::byte{0};
+  }
+  return out.size();
+}
+
+std::size_t ChunkStore::remove_file(std::uint64_t file_id) {
+  std::size_t removed = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard lk(shard.mu);
+    for (auto it = shard.chunks.begin(); it != shard.chunks.end();) {
+      if (it->first.file == file_id) {
+        it = shard.chunks.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return removed;
+}
+
+Bytes ChunkStore::bytes_stored() const {
+  Bytes total = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard lk(shard.mu);
+    for (const auto& [key, buf] : shard.chunks) total += buf.size();
+  }
+  return total;
+}
+
+std::size_t ChunkStore::chunk_count() const {
+  std::size_t total = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard lk(shard.mu);
+    total += shard.chunks.size();
+  }
+  return total;
+}
+
+}  // namespace iofa::gkfs

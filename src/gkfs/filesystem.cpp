@@ -1,0 +1,82 @@
+#include "gkfs/filesystem.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace iofa::gkfs {
+
+GekkoFs::GekkoFs(std::size_t daemons, Bytes chunk_size)
+    : chunk_size_(chunk_size) {
+  assert(daemons > 0);
+  stores_.reserve(daemons);
+  for (std::size_t i = 0; i < daemons; ++i) {
+    stores_.push_back(std::make_unique<ChunkStore>(chunk_size));
+  }
+}
+
+bool GekkoFs::create(const std::string& path, bool exclusive) {
+  return metadata_.create(path, exclusive);
+}
+
+bool GekkoFs::exists(const std::string& path) const {
+  return metadata_.exists(path);
+}
+
+std::optional<Metadata> GekkoFs::stat(const std::string& path) const {
+  return metadata_.stat(path);
+}
+
+bool GekkoFs::remove(const std::string& path) {
+  if (!metadata_.remove(path)) return false;
+  const std::uint64_t id = hash_path(path);
+  for (auto& store : stores_) store->remove_file(id);
+  return true;
+}
+
+std::vector<std::string> GekkoFs::list() const { return metadata_.list(); }
+
+std::size_t GekkoFs::home_daemon(const std::string& path,
+                                 std::uint64_t chunk) const {
+  return daemon_of(hash_path(path), chunk, stores_.size());
+}
+
+void GekkoFs::pwrite(const std::string& path, std::uint64_t offset,
+                     std::span<const std::byte> data) {
+  const std::uint64_t id = hash_path(path);
+  for (const ChunkSlice& slice : split_range(offset, data.size(),
+                                             chunk_size_)) {
+    const std::size_t target = daemon_of(id, slice.chunk, stores_.size());
+    stores_[target]->write(
+        id, slice.chunk, slice.offset_in_chunk,
+        data.subspan(slice.file_offset - offset, slice.size));
+  }
+  metadata_.extend(path, offset + data.size());
+}
+
+std::size_t GekkoFs::pread(const std::string& path, std::uint64_t offset,
+                           std::span<std::byte> out) const {
+  const auto md = metadata_.stat(path);
+  if (!md) return 0;
+  const std::uint64_t readable =
+      offset >= md->size ? 0 : std::min<std::uint64_t>(out.size(),
+                                                       md->size - offset);
+  if (readable == 0) return 0;
+  const std::uint64_t id = hash_path(path);
+  for (const ChunkSlice& slice : split_range(offset, readable,
+                                             chunk_size_)) {
+    const std::size_t target = daemon_of(id, slice.chunk, stores_.size());
+    stores_[target]->read(
+        id, slice.chunk, slice.offset_in_chunk,
+        out.subspan(slice.file_offset - offset, slice.size));
+  }
+  return readable;
+}
+
+std::vector<Bytes> GekkoFs::daemon_usage() const {
+  std::vector<Bytes> usage;
+  usage.reserve(stores_.size());
+  for (const auto& store : stores_) usage.push_back(store->bytes_stored());
+  return usage;
+}
+
+}  // namespace iofa::gkfs

@@ -1,0 +1,66 @@
+#pragma once
+// The GekkoFS ad-hoc file system facade: a temporary global namespace
+// whose data is chunked and hash-distributed across the participating
+// daemons' local stores. This is the substrate GekkoFWD enriches with a
+// forwarding mode (src/fwd): in burst-buffer mode, requests scatter
+// across *all* daemons by (path, chunk) hash; in forwarding mode the
+// client pins all traffic of a file to a single assigned ION instead.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "gkfs/chunk.hpp"
+#include "gkfs/chunk_store.hpp"
+#include "gkfs/metadata.hpp"
+
+namespace iofa::gkfs {
+
+class GekkoFs {
+ public:
+  /// A file system spanning `daemons` node-local stores.
+  explicit GekkoFs(std::size_t daemons, Bytes chunk_size = kChunkSize);
+
+  std::size_t daemons() const { return stores_.size(); }
+  Bytes chunk_size() const { return chunk_size_; }
+
+  // --- namespace -----------------------------------------------------
+  bool create(const std::string& path, bool exclusive = false);
+  bool exists(const std::string& path) const;
+  std::optional<Metadata> stat(const std::string& path) const;
+  bool remove(const std::string& path);
+  std::vector<std::string> list() const;
+
+  // --- data ------------------------------------------------------------
+  /// Positional write; creates the file if needed and extends its size.
+  void pwrite(const std::string& path, std::uint64_t offset,
+              std::span<const std::byte> data);
+
+  /// Positional read; holes and reads past EOF return zeros. Returns the
+  /// bytes read (clamped at EOF; 0 for a missing file).
+  std::size_t pread(const std::string& path, std::uint64_t offset,
+                    std::span<std::byte> out) const;
+
+  // --- introspection ----------------------------------------------------
+  /// Bytes resident on each daemon (the balance the hash distribution
+  /// should deliver).
+  std::vector<Bytes> daemon_usage() const;
+
+  const ChunkStore& store(std::size_t daemon) const {
+    return *stores_[daemon];
+  }
+  ChunkStore& store(std::size_t daemon) { return *stores_[daemon]; }
+
+  /// Placement query (used by tests and by the forwarding layer).
+  std::size_t home_daemon(const std::string& path,
+                          std::uint64_t chunk) const;
+
+ private:
+  Bytes chunk_size_;
+  MetadataStore metadata_;
+  std::vector<std::unique_ptr<ChunkStore>> stores_;
+};
+
+}  // namespace iofa::gkfs

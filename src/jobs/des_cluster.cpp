@@ -1,0 +1,413 @@
+#include "jobs/des_cluster.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "sim/resources.hpp"
+#include "sim/simulator.hpp"
+
+namespace iofa::jobs {
+
+using workload::AppSpec;
+using workload::FileLayout;
+using workload::IoPhaseSpec;
+using workload::Spatiality;
+
+MBps DesRunResult::aggregate_bw() const {
+  MBps total = 0.0;
+  for (const auto& job : jobs) total += job.achieved_bw;
+  return total;
+}
+
+namespace {
+
+constexpr Bytes kRouteChunk = 512 * KiB;
+
+/// One running job: a set of client actors walking the app's phases.
+struct DesJob {
+  core::JobId id = 0;
+  const AppSpec* spec = nullptr;
+  Seconds started = 0.0;
+  Bytes bytes_done = 0;
+  std::vector<int> ions;  ///< current allocation (empty = direct)
+
+  std::size_t phase = 0;
+  int actors = 1;
+  int phase_actors = 1;      ///< actors participating in this phase
+  int actors_remaining = 0;  ///< actors still working on this phase
+  std::uint64_t requests_per_actor = 0;
+  Bytes request_size = 0;
+  int phase_writers = 0;
+};
+
+class DesCluster {
+ public:
+  DesCluster(const std::vector<AppSpec>& queue,
+             const platform::ProfileDB& profiles,
+             std::shared_ptr<core::ArbitrationPolicy> policy,
+             const DesClusterOptions& options)
+      : queue_(queue),
+        profiles_(profiles),
+        options_(options),
+        arbiter_(std::move(policy),
+                 core::ArbiterOptions{options.pool, options.static_ratio,
+                                      options.reallocate_running}) {}
+
+  DesRunResult run() {
+    for (const auto& spec : queue_) {
+      if (spec.compute_nodes > options_.compute_nodes) {
+        throw std::invalid_argument("job larger than the cluster");
+      }
+    }
+    pfs_ = std::make_unique<sim::SharedBandwidth>(
+        sim_, options_.fabric.pfs_capacity, [this](std::size_t n) {
+          if (n <= 1) return 1.0;
+          const double x = (static_cast<double>(n) - 1.0) /
+                           options_.fabric.pfs_contention_half;
+          return 1.0 /
+                 (1.0 + std::pow(x, options_.fabric.pfs_contention_gamma));
+        });
+    ion_free_at_.assign(static_cast<std::size_t>(options_.pool), 0.0);
+    ion_buffers_.resize(ion_free_at_.size());
+
+    free_nodes_ = options_.compute_nodes;
+    admit();
+    sim_.run();
+    // Makespan is the last job completion; the background flush tail
+    // after it is not client-visible.
+    for (const auto& job : result_.jobs) {
+      result_.makespan = std::max(result_.makespan, job.finished);
+    }
+    return std::move(result_);
+  }
+
+ private:
+  // ------------------------------------------------------- admission
+  void admit() {
+    bool any = false;
+    while (next_job_ < queue_.size() &&
+           queue_[next_job_].compute_nodes <= free_nodes_) {
+      const AppSpec& spec = queue_[next_job_++];
+      free_nodes_ -= spec.compute_nodes;
+      start_job(spec);
+      any = true;
+    }
+    if (any) publish_allocations();
+  }
+
+  platform::BandwidthCurve decision_curve(const std::string& label) const {
+    const auto& curve = profiles_.at(label);
+    if (!options_.forbid_direct) return curve;
+    std::vector<std::pair<int, MBps>> pts;
+    for (int opt : curve.options()) {
+      if (opt != 0) pts.emplace_back(opt, curve.at(opt));
+    }
+    return pts.empty() ? curve
+                       : platform::BandwidthCurve(std::move(pts));
+  }
+
+  void start_job(const AppSpec& spec) {
+    const core::JobId id = next_id_++;
+    auto job = std::make_unique<DesJob>();
+    job->id = id;
+    job->spec = &spec;
+    job->started = sim_.now();
+    job->actors = std::max(1, std::min(options_.actors_per_job,
+                                       spec.processes));
+    running_.emplace(id, std::move(job));
+
+    arbiter_.job_started(
+        id, core::AppEntry{spec.label, spec.compute_nodes, spec.processes,
+                           decision_curve(spec.label)});
+    // The job launches with its initial mapping (only REmaps are
+    // delayed by the poll period).
+    auto entry = arbiter_.mapping().jobs.find(id);
+    if (entry != arbiter_.mapping().jobs.end()) {
+      running_.at(id)->ions = entry->second.ions;
+    }
+    begin_phase(*running_.at(id));
+  }
+
+  // ------------------------------------------------------ allocation
+  void publish_allocations() {
+    // Concrete ION identities come from the arbiter's mapping.
+    std::map<core::JobId, std::vector<int>> assignment;
+    for (const auto& [id, entry] : arbiter_.mapping().jobs) {
+      assignment[id] = entry.ions;
+    }
+    auto apply = [this, assignment] {
+      for (const auto& [id, ions] : assignment) {
+        auto it = running_.find(id);
+        if (it != running_.end()) it->second->ions = ions;
+      }
+    };
+    // First allocation is immediate (jobs launch with a mapping);
+    // re-mappings of running jobs obey the poll delay.
+    for (const auto& [id, ions] : assignment) {
+      auto it = running_.find(id);
+      if (it != running_.end() && it->second->ions.empty() &&
+          it->second->bytes_done == 0) {
+        it->second->ions = ions;
+      }
+    }
+    if (options_.remap_delay <= 0.0) {
+      apply();
+    } else {
+      sim_.schedule(options_.remap_delay, apply);
+    }
+  }
+
+  // ---------------------------------------------------------- phases
+  void begin_phase(DesJob& job) {
+    if (job.phase >= job.spec->phases.size()) {
+      finish_job(job.id);
+      return;
+    }
+    const IoPhaseSpec& ph = job.spec->phases[job.phase];
+    job.phase_writers = ph.writers > 0 ? ph.writers : job.spec->processes;
+    job.request_size = std::max<Bytes>(1, ph.request_size);
+    Bytes volume = ph.total_bytes;
+    if (options_.phase_volume_cap > 0) {
+      volume = std::min(volume, options_.phase_volume_cap);
+    }
+    int actors = std::min(job.actors, job.phase_writers);
+    // Do not let per-actor minimums inflate the (possibly capped) volume.
+    actors = std::min(actors, static_cast<int>(std::max<Bytes>(
+                                  1, volume / job.request_size)));
+    job.phase_actors = actors;
+    job.requests_per_actor = std::max<std::uint64_t>(
+        1, volume / (static_cast<Bytes>(actors) * job.request_size));
+    job.actors_remaining = actors;
+    for (int a = 0; a < actors; ++a) {
+      issue_next(job.id, static_cast<std::uint32_t>(a), 0);
+    }
+  }
+
+  void phase_actor_done(core::JobId id) {
+    auto it = running_.find(id);
+    if (it == running_.end()) return;
+    DesJob& job = *it->second;
+    if (--job.actors_remaining > 0) return;
+    ++job.phase;
+    begin_phase(job);
+  }
+
+  // --------------------------------------------------------- request path
+  std::string phase_file(const DesJob& job, std::uint32_t actor) const {
+    const IoPhaseSpec& ph = job.spec->phases[job.phase];
+    std::string base = job.spec->label + "/" +
+                       (ph.file_tag.empty()
+                            ? "p" + std::to_string(job.phase)
+                            : ph.file_tag);
+    if (ph.layout == FileLayout::FilePerProcess) {
+      base += "." + std::to_string(actor);
+    }
+    return base;
+  }
+
+  std::uint64_t request_offset(const DesJob& job, std::uint32_t actor,
+                               std::uint64_t i) const {
+    const IoPhaseSpec& ph = job.spec->phases[job.phase];
+    const Bytes s = job.request_size;
+    if (ph.layout == FileLayout::FilePerProcess) return i * s;
+    const auto actors = static_cast<std::uint64_t>(job.phase_actors);
+    if (ph.spatiality == Spatiality::Contiguous) {
+      return (actor * job.requests_per_actor + i) * s;
+    }
+    return (i * actors + actor) * s;
+  }
+
+  void issue_next(core::JobId id, std::uint32_t actor, std::uint64_t i) {
+    auto it = running_.find(id);
+    if (it == running_.end()) return;
+    DesJob& job = *it->second;
+    if (i >= job.requests_per_actor) {
+      phase_actor_done(id);
+      return;
+    }
+    const std::string file = phase_file(job, actor);
+    const std::uint64_t file_id = std::hash<std::string>{}(file);
+    const std::uint64_t offset = request_offset(job, actor, i);
+    const Bytes size = job.request_size;
+    const bool shared =
+        job.spec->phases[job.phase].layout == FileLayout::SharedFile;
+
+    auto continue_actor = [this, id, actor, i, size] {
+      auto jt = running_.find(id);
+      if (jt != running_.end()) jt->second->bytes_done += size;
+      issue_next(id, actor, i + 1);
+    };
+
+    if (!job.ions.empty()) {
+      stage_ion(job.ions, file_id, offset, size, shared,
+                static_cast<int>(job.ions.size()),
+                std::move(continue_actor));
+    } else {
+      // Direct PFS access (only reachable when direct is allowed).
+      sim_.schedule(options_.fabric.client_latency_direct,
+                    [this, file_id, offset, size, shared,
+                     writers = job.spec->processes,
+                     continue_actor = std::move(continue_actor)]() mutable {
+                      stage_lock(file_id, offset, size, shared, writers,
+                                 [this, size, continue_actor =
+                                                  std::move(continue_actor)] {
+                                   pfs_->start_flow(size, continue_actor);
+                                 });
+                    });
+    }
+  }
+
+  struct BufferedItem {
+    std::uint64_t offset = 0;
+    Bytes size = 0;
+    bool shared = false;
+    int writers = 1;
+    sim::EventFn done;
+  };
+  struct IonBuffer {
+    std::unordered_map<std::uint64_t, std::vector<BufferedItem>> items;
+    bool flush_scheduled = false;
+  };
+
+  void stage_ion(const std::vector<int>& targets, std::uint64_t file_id,
+                 std::uint64_t offset, Bytes size, bool shared, int writers,
+                 sim::EventFn done) {
+    const std::size_t pick = static_cast<std::size_t>(
+        (file_id * 0x9E3779B97F4A7C15ULL + offset / kRouteChunk) %
+        targets.size());
+    const auto ion = static_cast<std::size_t>(targets[pick]);
+    auto& buffer = ion_buffers_[ion];
+    buffer.items[file_id].push_back(
+        BufferedItem{offset, size, shared, writers, std::move(done)});
+    if (!buffer.flush_scheduled) {
+      buffer.flush_scheduled = true;
+      sim_.schedule(options_.fabric.ion_window,
+                    [this, ion] { flush_ion(ion); });
+    }
+  }
+
+  void flush_ion(std::size_t ion) {
+    auto& buffer = ion_buffers_[ion];
+    buffer.flush_scheduled = false;
+    auto items = std::move(buffer.items);
+    buffer.items.clear();
+    const double rate =
+        options_.fabric.ion_rate * options_.fabric.fwd_hop_eff;
+
+    for (auto& [file_id, reqs] : items) {
+      std::sort(reqs.begin(), reqs.end(),
+                [](const BufferedItem& a, const BufferedItem& b) {
+                  return a.offset < b.offset;
+                });
+      std::size_t begin = 0;
+      while (begin < reqs.size()) {
+        std::size_t end = begin + 1;
+        Bytes run = reqs[begin].size;
+        std::uint64_t run_end = reqs[begin].offset + reqs[begin].size;
+        while (end < reqs.size() && reqs[end].offset == run_end &&
+               run + reqs[end].size <= options_.fabric.ion_agg_cap) {
+          run += reqs[end].size;
+          run_end += reqs[end].size;
+          ++end;
+        }
+        const Seconds service = options_.fabric.ion_latency +
+                                static_cast<double>(run) / rate;
+        Seconds& free_at = ion_free_at_[ion];
+        free_at = std::max(free_at, sim_.now()) + service;
+
+        auto dones = std::make_shared<std::vector<sim::EventFn>>();
+        for (std::size_t i = begin; i < end; ++i) {
+          dones->push_back(std::move(reqs[i].done));
+        }
+        const bool shared = reqs[begin].shared;
+        // Forwarded: the IONs are the only writers the lock domain sees.
+        const int writers = reqs[begin].writers;
+        const std::uint64_t fid = file_id;
+        // Write-behind (GekkoFS staging): the clients are acknowledged
+        // once the ION has ingested the run; the flush to the PFS
+        // proceeds in the background (nobody waits on its completion,
+        // exactly like the live runtime's client-side bandwidth).
+        sim_.schedule_at(free_at, [this, fid, run, shared, writers,
+                                   dones] {
+          for (auto& d : *dones) d();
+          stage_lock(fid, 0, run, shared, writers,
+                     [this, run] { pfs_->start_flow(run, [] {}); });
+        });
+        begin = end;
+      }
+    }
+  }
+
+  void stage_lock(std::uint64_t file_id, std::uint64_t offset, Bytes size,
+                  bool shared, int writers, sim::EventFn done) {
+    (void)offset;
+    if (!shared) {
+      done();
+      return;
+    }
+    const double revocation =
+        1.0 +
+        options_.fabric.lock_contention_coeff * std::max(0, writers - 1);
+    const Seconds service =
+        options_.fabric.shared_lock_latency * revocation +
+        static_cast<double>(size) / options_.fabric.shared_file_rate;
+    Seconds& free_at = file_free_at_[file_id];
+    free_at = std::max(free_at, sim_.now()) + service;
+    sim_.schedule_at(free_at, std::move(done));
+  }
+
+  // ------------------------------------------------------- completion
+  void finish_job(core::JobId id) {
+    auto it = running_.find(id);
+    assert(it != running_.end());
+    DesJob& job = *it->second;
+
+    DesJobResult outcome;
+    outcome.id = id;
+    outcome.label = job.spec->label;
+    outcome.started = job.started;
+    outcome.finished = sim_.now();
+    outcome.bytes = job.bytes_done;
+    outcome.achieved_bw =
+        bandwidth_mbps(outcome.bytes, outcome.finished - outcome.started);
+    result_.jobs.push_back(std::move(outcome));
+
+    free_nodes_ += job.spec->compute_nodes;
+    running_.erase(it);
+    arbiter_.job_finished(id);
+    publish_allocations();
+    admit();
+  }
+
+  const std::vector<AppSpec>& queue_;
+  const platform::ProfileDB& profiles_;
+  DesClusterOptions options_;
+  core::Arbiter arbiter_;
+
+  sim::Simulator sim_;
+  std::unique_ptr<sim::SharedBandwidth> pfs_;
+  std::vector<Seconds> ion_free_at_;
+  std::vector<IonBuffer> ion_buffers_;
+  std::unordered_map<std::uint64_t, Seconds> file_free_at_;
+
+  std::size_t next_job_ = 0;
+  core::JobId next_id_ = 1;
+  int free_nodes_ = 0;
+  std::map<core::JobId, std::unique_ptr<DesJob>> running_;
+  DesRunResult result_;
+};
+
+}  // namespace
+
+DesRunResult run_queue_des(const std::vector<AppSpec>& queue,
+                           const platform::ProfileDB& profiles,
+                           std::shared_ptr<core::ArbitrationPolicy> policy,
+                           const DesClusterOptions& options) {
+  DesCluster cluster(queue, profiles, std::move(policy), options);
+  return cluster.run();
+}
+
+}  // namespace iofa::jobs

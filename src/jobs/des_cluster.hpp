@@ -1,0 +1,66 @@
+#pragma once
+// Request-level discrete-event execution of a FIFO job queue.
+//
+// Unlike the curve-driven SimExecutor (whose jobs progress at the rate
+// their bandwidth profile predicts), this executor replays every job's
+// phases request-by-request through a SHARED simulated fabric - the pool
+// of ION servers with aggregation windows, the per-file lock domains and
+// the contended PFS of the FORGE-DES engine - so cross-job interference
+// emerges from actual queueing in virtual time rather than from the
+// profiles. It is the deterministic twin of the live (threaded) Fig. 9
+// experiment: same arbiter, same policies, same queue; wall-clock noise
+// replaced by a reproducible clock.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/arbiter.hpp"
+#include "core/policies.hpp"
+#include "platform/profile.hpp"
+#include "sim/forge_des.hpp"
+#include "workload/kernels.hpp"
+
+namespace iofa::jobs {
+
+struct DesClusterOptions {
+  int compute_nodes = 96;
+  int pool = 12;
+  std::optional<double> static_ratio;
+  bool reallocate_running = true;
+  bool forbid_direct = false;  ///< strip the 0-ION option (Fig. 9 setup)
+  /// Fabric rates (ION service, PFS capacity, lock domains).
+  sim::ForgeDesParams fabric;
+  /// Mapping staleness: a new allocation reaches the clients after this
+  /// much simulated time (the 10 s poll of the paper).
+  Seconds remap_delay = 0.0;
+  /// Per-phase volume cap (scaling large paper volumes); 0 = unscaled.
+  Bytes phase_volume_cap = 256 * MiB;
+  /// Client actors per job (stand-ins for its processes).
+  int actors_per_job = 8;
+};
+
+struct DesJobResult {
+  core::JobId id = 0;
+  std::string label;
+  Seconds started = 0.0;
+  Seconds finished = 0.0;
+  Bytes bytes = 0;
+  MBps achieved_bw = 0.0;
+};
+
+struct DesRunResult {
+  std::vector<DesJobResult> jobs;
+  Seconds makespan = 0.0;
+  MBps aggregate_bw() const;  ///< Equation 2
+};
+
+/// Run `queue` (FIFO) to completion on the shared DES fabric under
+/// `policy`. `profiles` feed the arbitration decisions only; achieved
+/// bandwidth comes out of the simulated fabric.
+DesRunResult run_queue_des(const std::vector<workload::AppSpec>& queue,
+                           const platform::ProfileDB& profiles,
+                           std::shared_ptr<core::ArbitrationPolicy> policy,
+                           const DesClusterOptions& options);
+
+}  // namespace iofa::jobs

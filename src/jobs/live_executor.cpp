@@ -1,0 +1,130 @@
+#include "jobs/live_executor.hpp"
+
+#include <stdexcept>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/log.hpp"
+
+namespace iofa::jobs {
+
+MBps LiveRunResult::aggregate_bw() const {
+  MBps total = 0.0;
+  for (const auto& job : jobs) total += job.replay.bandwidth();
+  return total;
+}
+
+namespace {
+
+/// Curve for arbitration: optionally strip the direct-access option.
+platform::BandwidthCurve arbitration_curve(
+    const platform::BandwidthCurve& curve, bool forbid_direct) {
+  if (!forbid_direct) return curve;
+  std::vector<std::pair<int, MBps>> pts;
+  for (int opt : curve.options()) {
+    if (opt == 0) continue;
+    pts.emplace_back(opt, curve.at(opt));
+  }
+  if (pts.empty()) return curve;
+  return platform::BandwidthCurve(std::move(pts));
+}
+
+}  // namespace
+
+LiveRunResult run_queue_live(const std::vector<workload::AppSpec>& queue,
+                             const platform::ProfileDB& profiles,
+                             std::shared_ptr<core::ArbitrationPolicy> policy,
+                             fwd::ForwardingService& service,
+                             const LiveExecutorOptions& options) {
+  for (const auto& spec : queue) {
+    if (spec.compute_nodes > options.compute_nodes) {
+      throw std::invalid_argument(
+          "job " + spec.label + " needs " +
+          std::to_string(spec.compute_nodes) +
+          " nodes but the cluster has " +
+          std::to_string(options.compute_nodes));
+    }
+  }
+
+  LiveRunResult result;
+  std::mutex mu;
+  std::condition_variable cv;
+  int free_nodes = options.compute_nodes;
+  std::size_t completed = 0;
+
+  core::Arbiter arbiter(
+      std::move(policy),
+      core::ArbiterOptions{options.pool, options.static_ratio,
+                           options.reallocate_running});
+
+  const auto t_begin = std::chrono::steady_clock::now();
+  auto now = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t_begin)
+        .count();
+  };
+
+  std::vector<std::thread> job_threads;
+  job_threads.reserve(queue.size());
+
+  {
+    std::unique_lock lk(mu);
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      const auto& spec = queue[qi];
+      cv.wait(lk, [&] { return free_nodes >= spec.compute_nodes; });
+      free_nodes -= spec.compute_nodes;
+
+      const core::JobId id = static_cast<core::JobId>(qi + 1);
+      arbiter.job_started(
+          id, core::AppEntry{spec.label, spec.compute_nodes, spec.processes,
+                             arbitration_curve(profiles.at(spec.label),
+                                               options.forbid_direct)});
+      service.apply_mapping(arbiter.mapping());
+      log_info("job ", id, " (", spec.label, ") started; mapping epoch ",
+               arbiter.mapping().epoch);
+
+      job_threads.emplace_back([&, id, qi] {
+        const auto& jspec = queue[qi];
+        fwd::ClientConfig cc;
+        cc.job = id;
+        cc.app_label = jspec.label;
+        cc.stream_weight =
+            static_cast<double>(jspec.processes) /
+            static_cast<double>(std::max(1, options.threads_per_job));
+        cc.poll_period = options.poll_period;
+        cc.store_data = options.replay.store_data;
+        fwd::Client client(cc, service);
+
+        fwd::ReplayOptions ro = options.replay;
+        ro.threads = options.threads_per_job;
+        const Seconds started = now();
+        auto rr = replay_app(client, jspec, ro);
+        const Seconds finished = now();
+
+        std::lock_guard jlk(mu);
+        LiveJobResult jr;
+        jr.id = id;
+        jr.label = jspec.label;
+        jr.replay = std::move(rr);
+        jr.started = started;
+        jr.finished = finished;
+        result.jobs.push_back(std::move(jr));
+        free_nodes += jspec.compute_nodes;
+        ++completed;
+        arbiter.job_finished(id);
+        service.apply_mapping(arbiter.mapping());
+        cv.notify_all();
+      });
+    }
+    cv.wait(lk, [&] { return completed == queue.size(); });
+  }
+
+  for (auto& t : job_threads) t.join();
+  service.drain();
+  result.makespan = now();
+  return result;
+}
+
+}  // namespace iofa::jobs

@@ -1,0 +1,55 @@
+#pragma once
+// Live execution of a FIFO job queue on the GekkoFWD runtime: real
+// client threads move real requests through ION daemons into the
+// emulated PFS while the arbiter re-maps forwarding nodes as jobs start
+// and finish. This is the Section 5.3 experiment.
+
+#include <memory>
+#include <vector>
+
+#include "core/arbiter.hpp"
+#include "core/policies.hpp"
+#include "fwd/replayer.hpp"
+#include "fwd/service.hpp"
+#include "platform/profile.hpp"
+#include "workload/kernels.hpp"
+
+namespace iofa::jobs {
+
+struct LiveExecutorOptions {
+  int compute_nodes = 96;
+  int pool = 12;
+  std::optional<double> static_ratio;
+  bool reallocate_running = true;
+  /// Strip the 0-ION option from every curve: platforms where compute
+  /// nodes cannot reach the PFS directly (the Fig. 9 setup).
+  bool forbid_direct = false;
+  int threads_per_job = 4;
+  fwd::ReplayOptions replay;
+  Seconds poll_period = 0.02;  ///< client mapping poll (paper: 10 s)
+};
+
+struct LiveJobResult {
+  core::JobId id = 0;
+  std::string label;
+  fwd::ReplayResult replay;
+  Seconds started = 0.0;
+  Seconds finished = 0.0;
+};
+
+struct LiveRunResult {
+  std::vector<LiveJobResult> jobs;
+  Seconds makespan = 0.0;
+  MBps aggregate_bw() const;  ///< Equation 2
+};
+
+/// Run `queue` on `service` under `policy`. Curves in `profiles` feed
+/// the arbitration decisions (the estimates MCKP consumes); achieved
+/// bandwidth is measured from the actual run.
+LiveRunResult run_queue_live(const std::vector<workload::AppSpec>& queue,
+                             const platform::ProfileDB& profiles,
+                             std::shared_ptr<core::ArbitrationPolicy> policy,
+                             fwd::ForwardingService& service,
+                             const LiveExecutorOptions& options);
+
+}  // namespace iofa::jobs

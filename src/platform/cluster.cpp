@@ -1,0 +1,35 @@
+#include "platform/cluster.hpp"
+
+namespace iofa::platform {
+
+ClusterSpec marenostrum4() {
+  ClusterSpec c;
+  c.name = "MareNostrum4";
+  c.compute_nodes = 3456;
+  c.max_io_nodes = 8;
+  c.cores_per_node = 48;
+  c.pfs_data_servers = 7;
+  c.pfs_metadata_servers = 2;
+  c.pfs_peak_write = 5500.0;
+  c.pfs_peak_read = 6500.0;
+  c.node_link = 12500.0;  // 100 Gb/s Omni-Path
+  c.pfs_name = "GPFS";
+  return c;
+}
+
+ClusterSpec grid5000_gros() {
+  ClusterSpec c;
+  c.name = "Grid5000-Gros";
+  c.compute_nodes = 96;
+  c.max_io_nodes = 12;
+  c.cores_per_node = 18;
+  c.pfs_data_servers = 2;  // two OSS, one OST each
+  c.pfs_metadata_servers = 1;
+  c.pfs_peak_write = 900.0;   // HDD-backed Lustre, cache-assisted
+  c.pfs_peak_read = 1400.0;
+  c.node_link = 2500.0;  // 2 x 10 Gb/s
+  c.pfs_name = "Lustre";
+  return c;
+}
+
+}  // namespace iofa::platform

@@ -1,0 +1,35 @@
+#pragma once
+// Cluster descriptions for the two evaluation platforms of the paper:
+// MareNostrum 4 (motivation + policy simulation) and the Grid'5000
+// Gros/Grimoire setup (live GekkoFWD experiments).
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace iofa::platform {
+
+struct ClusterSpec {
+  std::string name;
+  int compute_nodes = 0;
+  int max_io_nodes = 0;       ///< forwarding pool available to arbitrate
+  int cores_per_node = 0;
+  int pfs_data_servers = 0;
+  int pfs_metadata_servers = 0;
+  MBps pfs_peak_write = 0;    ///< aggregate backend write bandwidth
+  MBps pfs_peak_read = 0;
+  MBps node_link = 0;         ///< per-node network bandwidth
+  std::string pfs_name;
+};
+
+/// MareNostrum 4: 3456 nodes, 48 cores, Omni-Path, GPFS with 7 data
+/// servers. The motivation experiments used up to 32 compute nodes and
+/// 8 IONs carved from the same partition.
+ClusterSpec marenostrum4();
+
+/// Grid'5000 Nancy: Gros cluster split into 96 compute + 12 I/O nodes,
+/// Lustre on Grimoire (1 MGS/MDS + 2 OSS, one 500 GB OST each,
+/// 1 MiB stripes).
+ClusterSpec grid5000_gros();
+
+}  // namespace iofa::platform

@@ -1,0 +1,104 @@
+#pragma once
+// Analytic I/O performance model.
+//
+// bandwidth(pattern, k) estimates the client-observed bandwidth of an
+// access pattern when its requests are forwarded through k I/O nodes
+// (k == 0 means direct PFS access). The model is the substitution for
+// the MareNostrum 4 measurements behind Fig. 1 and the 189-scenario grid:
+// the arbitration policies only consume bandwidth-vs-ION curves, so what
+// must be faithful is the curve *shape* landscape - forwarding helping
+// small/shared/strided workloads, direct access winning for large
+// contiguous ones, and shared-file patterns peaking at a small number of
+// IONs.
+//
+// Structure: the achieved bandwidth is the minimum of four capacity terms
+//   injection  - what the client processes/nodes can push
+//   path       - what k forwarding nodes can relay (absent when k == 0)
+//   backend    - PFS aggregate, degraded by writer-count contention and
+//                by request-size / spatiality / metadata inefficiencies
+//   lock       - shared-file lock-domain ceiling (absent for
+//                file-per-process layouts)
+// Forwarding reshapes the flow: it replaces P concurrent PFS writers with
+// k, and aggregates small or strided requests into larger contiguous
+// ones, at the price of an extra network hop and per-ION relay caps.
+
+#include "common/units.hpp"
+#include "workload/pattern.hpp"
+
+namespace iofa::platform {
+
+struct PerfModelParams {
+  // Default values are the MareNostrum 4 calibration: fitted (randomised
+  // coordinate search against the analytic model) to three targets from
+  // the paper - the distribution of optimal ION counts across the
+  // 189-scenario grid (33% best at 0, 6% at 1, 44% at 2, 8% at 4, 9% at
+  // 8), the aggregate ORACLE-over-ZERO gain (~25%), and the Fig. 1
+  // fpp-vs-shared magnitude gap (>= ~12x at the peaks).
+
+  // --- capacity terms -----------------------------------------------
+  MBps pfs_peak_write = 5215.3;
+  MBps pfs_peak_read = 6200.0;
+  MBps ion_cap = 905.4;           ///< per-ION relay throughput
+  MBps node_injection_cap = 2500.0;  ///< per compute node
+  MBps process_cap = 250.0;       ///< per client process (sync issuing)
+
+  // --- PFS writer-count contention: eta(n) = 1/(1+((n-1)/n_half)^gamma)
+  double pfs_contention_half = 514.0;
+  double pfs_contention_gamma = 2.0;
+
+  // --- request-size efficiency: s/(s + s_half) ----------------------
+  Bytes size_half_direct = 62032;   ///< ~61 KiB
+  Bytes size_half_fwd = 256 * KiB;  ///< relay adds per-request overhead
+
+  // --- ION-side aggregation ------------------------------------------
+  double agg_factor_contig = 1.738;  ///< contiguous streams coalesce
+  double agg_factor_strided = 5.019; ///< reordering recovers locality
+  Bytes agg_cap = 16 * MiB;          ///< largest aggregated request
+
+  // --- spatiality: strided efficiency s/(s + stride_half) -------------
+  Bytes stride_half_direct = 6 * MiB;
+  Bytes stride_half_fwd = 343589;    ///< ~328 KiB
+
+  // --- shared-file lock domain ----------------------------------------
+  MBps shared_file_peak = 1604.6;  ///< single-writer shared-file ceiling
+  double shared_beta_direct = 0.0127;  ///< per extra direct writer
+  double shared_beta_fwd = 0.0071;     ///< per interleaved client stream,
+                                       ///  amortised over k^shared_k_exp
+  double shared_k_exp = 2.310;         ///< ION-count amortisation exponent
+  double shared_ion_beta = 0.6081;     ///< per extra ION on one file
+
+  // --- misc -----------------------------------------------------------
+  double fwd_hop_eff = 0.6214;   ///< extra network hop + relay overhead,
+                                 ///  applied to the whole forwarded path
+  double fpp_meta_half = 14717.0;  ///< file-count metadata pressure
+  double read_factor = 1.15;     ///< reads run this much faster
+};
+
+/// Calibrated parameter set for the MareNostrum 4 motivation study.
+PerfModelParams mn4_params();
+
+/// Calibrated parameter set for the Grid'5000 live setup (small Lustre,
+/// cache-assisted IONs).
+PerfModelParams g5k_params();
+
+class PerfModel {
+ public:
+  explicit PerfModel(PerfModelParams params) : p_(params) {}
+
+  /// Estimated bandwidth (MB/s) of `pattern` using `ions` forwarding
+  /// nodes; ions == 0 means direct PFS access.
+  MBps bandwidth(const workload::AccessPattern& pattern, int ions) const;
+
+  /// Time to move pattern.total_bytes at the estimated bandwidth.
+  Seconds runtime(const workload::AccessPattern& pattern, int ions) const;
+
+  const PerfModelParams& params() const { return p_; }
+
+ private:
+  double writer_contention(double writers) const;
+  double size_efficiency(Bytes request, bool forwarded) const;
+
+  PerfModelParams p_;
+};
+
+}  // namespace iofa::platform

@@ -1,0 +1,159 @@
+#include "platform/profile.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <initializer_list>
+#include <stdexcept>
+
+namespace iofa::platform {
+
+BandwidthCurve::BandwidthCurve(std::vector<std::pair<int, MBps>> points) {
+  for (const auto& [ions, bw] : points) {
+    assert(ions >= 0);
+    const bool inserted = bw_.emplace(ions, bw).second;
+    assert(inserted && "duplicate ION option");
+    (void)inserted;
+  }
+  options_.reserve(bw_.size());
+  for (const auto& [ions, bw] : bw_) options_.push_back(ions);
+}
+
+MBps BandwidthCurve::at(int ions) const {
+  auto it = bw_.find(ions);
+  if (it == bw_.end()) {
+    throw std::out_of_range("no profile point for " + std::to_string(ions) +
+                            " IONs");
+  }
+  return it->second;
+}
+
+bool BandwidthCurve::has_option(int ions) const {
+  return bw_.count(ions) > 0;
+}
+
+int BandwidthCurve::best_option() const {
+  if (bw_.empty()) throw std::out_of_range("empty bandwidth curve");
+  int best = bw_.begin()->first;
+  MBps best_bw = bw_.begin()->second;
+  for (const auto& [ions, bw] : bw_) {
+    if (bw > best_bw) {
+      best = ions;
+      best_bw = bw;
+    }
+  }
+  return best;
+}
+
+MBps BandwidthCurve::best_bandwidth() const { return at(best_option()); }
+
+int BandwidthCurve::best_option_up_to(int limit) const {
+  int best = -1;
+  MBps best_bw = -1.0;
+  for (const auto& [ions, bw] : bw_) {
+    if (ions > limit) continue;
+    if (bw > best_bw) {
+      best = ions;
+      best_bw = bw;
+    }
+  }
+  if (best < 0) {
+    throw std::out_of_range("no feasible option under the given limit");
+  }
+  return best;
+}
+
+int BandwidthCurve::snap_option(int n) const {
+  if (options_.empty()) throw std::out_of_range("empty bandwidth curve");
+  int snapped = options_.front();
+  for (int opt : options_) {
+    if (opt <= n) snapped = opt;
+  }
+  return snapped;
+}
+
+void ProfileDB::insert(const std::string& label, BandwidthCurve curve) {
+  curves_[label] = std::move(curve);
+}
+
+const BandwidthCurve& ProfileDB::at(const std::string& label) const {
+  auto it = curves_.find(label);
+  if (it == curves_.end()) {
+    throw std::out_of_range("no profile for application " + label);
+  }
+  return it->second;
+}
+
+bool ProfileDB::contains(const std::string& label) const {
+  return curves_.count(label) > 0;
+}
+
+std::vector<std::string> ProfileDB::labels() const {
+  std::vector<std::string> out;
+  out.reserve(curves_.size());
+  for (const auto& [label, curve] : curves_) out.push_back(label);
+  return out;
+}
+
+std::vector<int> default_ion_options() { return {0, 1, 2, 4, 8}; }
+
+BandwidthCurve curve_from_model(const PerfModel& model,
+                                const workload::AccessPattern& pattern,
+                                const std::vector<int>& options) {
+  std::vector<std::pair<int, MBps>> points;
+  points.reserve(options.size());
+  for (int k : options) {
+    points.emplace_back(k, model.bandwidth(pattern, k));
+  }
+  return BandwidthCurve(std::move(points));
+}
+
+BandwidthCurve curve_from_model(const PerfModel& model,
+                                const workload::AppSpec& app,
+                                const std::vector<int>& options) {
+  return curve_from_model(model, app.dominant_pattern(), options);
+}
+
+ProfileDB g5k_reference_profiles() {
+  ProfileDB db;
+  auto curve = [](std::initializer_list<std::pair<int, MBps>> pts) {
+    return BandwidthCurve(std::vector<std::pair<int, MBps>>(pts));
+  };
+  // Values marked in EXPERIMENTS.md as pinned come from the paper:
+  //   Table 4 (STATIC/SIZE/MCKP bandwidths at 12 IONs), the IOR-MPI
+  //   8-vs-1 ratio of 18.96x, the HACC 987.3 / 3850.7 pair of Sec. 5.3,
+  //   and the Sec. 5.2 per-policy aggregate ratios (4.59x / 4.10x).
+  db.insert("BT-C", curve({{0, 195.7}, {1, 77.6}, {2, 150.0},
+                           {4, 390.0}, {8, 300.0}}));
+  db.insert("BT-D", curve({{0, 150.0}, {1, 597.2}, {2, 594.2},
+                           {4, 610.0}, {8, 620.0}}));
+  db.insert("IOR-MPI", curve({{0, 780.0}, {1, 268.4}, {2, 900.0},
+                              {4, 2600.0}, {8, 5089.9}}));
+  db.insert("POSIX-L", curve({{0, 395.0}, {1, 200.0}, {2, 411.9},
+                              {4, 800.0}, {8, 1600.0}}));
+  db.insert("MAD", curve({{0, 255.9}, {1, 77.8}, {2, 140.0},
+                          {4, 230.0}, {8, 290.0}}));
+  db.insert("S3D", curve({{0, 241.3}, {1, 40.0}, {2, 48.1},
+                          {4, 90.0}, {8, 120.0}}));
+  db.insert("HACC", curve({{0, 300.0}, {1, 987.3}, {2, 1700.0},
+                           {4, 2900.0}, {8, 3850.7}}));
+  db.insert("POSIX-S", curve({{0, 120.0}, {1, 260.0}, {2, 480.0},
+                              {4, 900.0}, {8, 1600.0}}));
+  db.insert("SIM", curve({{0, 200.0}, {1, 350.0}, {2, 380.0},
+                          {4, 400.0}, {8, 410.0}}));
+  return db;
+}
+
+ProfileDB mn4_scenario_profiles(const PerfModel& model) {
+  ProfileDB db;
+  const auto grid = workload::mn4_scenario_grid();
+  const auto options = default_ion_options();
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "S%03zu", i);
+    db.insert(label, curve_from_model(model, grid[i], options));
+  }
+  return db;
+}
+
+}  // namespace iofa::platform

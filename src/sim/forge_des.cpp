@@ -1,0 +1,231 @@
+#include "sim/forge_des.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/resources.hpp"
+#include "sim/simulator.hpp"
+
+namespace iofa::sim {
+
+using workload::AccessPattern;
+using workload::FileLayout;
+using workload::Spatiality;
+
+namespace {
+
+constexpr Bytes kRouteChunk = 512 * KiB;  // FORGE-style request spreading
+
+struct Replay {
+  explicit Replay(const AccessPattern& pattern, int ions,
+                  const ForgeDesParams& params)
+      : pattern_(pattern), ions_(ions), params_(params) {}
+
+  ForgeDesResult run() {
+    const int P = pattern_.processes();
+    const Bytes s = std::max<Bytes>(1, pattern_.request_size);
+    Bytes volume = pattern_.total_bytes;
+    if (params_.replay_volume_cap > 0) {
+      volume = std::min(volume, params_.replay_volume_cap);
+    }
+    requests_per_rank_ = std::max<std::uint64_t>(
+        1, volume / (static_cast<Bytes>(P) * s));
+
+    pfs_ = std::make_unique<SharedBandwidth>(
+        sim_, params_.pfs_capacity, [this](std::size_t n) {
+          if (n <= 1) return 1.0;
+          const double x = (static_cast<double>(n) - 1.0) /
+                           params_.pfs_contention_half;
+          return 1.0 / (1.0 + std::pow(x, params_.pfs_contention_gamma));
+        });
+
+    ion_free_at_.assign(static_cast<std::size_t>(std::max(0, ions_)), 0.0);
+    ion_buffers_.clear();
+    ion_buffers_.resize(ion_free_at_.size());
+
+    for (int r = 0; r < P; ++r) {
+      issue_next(static_cast<std::uint32_t>(r), 0);
+    }
+    sim_.run();
+
+    ForgeDesResult result;
+    result.makespan = last_ack_;
+    result.bytes = static_cast<Bytes>(P) * requests_per_rank_ * s;
+    result.bandwidth = bandwidth_mbps(result.bytes, result.makespan);
+    result.requests = static_cast<std::uint64_t>(P) * requests_per_rank_;
+    result.ion_accesses = ion_accesses_;
+    return result;
+  }
+
+ private:
+  std::uint64_t file_of(std::uint32_t rank) const {
+    return pattern_.layout == FileLayout::FilePerProcess ? 1000 + rank : 0;
+  }
+
+  std::uint64_t offset_of(std::uint32_t rank, std::uint64_t i) const {
+    const Bytes s = pattern_.request_size;
+    if (pattern_.layout == FileLayout::FilePerProcess) return i * s;
+    const auto P = static_cast<std::uint64_t>(pattern_.processes());
+    if (pattern_.spatiality == Spatiality::Contiguous) {
+      return (rank * requests_per_rank_ + i) * s;
+    }
+    return (i * P + rank) * s;  // 1D-strided interleave
+  }
+
+  void issue_next(std::uint32_t rank, std::uint64_t i) {
+    if (i >= requests_per_rank_) return;
+    const std::uint64_t file = file_of(rank);
+    const std::uint64_t offset = offset_of(rank, i);
+    const Bytes size = pattern_.request_size;
+    auto continue_rank = [this, rank, i] { issue_next(rank, i + 1); };
+
+    if (ions_ > 0) {
+      stage_ion(file, offset, size, continue_rank);
+    } else {
+      // Direct access: client-side syscall latency, then the lock
+      // domain and the PFS.
+      sim_.schedule(params_.client_latency_direct,
+                    [this, file, offset, size, continue_rank] {
+                      stage_lock(file, offset, size, pattern_.processes(),
+                                 [this, size, continue_rank] {
+                                   stage_pfs(size, continue_rank);
+                                 });
+                    });
+    }
+  }
+
+  /// Buffer the request at its responsible ION. The ION flushes its
+  /// buffer after a short aggregation window: same-file requests are
+  /// sorted by offset and contiguous runs dispatch as ONE access through
+  /// the lock domain and the PFS (the TO-AGG behaviour of the runtime's
+  /// AGIOS scheduler). Interleaved strided streams become large
+  /// contiguous runs here - the mechanism by which forwarding recovers
+  /// shared/strided bandwidth.
+  void stage_ion(std::uint64_t file, std::uint64_t offset, Bytes size,
+                 EventFn done) {
+    const std::size_t ion = static_cast<std::size_t>(
+        (file * 0x9E3779B97F4A7C15ULL + offset / kRouteChunk) %
+        ion_buffers_.size());
+    auto& buffer = ion_buffers_[ion];
+    buffer.items[file].push_back(BufferedItem{offset, size, std::move(done)});
+    if (!buffer.flush_scheduled) {
+      buffer.flush_scheduled = true;
+      sim_.schedule(params_.ion_window, [this, ion] { flush_ion(ion); });
+    }
+  }
+
+  void flush_ion(std::size_t ion) {
+    auto& buffer = ion_buffers_[ion];
+    buffer.flush_scheduled = false;
+    auto items = std::move(buffer.items);
+    buffer.items.clear();
+    const double rate = params_.ion_rate * params_.fwd_hop_eff;
+
+    for (auto& [file, reqs] : items) {
+      std::sort(reqs.begin(), reqs.end(),
+                [](const BufferedItem& a, const BufferedItem& b) {
+                  return a.offset < b.offset;
+                });
+      // Group into contiguous runs, capped at ion_agg_cap.
+      std::size_t begin = 0;
+      while (begin < reqs.size()) {
+        std::size_t end = begin + 1;
+        Bytes run = reqs[begin].size;
+        std::uint64_t run_end = reqs[begin].offset + reqs[begin].size;
+        while (end < reqs.size() && reqs[end].offset == run_end &&
+               run + reqs[end].size <= params_.ion_agg_cap) {
+          run += reqs[end].size;
+          run_end += reqs[end].size;
+          ++end;
+        }
+        ++ion_accesses_;
+
+        // Serial ION service for the whole run, then lock + PFS once.
+        const Seconds service =
+            params_.ion_latency + static_cast<double>(run) / rate;
+        Seconds& free_at = ion_free_at_[ion];
+        free_at = std::max(free_at, sim_.now()) + service;
+
+        // Collect the run members' completions.
+        auto dones = std::make_shared<std::vector<EventFn>>();
+        for (std::size_t i = begin; i < end; ++i) {
+          dones->push_back(std::move(reqs[i].done));
+        }
+        const std::uint64_t run_offset = reqs[begin].offset;
+        sim_.schedule_at(free_at, [this, file, run_offset, run, dones] {
+          stage_lock(file, run_offset, run, ions_, [this, run, dones] {
+            pfs_->start_flow(run, [this, dones] {
+              last_ack_ = sim_.now();
+              for (auto& d : *dones) d();
+            });
+          });
+        });
+        begin = end;
+      }
+    }
+  }
+
+  /// Shared-file lock domain: serialises accesses to one file. The
+  /// per-access latency scales with the number of competing writers
+  /// (lock-token revocation traffic): all P processes when direct, only
+  /// the k IONs when forwarded.
+  void stage_lock(std::uint64_t file, std::uint64_t offset, Bytes size,
+                  int writers, EventFn done) {
+    (void)offset;
+    if (pattern_.layout == FileLayout::FilePerProcess) {
+      done();
+      return;
+    }
+    const double revocation =
+        1.0 + params_.lock_contention_coeff * std::max(0, writers - 1);
+    const Seconds service =
+        params_.shared_lock_latency * revocation +
+        static_cast<double>(size) / params_.shared_file_rate;
+    Seconds& free_at = file_free_at_[file];
+    free_at = std::max(free_at, sim_.now()) + service;
+    sim_.schedule_at(free_at, std::move(done));
+  }
+
+  void stage_pfs(Bytes size, EventFn continue_rank) {
+    pfs_->start_flow(size, [this, continue_rank] {
+      last_ack_ = sim_.now();
+      continue_rank();
+    });
+  }
+
+  struct BufferedItem {
+    std::uint64_t offset = 0;
+    Bytes size = 0;
+    EventFn done;
+  };
+  struct IonBuffer {
+    std::unordered_map<std::uint64_t, std::vector<BufferedItem>> items;
+    bool flush_scheduled = false;
+  };
+
+  const AccessPattern& pattern_;
+  int ions_;
+  const ForgeDesParams& params_;
+
+  Simulator sim_;
+  std::unique_ptr<SharedBandwidth> pfs_;
+  std::vector<Seconds> ion_free_at_;
+  std::vector<IonBuffer> ion_buffers_;
+  std::unordered_map<std::uint64_t, Seconds> file_free_at_;
+  std::uint64_t requests_per_rank_ = 0;
+  std::uint64_t ion_accesses_ = 0;
+  Seconds last_ack_ = 0.0;
+};
+
+}  // namespace
+
+ForgeDesResult forge_des_replay(const AccessPattern& pattern, int ions,
+                                const ForgeDesParams& params) {
+  Replay replay(pattern, ions, params);
+  return replay.run();
+}
+
+}  // namespace iofa::sim

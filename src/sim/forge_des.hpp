@@ -1,0 +1,77 @@
+#pragma once
+// FORGE-DES: request-level discrete-event replay of an access pattern
+// through a modelled forwarding deployment.
+//
+// This is the micro-level twin of the analytic PerfModel: instead of a
+// closed-form bandwidth, every client process is a simulated actor that
+// synchronously issues requests (as FORGE does with O_DIRECT); each
+// request traverses
+//
+//   client -> [ION FCFS server]      (forwarded only; per-access latency
+//                                     charged once per contiguous run,
+//                                     which is ION-side aggregation)
+//          -> [file lock-domain]     (shared files only; serialises and
+//                                     charges lock latency per access)
+//          -> [PFS shared bandwidth] (processor sharing with an
+//                                     efficiency that degrades with the
+//                                     number of concurrent flows)
+//          -> ack to the client.
+//
+// The engine exists to cross-validate the analytic model (the
+// bench_des_validation harness compares the two curve families) and to
+// let researchers experiment with micro-level effects (queueing,
+// stragglers, burstiness) that closed forms hide.
+
+#include <functional>
+
+#include "common/units.hpp"
+#include "workload/pattern.hpp"
+
+namespace iofa::sim {
+
+struct ForgeDesParams {
+  // --- ION relay ------------------------------------------------------
+  double ion_rate = 905.4e6;       ///< bytes/s service rate per ION
+  Seconds ion_latency = 250e-6;    ///< per dispatched (merged) access
+  /// Aggregation window: how long the ION buffers requests before it
+  /// sort-merges them into contiguous runs (the TO-AGG behaviour).
+  Seconds ion_window = 0.002;
+  /// Largest contiguous run that still counts as one access at the ION.
+  Bytes ion_agg_cap = 16 * MiB;
+
+  // --- PFS ------------------------------------------------------------
+  double pfs_capacity = 5215.3e6;  ///< bytes/s aggregate
+  /// Aggregate efficiency with n concurrent flows (the eta(n) term).
+  double pfs_contention_half = 514.0;
+  double pfs_contention_gamma = 2.0;
+
+  // --- shared-file lock domain ----------------------------------------
+  double shared_file_rate = 1604.6e6;  ///< bytes/s through one file
+  Seconds shared_lock_latency = 400e-6;  ///< per access under the lock
+  /// Lock-token revocation: the per-access latency grows with the number
+  /// of competing writers (every client process when direct, only the k
+  /// IONs when forwarded - the flow-reshaping effect).
+  double lock_contention_coeff = 0.06;
+
+  // --- client ----------------------------------------------------------
+  Seconds client_latency_direct = 150e-6;  ///< per direct access
+  double fwd_hop_eff = 0.6214;  ///< relay efficiency on the ION rate
+
+  /// Cap on the volume actually replayed (keeps huge scenarios cheap);
+  /// 0 disables the cap. Bandwidth is volume/makespan either way.
+  Bytes replay_volume_cap = 2 * GiB;
+};
+
+struct ForgeDesResult {
+  Seconds makespan = 0.0;
+  Bytes bytes = 0;
+  MBps bandwidth = 0.0;
+  std::uint64_t requests = 0;
+  std::uint64_t ion_accesses = 0;  ///< after aggregation
+};
+
+/// Replay `pattern` through `ions` forwarding nodes (0 = direct).
+ForgeDesResult forge_des_replay(const workload::AccessPattern& pattern,
+                                int ions, const ForgeDesParams& params);
+
+}  // namespace iofa::sim

@@ -1,0 +1,83 @@
+#pragma once
+// Modelled resources for the discrete-event substrate.
+//
+// FcfsServer      - a serial server with fixed per-request latency and a
+//                   byte rate; requests queue in arrival order. Models an
+//                   ION's dispatch pipeline or a metadata server.
+// SharedBandwidth - a processor-sharing device: all active flows split the
+//                   capacity equally, with a pluggable efficiency factor
+//                   eta(n) so contention can degrade the *aggregate* rate
+//                   as the number of concurrent flows grows. Models a PFS
+//                   data-server group or a network link.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "common/units.hpp"
+#include "sim/simulator.hpp"
+
+namespace iofa::sim {
+
+using FlowId = std::uint64_t;
+
+class FcfsServer {
+ public:
+  /// latency: fixed per-request overhead; rate: service bytes/second.
+  FcfsServer(Simulator& sim, Seconds latency, double rate_bytes_per_sec);
+
+  /// Enqueue a request; `done` runs when service completes.
+  void request(Bytes bytes, EventFn done);
+
+  std::size_t queue_depth() const { return queued_; }
+  Bytes bytes_served() const { return bytes_served_; }
+
+ private:
+  Simulator& sim_;
+  Seconds latency_;
+  double rate_;
+  Seconds free_at_ = 0.0;  ///< earliest time the server is idle
+  std::size_t queued_ = 0;
+  Bytes bytes_served_ = 0;
+};
+
+class SharedBandwidth {
+ public:
+  /// capacity: aggregate bytes/second with a single flow.
+  /// efficiency: eta(n) in (0, 1], multiplies the aggregate capacity when
+  /// n flows are active. Defaults to perfect sharing (eta == 1).
+  SharedBandwidth(Simulator& sim, double capacity_bytes_per_sec,
+                  std::function<double(std::size_t)> efficiency = nullptr);
+
+  /// Begin a flow of `bytes`; `done` runs at its completion time.
+  FlowId start_flow(Bytes bytes, EventFn done);
+
+  /// Abort a flow (its callback never runs). Returns bytes still pending,
+  /// or nullopt if the flow already completed.
+  std::optional<Bytes> abort_flow(FlowId id);
+
+  std::size_t active_flows() const { return flows_.size(); }
+  Bytes bytes_transferred() const { return bytes_done_; }
+
+ private:
+  struct Flow {
+    double remaining;  ///< bytes
+    EventFn done;
+  };
+
+  void advance_to_now();
+  void reschedule();
+  double per_flow_rate() const;
+
+  Simulator& sim_;
+  double capacity_;
+  std::function<double(std::size_t)> efficiency_;
+  std::map<FlowId, Flow> flows_;
+  FlowId next_flow_ = 1;
+  Seconds last_update_ = 0.0;
+  EventId pending_event_ = 0;
+  Bytes bytes_done_ = 0;
+};
+
+}  // namespace iofa::sim

@@ -1,0 +1,59 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace iofa::sim {
+
+EventId Simulator::schedule(Seconds delay, EventFn fn) {
+  assert(delay >= 0.0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_at(Seconds t, EventFn fn) {
+  assert(t >= now_);
+  const EventId id = next_id_++;
+  queue_.push(Entry{t, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+void Simulator::cancel(EventId id) {
+  if (handlers_.erase(id) > 0) cancelled_.insert(id);
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Entry e = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    auto h = handlers_.find(e.id);
+    if (h == handlers_.end()) continue;  // defensive; cancel covers this
+    EventFn fn = std::move(h->second);
+    handlers_.erase(h);
+    now_ = e.time;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(Seconds t) {
+  while (!queue_.empty()) {
+    const Entry e = queue_.top();
+    if (e.time > t) break;
+    step();
+  }
+  if (t > now_) now_ = t;
+}
+
+}  // namespace iofa::sim

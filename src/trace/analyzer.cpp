@@ -1,0 +1,116 @@
+#include "trace/analyzer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace iofa::trace {
+
+std::optional<PatternEstimate> classify(
+    const std::vector<RequestRecord>& records, int compute_nodes,
+    int processes) {
+  PatternEstimate est;
+  est.pattern.compute_nodes = compute_nodes;
+  est.pattern.processes_per_node =
+      std::max(1, processes / std::max(1, compute_nodes));
+
+  // Group data operations per (rank, file) stream, preserving order.
+  std::map<std::pair<std::uint32_t, std::uint64_t>,
+           std::vector<const RequestRecord*>>
+      streams;
+  std::set<std::uint64_t> files;
+  std::set<std::uint32_t> ranks;
+  std::map<Bytes, std::size_t> size_histogram;
+
+  for (const auto& rec : records) {
+    if (rec.op != OpKind::Write && rec.op != OpKind::Read) continue;
+    ++est.data_ops;
+    if (rec.op == OpKind::Write) {
+      est.write_bytes += rec.size;
+    } else {
+      est.read_bytes += rec.size;
+    }
+    files.insert(rec.file_id);
+    ranks.insert(rec.rank);
+    size_histogram[rec.size]++;
+    streams[{rec.rank, rec.file_id}].push_back(&rec);
+  }
+  if (est.data_ops == 0) return std::nullopt;
+
+  // Dominant operation.
+  est.pattern.operation = est.write_bytes >= est.read_bytes
+                              ? workload::Operation::Write
+                              : workload::Operation::Read;
+
+  // File approach: roughly one file per active rank => file-per-process.
+  const std::size_t active_ranks = std::max<std::size_t>(1, ranks.size());
+  est.pattern.layout = files.size() * 2 > active_ranks
+                           ? workload::FileLayout::FilePerProcess
+                           : workload::FileLayout::SharedFile;
+
+  // Request size: the mode of the size histogram.
+  Bytes mode_size = 0;
+  std::size_t mode_count = 0;
+  for (const auto& [size, count] : size_histogram) {
+    if (count > mode_count) {
+      mode_count = count;
+      mode_size = size;
+    }
+  }
+  est.pattern.request_size = std::max<Bytes>(1, mode_size);
+  est.pattern.total_bytes = est.write_bytes + est.read_bytes;
+
+  // Spatiality: within each (rank, file) stream, count consecutive
+  // offset transitions. Contiguous: next offset == previous end.
+  // 1D-strided: constant positive gap between request starts.
+  std::size_t transitions = 0;
+  std::size_t contiguous_hits = 0;
+  std::size_t strided_hits = 0;
+  for (const auto& [key, ops] : streams) {
+    for (std::size_t i = 1; i < ops.size(); ++i) {
+      const auto& prev = *ops[i - 1];
+      const auto& cur = *ops[i];
+      ++transitions;
+      if (cur.offset == prev.offset + prev.size) {
+        ++contiguous_hits;
+      } else if (cur.offset > prev.offset &&
+                 (cur.offset - prev.offset) > prev.size) {
+        // Positive stride larger than the request: strided candidate.
+        ++strided_hits;
+      }
+    }
+  }
+  if (transitions == 0) {
+    // Single request per stream: interleaved shared file with gaps is
+    // strided from the file's perspective; default to contiguous.
+    est.pattern.spatiality = workload::Spatiality::Contiguous;
+    est.spatiality_confidence = 0.0;
+  } else if (contiguous_hits >= strided_hits) {
+    est.pattern.spatiality = workload::Spatiality::Contiguous;
+    est.spatiality_confidence =
+        static_cast<double>(contiguous_hits) /
+        static_cast<double>(transitions);
+  } else {
+    est.pattern.spatiality = workload::Spatiality::Strided1D;
+    est.spatiality_confidence =
+        static_cast<double>(strided_hits) / static_cast<double>(transitions);
+  }
+  return est;
+}
+
+platform::BandwidthCurve estimate_curve(
+    const std::vector<RequestRecord>& records, int compute_nodes,
+    int processes, const platform::PerfModel& model,
+    const std::vector<int>& options) {
+  const auto est = classify(records, compute_nodes, processes);
+  if (!est) {
+    // No I/O observed: a flat zero-bandwidth curve keeps the MCKP from
+    // wasting IONs on the job.
+    std::vector<std::pair<int, MBps>> pts;
+    for (int k : options) pts.emplace_back(k, 0.0);
+    return platform::BandwidthCurve(std::move(pts));
+  }
+  return platform::curve_from_model(model, est->pattern, options);
+}
+
+}  // namespace iofa::trace

@@ -1,0 +1,41 @@
+#pragma once
+// Trace analysis: classify a job's request log into the base access
+// pattern (file approach, spatiality, request size), following the
+// approach the paper references for estimating I/O performance from
+// Darshan data plus short calibration runs.
+
+#include <optional>
+#include <vector>
+
+#include "platform/perf_model.hpp"
+#include "platform/profile.hpp"
+#include "trace/record.hpp"
+#include "workload/pattern.hpp"
+
+namespace iofa::trace {
+
+struct PatternEstimate {
+  workload::AccessPattern pattern;
+  /// Fraction of data-op records consistent with the detected spatiality.
+  double spatiality_confidence = 0.0;
+  std::size_t data_ops = 0;
+  Bytes write_bytes = 0;
+  Bytes read_bytes = 0;
+};
+
+/// Classify a trace. Needs the job's geometry (ranks do not appear in
+/// the trace if they never touched a file). Returns nullopt for traces
+/// without any data operation.
+std::optional<PatternEstimate> classify(
+    const std::vector<RequestRecord>& records, int compute_nodes,
+    int processes);
+
+/// Estimate a bandwidth-vs-ION curve for a traced job: classify the
+/// trace, then evaluate the analytic platform model on the detected
+/// pattern - the "short benchmark runs + Darshan" estimation pipeline.
+platform::BandwidthCurve estimate_curve(
+    const std::vector<RequestRecord>& records, int compute_nodes,
+    int processes, const platform::PerfModel& model,
+    const std::vector<int>& options);
+
+}  // namespace iofa::trace

@@ -1,0 +1,43 @@
+#include "trace/record.hpp"
+
+namespace iofa::trace {
+
+TraceLog::TraceLog(std::string job_label) : label_(std::move(job_label)) {}
+
+void TraceLog::append(const RequestRecord& rec) {
+  std::lock_guard lk(mu_);
+  records_.push_back(rec);
+  if (rec.op == OpKind::Write) bytes_written_ += rec.size;
+  if (rec.op == OpKind::Read) bytes_read_ += rec.size;
+}
+
+std::vector<RequestRecord> TraceLog::snapshot() const {
+  std::lock_guard lk(mu_);
+  return records_;
+}
+
+std::size_t TraceLog::size() const {
+  std::lock_guard lk(mu_);
+  return records_.size();
+}
+
+Bytes TraceLog::bytes_written() const {
+  std::lock_guard lk(mu_);
+  return bytes_written_;
+}
+
+Bytes TraceLog::bytes_read() const {
+  std::lock_guard lk(mu_);
+  return bytes_read_;
+}
+
+std::uint64_t hash_path(const std::string& path) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : path) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace iofa::trace

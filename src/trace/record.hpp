@@ -1,0 +1,61 @@
+#pragma once
+// Darshan-like I/O trace records.
+//
+// The paper's MCKP policy needs per-application bandwidth curves; it
+// obtains them from access-pattern characterisations that Darshan-style
+// traces provide "transparently collected at many supercomputers". This
+// module is that substrate: a low-overhead, thread-safe request log that
+// the forwarding client shims feed, and that the analyzer turns into
+// AccessPattern profiles.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace iofa::trace {
+
+enum class OpKind : std::uint8_t { Write, Read, Open, Close };
+
+struct RequestRecord {
+  std::uint32_t rank = 0;       ///< client process rank within the job
+  std::uint64_t file_id = 0;    ///< hashed file path
+  OpKind op = OpKind::Write;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  Seconds t_start = 0.0;
+  Seconds t_end = 0.0;
+};
+
+/// Append-only, thread-safe trace for one job.
+class TraceLog {
+ public:
+  explicit TraceLog(std::string job_label = {});
+
+  void append(const RequestRecord& rec);
+
+  /// Snapshot of the records so far (copies under the lock).
+  std::vector<RequestRecord> snapshot() const;
+
+  std::size_t size() const;
+  const std::string& job_label() const { return label_; }
+
+  /// Aggregate counters maintained online (cheaper than snapshotting).
+  Bytes bytes_written() const;
+  Bytes bytes_read() const;
+
+ private:
+  std::string label_;
+  mutable std::mutex mu_;
+  std::vector<RequestRecord> records_;
+  Bytes bytes_written_ = 0;
+  Bytes bytes_read_ = 0;
+};
+
+/// FNV-1a path hash used for file ids (same hash the gkfs layer uses to
+/// place chunks, so traces and placement agree on identity).
+std::uint64_t hash_path(const std::string& path);
+
+}  // namespace iofa::trace

@@ -1,0 +1,90 @@
+#include "trace/serialize.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace iofa::trace {
+
+namespace {
+
+char op_char(OpKind op) {
+  switch (op) {
+    case OpKind::Write: return 'W';
+    case OpKind::Read: return 'R';
+    case OpKind::Open: return 'O';
+    case OpKind::Close: return 'C';
+  }
+  return '?';
+}
+
+std::optional<OpKind> op_from(char c) {
+  switch (c) {
+    case 'W': return OpKind::Write;
+    case 'R': return OpKind::Read;
+    case 'O': return OpKind::Open;
+    case 'C': return OpKind::Close;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+void save(const TraceLog& log, std::ostream& os) {
+  const auto records = log.snapshot();
+  os << "# iofa-trace v1 job=" << log.job_label()
+     << " records=" << records.size() << "\n";
+  for (const auto& r : records) {
+    os << op_char(r.op) << ' ' << r.rank << ' ' << r.file_id << ' '
+       << r.offset << ' ' << r.size << ' ' << r.t_start << ' ' << r.t_end
+       << "\n";
+  }
+}
+
+std::string to_string(const TraceLog& log) {
+  std::ostringstream os;
+  save(log, os);
+  return os.str();
+}
+
+std::optional<LoadedTrace> load(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) return std::nullopt;
+  if (line.rfind("# iofa-trace v1", 0) != 0) return std::nullopt;
+
+  LoadedTrace out;
+  std::size_t expected = 0;
+  {
+    std::istringstream hs(line);
+    std::string tok;
+    while (hs >> tok) {
+      if (tok.rfind("job=", 0) == 0) out.job_label = tok.substr(4);
+      if (tok.rfind("records=", 0) == 0) {
+        expected = std::stoull(tok.substr(8));
+      }
+    }
+  }
+
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char op = '?';
+    RequestRecord rec;
+    if (!(ls >> op >> rec.rank >> rec.file_id >> rec.offset >> rec.size >>
+          rec.t_start >> rec.t_end)) {
+      return std::nullopt;
+    }
+    const auto kind = op_from(op);
+    if (!kind) return std::nullopt;
+    rec.op = *kind;
+    out.records.push_back(rec);
+  }
+  if (out.records.size() != expected) return std::nullopt;
+  return out;
+}
+
+std::optional<LoadedTrace> from_string(const std::string& text) {
+  std::istringstream is(text);
+  return load(is);
+}
+
+}  // namespace iofa::trace

@@ -1,0 +1,34 @@
+#pragma once
+// Trace persistence: a compact line-oriented text format for request
+// logs, so traces survive across runs the way Darshan logs do on real
+// machines (collect on one run, feed the estimator on the next).
+//
+// Format (one record per line, '#' header lines):
+//   # iofa-trace v1 job=<label> records=<n>
+//   <op> <rank> <file_id> <offset> <size> <t_start> <t_end>
+// with op one of W R O C.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace iofa::trace {
+
+/// Serialize a log (header + one line per record).
+void save(const TraceLog& log, std::ostream& os);
+std::string to_string(const TraceLog& log);
+
+struct LoadedTrace {
+  std::string job_label;
+  std::vector<RequestRecord> records;
+};
+
+/// Parse a serialized trace. Returns nullopt on malformed input
+/// (missing/invalid header, bad record line, record-count mismatch).
+std::optional<LoadedTrace> load(std::istream& is);
+std::optional<LoadedTrace> from_string(const std::string& text);
+
+}  // namespace iofa::trace

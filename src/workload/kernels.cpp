@@ -1,0 +1,211 @@
+#include "workload/kernels.hpp"
+
+#include <stdexcept>
+
+namespace iofa::workload {
+
+Bytes AppSpec::write_bytes() const {
+  Bytes total = 0;
+  for (const auto& ph : phases)
+    if (ph.operation == Operation::Write) total += ph.total_bytes;
+  return total;
+}
+
+Bytes AppSpec::read_bytes() const {
+  Bytes total = 0;
+  for (const auto& ph : phases)
+    if (ph.operation == Operation::Read) total += ph.total_bytes;
+  return total;
+}
+
+AccessPattern AppSpec::dominant_pattern() const {
+  // The largest write phase characterises the application for the
+  // estimator; fall back to the largest phase of any kind.
+  const IoPhaseSpec* best = nullptr;
+  for (const auto& ph : phases) {
+    if (ph.operation != Operation::Write) continue;
+    if (best == nullptr || ph.total_bytes > best->total_bytes) best = &ph;
+  }
+  if (best == nullptr) {
+    for (const auto& ph : phases) {
+      if (best == nullptr || ph.total_bytes > best->total_bytes) best = &ph;
+    }
+  }
+  AccessPattern p;
+  p.compute_nodes = compute_nodes;
+  p.processes_per_node = processes / compute_nodes;
+  if (best != nullptr) {
+    p.layout = best->layout;
+    p.spatiality = best->spatiality;
+    p.operation = best->operation;
+    p.request_size = best->request_size;
+  }
+  p.total_bytes = total_bytes();
+  return p;
+}
+
+namespace {
+
+IoPhaseSpec phase(Operation op, FileLayout layout, Spatiality spat,
+                  Bytes req, Bytes total, int writers = -1,
+                  Seconds compute = 0.0, std::string tag = "",
+                  bool flush_after = false) {
+  IoPhaseSpec ph;
+  ph.operation = op;
+  ph.layout = layout;
+  ph.spatiality = spat;
+  ph.request_size = req;
+  ph.total_bytes = total;
+  ph.writers = writers;
+  ph.compute_before = compute;
+  ph.file_tag = std::move(tag);
+  ph.flush_after = flush_after;
+  return ph;
+}
+
+constexpr auto W = Operation::Write;
+constexpr auto R = Operation::Read;
+constexpr auto Shared = FileLayout::SharedFile;
+constexpr auto Fpp = FileLayout::FilePerProcess;
+constexpr auto Contig = Spatiality::Contiguous;
+constexpr auto Strided = Spatiality::Strided1D;
+
+}  // namespace
+
+std::vector<AppSpec> table3_applications() {
+  std::vector<AppSpec> apps;
+
+  {
+    // NAS BT-IO class C: 6.3 GB written in checkpoints every five time
+    // steps, then read back for verification. Collective buffering turns
+    // the scattered mesh data into large POSIX requests (~5.23 MiB).
+    AppSpec a{"BT-C", "NAS BT-IO (Class C)", 32, 128, {}};
+    const Bytes vol = static_cast<Bytes>(6.3 * 1e9);
+    const Bytes req = static_cast<Bytes>(5.23 * MiB);
+    for (int step = 0; step < 4; ++step) {
+      a.phases.push_back(
+          phase(W, Shared, Contig, req, vol / 4, -1, 0.05, "solution", true));
+    }
+    a.phases.push_back(phase(R, Shared, Contig, req, vol, -1, 0.0,
+                             "solution"));
+    apps.push_back(std::move(a));
+  }
+  {
+    // NAS BT-IO class D: 126.5 GB, 512 processes, 12.31 MiB POSIX requests.
+    AppSpec a{"BT-D", "NAS BT-IO (Class D)", 64, 512, {}};
+    const Bytes vol = static_cast<Bytes>(126.5 * 1e9);
+    const Bytes req = static_cast<Bytes>(12.31 * MiB);
+    for (int step = 0; step < 4; ++step) {
+      a.phases.push_back(
+          phase(W, Shared, Contig, req, vol / 4, -1, 0.1, "solution", true));
+    }
+    a.phases.push_back(phase(R, Shared, Contig, req, vol, -1, 0.0,
+                             "solution"));
+    apps.push_back(std::move(a));
+  }
+  {
+    // HACC-IO: every process writes its particles (N*38 bytes + 24 MB
+    // header) to its own file through POSIX. 1.8 GB total, write-only.
+    AppSpec a{"HACC", "HACC-IO", 8, 64, {}};
+    a.phases.push_back(phase(W, Fpp, Contig, 4 * MiB,
+                             static_cast<Bytes>(1.8 * 1e9), -1, 0.0,
+                             "particles"));
+    apps.push_back(std::move(a));
+  }
+  {
+    // IOR with the MPI-IO backend: 16 GB written then read, single shared
+    // file, 2 MiB transfers.
+    AppSpec a{"IOR-MPI", "IOR (MPI-IO)", 16, 128, {}};
+    a.phases.push_back(
+        phase(W, Shared, Contig, 2 * MiB, 16 * GB, -1, 0.0, "ior"));
+    a.phases.push_back(
+        phase(R, Shared, Contig, 2 * MiB, 16 * GB, -1, 0.0, "ior"));
+    apps.push_back(std::move(a));
+  }
+  {
+    // IOR with the POSIX backend, single shared file (the "small" setup).
+    AppSpec a{"POSIX-S", "IOR (POSIX, shared)", 16, 128, {}};
+    a.phases.push_back(
+        phase(W, Shared, Contig, 2 * MiB, 16 * GB, -1, 0.0, "ior"));
+    a.phases.push_back(
+        phase(R, Shared, Contig, 2 * MiB, 16 * GB, -1, 0.0, "ior"));
+    apps.push_back(std::move(a));
+  }
+  {
+    // IOR with the POSIX backend, file-per-process (the "large" setup).
+    AppSpec a{"POSIX-L", "IOR (POSIX, fpp)", 64, 512, {}};
+    a.phases.push_back(
+        phase(W, Fpp, Contig, 2 * MiB, 32 * GB, -1, 0.0, "ior"));
+    a.phases.push_back(
+        phase(R, Fpp, Contig, 2 * MiB, 32 * GB, -1, 0.0, "ior"));
+    apps.push_back(std::move(a));
+  }
+  {
+    // MADBench2: component S writes by a subset of processes, W reads that
+    // data back while a smaller subset writes, C reads everything.
+    // MPI-IO, synchronous, single shared file; 16.2 GB each way.
+    AppSpec a{"MAD", "MADBench2", 32, 64, {}};
+    const Bytes vol = static_cast<Bytes>(16.2 * 1e9);
+    a.phases.push_back(
+        phase(W, Shared, Strided, 4 * MiB, vol * 2 / 3, 32, 0.1, "gang", true));
+    a.phases.push_back(
+        phase(R, Shared, Strided, 4 * MiB, vol * 2 / 3, 32, 0.1, "gang"));
+    a.phases.push_back(
+        phase(W, Shared, Strided, 4 * MiB, vol / 3, 16, 0.1, "gang", true));
+    a.phases.push_back(
+        phase(R, Shared, Strided, 4 * MiB, vol / 3, 32, 0.1, "gang"));
+    apps.push_back(std::move(a));
+  }
+  {
+    // S3aSim: workers search database fragments; results are gathered and
+    // written by the master to a single shared file, one burst per query
+    // (~100 MB on average across 100 queries, 19.6 GB total).
+    AppSpec a{"SIM", "S3aSim", 16, 16, {}};
+    const Bytes vol = static_cast<Bytes>(19.6 * 1e9);
+    const int queries = 20;  // coarsened: 5 queries per phase
+    for (int q = 0; q < queries; ++q) {
+      a.phases.push_back(phase(W, Shared, Contig, 8 * MiB, vol / queries, 1,
+                               0.02, "results"));
+    }
+    apps.push_back(std::move(a));
+  }
+  {
+    // S3D-IO: five checkpoints of 3D/4D double arrays through PnetCDF
+    // non-blocking writes; multiple shared files (one per checkpoint).
+    AppSpec a{"S3D", "S3D-IO", 64, 512, {}};
+    const Bytes vol = static_cast<Bytes>(33.7 * 1e9);
+    for (int cp = 0; cp < 5; ++cp) {
+      a.phases.push_back(phase(W, Shared, Contig, 4 * MiB, vol / 5, -1, 0.1,
+                               "ckpt" + std::to_string(cp), true));
+    }
+    apps.push_back(std::move(a));
+  }
+  return apps;
+}
+
+AppSpec application(const std::string& label) {
+  for (auto& a : table3_applications()) {
+    if (a.label == label) return a;
+  }
+  throw std::out_of_range("unknown application label: " + label);
+}
+
+AppSpec app_from_pattern(std::string label, const AccessPattern& pattern) {
+  AppSpec a;
+  a.label = std::move(label);
+  a.full_name = "FORGE pattern";
+  a.compute_nodes = pattern.compute_nodes;
+  a.processes = pattern.processes();
+  a.phases.push_back(phase(pattern.operation, pattern.layout,
+                           pattern.spatiality, pattern.request_size,
+                           pattern.total_bytes));
+  return a;
+}
+
+std::vector<AppSpec> section52_applications() {
+  return {application("BT-C"),    application("BT-D"),
+          application("IOR-MPI"), application("POSIX-L"),
+          application("MAD"),     application("S3D")};
+}
+
+}  // namespace iofa::workload

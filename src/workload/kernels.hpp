@@ -1,0 +1,66 @@
+#pragma once
+// The application kernels of Table 3. Each kernel is expressed as a
+// sequence of I/O phases (with optional compute gaps), which both the
+// analytic/DES substrate and the live GekkoFWD runtime can execute.
+//
+// Volumes, node counts and request sizes follow the paper; see DESIGN.md
+// for the per-application notes (e.g. BT-IO collective buffering issues
+// 5.23 MiB POSIX requests for class C, 12.31 MiB for class D).
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "workload/pattern.hpp"
+
+namespace iofa::workload {
+
+/// One I/O phase: `writers` processes issue `request_size` requests until
+/// `total_bytes` have been moved, preceded by `compute_before` seconds of
+/// (simulated) computation.
+struct IoPhaseSpec {
+  Operation operation = Operation::Write;
+  FileLayout layout = FileLayout::SharedFile;
+  Spatiality spatiality = Spatiality::Contiguous;
+  Bytes request_size = MiB;
+  Bytes total_bytes = 0;   ///< aggregate volume of the phase
+  int writers = -1;        ///< participating processes; -1 => all
+  Seconds compute_before = 0.0;
+  std::string file_tag;    ///< distinguishes files across phases
+  /// Checkpoint semantics: the phase ends with an fsync barrier (PnetCDF
+  /// flushes, MPI-IO sync writes). Streaming benchmarks leave it false.
+  bool flush_after = false;
+};
+
+struct AppSpec {
+  std::string label;      ///< e.g. "BT-C"
+  std::string full_name;  ///< e.g. "NAS BT-IO (Class C)"
+  int compute_nodes = 1;
+  int processes = 1;
+  std::vector<IoPhaseSpec> phases;
+
+  Bytes write_bytes() const;
+  Bytes read_bytes() const;
+  Bytes total_bytes() const { return write_bytes() + read_bytes(); }
+
+  /// Representative access pattern of the dominant (write) phase; this is
+  /// what the performance estimator and the MCKP item builder consume.
+  AccessPattern dominant_pattern() const;
+};
+
+/// All nine applications of Table 3, in paper order:
+/// BT-C, BT-D, HACC, IOR-MPI, POSIX-S, POSIX-L, MAD, SIM, S3D.
+std::vector<AppSpec> table3_applications();
+
+/// Look up one application by label. Throws std::out_of_range if unknown.
+AppSpec application(const std::string& label);
+
+/// Wrap a raw FORGE access pattern as a single-phase application, so the
+/// motivation scenarios can flow through the same job machinery.
+AppSpec app_from_pattern(std::string label, const AccessPattern& pattern);
+
+/// The subset used by the allocation study of Section 5.2 (Fig. 6-8,
+/// Table 4): BT-C, BT-D, IOR-MPI, POSIX-L, MAD, S3D (72 compute nodes).
+std::vector<AppSpec> section52_applications();
+
+}  // namespace iofa::workload

@@ -1,0 +1,105 @@
+#include "workload/pattern.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace iofa::workload {
+
+std::string to_string(FileLayout layout) {
+  return layout == FileLayout::FilePerProcess ? "file-per-process"
+                                              : "shared-file";
+}
+
+std::string to_string(Spatiality spatiality) {
+  return spatiality == Spatiality::Contiguous ? "contiguous" : "1d-strided";
+}
+
+std::string to_string(Operation op) {
+  return op == Operation::Write ? "write" : "read";
+}
+
+std::string AccessPattern::to_string() const {
+  std::ostringstream os;
+  os << compute_nodes << "n x " << processes_per_node << "ppn, "
+     << iofa::workload::to_string(layout) << ", "
+     << iofa::workload::to_string(spatiality) << ", "
+     << iofa::workload::to_string(operation) << ", req="
+     << request_size / KiB << "KiB, total=" << total_bytes / MiB << "MiB";
+  return os.str();
+}
+
+std::vector<NamedPattern> table2_patterns() {
+  auto make = [](char name, int nodes, int procs, FileLayout layout,
+                 Spatiality spat, Bytes req_kib) {
+    AccessPattern p;
+    p.compute_nodes = nodes;
+    p.processes_per_node = procs / nodes;
+    p.layout = layout;
+    p.spatiality = spat;
+    p.operation = Operation::Write;
+    p.request_size = req_kib * KiB;
+    p.total_bytes = default_volume(p);
+    return NamedPattern{name, p};
+  };
+  // Exactly Table 2 of the paper.
+  return {
+      make('A', 32, 1536, FileLayout::FilePerProcess, Spatiality::Contiguous,
+           1024),
+      make('B', 32, 1536, FileLayout::FilePerProcess, Spatiality::Contiguous,
+           128),
+      make('C', 32, 1536, FileLayout::SharedFile, Spatiality::Contiguous,
+           1024),
+      make('D', 16, 192, FileLayout::SharedFile, Spatiality::Strided1D, 128),
+      make('E', 8, 192, FileLayout::SharedFile, Spatiality::Strided1D, 1024),
+      make('F', 16, 384, FileLayout::SharedFile, Spatiality::Contiguous, 128),
+      make('G', 32, 384, FileLayout::SharedFile, Spatiality::Strided1D, 512),
+      make('H', 8, 384, FileLayout::SharedFile, Spatiality::Contiguous, 4096),
+  };
+}
+
+Bytes default_volume(const AccessPattern& p) {
+  // FORGE issues requests synchronously for about one second per client;
+  // we size the volume so that every process issues a few dozen requests,
+  // clamped so the largest scenarios stay tractable.
+  const Bytes per_process = std::max<Bytes>(
+      32 * p.request_size, static_cast<Bytes>(64) * MiB / 4);
+  const Bytes total =
+      per_process * static_cast<Bytes>(p.processes());
+  return std::clamp<Bytes>(total, 256 * MiB, 64 * GiB);
+}
+
+std::vector<AccessPattern> mn4_scenario_grid() {
+  const int node_counts[] = {8, 16, 32};
+  const int ppns[] = {12, 24, 48};
+  const Bytes sizes_kib[] = {32, 128, 512, 1024, 4096, 6144, 8192};
+  // Three (layout, spatiality) combinations; FORGE does not replay
+  // file-per-process strided, giving 3*3*3*7 = 189 scenarios.
+  const std::pair<FileLayout, Spatiality> shapes[] = {
+      {FileLayout::FilePerProcess, Spatiality::Contiguous},
+      {FileLayout::SharedFile, Spatiality::Contiguous},
+      {FileLayout::SharedFile, Spatiality::Strided1D},
+  };
+
+  std::vector<AccessPattern> grid;
+  grid.reserve(189);
+  for (int nodes : node_counts) {
+    for (int ppn : ppns) {
+      for (auto [layout, spatiality] : shapes) {
+        for (Bytes kib : sizes_kib) {
+          AccessPattern p;
+          p.compute_nodes = nodes;
+          p.processes_per_node = ppn;
+          p.layout = layout;
+          p.spatiality = spatiality;
+          p.operation = Operation::Write;
+          p.request_size = kib * KiB;
+          p.total_bytes = default_volume(p);
+          grid.push_back(p);
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+}  // namespace iofa::workload

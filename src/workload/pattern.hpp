@@ -1,0 +1,56 @@
+#pragma once
+// Access patterns in the FORGE sense: the workload descriptor the paper
+// uses both to drive the motivation experiments (Fig. 1, 189 scenarios on
+// MareNostrum 4) and as the unit the performance estimator reasons about.
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace iofa::workload {
+
+enum class FileLayout { FilePerProcess, SharedFile };
+enum class Spatiality { Contiguous, Strided1D };
+enum class Operation { Write, Read };
+
+std::string to_string(FileLayout layout);
+std::string to_string(Spatiality spatiality);
+std::string to_string(Operation op);
+
+/// One FORGE scenario: a set of client processes synchronously issuing
+/// fixed-size requests against the PFS (directly or through IONs).
+struct AccessPattern {
+  int compute_nodes = 1;
+  int processes_per_node = 1;
+  FileLayout layout = FileLayout::FilePerProcess;
+  Spatiality spatiality = Spatiality::Contiguous;
+  Operation operation = Operation::Write;
+  Bytes request_size = MiB;
+  Bytes total_bytes = GiB;  ///< aggregate volume across all processes
+
+  int processes() const { return compute_nodes * processes_per_node; }
+  std::string to_string() const;
+
+  bool operator==(const AccessPattern&) const = default;
+};
+
+/// The eight named write patterns of Fig. 1 / Table 2 (A..H).
+struct NamedPattern {
+  char name;  ///< 'A'..'H'
+  AccessPattern pattern;
+};
+std::vector<NamedPattern> table2_patterns();
+
+/// The full 189-scenario MN4 grid of Section 2:
+///  {8,16,32} nodes x {12,24,48} processes/node x {fpp,shared} x
+///  {contiguous,1D-strided} x {32K,128K,512K,1M,4M,6M,8M} requests,
+/// minus the (fpp, strided) combinations FORGE does not replay, which is
+/// how the paper arrives at 189 = 9 * 3 * 7 scenarios.
+std::vector<AccessPattern> mn4_scenario_grid();
+
+/// Volume heuristic used by the grid: enough data that each scenario
+/// represents steady-state bandwidth (FORGE caps runs at ~1 s of issuing).
+Bytes default_volume(const AccessPattern& p);
+
+}  // namespace iofa::workload

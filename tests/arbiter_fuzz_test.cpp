@@ -1,0 +1,160 @@
+// Randomised churn tests: drive the arbiter (and the policies) through
+// long random sequences of job starts/finishes and assert the structural
+// invariants after every step. These are the properties the runtime
+// relies on; any violation would corrupt live routing.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "common/rng.hpp"
+#include "core/arbiter.hpp"
+#include "core/related.hpp"
+#include "platform/perf_model.hpp"
+#include "platform/profile.hpp"
+#include "workload/pattern.hpp"
+
+namespace iofa::core {
+namespace {
+
+/// Invariants a mapping must always satisfy.
+void check_mapping(const Mapping& mapping, int pool) {
+  std::set<int> exclusive;
+  std::set<int> shared_ions;
+  for (const auto& [id, entry] : mapping.jobs) {
+    if (entry.shared) {
+      for (int ion : entry.ions) shared_ions.insert(ion);
+      continue;
+    }
+    for (int ion : entry.ions) {
+      EXPECT_GE(ion, 0);
+      EXPECT_LT(ion, pool);
+      EXPECT_TRUE(exclusive.insert(ion).second)
+          << "ION " << ion << " assigned to two jobs (epoch "
+          << mapping.epoch << ")";
+    }
+  }
+  // The shared node must not also be handed out exclusively.
+  for (int ion : shared_ions) {
+    EXPECT_FALSE(exclusive.count(ion));
+    EXPECT_LT(ion, pool);
+  }
+  EXPECT_LE(exclusive.size() + shared_ions.size(),
+            static_cast<std::size_t>(pool));
+}
+
+class ArbiterFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArbiterFuzz, RandomChurnPreservesInvariants) {
+  Rng rng(GetParam());
+  platform::PerfModel model(platform::mn4_params());
+  const auto grid = workload::mn4_scenario_grid();
+  const auto options = platform::default_ion_options();
+
+  const int pool = 1 + static_cast<int>(rng.index(24));
+  Arbiter arb(std::make_shared<MckpPolicy>(),
+              ArbiterOptions{pool, std::nullopt, true});
+
+  std::map<JobId, std::vector<int>> previous;
+  std::set<JobId> running;
+  JobId next_id = 1;
+  std::uint64_t prev_epoch = 0;
+
+  for (int step = 0; step < 200; ++step) {
+    const bool start = running.empty() || rng.uniform01() < 0.55;
+    if (start) {
+      const auto& pattern = grid[rng.index(grid.size())];
+      const JobId id = next_id++;
+      arb.job_started(
+          id, AppEntry{"S", pattern.compute_nodes, pattern.processes(),
+                       platform::curve_from_model(model, pattern,
+                                                  options)});
+      running.insert(id);
+    } else {
+      auto it = running.begin();
+      std::advance(it, static_cast<long>(rng.index(running.size())));
+      arb.job_finished(*it);
+      running.erase(it);
+    }
+
+    const Mapping& m = arb.mapping();
+    EXPECT_GT(m.epoch, prev_epoch);
+    prev_epoch = m.epoch;
+    EXPECT_EQ(m.jobs.size(), running.size());
+    check_mapping(m, pool);
+
+    // Stability: a job whose ION count did not change keeps the exact
+    // same identities (no gratuitous reshuffling).
+    for (const auto& [id, entry] : m.jobs) {
+      auto prev = previous.find(id);
+      if (prev != previous.end() &&
+          prev->second.size() == entry.ions.size()) {
+        EXPECT_EQ(prev->second, entry.ions) << "job " << id;
+      }
+    }
+    previous.clear();
+    for (const auto& [id, entry] : m.jobs) {
+      if (!entry.shared) previous[id] = entry.ions;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArbiterFuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u));
+
+class PolicyFuzz
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PolicyFuzz, AllPoliciesProduceFeasibleOptionsOnRandomProblems) {
+  Rng rng(GetParam() * 7919);
+  platform::PerfModel model(platform::mn4_params());
+  const auto grid = workload::mn4_scenario_grid();
+  const auto options = platform::default_ion_options();
+
+  for (int trial = 0; trial < 40; ++trial) {
+    AllocationProblem prob;
+    prob.pool = static_cast<int>(rng.index(129));
+    const std::size_t apps = 1 + rng.index(20);
+    for (std::size_t a = 0; a < apps; ++a) {
+      const auto& p = grid[rng.index(grid.size())];
+      prob.apps.push_back(AppEntry{
+          "S", p.compute_nodes, p.processes(),
+          platform::curve_from_model(model, p, options)});
+    }
+
+    auto policies = standard_policies();
+    policies.push_back(std::make_unique<DfraPolicy>());
+    policies.push_back(std::make_unique<RecruitmentPolicy>());
+
+    double mckp_value = -1.0;
+    for (const auto& policy : policies) {
+      const auto alloc = policy->allocate(prob);
+      ASSERT_EQ(alloc.ions.size(), prob.apps.size()) << policy->name();
+      for (std::size_t i = 0; i < alloc.ions.size(); ++i) {
+        const bool is_shared =
+            i < alloc.shared.size() && alloc.shared[i];
+        if (is_shared) continue;
+        EXPECT_TRUE(prob.apps[i].curve.has_option(alloc.ions[i]))
+            << policy->name() << " picked infeasible option "
+            << alloc.ions[i];
+      }
+      const double value = alloc.aggregate_bw(prob);
+      EXPECT_GE(value, 0.0);
+      if (policy->name() == "MCKP") mckp_value = value;
+      // MCKP dominance: no pool-respecting policy beats it.
+      if (mckp_value >= 0.0 && alloc.respects_pool &&
+          policy->name() != "ORACLE") {
+        EXPECT_LE(value, mckp_value + 1e-6) << policy->name();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace iofa::core

@@ -1,0 +1,446 @@
+// Unit tests for the common utilities: RNG, statistics, histogram,
+// token bucket, bounded queue, thread pool, tables.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "common/histogram.hpp"
+#include "common/queue.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "common/token_bucket.hpp"
+#include "common/units.hpp"
+
+namespace iofa {
+namespace {
+
+// ---------------------------------------------------------------- units
+TEST(Units, BandwidthMbps) {
+  EXPECT_DOUBLE_EQ(bandwidth_mbps(1'000'000, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(bandwidth_mbps(500'000'000, 0.5), 1000.0);
+  EXPECT_DOUBLE_EQ(bandwidth_mbps(123, 0.0), 0.0);
+}
+
+TEST(Units, TransferTimeInvertsBandwidth) {
+  const Bytes volume = 64 * MiB;
+  const MBps rate = 250.0;
+  const Seconds t = transfer_time(volume, rate);
+  EXPECT_NEAR(bandwidth_mbps(volume, t), rate, 1e-9);
+}
+
+TEST(Units, TransferTimeZeroRateIsHuge) {
+  EXPECT_GT(transfer_time(1, 0.0), 1e100);
+}
+
+TEST(Units, Constants) {
+  EXPECT_EQ(KiB, 1024u);
+  EXPECT_EQ(MiB, 1024u * 1024u);
+  EXPECT_EQ(GiB, 1024u * 1024u * 1024u);
+  EXPECT_EQ(MB, 1000u * 1000u);
+}
+
+// ------------------------------------------------------------------ rng
+TEST(Rng, DeterministicForSeed) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniform_int(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsHalf) {
+  Rng rng(99);
+  OnlineStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.uniform01());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(5);
+  OnlineStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng a(21);
+  Rng child = a.fork();
+  EXPECT_NE(a.next(), child.next());
+}
+
+TEST(Rng, IndexAlwaysBelowN) {
+  Rng rng(23);
+  for (int i = 0; i < 500; ++i) EXPECT_LT(rng.index(13), 13u);
+}
+
+// ---------------------------------------------------------------- stats
+TEST(OnlineStatsTest, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, KnownValues) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Percentile, MedianOddEven) {
+  std::vector<double> odd{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Percentile, Extremes) {
+  std::vector<double> v{5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 9.0);
+}
+
+TEST(Percentile, EmptySampleIsZero) {
+  std::vector<double> v;
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 0.0);
+}
+
+TEST(SummarizeTest, FiveNumbers) {
+  std::vector<double> v;
+  for (int i = 1; i <= 101; ++i) v.push_back(static_cast<double>(i));
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 101u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 51.0);
+  EXPECT_DOUBLE_EQ(s.max, 101.0);
+  EXPECT_DOUBLE_EQ(s.p25, 26.0);
+  EXPECT_DOUBLE_EQ(s.p75, 76.0);
+  EXPECT_DOUBLE_EQ(s.mean, 51.0);
+}
+
+TEST(GeomeanTest, PowersOfTwo) {
+  std::vector<double> v{1.0, 4.0};
+  EXPECT_NEAR(geomean(v), 2.0, 1e-12);
+}
+
+TEST(GeomeanTest, IgnoresNonPositive) {
+  std::vector<double> v{0.0, -1.0, 8.0, 2.0};
+  EXPECT_NEAR(geomean(v), 4.0, 1e-12);
+}
+
+// ------------------------------------------------------------ histogram
+TEST(HistogramTest, LinearBinning) {
+  Histogram h(Histogram::Scale::Linear, 0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(5.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, OverUnderflow) {
+  Histogram h(Histogram::Scale::Linear, 0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(10.0);
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(HistogramTest, Log2Edges) {
+  Histogram h(Histogram::Scale::Log2, 1.0, 1024.0, 10);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 1.0);
+  EXPECT_NEAR(h.bin_hi(9), 1024.0, 1e-9);
+  h.add(3.0);  // [2,4)
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(HistogramTest, WeightedAdd) {
+  Histogram h(Histogram::Scale::Linear, 0.0, 10.0, 2);
+  h.add(1.0, 5);
+  EXPECT_EQ(h.count(0), 5u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(HistogramTest, ToStringRenders) {
+  Histogram h(Histogram::Scale::Linear, 0.0, 4.0, 2);
+  h.add(1.0);
+  EXPECT_FALSE(h.to_string().empty());
+}
+
+// --------------------------------------------------------- token bucket
+TEST(TokenBucketTest, BurstIsImmediatelyAvailable) {
+  TokenBucket tb(1000.0, 500.0);
+  EXPECT_TRUE(tb.try_acquire(500.0));
+  EXPECT_FALSE(tb.try_acquire(500.0));
+}
+
+TEST(TokenBucketTest, RefillsOverTime) {
+  TokenBucket tb(10000.0, 100.0);
+  ASSERT_TRUE(tb.try_acquire(100.0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(tb.try_acquire(50.0));  // ~200 refilled
+}
+
+TEST(TokenBucketTest, AcquireBlocksForApproximateDuration) {
+  TokenBucket tb(10000.0, 100.0);
+  tb.acquire(100.0);  // drain the burst
+  const auto t0 = std::chrono::steady_clock::now();
+  tb.acquire(500.0);  // needs ~50 ms of refill
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GT(elapsed, 0.030);
+  EXPECT_LT(elapsed, 0.500);
+}
+
+TEST(TokenBucketTest, RateThrottlesThroughput) {
+  TokenBucket tb(100000.0, 1000.0);  // 100 KB/s
+  tb.acquire(1000.0);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i) tb.acquire(1000.0);  // 10 KB total
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  // 10 KB at 100 KB/s = 100 ms.
+  EXPECT_GT(elapsed, 0.060);
+}
+
+TEST(TokenBucketTest, SetRateTakesEffect) {
+  TokenBucket tb(100.0, 10.0);
+  tb.set_rate(1e9);
+  tb.acquire(10.0);
+  const auto t0 = std::chrono::steady_clock::now();
+  tb.acquire(1e6);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 0.5);
+  EXPECT_DOUBLE_EQ(tb.rate(), 1e9);
+}
+
+TEST(TokenBucketTest, ConcurrentAcquisitionConservesTokens) {
+  // N threads each acquire M tokens from a fast bucket; total time must
+  // be at least (N*M - burst) / rate.
+  TokenBucket tb(1.0e6, 1.0e4);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10; ++i) tb.acquire(5000.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  // 200k tokens - 10k burst at 1M/s ~= 190 ms minimum.
+  EXPECT_GT(elapsed, 0.120);
+}
+
+// ----------------------------------------------------------- queue
+TEST(BoundedQueueTest, PushPopFifoOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.push(i));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.pop().value(), i);
+}
+
+TEST(BoundedQueueTest, TryPushFailsWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenNullopt) {
+  BoundedQueue<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_FALSE(q.push(3));
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueueTest, PopForTimesOut) {
+  BoundedQueue<int> q(4);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.pop_for(std::chrono::milliseconds(30)).has_value());
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GT(elapsed, 0.025);
+}
+
+TEST(BoundedQueueTest, BlockingPushWaitsForConsumer) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    q.pop();
+    q.pop();
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(q.push(2));  // blocks until the consumer pops
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  consumer.join();
+  EXPECT_GT(elapsed, 0.020);
+}
+
+TEST(BoundedQueueTest, ManyProducersManyConsumers) {
+  BoundedQueue<int> q(16);
+  std::atomic<long> sum{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < 4; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < 250; ++i) q.push(p * 1000 + i);
+    });
+  }
+  std::atomic<int> consumed{0};
+  for (int c = 0; c < 4; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) {
+        sum.fetch_add(*v);
+        consumed.fetch_add(1);
+      }
+    });
+  }
+  // Wait for production to finish, then close.
+  for (int p = 0; p < 4; ++p) threads[static_cast<size_t>(p)].join();
+  q.close();
+  for (int c = 4; c < 8; ++c) threads[static_cast<size_t>(c)].join();
+  EXPECT_EQ(consumed.load(), 1000);
+  long expected = 0;
+  for (int p = 0; p < 4; ++p)
+    for (int i = 0; i < 250; ++i) expected += p * 1000 + i;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+// ------------------------------------------------------------ threadpool
+TEST(ThreadPoolTest, SubmitReturnsResults) {
+  ThreadPool pool(4);
+  auto f1 = pool.submit([] { return 21 * 2; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPoolTest, ManyTasksAllRun) {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&] { count.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ParallelForTest, CoversAllIndices) {
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(100, [&](std::size_t i) { hits[i].fetch_add(1); }, 8);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, PropagatesException) {
+  EXPECT_THROW(
+      parallel_for(10,
+                   [](std::size_t i) {
+                     if (i == 5) throw std::runtime_error("boom");
+                   },
+                   4),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, SingleThreadFallback) {
+  int sum = 0;
+  parallel_for(10, [&](std::size_t i) { sum += static_cast<int>(i); }, 1);
+  EXPECT_EQ(sum, 45);
+}
+
+// ---------------------------------------------------------------- table
+TEST(TableTest, AlignedOutputContainsCells) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(TableTest, CsvQuotesCommas) {
+  Table t({"a"});
+  t.add_row({"x,y"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+}
+
+TEST(FmtTest, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(FmtBytesTest, Scales) {
+  EXPECT_EQ(fmt_bytes(512.0), "512.0 B");
+  EXPECT_NE(fmt_bytes(2.5 * 1024 * 1024).find("MiB"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iofa

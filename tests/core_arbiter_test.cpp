@@ -1,0 +1,180 @@
+// Tests for the arbiter: epoch-stamped mappings, stable ION identity
+// assignment across re-arbitrations, STATIC's no-reallocation rule, and
+// mapping serialization.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/arbiter.hpp"
+#include "platform/profile.hpp"
+#include "workload/kernels.hpp"
+
+namespace iofa::core {
+namespace {
+
+AppEntry entry(const std::string& label) {
+  const auto db = platform::g5k_reference_profiles();
+  const auto app = workload::application(label);
+  return AppEntry{label, app.compute_nodes, app.processes, db.at(label)};
+}
+
+ArbiterOptions opts(int pool, bool realloc = true) {
+  ArbiterOptions o;
+  o.pool = pool;
+  o.static_ratio = 32.0;
+  o.reallocate_running = realloc;
+  return o;
+}
+
+// ------------------------------------------------------------- mapping
+TEST(Mapping, SerializeParseRoundTrip) {
+  Mapping m;
+  m.epoch = 42;
+  m.pool = 12;
+  m.jobs[1] = Mapping::Entry{"IOR-MPI", {0, 1, 2}, false};
+  m.jobs[2] = Mapping::Entry{"S3D", {}, false};
+  m.jobs[3] = Mapping::Entry{"MAD", {11}, true};
+  const auto parsed = Mapping::parse(m.to_string());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, m);
+}
+
+TEST(Mapping, ParseRejectsGarbage) {
+  EXPECT_FALSE(Mapping::parse("not a mapping").has_value());
+  EXPECT_FALSE(Mapping::parse("").has_value());
+  EXPECT_FALSE(Mapping::parse("job x app y zzz\n").has_value());
+}
+
+TEST(Mapping, ToStringMentionsDirectAndShared) {
+  Mapping m;
+  m.epoch = 1;
+  m.pool = 4;
+  m.jobs[7] = Mapping::Entry{"S3D", {}, false};
+  m.jobs[8] = Mapping::Entry{"MAD", {3}, true};
+  const auto s = m.to_string();
+  EXPECT_NE(s.find("direct"), std::string::npos);
+  EXPECT_NE(s.find("shared"), std::string::npos);
+}
+
+// -------------------------------------------------------------- arbiter
+TEST(Arbiter, EpochIncreasesOnEveryChange) {
+  Arbiter arb(std::make_shared<MckpPolicy>(), opts(12));
+  const auto e1 = arb.job_started(1, entry("IOR-MPI")).epoch;
+  const auto e2 = arb.job_started(2, entry("S3D")).epoch;
+  const auto e3 = arb.job_finished(1).epoch;
+  EXPECT_LT(e1, e2);
+  EXPECT_LT(e2, e3);
+}
+
+TEST(Arbiter, SingleJobGetsItsBestWithinPool) {
+  Arbiter arb(std::make_shared<MckpPolicy>(), opts(12));
+  const auto& m = arb.job_started(1, entry("IOR-MPI"));
+  ASSERT_TRUE(m.jobs.count(1));
+  EXPECT_EQ(m.jobs.at(1).ions.size(), 8u);  // IOR-MPI peaks at 8
+}
+
+TEST(Arbiter, AssignedIonsAreUniqueAcrossJobs) {
+  Arbiter arb(std::make_shared<MckpPolicy>(), opts(12));
+  arb.job_started(1, entry("IOR-MPI"));
+  arb.job_started(2, entry("POSIX-L"));
+  const auto& m = arb.job_started(3, entry("HACC"));
+  std::set<int> seen;
+  for (const auto& [id, e] : m.jobs) {
+    for (int ion : e.ions) {
+      EXPECT_TRUE(seen.insert(ion).second) << "ION " << ion << " reused";
+      EXPECT_GE(ion, 0);
+      EXPECT_LT(ion, 12);
+    }
+  }
+}
+
+TEST(Arbiter, KeepsIonIdentitiesWhenCountUnchanged) {
+  Arbiter arb(std::make_shared<MckpPolicy>(), opts(12));
+  arb.job_started(1, entry("IOR-MPI"));
+  const auto before = arb.mapping().jobs.at(1).ions;
+  // S3D takes 0 IONs, so job 1's allocation should be untouched.
+  arb.job_started(2, entry("S3D"));
+  const auto after = arb.mapping().jobs.at(1).ions;
+  EXPECT_EQ(before, after);
+}
+
+TEST(Arbiter, ShrinkKeepsPrefixOfOldAssignment) {
+  Arbiter arb(std::make_shared<MckpPolicy>(), opts(12));
+  arb.job_started(1, entry("IOR-MPI"));  // 8 IONs
+  const auto before = arb.mapping().jobs.at(1).ions;
+  arb.job_started(2, entry("POSIX-L"));  // forces IOR-MPI to shrink or not
+  const auto after = arb.mapping().jobs.at(1).ions;
+  // Whatever the new count, the kept identities must be a subset of the
+  // old ones (minimal churn).
+  std::set<int> old_set(before.begin(), before.end());
+  std::size_t kept = 0;
+  for (int ion : after) kept += old_set.count(ion);
+  EXPECT_EQ(kept, std::min(after.size(), before.size()));
+}
+
+TEST(Arbiter, FinishReleasesNodesForNextJob) {
+  Arbiter arb(std::make_shared<MckpPolicy>(), opts(8));
+  arb.job_started(1, entry("IOR-MPI"));  // grabs all 8
+  arb.job_started(2, entry("HACC"));
+  const auto during = arb.mapping().jobs.at(2).ions.size();
+  arb.job_finished(1);
+  const auto after = arb.mapping().jobs.at(2).ions.size();
+  EXPECT_GE(after, during);  // HACC can only gain once IOR-MPI leaves
+  EXPECT_EQ(after, 8u);      // HACC's best is 8
+}
+
+TEST(Arbiter, StaticDoesNotReallocateRunningJobs) {
+  Arbiter arb(std::make_shared<StaticPolicy>(), opts(12, false));
+  arb.job_started(1, entry("HACC"));
+  const auto before = arb.mapping().jobs.at(1).ions;
+  arb.job_started(2, entry("BT-D"));
+  arb.job_started(3, entry("IOR-MPI"));
+  const auto after = arb.mapping().jobs.at(1).ions;
+  EXPECT_EQ(before, after);
+}
+
+TEST(Arbiter, MckpDoesReallocateRunningJobs) {
+  Arbiter arb(std::make_shared<MckpPolicy>(), opts(8));
+  arb.job_started(1, entry("HACC"));  // alone: gets 8
+  EXPECT_EQ(arb.mapping().jobs.at(1).ions.size(), 8u);
+  arb.job_started(2, entry("IOR-MPI"));
+  // IOR-MPI at 8 is worth 5089.9; HACC must shrink.
+  EXPECT_LT(arb.mapping().jobs.at(1).ions.size(), 8u);
+}
+
+TEST(Arbiter, SolveTimeIsMeasuredAndSmall) {
+  Arbiter arb(std::make_shared<MckpPolicy>(), opts(12));
+  arb.job_started(1, entry("IOR-MPI"));
+  EXPECT_GT(arb.last_solve_seconds(), 0.0);
+  EXPECT_LT(arb.last_solve_seconds(), 0.1);  // paper: 399 us
+}
+
+TEST(Arbiter, CountsTrackRunningJobs) {
+  Arbiter arb(std::make_shared<MckpPolicy>(), opts(12));
+  arb.job_started(1, entry("S3D"));
+  arb.job_started(2, entry("MAD"));
+  EXPECT_EQ(arb.running_jobs(), 2u);
+  EXPECT_EQ(arb.last_counts().size(), 2u);
+  arb.job_finished(2);
+  EXPECT_EQ(arb.running_jobs(), 1u);
+  EXPECT_EQ(arb.last_counts().size(), 1u);
+  EXPECT_FALSE(arb.mapping().jobs.count(2));
+}
+
+TEST(Arbiter, PoolNeverExceeded) {
+  Arbiter arb(std::make_shared<MckpPolicy>(), opts(12));
+  std::uint64_t id = 1;
+  for (const char* label : {"HACC", "IOR-MPI", "SIM", "POSIX-S", "MAD"}) {
+    arb.job_started(id++, entry(label));
+    std::set<int> used;
+    for (const auto& [jid, e] : arb.mapping().jobs) {
+      for (int ion : e.ions) used.insert(ion);
+    }
+    EXPECT_LE(used.size(), 12u);
+  }
+}
+
+}  // namespace
+}  // namespace iofa::core

@@ -1,0 +1,233 @@
+// Tests for the Multiple-Choice Knapsack solvers: exact behaviour on
+// hand-checked instances plus randomized property tests (DP == brute
+// force; greedy feasible and never better than the optimum).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/mckp.hpp"
+
+namespace iofa::core {
+namespace {
+
+MckpClass cls(std::initializer_list<std::pair<int, double>> items) {
+  MckpClass out;
+  for (auto [w, v] : items) out.push_back(MckpItem{w, v});
+  return out;
+}
+
+// ----------------------------------------------------------- DP basics
+TEST(MckpDp, EmptyProblem) {
+  const auto sol = solve_mckp_dp({}, 10);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_DOUBLE_EQ(sol->value, 0.0);
+  EXPECT_EQ(sol->weight, 0);
+}
+
+TEST(MckpDp, SingleClassPicksBestAffordable) {
+  const auto sol =
+      solve_mckp_dp({cls({{0, 1.0}, {2, 5.0}, {4, 9.0}})}, 2);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->choice[0], 1u);  // the 2-weight item
+  EXPECT_DOUBLE_EQ(sol->value, 5.0);
+}
+
+TEST(MckpDp, ExactlyOneItemPerClass) {
+  const auto classes = std::vector<MckpClass>{
+      cls({{0, 1.0}, {1, 10.0}}),
+      cls({{0, 2.0}, {1, 20.0}}),
+      cls({{0, 3.0}, {1, 30.0}}),
+  };
+  const auto sol = solve_mckp_dp(classes, 2);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->choice.size(), 3u);
+  // Best: give the single units to classes 2 and 3 (values 20+30+1).
+  EXPECT_DOUBLE_EQ(sol->value, 51.0);
+  EXPECT_EQ(sol->weight, 2);
+}
+
+TEST(MckpDp, InfeasibleWhenMinWeightsExceedCapacity) {
+  const auto classes = std::vector<MckpClass>{
+      cls({{2, 1.0}}),
+      cls({{2, 1.0}}),
+  };
+  EXPECT_FALSE(solve_mckp_dp(classes, 3).has_value());
+}
+
+TEST(MckpDp, EmptyClassIsInfeasible) {
+  EXPECT_FALSE(solve_mckp_dp({MckpClass{}}, 10).has_value());
+}
+
+TEST(MckpDp, ItemsAboveCapacityIgnored) {
+  const auto sol = solve_mckp_dp({cls({{1, 3.0}, {100, 999.0}})}, 10);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_DOUBLE_EQ(sol->value, 3.0);
+}
+
+TEST(MckpDp, ZeroCapacityNeedsZeroWeightItems) {
+  EXPECT_TRUE(solve_mckp_dp({cls({{0, 1.0}, {1, 9.0}})}, 0).has_value());
+  EXPECT_FALSE(solve_mckp_dp({cls({{1, 9.0}})}, 0).has_value());
+}
+
+TEST(MckpDp, PrefersValueNotWeightUsage) {
+  // Leaving capacity unused is fine when extra weight adds no value.
+  const auto sol =
+      solve_mckp_dp({cls({{1, 10.0}, {8, 10.0}})}, 8);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->weight, 1);
+}
+
+TEST(MckpDp, PaperTable4Instance) {
+  // The six Section 5.2 applications at 12 IONs with the reference
+  // curves; the optimum is the paper's MCKP row: {0,1,8,2,0,0}.
+  const std::vector<MckpClass> classes{
+      cls({{0, 195.7}, {1, 77.6}, {2, 150.0}, {4, 390.0}, {8, 300.0}}),
+      cls({{0, 150.0}, {1, 597.2}, {2, 594.2}, {4, 610.0}, {8, 620.0}}),
+      cls({{0, 780.0}, {1, 268.4}, {2, 900.0}, {4, 2600.0}, {8, 5089.9}}),
+      cls({{0, 395.0}, {1, 200.0}, {2, 411.9}, {4, 800.0}, {8, 1600.0}}),
+      cls({{0, 255.9}, {1, 77.8}, {2, 140.0}, {4, 230.0}, {8, 290.0}}),
+      cls({{0, 241.3}, {1, 40.0}, {2, 48.1}, {4, 90.0}, {8, 120.0}}),
+  };
+  const auto sol = solve_mckp_dp(classes, 12);
+  ASSERT_TRUE(sol.has_value());
+  const std::vector<int> picked_weights = {
+      classes[0][sol->choice[0]].weight, classes[1][sol->choice[1]].weight,
+      classes[2][sol->choice[2]].weight, classes[3][sol->choice[3]].weight,
+      classes[4][sol->choice[4]].weight, classes[5][sol->choice[5]].weight};
+  EXPECT_EQ(picked_weights, (std::vector<int>{0, 1, 8, 2, 0, 0}));
+  EXPECT_NEAR(sol->value, 6791.9, 0.1);
+}
+
+// ------------------------------------------------------------ greedy
+TEST(MckpGreedy, FeasibleAndReasonable) {
+  const std::vector<MckpClass> classes{
+      cls({{0, 1.0}, {2, 8.0}, {4, 10.0}}),
+      cls({{0, 2.0}, {2, 3.0}}),
+  };
+  const auto sol = solve_mckp_greedy(classes, 4);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_LE(sol->weight, 4);
+  EXPECT_GE(sol->value, 10.0);  // at least "8+2"
+}
+
+TEST(MckpGreedy, InfeasibleDetected) {
+  EXPECT_FALSE(solve_mckp_greedy({cls({{5, 1.0}})}, 4).has_value());
+}
+
+// ------------------------------------------------------- brute force
+TEST(MckpBrute, MatchesHandComputation) {
+  const std::vector<MckpClass> classes{
+      cls({{1, 4.0}, {2, 6.0}}),
+      cls({{1, 5.0}, {3, 9.0}}),
+  };
+  const auto sol = solve_mckp_bruteforce(classes, 4);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_DOUBLE_EQ(sol->value, 13.0);  // (1,4) + (3,9), weight 4
+  EXPECT_EQ(sol->weight, 4);
+}
+
+// ------------------------------------------------- randomized properties
+struct RandomInstance {
+  std::vector<MckpClass> classes;
+  int capacity;
+};
+
+RandomInstance random_instance(Rng& rng, std::size_t max_classes = 5,
+                               std::size_t max_items = 4, int max_w = 6) {
+  RandomInstance inst;
+  const std::size_t k = 1 + rng.index(max_classes);
+  for (std::size_t i = 0; i < k; ++i) {
+    MckpClass c;
+    const std::size_t n = 1 + rng.index(max_items);
+    for (std::size_t j = 0; j < n; ++j) {
+      c.push_back(MckpItem{rng.uniform_int(0, max_w),
+                           rng.uniform(0.0, 100.0)});
+    }
+    inst.classes.push_back(std::move(c));
+  }
+  inst.capacity = rng.uniform_int(0, 14);
+  return inst;
+}
+
+TEST(MckpProperty, DpMatchesBruteForceOn500RandomInstances) {
+  Rng rng(2021);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto inst = random_instance(rng);
+    const auto dp = solve_mckp_dp(inst.classes, inst.capacity);
+    const auto brute = solve_mckp_bruteforce(inst.classes, inst.capacity);
+    ASSERT_EQ(dp.has_value(), brute.has_value()) << "trial " << trial;
+    if (dp) {
+      EXPECT_NEAR(dp->value, brute->value, 1e-9) << "trial " << trial;
+      EXPECT_LE(dp->weight, inst.capacity);
+    }
+  }
+}
+
+TEST(MckpProperty, DpSelectionIsConsistent) {
+  // The reported value/weight always equal the sums over the choices.
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto inst = random_instance(rng);
+    const auto dp = solve_mckp_dp(inst.classes, inst.capacity);
+    if (!dp) continue;
+    double value = 0.0;
+    int weight = 0;
+    ASSERT_EQ(dp->choice.size(), inst.classes.size());
+    for (std::size_t i = 0; i < inst.classes.size(); ++i) {
+      ASSERT_LT(dp->choice[i], inst.classes[i].size());
+      value += inst.classes[i][dp->choice[i]].value;
+      weight += inst.classes[i][dp->choice[i]].weight;
+    }
+    EXPECT_NEAR(dp->value, value, 1e-9);
+    EXPECT_EQ(dp->weight, weight);
+  }
+}
+
+TEST(MckpProperty, GreedyNeverBeatsDpAndStaysFeasible) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto inst = random_instance(rng);
+    const auto dp = solve_mckp_dp(inst.classes, inst.capacity);
+    const auto greedy = solve_mckp_greedy(inst.classes, inst.capacity);
+    ASSERT_EQ(dp.has_value(), greedy.has_value());
+    if (dp) {
+      EXPECT_LE(greedy->value, dp->value + 1e-9);
+      EXPECT_LE(greedy->weight, inst.capacity);
+    }
+  }
+}
+
+TEST(MckpProperty, MoreCapacityNeverHurts) {
+  Rng rng(555);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto inst = random_instance(rng);
+    const auto lo = solve_mckp_dp(inst.classes, inst.capacity);
+    const auto hi = solve_mckp_dp(inst.classes, inst.capacity + 3);
+    if (lo) {
+      ASSERT_TRUE(hi.has_value());
+      EXPECT_GE(hi->value, lo->value - 1e-9);
+    }
+  }
+}
+
+TEST(MckpProperty, LargeInstanceSolvesExactly) {
+  // 512 classes x 5 items, capacity 256: the Section 5.3 sizing. Verify
+  // structural invariants (optimality vs greedy and capacity).
+  Rng rng(9);
+  std::vector<MckpClass> classes;
+  for (int i = 0; i < 512; ++i) {
+    MckpClass c;
+    for (int w : {0, 1, 2, 4, 8}) {
+      c.push_back(MckpItem{w, rng.uniform(0.0, 1000.0)});
+    }
+    classes.push_back(std::move(c));
+  }
+  const auto dp = solve_mckp_dp(classes, 256);
+  ASSERT_TRUE(dp.has_value());
+  EXPECT_LE(dp->weight, 256);
+  const auto greedy = solve_mckp_greedy(classes, 256);
+  EXPECT_LE(greedy->value, dp->value + 1e-6);
+}
+
+}  // namespace
+}  // namespace iofa::core

@@ -1,0 +1,336 @@
+// Tests for the client shim and mapping distribution: routing (direct vs
+// forwarded), path-hash ION selection, mapping polls and runtime remap.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.hpp"
+#include "core/arbiter.hpp"
+#include "fwd/client.hpp"
+#include "fwd/mapping.hpp"
+#include "fwd/service.hpp"
+#include "gkfs/chunk.hpp"
+
+namespace iofa::fwd {
+namespace {
+
+std::vector<std::byte> pattern_data(std::size_t n, std::uint64_t seed) {
+  iofa::Rng rng(seed);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.next() & 0xFF);
+  return out;
+}
+
+ServiceConfig fast_service(int ions = 4) {
+  ServiceConfig cfg;
+  cfg.ion_count = ions;
+  cfg.pfs.write_bandwidth = 4.0e9;
+  cfg.pfs.read_bandwidth = 4.0e9;
+  cfg.pfs.op_overhead = 4 * KiB;
+  cfg.pfs.contention_coeff = 0.0;
+  cfg.ion.ingest_bandwidth = 4.0e9;
+  cfg.ion.op_overhead = 4 * KiB;
+  cfg.ion.scheduler.kind = agios::SchedulerKind::Fifo;
+  return cfg;
+}
+
+core::Mapping mapping_for(core::JobId job, std::vector<int> ions,
+                          std::uint64_t epoch = 1, int pool = 4) {
+  core::Mapping m;
+  m.epoch = epoch;
+  m.pool = pool;
+  m.jobs[job] = core::Mapping::Entry{"app", std::move(ions), false};
+  return m;
+}
+
+ClientConfig client_cfg(core::JobId job, Seconds poll = 0.0) {
+  ClientConfig cc;
+  cc.job = job;
+  cc.app_label = "app";
+  cc.poll_period = poll;  // 0: poll on every operation
+  return cc;
+}
+
+// -------------------------------------------------------- MappingStore
+TEST(MappingStoreTest, PublishAndLookup) {
+  MappingStore store;
+  EXPECT_EQ(store.epoch(), 0u);
+  EXPECT_FALSE(store.lookup(1).has_value());
+  store.publish(mapping_for(1, {0, 2}, 5));
+  EXPECT_EQ(store.epoch(), 5u);
+  ASSERT_TRUE(store.lookup(1).has_value());
+  EXPECT_EQ(store.lookup(1)->ions, (std::vector<int>{0, 2}));
+}
+
+TEST(ClientMappingViewTest, CachesUntilPollPeriod) {
+  MappingStore store;
+  store.publish(mapping_for(1, {0}, 1));
+  ClientMappingView view(store, 1, /*poll_period=*/10.0);
+  EXPECT_EQ(view.ions(), (std::vector<int>{0}));  // initial poll
+  store.publish(mapping_for(1, {1, 2}, 2));
+  // Inside the poll period: still the stale view (the paper's 10 s lag).
+  EXPECT_EQ(view.ions(), (std::vector<int>{0}));
+  view.refresh_now();
+  EXPECT_EQ(view.ions(), (std::vector<int>{1, 2}));
+  EXPECT_EQ(view.observed_epoch(), 2u);
+}
+
+TEST(ClientMappingViewTest, ZeroPeriodSeesEveryChange) {
+  MappingStore store;
+  ClientMappingView view(store, 1, 0.0);
+  EXPECT_TRUE(view.ions().empty());
+  store.publish(mapping_for(1, {3}, 1));
+  EXPECT_EQ(view.ions(), (std::vector<int>{3}));
+}
+
+// --------------------------------------------------------------- client
+TEST(ClientTest, DirectWhenUnmapped) {
+  ForwardingService service(fast_service());
+  Client client(client_cfg(1), service);
+  const auto data = pattern_data(4096, 1);
+  EXPECT_EQ(client.pwrite(0, "/f", 0, 4096, data), 4096u);
+  EXPECT_EQ(client.direct_ops(), 1u);
+  EXPECT_EQ(client.forwarded_ops(), 0u);
+  EXPECT_EQ(service.pfs().bytes_written(), 4096u);
+}
+
+TEST(ClientTest, ForwardedWhenMapped) {
+  ForwardingService service(fast_service());
+  service.apply_mapping(mapping_for(1, {0, 1}));
+  Client client(client_cfg(1), service);
+  const auto data = pattern_data(4096, 1);
+  EXPECT_EQ(client.pwrite(0, "/f", 0, 4096, data), 4096u);
+  EXPECT_EQ(client.forwarded_ops(), 1u);
+  EXPECT_EQ(client.direct_ops(), 0u);
+  service.drain();
+  EXPECT_EQ(service.pfs().bytes_written(), 4096u);
+}
+
+TEST(ClientTest, SameFileAlwaysSameIon) {
+  ForwardingService service(fast_service(4));
+  service.apply_mapping(mapping_for(1, {0, 1, 2, 3}));
+  Client client(client_cfg(1), service);
+  for (int i = 0; i < 16; ++i) {
+    client.pwrite(0, "/onefile", static_cast<std::uint64_t>(i) * 4096,
+                  4096, pattern_data(4096, 1));
+  }
+  service.drain();
+  int daemons_touched = 0;
+  for (int d = 0; d < 4; ++d) {
+    if (service.daemon(d).stats().requests > 0) ++daemons_touched;
+  }
+  EXPECT_EQ(daemons_touched, 1);  // GekkoFWD: one ION per file
+}
+
+TEST(ClientTest, DistinctFilesSpreadOverIons) {
+  ForwardingService service(fast_service(4));
+  service.apply_mapping(mapping_for(1, {0, 1, 2, 3}));
+  Client client(client_cfg(1), service);
+  for (int f = 0; f < 32; ++f) {
+    client.pwrite(0, "/file" + std::to_string(f), 0, 4096,
+                  pattern_data(4096, 1));
+  }
+  service.drain();
+  int daemons_touched = 0;
+  for (int d = 0; d < 4; ++d) {
+    if (service.daemon(d).stats().requests > 0) ++daemons_touched;
+  }
+  EXPECT_GE(daemons_touched, 3);  // hash spreads files
+}
+
+TEST(ClientTest, ForwardedReadBack) {
+  ForwardingService service(fast_service());
+  service.apply_mapping(mapping_for(1, {2}));
+  Client client(client_cfg(1), service);
+  const auto data = pattern_data(65536, 9);
+  client.pwrite(0, "/f", 0, 65536, data);
+  std::vector<std::byte> out(65536);
+  EXPECT_EQ(client.pread(0, "/f", 0, 65536, out), 65536u);
+  EXPECT_EQ(out, data);
+}
+
+TEST(ClientTest, FsyncMakesDataDurableOnPfs) {
+  ForwardingService service(fast_service());
+  service.apply_mapping(mapping_for(1, {1}));
+  Client client(client_cfg(1), service);
+  const auto data = pattern_data(8192, 2);
+  client.pwrite(0, "/f", 0, 8192, data);
+  client.fsync("/f");
+  // Without drain(): fsync alone must suffice.
+  std::vector<std::byte> out(8192);
+  EXPECT_EQ(service.pfs().read("/f", 0, 8192, out), 8192u);
+  EXPECT_EQ(out, data);
+}
+
+TEST(ClientTest, RemapMovesNewTraffic) {
+  ForwardingService service(fast_service(2));
+  service.apply_mapping(mapping_for(1, {0}));
+  Client client(client_cfg(1), service);
+  client.pwrite(0, "/f", 0, 4096, pattern_data(4096, 1));
+  service.drain();
+  EXPECT_GT(service.daemon(0).stats().requests, 0u);
+  EXPECT_EQ(service.daemon(1).stats().requests, 0u);
+
+  service.apply_mapping(mapping_for(1, {1}, /*epoch=*/2));
+  client.pwrite(0, "/f", 4096, 4096, pattern_data(4096, 2));
+  service.drain();
+  EXPECT_GT(service.daemon(1).stats().requests, 0u);
+}
+
+TEST(ClientTest, RemapToDirectWorks) {
+  ForwardingService service(fast_service(2));
+  service.apply_mapping(mapping_for(1, {0}));
+  Client client(client_cfg(1), service);
+  client.pwrite(0, "/f", 0, 4096, pattern_data(4096, 1));
+  core::Mapping m;
+  m.epoch = 2;
+  m.pool = 2;
+  m.jobs[1] = core::Mapping::Entry{"app", {}, false};  // direct
+  service.apply_mapping(m);
+  client.pwrite(0, "/f", 4096, 4096, pattern_data(4096, 2));
+  EXPECT_EQ(client.direct_ops(), 1u);
+  EXPECT_EQ(client.forwarded_ops(), 1u);
+  service.drain();
+}
+
+TEST(ClientTest, TwoJobsIsolatedMappings) {
+  ForwardingService service(fast_service(4));
+  core::Mapping m;
+  m.epoch = 1;
+  m.pool = 4;
+  m.jobs[1] = core::Mapping::Entry{"a", {0}, false};
+  m.jobs[2] = core::Mapping::Entry{"b", {}, false};
+  service.apply_mapping(m);
+  Client c1(client_cfg(1), service);
+  Client c2(client_cfg(2), service);
+  c1.pwrite(0, "/a", 0, 4096, pattern_data(4096, 1));
+  c2.pwrite(0, "/b", 0, 4096, pattern_data(4096, 2));
+  EXPECT_EQ(c1.forwarded_ops(), 1u);
+  EXPECT_EQ(c2.direct_ops(), 1u);
+  service.drain();
+}
+
+TEST(ClientTest, TraceRecordsOperations) {
+  ForwardingService service(fast_service());
+  service.apply_mapping(mapping_for(1, {0}));
+  Client client(client_cfg(1), service);
+  auto log = std::make_shared<trace::TraceLog>("job1");
+  client.set_trace(log);
+  client.pwrite(3, "/f", 0, 4096, pattern_data(4096, 1));
+  std::vector<std::byte> out(4096);
+  client.pread(3, "/f", 0, 4096, out);
+  EXPECT_EQ(log->size(), 2u);
+  EXPECT_EQ(log->bytes_written(), 4096u);
+  EXPECT_EQ(log->bytes_read(), 4096u);
+  const auto snap = log->snapshot();
+  EXPECT_EQ(snap[0].rank, 3u);
+  EXPECT_LE(snap[0].t_start, snap[0].t_end);
+}
+
+TEST(ClientTest, ConcurrentRanksThroughOneClient) {
+  ForwardingService service(fast_service(4));
+  service.apply_mapping(mapping_for(1, {0, 1, 2, 3}));
+  Client client(client_cfg(1), service);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      const auto data = pattern_data(4096, static_cast<std::uint64_t>(t));
+      for (int i = 0; i < 16; ++i) {
+        client.pwrite(static_cast<std::uint32_t>(t),
+                      "/rank" + std::to_string(t),
+                      static_cast<std::uint64_t>(i) * 4096, 4096, data);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  service.drain();
+  EXPECT_EQ(service.pfs().bytes_written(), 8u * 16u * 4096u);
+}
+
+// --------------------------------------------------- burst-buffer mode
+TEST(BurstBufferMode, ScattersChunksAcrossAllDaemons) {
+  ForwardingService service(fast_service(4));
+  ClientConfig cc = client_cfg(1);
+  cc.mode = ClientMode::BurstBuffer;
+  Client client(cc, service);
+  // 4 chunks (512 KiB each) of one file: hashing spreads them.
+  const auto data = pattern_data(4 * 512 * 1024, 3);
+  client.pwrite(0, "/big", 0, data.size(), data);
+  service.drain();
+  int daemons_touched = 0;
+  for (int d = 0; d < 4; ++d) {
+    if (service.daemon(d).stats().requests > 0) ++daemons_touched;
+  }
+  EXPECT_GE(daemons_touched, 2);  // unlike forwarding mode's single ION
+}
+
+TEST(BurstBufferMode, ReadBackAcrossChunksIsIntact) {
+  ForwardingService service(fast_service(4));
+  ClientConfig cc = client_cfg(1);
+  cc.mode = ClientMode::BurstBuffer;
+  Client client(cc, service);
+  const auto data = pattern_data(3 * 512 * 1024 + 777, 9);
+  client.pwrite(0, "/f", 0, data.size(), data);
+  std::vector<std::byte> out(data.size());
+  EXPECT_EQ(client.pread(0, "/f", 0, data.size(), out), data.size());
+  EXPECT_EQ(out, data);
+}
+
+TEST(BurstBufferMode, FsyncFlushesEveryDaemon) {
+  ForwardingService service(fast_service(4));
+  ClientConfig cc = client_cfg(1);
+  cc.mode = ClientMode::BurstBuffer;
+  Client client(cc, service);
+  const auto data = pattern_data(4 * 512 * 1024, 5);
+  client.pwrite(0, "/f", 0, data.size(), data);
+  client.fsync("/f");
+  // Without drain: fsync alone must have pushed everything to the PFS.
+  EXPECT_EQ(service.pfs().bytes_written(), data.size());
+}
+
+TEST(BurstBufferMode, IgnoresForwardingMapping) {
+  ForwardingService service(fast_service(4));
+  service.apply_mapping(mapping_for(1, {0}));  // forwarding would pin to 0
+  ClientConfig cc = client_cfg(1);
+  cc.mode = ClientMode::BurstBuffer;
+  Client client(cc, service);
+  const auto data = pattern_data(8 * 512 * 1024, 2);
+  client.pwrite(0, "/spread", 0, data.size(), data);
+  service.drain();
+  int daemons_touched = 0;
+  for (int d = 0; d < 4; ++d) {
+    if (service.daemon(d).stats().requests > 0) ++daemons_touched;
+  }
+  EXPECT_GE(daemons_touched, 3);
+}
+
+// --------------------------------------------------------- interference
+TEST(SharedIonInterference, TwoJobsThroughOneIonStayCorrect) {
+  ForwardingService service(fast_service(1));
+  core::Mapping m;
+  m.epoch = 1;
+  m.pool = 1;
+  m.jobs[1] = core::Mapping::Entry{"a", {0}, false};
+  m.jobs[2] = core::Mapping::Entry{"b", {0}, false};
+  service.apply_mapping(m);
+  Client c1(client_cfg(1), service);
+  Client c2(client_cfg(2), service);
+
+  const auto d1 = pattern_data(256 * 1024, 11);
+  const auto d2 = pattern_data(256 * 1024, 22);
+  std::thread t1([&] { c1.pwrite(0, "/job1", 0, d1.size(), d1); });
+  std::thread t2([&] { c2.pwrite(0, "/job2", 0, d2.size(), d2); });
+  t1.join();
+  t2.join();
+  service.drain();
+
+  std::vector<std::byte> out(256 * 1024);
+  service.pfs().read("/job1", 0, out.size(), out);
+  EXPECT_EQ(out, d1);
+  service.pfs().read("/job2", 0, out.size(), out);
+  EXPECT_EQ(out, d2);
+}
+
+}  // namespace
+}  // namespace iofa::fwd

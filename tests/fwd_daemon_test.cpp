@@ -1,0 +1,327 @@
+// Tests for the ION daemon: staging semantics, fsync durability,
+// aggregation through AGIOS, read routing (staged vs PFS), drain and
+// shutdown behaviour.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "fwd/daemon.hpp"
+#include "fwd/pfs_backend.hpp"
+#include "gkfs/chunk.hpp"
+
+namespace iofa::fwd {
+namespace {
+
+std::vector<std::byte> pattern_data(std::size_t n, std::uint64_t seed) {
+  iofa::Rng rng(seed);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.next() & 0xFF);
+  return out;
+}
+
+PfsParams fast_pfs() {
+  PfsParams p;
+  p.write_bandwidth = 4.0e9;
+  p.read_bandwidth = 4.0e9;
+  p.op_overhead = 4 * KiB;
+  p.contention_coeff = 0.0;
+  return p;
+}
+
+IonParams fast_ion() {
+  IonParams p;
+  p.ingest_bandwidth = 4.0e9;
+  p.op_overhead = 4 * KiB;
+  p.scheduler.kind = agios::SchedulerKind::Fifo;
+  return p;
+}
+
+FwdRequest write_req(const std::string& path, std::uint64_t offset,
+                     std::vector<std::byte> data) {
+  FwdRequest req;
+  req.op = FwdOp::Write;
+  req.path = path;
+  req.file_id = gkfs::hash_path(path);
+  req.offset = offset;
+  req.size = data.size();
+  req.data = std::make_shared<std::vector<std::byte>>(std::move(data));
+  req.done = std::make_shared<std::promise<std::size_t>>();
+  return req;
+}
+
+FwdRequest read_req(const std::string& path, std::uint64_t offset,
+                    std::uint64_t size) {
+  FwdRequest req;
+  req.op = FwdOp::Read;
+  req.path = path;
+  req.file_id = gkfs::hash_path(path);
+  req.offset = offset;
+  req.size = size;
+  req.data = std::make_shared<std::vector<std::byte>>(size);
+  req.done = std::make_shared<std::promise<std::size_t>>();
+  return req;
+}
+
+TEST(IonDaemon, WriteCompletesAndFlushesToPfs) {
+  EmulatedPfs pfs(fast_pfs());
+  IonDaemon daemon(0, fast_ion(), pfs);
+  const auto data = pattern_data(8192, 1);
+
+  auto req = write_req("/f", 0, data);
+  auto fut = req.done->get_future();
+  ASSERT_TRUE(daemon.submit(std::move(req)));
+  EXPECT_EQ(fut.get(), 8192u);
+
+  daemon.drain();
+  EXPECT_EQ(pfs.bytes_written(), 8192u);
+  std::vector<std::byte> out(8192);
+  pfs.read("/f", 0, 8192, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(IonDaemon, FsyncWaitsForStagedWrites) {
+  EmulatedPfs pfs(fast_pfs());
+  IonDaemon daemon(0, fast_ion(), pfs);
+
+  for (int i = 0; i < 16; ++i) {
+    auto req = write_req("/f", static_cast<std::uint64_t>(i) * 4096,
+                         pattern_data(4096, static_cast<std::uint64_t>(i)));
+    auto fut = req.done->get_future();
+    ASSERT_TRUE(daemon.submit(std::move(req)));
+    fut.get();
+  }
+
+  FwdRequest fsync;
+  fsync.op = FwdOp::Fsync;
+  fsync.path = "/f";
+  fsync.file_id = gkfs::hash_path("/f");
+  fsync.done = std::make_shared<std::promise<std::size_t>>();
+  auto fut = fsync.done->get_future();
+  ASSERT_TRUE(daemon.submit(std::move(fsync)));
+  fut.get();
+
+  // After fsync returns, everything staged before it must be on the PFS.
+  EXPECT_EQ(pfs.bytes_written(), 16u * 4096u);
+}
+
+TEST(IonDaemon, ReadServedFromStagingBeforeFlush) {
+  // Slow PFS: staged data cannot have been flushed yet when we read.
+  PfsParams slow = fast_pfs();
+  slow.write_bandwidth = 1.0e6;
+  slow.op_overhead = 0;
+  EmulatedPfs pfs(slow);
+  // Drain the PFS burst so flushes crawl.
+  pfs.write("/warm", 0, static_cast<Bytes>(8 * MiB), {});  // drain the burst
+
+  IonDaemon daemon(0, fast_ion(), pfs);
+  const auto data = pattern_data(65536, 3);
+  auto wreq = write_req("/f", 0, data);
+  auto wfut = wreq.done->get_future();
+  ASSERT_TRUE(daemon.submit(std::move(wreq)));
+  wfut.get();
+
+  auto rreq = read_req("/f", 0, 65536);
+  auto buf = rreq.data;
+  auto rfut = rreq.done->get_future();
+  ASSERT_TRUE(daemon.submit(std::move(rreq)));
+  EXPECT_EQ(rfut.get(), 65536u);
+  EXPECT_EQ(*buf, data);
+  EXPECT_GE(daemon.stats().reads_local, 1u);
+}
+
+TEST(IonDaemon, ReadFallsThroughToPfsWhenClean) {
+  EmulatedPfs pfs(fast_pfs());
+  const auto data = pattern_data(4096, 5);
+  pfs.write("/direct", 0, 4096, data);
+
+  IonDaemon daemon(0, fast_ion(), pfs);
+  auto rreq = read_req("/direct", 0, 4096);
+  auto buf = rreq.data;
+  auto rfut = rreq.done->get_future();
+  ASSERT_TRUE(daemon.submit(std::move(rreq)));
+  EXPECT_EQ(rfut.get(), 4096u);
+  EXPECT_EQ(*buf, data);
+  EXPECT_GE(daemon.stats().reads_pfs, 1u);
+}
+
+TEST(IonDaemon, AggregationMergesContiguousWrites) {
+  EmulatedPfs pfs(fast_pfs());
+  IonParams params = fast_ion();
+  params.scheduler.kind = agios::SchedulerKind::TimeWindowAggregation;
+  params.scheduler.aggregation_window = 0.005;
+  IonDaemon daemon(0, params, pfs);
+
+  std::vector<std::future<std::size_t>> futs;
+  for (int i = 0; i < 32; ++i) {
+    auto req = write_req("/f", static_cast<std::uint64_t>(i) * 4096,
+                         pattern_data(4096, static_cast<std::uint64_t>(i)));
+    futs.push_back(req.done->get_future());
+    ASSERT_TRUE(daemon.submit(std::move(req)));
+  }
+  for (auto& f : futs) f.get();
+  daemon.drain();
+
+  const auto stats = daemon.stats();
+  EXPECT_EQ(stats.requests, 32u);
+  EXPECT_LT(stats.dispatches, 32u);  // some merging must have happened
+  EXPECT_EQ(stats.bytes_in, 32u * 4096u);
+  EXPECT_EQ(stats.bytes_flushed, 32u * 4096u);
+}
+
+TEST(IonDaemon, DrainLeavesNothingPending) {
+  EmulatedPfs pfs(fast_pfs());
+  IonDaemon daemon(0, fast_ion(), pfs);
+  for (int i = 0; i < 64; ++i) {
+    auto req = write_req("/f" + std::to_string(i % 4),
+                         static_cast<std::uint64_t>(i) * 4096,
+                         pattern_data(4096, static_cast<std::uint64_t>(i)));
+    ASSERT_TRUE(daemon.submit(std::move(req)));
+  }
+  daemon.drain();
+  EXPECT_EQ(pfs.bytes_written(), 64u * 4096u);
+  EXPECT_EQ(daemon.queue_depth(), 0u);
+}
+
+TEST(IonDaemon, SubmitAfterShutdownFails) {
+  EmulatedPfs pfs(fast_pfs());
+  IonDaemon daemon(0, fast_ion(), pfs);
+  daemon.shutdown();
+  auto req = write_req("/f", 0, pattern_data(16, 1));
+  EXPECT_FALSE(daemon.submit(std::move(req)));
+}
+
+TEST(IonDaemon, ShutdownFlushesAcceptedWork) {
+  EmulatedPfs pfs(fast_pfs());
+  {
+    IonDaemon daemon(0, fast_ion(), pfs);
+    for (int i = 0; i < 8; ++i) {
+      auto req = write_req("/f", static_cast<std::uint64_t>(i) * 4096,
+                           pattern_data(4096, 1));
+      ASSERT_TRUE(daemon.submit(std::move(req)));
+    }
+    daemon.shutdown();
+  }
+  EXPECT_EQ(pfs.bytes_written(), 8u * 4096u);
+}
+
+TEST(IonDaemon, ConcurrentSubmittersAllComplete) {
+  EmulatedPfs pfs(fast_pfs());
+  IonDaemon daemon(0, fast_ion(), pfs);
+  std::atomic<int> completed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 32; ++i) {
+        auto req = write_req("/t" + std::to_string(t),
+                             static_cast<std::uint64_t>(i) * 4096,
+                             pattern_data(4096, 1));
+        auto fut = req.done->get_future();
+        EXPECT_TRUE(daemon.submit(std::move(req)));
+        fut.get();
+        completed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  daemon.drain();
+  EXPECT_EQ(completed.load(), 256);
+  EXPECT_EQ(pfs.bytes_written(), 256u * 4096u);
+}
+
+TEST(IonDaemon, AccountingOnlyModeMovesNoData) {
+  PfsParams pp = fast_pfs();
+  pp.store_data = false;
+  EmulatedPfs pfs(pp);
+  IonParams ip = fast_ion();
+  ip.store_data = false;
+  IonDaemon daemon(0, ip, pfs);
+
+  FwdRequest req;
+  req.op = FwdOp::Write;
+  req.path = "/f";
+  req.file_id = gkfs::hash_path("/f");
+  req.offset = 0;
+  req.size = 1 << 20;
+  req.done = std::make_shared<std::promise<std::size_t>>();
+  auto fut = req.done->get_future();
+  ASSERT_TRUE(daemon.submit(std::move(req)));
+  EXPECT_EQ(fut.get(), static_cast<std::size_t>(1 << 20));
+  daemon.drain();
+  EXPECT_EQ(pfs.bytes_written(), static_cast<Bytes>(1 << 20));
+}
+
+TEST(IonDaemon, WriteThroughAcksOnlyAfterPfs) {
+  // Slow PFS + write-through: the client-visible completion must take at
+  // least as long as the PFS write itself.
+  PfsParams slow = fast_pfs();
+  slow.write_bandwidth = 5.0e6;  // 5 MB/s
+  slow.op_overhead = 0;
+  slow.store_data = false;
+  EmulatedPfs pfs(slow);
+  pfs.write("/warm", 0, static_cast<Bytes>(8 * MiB), {});  // drain the burst  // drain burst
+
+  IonParams params = fast_ion();
+  params.write_through = true;
+  params.store_data = false;
+  IonDaemon daemon(0, params, pfs);
+
+  FwdRequest req;
+  req.op = FwdOp::Write;
+  req.path = "/f";
+  req.file_id = gkfs::hash_path("/f");
+  req.offset = 0;
+  req.size = 1 << 20;  // 1 MiB at 5 MB/s >= ~200 ms
+  req.done = std::make_shared<std::promise<std::size_t>>();
+  auto fut = req.done->get_future();
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(daemon.submit(std::move(req)));
+  EXPECT_EQ(fut.get(), static_cast<std::size_t>(1 << 20));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GT(elapsed, 0.12);
+  EXPECT_EQ(pfs.bytes_written(),
+            static_cast<Bytes>(8 * MiB) + (1 << 20));  // incl. warm-up
+}
+
+TEST(IonDaemon, WriteBehindAcksBeforePfs) {
+  // Same setup without write-through: the ack returns long before the
+  // PFS write finishes (the burst-buffer effect).
+  PfsParams slow = fast_pfs();
+  slow.write_bandwidth = 5.0e6;
+  slow.op_overhead = 0;
+  slow.store_data = false;
+  EmulatedPfs pfs(slow);
+  pfs.write("/warm", 0, static_cast<Bytes>(8 * MiB), {});  // drain the burst
+
+  IonParams params = fast_ion();
+  params.store_data = false;
+  IonDaemon daemon(0, params, pfs);
+
+  FwdRequest req;
+  req.op = FwdOp::Write;
+  req.path = "/f";
+  req.file_id = gkfs::hash_path("/f");
+  req.offset = 0;
+  req.size = 1 << 20;
+  req.done = std::make_shared<std::promise<std::size_t>>();
+  auto fut = req.done->get_future();
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(daemon.submit(std::move(req)));
+  fut.get();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 0.1);
+  daemon.drain();  // the flush still happens eventually
+  EXPECT_EQ(pfs.bytes_written(),
+            static_cast<Bytes>(8 * MiB) + (1 << 20));  // incl. warm-up
+}
+
+}  // namespace
+}  // namespace iofa::fwd

@@ -1,0 +1,219 @@
+// Tests for the emulated PFS backend: data integrity, throttling,
+// per-op overhead, shared-file lock domains and contention behaviour.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "fwd/pfs_backend.hpp"
+
+namespace iofa::fwd {
+namespace {
+
+std::vector<std::byte> pattern_data(std::size_t n, std::uint64_t seed) {
+  iofa::Rng rng(seed);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.next() & 0xFF);
+  return out;
+}
+
+PfsParams fast_params() {
+  PfsParams p;
+  p.write_bandwidth = 4.0e9;  // fast enough that tests are not throttled
+  p.read_bandwidth = 4.0e9;
+  p.op_overhead = 4 * KiB;
+  p.contention_coeff = 0.0;
+  return p;
+}
+
+double timed(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       t0)
+      .count();
+}
+
+// ------------------------------------------------------------- integrity
+TEST(EmulatedPfsTest, WriteReadRoundTrip) {
+  EmulatedPfs pfs(fast_params());
+  const auto data = pattern_data(100000, 7);
+  pfs.write("/f", 0, data.size(), data);
+  std::vector<std::byte> out(data.size());
+  EXPECT_EQ(pfs.read("/f", 0, data.size(), out), data.size());
+  EXPECT_EQ(out, data);
+}
+
+TEST(EmulatedPfsTest, OffsetWriteExtendsMetadata) {
+  EmulatedPfs pfs(fast_params());
+  const auto data = pattern_data(100, 1);
+  pfs.write("/f", 5000, data.size(), data);
+  ASSERT_TRUE(pfs.stat("/f").has_value());
+  EXPECT_EQ(pfs.stat("/f")->size, 5100u);
+}
+
+TEST(EmulatedPfsTest, ReadClampsAtEof) {
+  EmulatedPfs pfs(fast_params());
+  const auto data = pattern_data(100, 1);
+  pfs.write("/f", 0, data.size(), data);
+  std::vector<std::byte> out(1000);
+  EXPECT_EQ(pfs.read("/f", 50, 1000, out), 50u);
+  EXPECT_EQ(pfs.read("/f", 200, 100, out), 0u);
+}
+
+TEST(EmulatedPfsTest, MissingFileReadsZeroWhenStoring) {
+  EmulatedPfs pfs(fast_params());
+  std::vector<std::byte> out(10);
+  EXPECT_EQ(pfs.read("/missing", 0, 10, out), 0u);
+}
+
+TEST(EmulatedPfsTest, AccountingOnlyModeTracksWithoutData) {
+  PfsParams p = fast_params();
+  p.store_data = false;
+  EmulatedPfs pfs(p);
+  pfs.write("/f", 0, 1 << 20, {});
+  EXPECT_EQ(pfs.bytes_written(), static_cast<Bytes>(1 << 20));
+  EXPECT_EQ(pfs.stat("/f")->size, static_cast<Bytes>(1 << 20));
+  // Reads report the requested size (no clamping data available).
+  EXPECT_EQ(pfs.read("/f", 0, 4096, {}), 4096u);
+}
+
+TEST(EmulatedPfsTest, RemoveDropsFile) {
+  EmulatedPfs pfs(fast_params());
+  const auto data = pattern_data(100, 1);
+  pfs.write("/f", 0, data.size(), data);
+  EXPECT_TRUE(pfs.remove("/f"));
+  EXPECT_FALSE(pfs.stat("/f").has_value());
+  EXPECT_FALSE(pfs.remove("/f"));
+}
+
+TEST(EmulatedPfsTest, CreateRegistersEmptyFile) {
+  EmulatedPfs pfs(fast_params());
+  EXPECT_TRUE(pfs.create("/f"));
+  ASSERT_TRUE(pfs.stat("/f").has_value());
+  EXPECT_EQ(pfs.stat("/f")->size, 0u);
+}
+
+// -------------------------------------------------------------- counters
+TEST(EmulatedPfsTest, OpAndByteCounters) {
+  EmulatedPfs pfs(fast_params());
+  const auto data = pattern_data(1000, 1);
+  pfs.write("/f", 0, 1000, data);
+  pfs.write("/f", 1000, 1000, data);
+  std::vector<std::byte> out(500);
+  pfs.read("/f", 0, 500, out);
+  EXPECT_EQ(pfs.write_ops(), 2u);
+  EXPECT_EQ(pfs.read_ops(), 1u);
+  EXPECT_EQ(pfs.bytes_written(), 2000u);
+  EXPECT_EQ(pfs.bytes_read(), 500u);
+}
+
+// ------------------------------------------------------------ throttling
+TEST(EmulatedPfsTest, WriteBandwidthThrottles) {
+  PfsParams p;
+  p.write_bandwidth = 10.0e6;  // 10 MB/s
+  p.read_bandwidth = 1.0e9;
+  p.op_overhead = 0;
+  p.contention_coeff = 0.0;
+  p.store_data = false;
+  EmulatedPfs pfs(p);
+  // Drain the burst allowance first.
+  pfs.write("/warm", 0, static_cast<Bytes>(8 * MiB), {});  // drain the burst
+  // 2 MB at 10 MB/s: >= ~150 ms allowing scheduling slack.
+  const double elapsed = timed([&] {
+    for (int i = 0; i < 20; ++i) {
+      pfs.write("/f", static_cast<Bytes>(i) * 100000, 100000, {});
+    }
+  });
+  EXPECT_GT(elapsed, 0.12);
+}
+
+TEST(EmulatedPfsTest, OpOverheadPenalisesSmallRequests) {
+  PfsParams p;
+  p.write_bandwidth = 50.0e6;
+  p.op_overhead = 256 * KiB;
+  p.contention_coeff = 0.0;
+  p.store_data = false;
+  EmulatedPfs pfs(p);
+  pfs.write("/warm", 0, static_cast<Bytes>(8 * MiB), {});  // drain the burst  // drain burst
+
+  // 64 x 4 KiB writes cost ~64 * 260 KiB of tokens = ~16.6 MB -> ~0.33 s;
+  // one 256 KiB write costs 512 KiB -> ~10 ms.
+  const double small = timed([&] {
+    for (int i = 0; i < 64; ++i) {
+      pfs.write("/small", static_cast<Bytes>(i) * 4096, 4096, {});
+    }
+  });
+  const double large = timed([&] {
+    pfs.write("/large", 0, 256 * KiB, {});
+  });
+  EXPECT_GT(small, 4.0 * large);
+}
+
+TEST(EmulatedPfsTest, SharedFileWritersSerialise) {
+  PfsParams p = fast_params();
+  p.write_bandwidth = 40.0e6;
+  p.op_overhead = 0;
+  p.shared_lock_overhead = 1.0;  // 2x cost under contention
+  p.store_data = false;
+  EmulatedPfs pfs(p);
+  pfs.write("/warm", 0, static_cast<Bytes>(8 * MiB), {});  // drain the burst
+
+  // 8 threads hammering ONE file vs 8 threads on 8 files, same volume.
+  auto run = [&](bool shared) {
+    return timed([&] {
+      std::vector<std::thread> threads;
+      for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&, t] {
+          const std::string path =
+              shared ? "/shared" : "/fpp" + std::to_string(t);
+          for (int i = 0; i < 8; ++i) {
+            pfs.write(path, static_cast<Bytes>(t * 8 + i) * 65536, 65536,
+                      {});
+          }
+        });
+      }
+      for (auto& th : threads) th.join();
+    });
+  };
+  const double shared_time = run(true);
+  const double fpp_time = run(false);
+  // The shared file pays the lock-domain surcharge.
+  EXPECT_GT(shared_time, 1.3 * fpp_time);
+}
+
+TEST(EmulatedPfsTest, StreamWeightRaisesContentionCost) {
+  PfsParams p;
+  p.write_bandwidth = 50.0e6;
+  p.op_overhead = 0;
+  p.contention_coeff = 0.05;
+  p.store_data = false;
+  EmulatedPfs pfs(p);
+  pfs.write("/warm", 0, static_cast<Bytes>(8 * MiB), {});  // drain the burst
+
+  // One heavy-weight caller (standing for 64 processes) pays more than a
+  // weight-1 caller for the same bytes.
+  const double light = timed([&] {
+    for (int i = 0; i < 8; ++i) {
+      pfs.write("/a", static_cast<Bytes>(i) * 1000000, 1000000, {}, 1.0);
+    }
+  });
+  const double heavy = timed([&] {
+    for (int i = 0; i < 8; ++i) {
+      pfs.write("/b", static_cast<Bytes>(i) * 1000000, 1000000, {}, 64.0);
+    }
+  });
+  EXPECT_GT(heavy, 1.5 * light);
+}
+
+TEST(EmulatedPfsTest, ActiveStreamsReturnsToZero) {
+  EmulatedPfs pfs(fast_params());
+  const auto data = pattern_data(1000, 1);
+  pfs.write("/f", 0, 1000, data, 5.0);
+  EXPECT_NEAR(pfs.active_streams(), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace iofa::fwd

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mckp.dir/bench_ablation_mckp.cpp.o"
+  "CMakeFiles/bench_ablation_mckp.dir/bench_ablation_mckp.cpp.o.d"
+  "bench_ablation_mckp"
+  "bench_ablation_mckp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mckp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_remap.dir/bench_ablation_remap.cpp.o"
+  "CMakeFiles/bench_ablation_remap.dir/bench_ablation_remap.cpp.o.d"
+  "bench_ablation_remap"
+  "bench_ablation_remap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_remap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

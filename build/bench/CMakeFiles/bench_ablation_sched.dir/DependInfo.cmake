@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_sched.cpp" "bench/CMakeFiles/bench_ablation_sched.dir/bench_ablation_sched.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_sched.dir/bench_ablation_sched.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/iofa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iofa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/iofa_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/iofa_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/iofa_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/agios/CMakeFiles/iofa_agios.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/iofa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gkfs/CMakeFiles/iofa_gkfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fwd/CMakeFiles/iofa_fwd.dir/DependInfo.cmake"
+  "/root/repo/build/src/jobs/CMakeFiles/iofa_jobs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_elastic_pool.dir/bench_elastic_pool.cpp.o"
+  "CMakeFiles/bench_elastic_pool.dir/bench_elastic_pool.cpp.o.d"
+  "bench_elastic_pool"
+  "bench_elastic_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_elastic_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

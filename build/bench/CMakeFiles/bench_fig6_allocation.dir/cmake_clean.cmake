@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_allocation.dir/bench_fig6_allocation.cpp.o"
+  "CMakeFiles/bench_fig6_allocation.dir/bench_fig6_allocation.cpp.o.d"
+  "bench_fig6_allocation"
+  "bench_fig6_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

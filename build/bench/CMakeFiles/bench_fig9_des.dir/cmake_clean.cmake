@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_des.dir/bench_fig9_des.cpp.o"
+  "CMakeFiles/bench_fig9_des.dir/bench_fig9_des.cpp.o.d"
+  "bench_fig9_des"
+  "bench_fig9_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_motivation_189.dir/bench_motivation_189.cpp.o"
+  "CMakeFiles/bench_motivation_189.dir/bench_motivation_189.cpp.o.d"
+  "bench_motivation_189"
+  "bench_motivation_189.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_motivation_189.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

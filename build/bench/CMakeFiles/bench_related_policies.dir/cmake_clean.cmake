@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_related_policies.dir/bench_related_policies.cpp.o"
+  "CMakeFiles/bench_related_policies.dir/bench_related_policies.cpp.o.d"
+  "bench_related_policies"
+  "bench_related_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_decisions.dir/bench_table4_decisions.cpp.o"
+  "CMakeFiles/bench_table4_decisions.dir/bench_table4_decisions.cpp.o.d"
+  "bench_table4_decisions"
+  "bench_table4_decisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_decisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_queue.dir/dynamic_queue.cpp.o"
+  "CMakeFiles/dynamic_queue.dir/dynamic_queue.cpp.o.d"
+  "dynamic_queue"
+  "dynamic_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

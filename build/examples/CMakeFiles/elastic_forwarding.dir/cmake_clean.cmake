@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_forwarding.dir/elastic_forwarding.cpp.o"
+  "CMakeFiles/elastic_forwarding.dir/elastic_forwarding.cpp.o.d"
+  "elastic_forwarding"
+  "elastic_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forge_explore.dir/forge_explore.cpp.o"
+  "CMakeFiles/forge_explore.dir/forge_explore.cpp.o.d"
+  "forge_explore"
+  "forge_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forge_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

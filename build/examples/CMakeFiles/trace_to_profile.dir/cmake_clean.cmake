@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_to_profile.dir/trace_to_profile.cpp.o"
+  "CMakeFiles/trace_to_profile.dir/trace_to_profile.cpp.o.d"
+  "trace_to_profile"
+  "trace_to_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_to_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agios/aggregation.cpp" "src/agios/CMakeFiles/iofa_agios.dir/aggregation.cpp.o" "gcc" "src/agios/CMakeFiles/iofa_agios.dir/aggregation.cpp.o.d"
+  "/root/repo/src/agios/aioli.cpp" "src/agios/CMakeFiles/iofa_agios.dir/aioli.cpp.o" "gcc" "src/agios/CMakeFiles/iofa_agios.dir/aioli.cpp.o.d"
+  "/root/repo/src/agios/fifo.cpp" "src/agios/CMakeFiles/iofa_agios.dir/fifo.cpp.o" "gcc" "src/agios/CMakeFiles/iofa_agios.dir/fifo.cpp.o.d"
+  "/root/repo/src/agios/mlf.cpp" "src/agios/CMakeFiles/iofa_agios.dir/mlf.cpp.o" "gcc" "src/agios/CMakeFiles/iofa_agios.dir/mlf.cpp.o.d"
+  "/root/repo/src/agios/quantum.cpp" "src/agios/CMakeFiles/iofa_agios.dir/quantum.cpp.o" "gcc" "src/agios/CMakeFiles/iofa_agios.dir/quantum.cpp.o.d"
+  "/root/repo/src/agios/scheduler.cpp" "src/agios/CMakeFiles/iofa_agios.dir/scheduler.cpp.o" "gcc" "src/agios/CMakeFiles/iofa_agios.dir/scheduler.cpp.o.d"
+  "/root/repo/src/agios/sjf.cpp" "src/agios/CMakeFiles/iofa_agios.dir/sjf.cpp.o" "gcc" "src/agios/CMakeFiles/iofa_agios.dir/sjf.cpp.o.d"
+  "/root/repo/src/agios/twins.cpp" "src/agios/CMakeFiles/iofa_agios.dir/twins.cpp.o" "gcc" "src/agios/CMakeFiles/iofa_agios.dir/twins.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/iofa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

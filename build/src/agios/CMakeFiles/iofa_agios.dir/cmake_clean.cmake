@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iofa_agios.dir/aggregation.cpp.o"
+  "CMakeFiles/iofa_agios.dir/aggregation.cpp.o.d"
+  "CMakeFiles/iofa_agios.dir/aioli.cpp.o"
+  "CMakeFiles/iofa_agios.dir/aioli.cpp.o.d"
+  "CMakeFiles/iofa_agios.dir/fifo.cpp.o"
+  "CMakeFiles/iofa_agios.dir/fifo.cpp.o.d"
+  "CMakeFiles/iofa_agios.dir/mlf.cpp.o"
+  "CMakeFiles/iofa_agios.dir/mlf.cpp.o.d"
+  "CMakeFiles/iofa_agios.dir/quantum.cpp.o"
+  "CMakeFiles/iofa_agios.dir/quantum.cpp.o.d"
+  "CMakeFiles/iofa_agios.dir/scheduler.cpp.o"
+  "CMakeFiles/iofa_agios.dir/scheduler.cpp.o.d"
+  "CMakeFiles/iofa_agios.dir/sjf.cpp.o"
+  "CMakeFiles/iofa_agios.dir/sjf.cpp.o.d"
+  "CMakeFiles/iofa_agios.dir/twins.cpp.o"
+  "CMakeFiles/iofa_agios.dir/twins.cpp.o.d"
+  "libiofa_agios.a"
+  "libiofa_agios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iofa_agios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iofa_common.dir/histogram.cpp.o"
+  "CMakeFiles/iofa_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/iofa_common.dir/log.cpp.o"
+  "CMakeFiles/iofa_common.dir/log.cpp.o.d"
+  "CMakeFiles/iofa_common.dir/rng.cpp.o"
+  "CMakeFiles/iofa_common.dir/rng.cpp.o.d"
+  "CMakeFiles/iofa_common.dir/stats.cpp.o"
+  "CMakeFiles/iofa_common.dir/stats.cpp.o.d"
+  "CMakeFiles/iofa_common.dir/table.cpp.o"
+  "CMakeFiles/iofa_common.dir/table.cpp.o.d"
+  "CMakeFiles/iofa_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/iofa_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/iofa_common.dir/token_bucket.cpp.o"
+  "CMakeFiles/iofa_common.dir/token_bucket.cpp.o.d"
+  "libiofa_common.a"
+  "libiofa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iofa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/arbiter.cpp" "src/core/CMakeFiles/iofa_core.dir/arbiter.cpp.o" "gcc" "src/core/CMakeFiles/iofa_core.dir/arbiter.cpp.o.d"
+  "/root/repo/src/core/elastic.cpp" "src/core/CMakeFiles/iofa_core.dir/elastic.cpp.o" "gcc" "src/core/CMakeFiles/iofa_core.dir/elastic.cpp.o.d"
+  "/root/repo/src/core/mckp.cpp" "src/core/CMakeFiles/iofa_core.dir/mckp.cpp.o" "gcc" "src/core/CMakeFiles/iofa_core.dir/mckp.cpp.o.d"
+  "/root/repo/src/core/policies.cpp" "src/core/CMakeFiles/iofa_core.dir/policies.cpp.o" "gcc" "src/core/CMakeFiles/iofa_core.dir/policies.cpp.o.d"
+  "/root/repo/src/core/related.cpp" "src/core/CMakeFiles/iofa_core.dir/related.cpp.o" "gcc" "src/core/CMakeFiles/iofa_core.dir/related.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/iofa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/iofa_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/iofa_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

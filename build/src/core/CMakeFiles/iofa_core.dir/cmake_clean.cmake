@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iofa_core.dir/arbiter.cpp.o"
+  "CMakeFiles/iofa_core.dir/arbiter.cpp.o.d"
+  "CMakeFiles/iofa_core.dir/elastic.cpp.o"
+  "CMakeFiles/iofa_core.dir/elastic.cpp.o.d"
+  "CMakeFiles/iofa_core.dir/mckp.cpp.o"
+  "CMakeFiles/iofa_core.dir/mckp.cpp.o.d"
+  "CMakeFiles/iofa_core.dir/policies.cpp.o"
+  "CMakeFiles/iofa_core.dir/policies.cpp.o.d"
+  "CMakeFiles/iofa_core.dir/related.cpp.o"
+  "CMakeFiles/iofa_core.dir/related.cpp.o.d"
+  "libiofa_core.a"
+  "libiofa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iofa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fwd/client.cpp" "src/fwd/CMakeFiles/iofa_fwd.dir/client.cpp.o" "gcc" "src/fwd/CMakeFiles/iofa_fwd.dir/client.cpp.o.d"
+  "/root/repo/src/fwd/daemon.cpp" "src/fwd/CMakeFiles/iofa_fwd.dir/daemon.cpp.o" "gcc" "src/fwd/CMakeFiles/iofa_fwd.dir/daemon.cpp.o.d"
+  "/root/repo/src/fwd/mapping.cpp" "src/fwd/CMakeFiles/iofa_fwd.dir/mapping.cpp.o" "gcc" "src/fwd/CMakeFiles/iofa_fwd.dir/mapping.cpp.o.d"
+  "/root/repo/src/fwd/pfs_backend.cpp" "src/fwd/CMakeFiles/iofa_fwd.dir/pfs_backend.cpp.o" "gcc" "src/fwd/CMakeFiles/iofa_fwd.dir/pfs_backend.cpp.o.d"
+  "/root/repo/src/fwd/posix_shim.cpp" "src/fwd/CMakeFiles/iofa_fwd.dir/posix_shim.cpp.o" "gcc" "src/fwd/CMakeFiles/iofa_fwd.dir/posix_shim.cpp.o.d"
+  "/root/repo/src/fwd/replayer.cpp" "src/fwd/CMakeFiles/iofa_fwd.dir/replayer.cpp.o" "gcc" "src/fwd/CMakeFiles/iofa_fwd.dir/replayer.cpp.o.d"
+  "/root/repo/src/fwd/service.cpp" "src/fwd/CMakeFiles/iofa_fwd.dir/service.cpp.o" "gcc" "src/fwd/CMakeFiles/iofa_fwd.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/iofa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/agios/CMakeFiles/iofa_agios.dir/DependInfo.cmake"
+  "/root/repo/build/src/gkfs/CMakeFiles/iofa_gkfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/iofa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/iofa_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/iofa_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/iofa_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

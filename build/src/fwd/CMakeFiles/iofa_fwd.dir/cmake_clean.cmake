@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iofa_fwd.dir/client.cpp.o"
+  "CMakeFiles/iofa_fwd.dir/client.cpp.o.d"
+  "CMakeFiles/iofa_fwd.dir/daemon.cpp.o"
+  "CMakeFiles/iofa_fwd.dir/daemon.cpp.o.d"
+  "CMakeFiles/iofa_fwd.dir/mapping.cpp.o"
+  "CMakeFiles/iofa_fwd.dir/mapping.cpp.o.d"
+  "CMakeFiles/iofa_fwd.dir/pfs_backend.cpp.o"
+  "CMakeFiles/iofa_fwd.dir/pfs_backend.cpp.o.d"
+  "CMakeFiles/iofa_fwd.dir/posix_shim.cpp.o"
+  "CMakeFiles/iofa_fwd.dir/posix_shim.cpp.o.d"
+  "CMakeFiles/iofa_fwd.dir/replayer.cpp.o"
+  "CMakeFiles/iofa_fwd.dir/replayer.cpp.o.d"
+  "CMakeFiles/iofa_fwd.dir/service.cpp.o"
+  "CMakeFiles/iofa_fwd.dir/service.cpp.o.d"
+  "libiofa_fwd.a"
+  "libiofa_fwd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iofa_fwd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

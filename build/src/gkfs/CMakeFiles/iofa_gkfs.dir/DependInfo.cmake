@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gkfs/chunk.cpp" "src/gkfs/CMakeFiles/iofa_gkfs.dir/chunk.cpp.o" "gcc" "src/gkfs/CMakeFiles/iofa_gkfs.dir/chunk.cpp.o.d"
+  "/root/repo/src/gkfs/chunk_store.cpp" "src/gkfs/CMakeFiles/iofa_gkfs.dir/chunk_store.cpp.o" "gcc" "src/gkfs/CMakeFiles/iofa_gkfs.dir/chunk_store.cpp.o.d"
+  "/root/repo/src/gkfs/filesystem.cpp" "src/gkfs/CMakeFiles/iofa_gkfs.dir/filesystem.cpp.o" "gcc" "src/gkfs/CMakeFiles/iofa_gkfs.dir/filesystem.cpp.o.d"
+  "/root/repo/src/gkfs/metadata.cpp" "src/gkfs/CMakeFiles/iofa_gkfs.dir/metadata.cpp.o" "gcc" "src/gkfs/CMakeFiles/iofa_gkfs.dir/metadata.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/iofa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

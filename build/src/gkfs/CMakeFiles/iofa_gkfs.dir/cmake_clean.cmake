@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iofa_gkfs.dir/chunk.cpp.o"
+  "CMakeFiles/iofa_gkfs.dir/chunk.cpp.o.d"
+  "CMakeFiles/iofa_gkfs.dir/chunk_store.cpp.o"
+  "CMakeFiles/iofa_gkfs.dir/chunk_store.cpp.o.d"
+  "CMakeFiles/iofa_gkfs.dir/filesystem.cpp.o"
+  "CMakeFiles/iofa_gkfs.dir/filesystem.cpp.o.d"
+  "CMakeFiles/iofa_gkfs.dir/metadata.cpp.o"
+  "CMakeFiles/iofa_gkfs.dir/metadata.cpp.o.d"
+  "libiofa_gkfs.a"
+  "libiofa_gkfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iofa_gkfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iofa_jobs.dir/des_cluster.cpp.o"
+  "CMakeFiles/iofa_jobs.dir/des_cluster.cpp.o.d"
+  "CMakeFiles/iofa_jobs.dir/live_executor.cpp.o"
+  "CMakeFiles/iofa_jobs.dir/live_executor.cpp.o.d"
+  "CMakeFiles/iofa_jobs.dir/sim_executor.cpp.o"
+  "CMakeFiles/iofa_jobs.dir/sim_executor.cpp.o.d"
+  "libiofa_jobs.a"
+  "libiofa_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iofa_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiofa_jobs.a"
+)

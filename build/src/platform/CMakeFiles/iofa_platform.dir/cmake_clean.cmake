@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iofa_platform.dir/cluster.cpp.o"
+  "CMakeFiles/iofa_platform.dir/cluster.cpp.o.d"
+  "CMakeFiles/iofa_platform.dir/perf_model.cpp.o"
+  "CMakeFiles/iofa_platform.dir/perf_model.cpp.o.d"
+  "CMakeFiles/iofa_platform.dir/profile.cpp.o"
+  "CMakeFiles/iofa_platform.dir/profile.cpp.o.d"
+  "libiofa_platform.a"
+  "libiofa_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iofa_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

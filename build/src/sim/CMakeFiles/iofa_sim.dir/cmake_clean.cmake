@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iofa_sim.dir/forge_des.cpp.o"
+  "CMakeFiles/iofa_sim.dir/forge_des.cpp.o.d"
+  "CMakeFiles/iofa_sim.dir/resources.cpp.o"
+  "CMakeFiles/iofa_sim.dir/resources.cpp.o.d"
+  "CMakeFiles/iofa_sim.dir/simulator.cpp.o"
+  "CMakeFiles/iofa_sim.dir/simulator.cpp.o.d"
+  "libiofa_sim.a"
+  "libiofa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iofa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

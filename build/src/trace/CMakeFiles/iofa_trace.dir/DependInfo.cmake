@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analyzer.cpp" "src/trace/CMakeFiles/iofa_trace.dir/analyzer.cpp.o" "gcc" "src/trace/CMakeFiles/iofa_trace.dir/analyzer.cpp.o.d"
+  "/root/repo/src/trace/record.cpp" "src/trace/CMakeFiles/iofa_trace.dir/record.cpp.o" "gcc" "src/trace/CMakeFiles/iofa_trace.dir/record.cpp.o.d"
+  "/root/repo/src/trace/serialize.cpp" "src/trace/CMakeFiles/iofa_trace.dir/serialize.cpp.o" "gcc" "src/trace/CMakeFiles/iofa_trace.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/iofa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/iofa_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/iofa_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iofa_trace.dir/analyzer.cpp.o"
+  "CMakeFiles/iofa_trace.dir/analyzer.cpp.o.d"
+  "CMakeFiles/iofa_trace.dir/record.cpp.o"
+  "CMakeFiles/iofa_trace.dir/record.cpp.o.d"
+  "CMakeFiles/iofa_trace.dir/serialize.cpp.o"
+  "CMakeFiles/iofa_trace.dir/serialize.cpp.o.d"
+  "libiofa_trace.a"
+  "libiofa_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iofa_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

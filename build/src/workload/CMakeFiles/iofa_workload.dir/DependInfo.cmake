@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/kernels.cpp" "src/workload/CMakeFiles/iofa_workload.dir/kernels.cpp.o" "gcc" "src/workload/CMakeFiles/iofa_workload.dir/kernels.cpp.o.d"
+  "/root/repo/src/workload/pattern.cpp" "src/workload/CMakeFiles/iofa_workload.dir/pattern.cpp.o" "gcc" "src/workload/CMakeFiles/iofa_workload.dir/pattern.cpp.o.d"
+  "/root/repo/src/workload/queuegen.cpp" "src/workload/CMakeFiles/iofa_workload.dir/queuegen.cpp.o" "gcc" "src/workload/CMakeFiles/iofa_workload.dir/queuegen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/iofa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iofa_workload.dir/kernels.cpp.o"
+  "CMakeFiles/iofa_workload.dir/kernels.cpp.o.d"
+  "CMakeFiles/iofa_workload.dir/pattern.cpp.o"
+  "CMakeFiles/iofa_workload.dir/pattern.cpp.o.d"
+  "CMakeFiles/iofa_workload.dir/queuegen.cpp.o"
+  "CMakeFiles/iofa_workload.dir/queuegen.cpp.o.d"
+  "libiofa_workload.a"
+  "libiofa_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iofa_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

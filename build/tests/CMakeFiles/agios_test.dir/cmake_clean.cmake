@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agios_test.dir/agios_test.cpp.o"
+  "CMakeFiles/agios_test.dir/agios_test.cpp.o.d"
+  "agios_test"
+  "agios_test.pdb"
+  "agios_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agios_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

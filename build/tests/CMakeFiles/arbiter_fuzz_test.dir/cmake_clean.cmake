@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbiter_fuzz_test.dir/arbiter_fuzz_test.cpp.o"
+  "CMakeFiles/arbiter_fuzz_test.dir/arbiter_fuzz_test.cpp.o.d"
+  "arbiter_fuzz_test"
+  "arbiter_fuzz_test.pdb"
+  "arbiter_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbiter_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_arbiter_test.dir/core_arbiter_test.cpp.o"
+  "CMakeFiles/core_arbiter_test.dir/core_arbiter_test.cpp.o.d"
+  "core_arbiter_test"
+  "core_arbiter_test.pdb"
+  "core_arbiter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_arbiter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_mckp_test.dir/core_mckp_test.cpp.o"
+  "CMakeFiles/core_mckp_test.dir/core_mckp_test.cpp.o.d"
+  "core_mckp_test"
+  "core_mckp_test.pdb"
+  "core_mckp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_mckp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

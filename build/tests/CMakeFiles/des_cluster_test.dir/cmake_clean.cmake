@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/des_cluster_test.dir/des_cluster_test.cpp.o"
+  "CMakeFiles/des_cluster_test.dir/des_cluster_test.cpp.o.d"
+  "des_cluster_test"
+  "des_cluster_test.pdb"
+  "des_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/des_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forge_des_test.dir/forge_des_test.cpp.o"
+  "CMakeFiles/forge_des_test.dir/forge_des_test.cpp.o.d"
+  "forge_des_test"
+  "forge_des_test.pdb"
+  "forge_des_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forge_des_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fwd_client_test.dir/fwd_client_test.cpp.o"
+  "CMakeFiles/fwd_client_test.dir/fwd_client_test.cpp.o.d"
+  "fwd_client_test"
+  "fwd_client_test.pdb"
+  "fwd_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fwd_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fwd_daemon_test.dir/fwd_daemon_test.cpp.o"
+  "CMakeFiles/fwd_daemon_test.dir/fwd_daemon_test.cpp.o.d"
+  "fwd_daemon_test"
+  "fwd_daemon_test.pdb"
+  "fwd_daemon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fwd_daemon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fwd_pfs_test.dir/fwd_pfs_test.cpp.o"
+  "CMakeFiles/fwd_pfs_test.dir/fwd_pfs_test.cpp.o.d"
+  "fwd_pfs_test"
+  "fwd_pfs_test.pdb"
+  "fwd_pfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fwd_pfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fwd_posix_shim_test.dir/fwd_posix_shim_test.cpp.o"
+  "CMakeFiles/fwd_posix_shim_test.dir/fwd_posix_shim_test.cpp.o.d"
+  "fwd_posix_shim_test"
+  "fwd_posix_shim_test.pdb"
+  "fwd_posix_shim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fwd_posix_shim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

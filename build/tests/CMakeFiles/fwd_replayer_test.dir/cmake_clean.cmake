@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fwd_replayer_test.dir/fwd_replayer_test.cpp.o"
+  "CMakeFiles/fwd_replayer_test.dir/fwd_replayer_test.cpp.o.d"
+  "fwd_replayer_test"
+  "fwd_replayer_test.pdb"
+  "fwd_replayer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fwd_replayer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

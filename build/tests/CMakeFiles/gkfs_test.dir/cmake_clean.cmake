@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gkfs_test.dir/gkfs_test.cpp.o"
+  "CMakeFiles/gkfs_test.dir/gkfs_test.cpp.o.d"
+  "gkfs_test"
+  "gkfs_test.pdb"
+  "gkfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gkfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

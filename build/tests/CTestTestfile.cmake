@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/forge_des_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/platform_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/agios_test[1]_include.cmake")
+include("/root/repo/build/tests/core_mckp_test[1]_include.cmake")
+include("/root/repo/build/tests/core_policies_test[1]_include.cmake")
+include("/root/repo/build/tests/core_arbiter_test[1]_include.cmake")
+include("/root/repo/build/tests/core_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/arbiter_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/gkfs_test[1]_include.cmake")
+include("/root/repo/build/tests/fwd_pfs_test[1]_include.cmake")
+include("/root/repo/build/tests/fwd_daemon_test[1]_include.cmake")
+include("/root/repo/build/tests/fwd_client_test[1]_include.cmake")
+include("/root/repo/build/tests/fwd_replayer_test[1]_include.cmake")
+include("/root/repo/build/tests/fwd_posix_shim_test[1]_include.cmake")
+include("/root/repo/build/tests/jobs_test[1]_include.cmake")
+include("/root/repo/build/tests/des_cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

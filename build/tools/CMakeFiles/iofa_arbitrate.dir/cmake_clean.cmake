@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iofa_arbitrate.dir/iofa_arbitrate.cpp.o"
+  "CMakeFiles/iofa_arbitrate.dir/iofa_arbitrate.cpp.o.d"
+  "iofa_arbitrate"
+  "iofa_arbitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iofa_arbitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

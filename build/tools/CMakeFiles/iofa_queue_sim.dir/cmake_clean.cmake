@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iofa_queue_sim.dir/iofa_queue_sim.cpp.o"
+  "CMakeFiles/iofa_queue_sim.dir/iofa_queue_sim.cpp.o.d"
+  "iofa_queue_sim"
+  "iofa_queue_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iofa_queue_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

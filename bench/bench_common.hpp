@@ -4,11 +4,13 @@
 
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/policies.hpp"
 #include "platform/profile.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workload/kernels.hpp"
 
 namespace iofa::bench {
@@ -21,6 +23,38 @@ inline void banner(const std::string& experiment,
             << experiment << " - " << paper_ref << "\n"
             << what << "\n"
             << "==============================================================\n";
+}
+
+/// Parse `--telemetry-out <prefix>` (or `--telemetry-out=<prefix>`)
+/// and, when present, enable span tracing for the run. Pair with
+/// telemetry_finish() after the workload.
+inline std::optional<std::string> telemetry_init(int argc, char** argv) {
+  std::optional<std::string> prefix;
+  const std::string flag = "--telemetry-out";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == flag && i + 1 < argc) {
+      prefix = argv[i + 1];
+    } else if (arg.rfind(flag + "=", 0) == 0) {
+      prefix = arg.substr(flag.size() + 1);
+    }
+  }
+  if (prefix) telemetry::Tracer::global().set_enabled(true);
+  return prefix;
+}
+
+/// Dump <prefix>.metrics.{csv,json} and <prefix>.trace.json when
+/// telemetry_init() saw the flag; no-op otherwise.
+inline void telemetry_finish(const std::optional<std::string>& prefix) {
+  if (!prefix) return;
+  try {
+    const auto paths = telemetry::dump_all(*prefix);
+    std::cout << "\ntelemetry written: " << paths.metrics_csv << ", "
+              << paths.metrics_json << ", " << paths.trace_json << "\n";
+  } catch (const std::exception& e) {
+    // The bench results are already printed; don't abort over a dump.
+    std::cerr << e.what() << "\n";
+  }
 }
 
 /// The Section 5.2 allocation problem over the reference profiles.

@@ -37,8 +37,9 @@ iofa::fwd::ServiceConfig g5k_like(int ions) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace iofa;
+  const auto telemetry_out = bench::telemetry_init(argc, argv);
   bench::banner("Figure 5 / Table 3", "IPDPS'21 Sec. 5.1",
                 "Live bandwidth (MB/s) of the nine kernels vs exclusive "
                 "ION count (volumes scaled 1/1024, 64 MiB phase floor)");
@@ -88,5 +89,6 @@ int main() {
   std::cout << "\npaper shapes: IOR/POSIX/HACC scale with IONs; MAD and "
                "S3D are best served\nby direct access; BT flattens after "
                "1-2 IONs. No single count fits all.\n";
+  bench::telemetry_finish(telemetry_out);
   return 0;
 }

@@ -56,8 +56,9 @@ iofa::jobs::LiveRunResult run_policy(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace iofa;
+  const auto telemetry_out = bench::telemetry_init(argc, argv);
   bench::banner("Figure 9", "IPDPS'21 Sec. 5.3",
                 "Dynamic arbitration of the 14-job queue on the live "
                 "runtime (volumes scaled 1/2048, 16 MiB phase floor)");
@@ -107,5 +108,6 @@ int main() {
   }
   std::cout << "\nMCKP / STATIC = " << fmt(mckp_bw / st_bw, 2)
             << "x  (paper: 1.9x - 8.41 GB/s -> 16.02 GB/s)\n";
+  bench::telemetry_finish(telemetry_out);
   return 0;
 }

@@ -7,8 +7,62 @@
 #include "agios/quantum.hpp"
 #include "agios/sjf.hpp"
 #include "agios/twins.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace iofa::agios {
+
+namespace {
+
+/// Decorator counting per-scheduler-type activity into the telemetry
+/// registry ("agios.*", labelled with the scheduler name). Wraps every
+/// scheduler make_scheduler() hands out; the counters are lock-free so
+/// the dispatch loop pays two relaxed adds per access.
+class InstrumentedScheduler final : public Scheduler {
+ public:
+  explicit InstrumentedScheduler(std::unique_ptr<Scheduler> inner)
+      : inner_(std::move(inner)) {
+    auto& reg = telemetry::Registry::global();
+    const telemetry::Labels labels{{"sched", inner_->name()}};
+    requests_ = &reg.counter("agios.requests", labels);
+    dispatches_ = &reg.counter("agios.dispatches", labels);
+    aggregations_ = &reg.counter("agios.aggregations", labels);
+    merged_requests_ = &reg.counter("agios.merged_requests", labels);
+  }
+
+  std::string name() const override { return inner_->name(); }
+
+  void add(SchedRequest req) override {
+    requests_->add();
+    inner_->add(std::move(req));
+  }
+
+  std::optional<Dispatch> pop(Seconds now) override {
+    auto dispatch = inner_->pop(now);
+    if (dispatch) {
+      dispatches_->add();
+      if (dispatch->aggregated()) {
+        aggregations_->add();
+        merged_requests_->add(dispatch->parts.size());
+      }
+    }
+    return dispatch;
+  }
+
+  std::optional<Seconds> next_ready_time(Seconds now) const override {
+    return inner_->next_ready_time(now);
+  }
+
+  std::size_t queued() const override { return inner_->queued(); }
+
+ private:
+  std::unique_ptr<Scheduler> inner_;
+  telemetry::Counter* requests_;
+  telemetry::Counter* dispatches_;
+  telemetry::Counter* aggregations_;
+  telemetry::Counter* merged_requests_;
+};
+
+}  // namespace
 
 std::string to_string(SchedulerKind kind) {
   switch (kind) {
@@ -24,7 +78,8 @@ std::string to_string(SchedulerKind kind) {
 }
 
 std::unique_ptr<Scheduler> make_scheduler(const SchedulerConfig& config) {
-  switch (config.kind) {
+  auto raw = [&]() -> std::unique_ptr<Scheduler> {
+    switch (config.kind) {
     case SchedulerKind::Fifo:
       return std::make_unique<FifoScheduler>();
     case SchedulerKind::Sjf:
@@ -44,8 +99,11 @@ std::unique_ptr<Scheduler> make_scheduler(const SchedulerConfig& config) {
     case SchedulerKind::Mlf:
       return std::make_unique<MlfScheduler>(config.mlf_base_quantum,
                                             config.mlf_levels);
-  }
-  return nullptr;
+    }
+    return nullptr;
+  }();
+  if (!raw) return nullptr;
+  return std::make_unique<InstrumentedScheduler>(std::move(raw));
 }
 
 }  // namespace iofa::agios

@@ -1,0 +1,30 @@
+#include "common/clock.hpp"
+
+#include <chrono>
+
+namespace iofa {
+
+namespace {
+std::chrono::steady_clock::time_point process_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+// Pin the epoch as early as static initialisation allows, so early
+// log lines do not all read 0.
+const auto g_epoch_pin = process_epoch();
+}  // namespace
+
+std::uint64_t monotonic_micros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - process_epoch())
+          .count());
+}
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       process_epoch())
+      .count();
+}
+
+}  // namespace iofa

@@ -1,0 +1,16 @@
+#pragma once
+// One process-wide monotonic clock shared by the logger and the
+// telemetry tracer, so log lines and trace events sit on the same
+// timeline and interleave readably.
+
+#include <cstdint>
+
+namespace iofa {
+
+/// Microseconds since the process clock epoch (first use), monotonic.
+std::uint64_t monotonic_micros();
+
+/// Seconds since the process clock epoch, monotonic.
+double monotonic_seconds();
+
+}  // namespace iofa

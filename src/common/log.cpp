@@ -2,15 +2,30 @@
 
 #include <atomic>
 #include <cstdio>
+#include <memory>
 #include <mutex>
+
+#include "common/clock.hpp"
 
 namespace iofa {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
-std::mutex g_mu;
+std::mutex g_mu;  // serialises sink calls and sink swaps
 
-const char* level_name(LogLevel level) {
+void default_sink(LogLevel level, double timestamp_s, std::string_view msg) {
+  std::fprintf(stderr, "[%12.6f] [%s] %.*s\n", timestamp_s,
+               log_level_name(level), static_cast<int>(msg.size()),
+               msg.data());
+}
+
+LogSink& sink_slot() {
+  static LogSink sink = default_sink;
+  return sink;
+}
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
   switch (level) {
     case LogLevel::Trace: return "TRACE";
     case LogLevel::Debug: return "DEBUG";
@@ -21,15 +36,22 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
-}  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+void set_log_sink(LogSink sink) {
+  std::lock_guard lk(g_mu);
+  sink_slot() = sink ? std::move(sink) : LogSink(default_sink);
+}
+
 void log_message(LogLevel level, const std::string& msg) {
   if (level < log_level()) return;
+  // Stamp with the clock the telemetry tracer uses, so log lines and
+  // trace events share one timeline.
+  const double t = monotonic_seconds();
   std::lock_guard lk(g_mu);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  sink_slot()(level, t, msg);
 }
 
 }  // namespace iofa

@@ -1,9 +1,15 @@
 #pragma once
 // Minimal thread-safe leveled logging. Off (Warn) by default so tests and
 // benches stay quiet; examples turn Info on to narrate what happens.
+//
+// Lines are timestamped with the process monotonic clock
+// (common/clock.hpp) - the same clock the telemetry tracer stamps
+// events with - so daemon logs interleave readably with trace dumps.
 
+#include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace iofa {
 
@@ -12,8 +18,20 @@ enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Where formatted log lines go. Receives the level and the message
+/// body (no timestamp - the sink decides the final line format, and
+/// log_message passes the shared-clock timestamp in seconds).
+using LogSink =
+    std::function<void(LogLevel, double timestamp_s, std::string_view msg)>;
+
+/// Replace the sink (nullptr restores the default stderr sink).
+/// Not meant to race with concurrent logging: install sinks at startup.
+void set_log_sink(LogSink sink);
+
 /// Emit `msg` if `level` is at or above the global level.
 void log_message(LogLevel level, const std::string& msg);
+
+const char* log_level_name(LogLevel level);
 
 namespace detail {
 template <typename... Args>

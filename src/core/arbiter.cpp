@@ -6,6 +6,8 @@
 #include <set>
 #include <sstream>
 
+#include "telemetry/trace.hpp"
+
 namespace iofa::core {
 
 std::string Mapping::to_string() const {
@@ -96,6 +98,17 @@ Arbiter::Arbiter(std::shared_ptr<ArbitrationPolicy> policy,
                  ArbiterOptions options)
     : policy_(std::move(policy)), options_(options) {
   mapping_.pool = options_.pool;
+
+  auto& reg = telemetry::Registry::global();
+  const telemetry::Labels labels{{"policy", policy_->name()}};
+  ctr_solves_ = &reg.counter("core.arbiter.solves", labels);
+  ctr_items_ = &reg.counter("core.arbiter.items", labels);
+  hist_solve_us_ = &reg.histogram("core.arbiter.solve_us",
+                                  telemetry::BucketSpec::latency_us(), labels);
+  hist_classes_ = &reg.histogram("core.arbiter.classes",
+                                 telemetry::BucketSpec{1.0, 12}, labels);
+  gauge_running_ = &reg.gauge("core.arbiter.running_jobs", labels);
+  gauge_pool_ = &reg.gauge("core.arbiter.pool", labels);
 }
 
 const Mapping& Arbiter::job_started(JobId id, AppEntry app) {
@@ -119,12 +132,16 @@ const Mapping& Arbiter::set_pool(int pool) {
 }
 
 void Arbiter::arbitrate() {
+  telemetry::ScopedSpan span("arbitrate", "core.arbiter", "jobs",
+                             static_cast<std::int64_t>(running_.size()));
   AllocationProblem problem;
   problem.pool = options_.pool;
   problem.static_ratio = options_.static_ratio;
   std::vector<JobId> order;
+  std::size_t items = 0;  ///< MCKP items: feasible options across classes
   for (const auto& [id, app] : running_) {
     order.push_back(id);
+    items += app.curve.options().size();
     problem.apps.push_back(app);
   }
 
@@ -133,6 +150,13 @@ void Arbiter::arbitrate() {
   const auto t1 = std::chrono::steady_clock::now();
   last_solve_seconds_ =
       std::chrono::duration<double>(t1 - t0).count();
+
+  ctr_solves_->add();
+  ctr_items_->add(items);
+  hist_solve_us_->observe(last_solve_seconds_ * 1e6);
+  hist_classes_->observe(static_cast<double>(problem.apps.size()));
+  gauge_running_->set(static_cast<double>(running_.size()));
+  gauge_pool_->set(static_cast<double>(options_.pool));
 
   std::map<JobId, int> counts;
   std::map<JobId, bool> shared;

@@ -14,6 +14,7 @@
 
 #include "common/units.hpp"
 #include "core/policies.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace iofa::core {
 
@@ -83,6 +84,15 @@ class Arbiter {
   std::map<JobId, int> counts_;
   Mapping mapping_;
   Seconds last_solve_seconds_ = 0.0;
+
+  // Telemetry ("core.arbiter.*", labelled with the policy name): the
+  // live analogue of the Sec. 5.3 solve-timing numbers.
+  telemetry::Counter* ctr_solves_ = nullptr;
+  telemetry::Counter* ctr_items_ = nullptr;
+  telemetry::Histogram* hist_solve_us_ = nullptr;
+  telemetry::Histogram* hist_classes_ = nullptr;
+  telemetry::Gauge* gauge_running_ = nullptr;
+  telemetry::Gauge* gauge_pool_ = nullptr;
 };
 
 }  // namespace iofa::core

@@ -13,7 +13,14 @@ Client::Client(ClientConfig config, ForwardingService& service)
     : config_(std::move(config)),
       service_(service),
       view_(service.mapping_store(), config_.job, config_.poll_period),
-      epoch_(std::chrono::steady_clock::now()) {}
+      epoch_(std::chrono::steady_clock::now()) {
+  auto& reg = telemetry::Registry::global();
+  const telemetry::Labels labels{{"job", std::to_string(config_.job)},
+                                 {"app", config_.app_label}};
+  forwarded_ctr_ = &reg.counter("fwd.client.forwarded_ops", labels);
+  direct_ctr_ = &reg.counter("fwd.client.direct_ops", labels);
+  bytes_ctr_ = &reg.counter("fwd.client.bytes", labels);
+}
 
 Seconds Client::now() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -83,6 +90,7 @@ std::size_t Client::scatter(std::uint32_t rank, FwdOp op,
     }
     pending.push_back(std::move(p));
     forwarded_ops_.fetch_add(1);
+    forwarded_ctr_->add();
   }
   for (auto& p : pending) {
     const std::size_t got = p.fut.get();
@@ -110,10 +118,12 @@ std::size_t Client::pwrite(std::uint32_t rank, const std::string& path,
                            config_.stream_weight);
       n = size;
       direct_ops_.fetch_add(1);
+      direct_ctr_->add();
     } else {
       n = scatter(rank, FwdOp::Write, path, offset, size, data, {}, ions);
     }
   }
+  bytes_ctr_->add(n);
   record(rank, trace::OpKind::Write, path, offset, size, t0, now());
   return n;
 }
@@ -132,10 +142,12 @@ std::size_t Client::pread(std::uint32_t rank, const std::string& path,
       n = service_.pfs().read(path, offset, size, out,
                               config_.stream_weight);
       direct_ops_.fetch_add(1);
+      direct_ctr_->add();
     } else {
       n = scatter(rank, FwdOp::Read, path, offset, size, {}, out, ions);
     }
   }
+  bytes_ctr_->add(n);
   record(rank, trace::OpKind::Read, path, offset, size, t0, now());
   return n;
 }

@@ -16,6 +16,7 @@
 #include "fwd/mapping.hpp"
 #include "fwd/request.hpp"
 #include "fwd/service.hpp"
+#include "telemetry/metrics.hpp"
 #include "trace/record.hpp"
 
 namespace iofa::fwd {
@@ -95,6 +96,9 @@ class Client {
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<std::uint64_t> forwarded_ops_{0};
   std::atomic<std::uint64_t> direct_ops_{0};
+  telemetry::Counter* forwarded_ctr_ = nullptr;
+  telemetry::Counter* direct_ctr_ = nullptr;
+  telemetry::Counter* bytes_ctr_ = nullptr;
 };
 
 }  // namespace iofa::fwd

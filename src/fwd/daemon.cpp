@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "gkfs/chunk.hpp"
+#include "telemetry/trace.hpp"
 
 namespace iofa::fwd {
 
@@ -20,6 +21,28 @@ IonDaemon::IonDaemon(int id, IonParams params, EmulatedPfs& pfs)
       flush_queue_(params.queue_capacity * 4),
       scheduler_(agios::make_scheduler(params.scheduler)),
       epoch_(std::chrono::steady_clock::now()) {
+  auto& reg = params_.registry ? *params_.registry
+                               : telemetry::Registry::global();
+  const telemetry::Labels labels{{"ion", std::to_string(id_)}};
+  metrics_.requests = &reg.counter("fwd.ion.requests", labels);
+  metrics_.dispatches = &reg.counter("fwd.ion.dispatches", labels);
+  metrics_.bytes_in = &reg.counter("fwd.ion.bytes_in", labels);
+  metrics_.bytes_flushed = &reg.counter("fwd.ion.bytes_flushed", labels);
+  metrics_.reads_local = &reg.counter("fwd.ion.reads_local", labels);
+  metrics_.reads_pfs = &reg.counter("fwd.ion.reads_pfs", labels);
+  metrics_.queue_depth = &reg.gauge("fwd.ion.queue_depth", labels);
+  metrics_.request_latency_us =
+      &reg.histogram("fwd.ion.request_latency_us",
+                     telemetry::BucketSpec::latency_us(), labels);
+  metrics_.dispatch_bytes = &reg.histogram(
+      "fwd.ion.dispatch_bytes", telemetry::BucketSpec::bytes(), labels);
+  baseline_.requests = metrics_.requests->value();
+  baseline_.dispatches = metrics_.dispatches->value();
+  baseline_.bytes_in = metrics_.bytes_in->value();
+  baseline_.bytes_flushed = metrics_.bytes_flushed->value();
+  baseline_.reads_local = metrics_.reads_local->value();
+  baseline_.reads_pfs = metrics_.reads_pfs->value();
+
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
   flusher_ = std::thread([this] { flusher_loop(); });
 }
@@ -44,6 +67,7 @@ bool IonDaemon::submit(FwdRequest req) {
     pending_cv_.notify_all();
     return false;
   }
+  metrics_.queue_depth->set(static_cast<double>(ingest_.size()));
   return true;
 }
 
@@ -63,6 +87,9 @@ void IonDaemon::shutdown() {
 }
 
 void IonDaemon::dispatcher_loop() {
+  auto& tracer = telemetry::Tracer::global();
+  bool named = false;
+
   auto ingest_one = [&](FwdRequest&& req) {
     if (req.op == FwdOp::Fsync) {
       // Order the marker after everything staged so far.
@@ -93,8 +120,13 @@ void IonDaemon::dispatcher_loop() {
   };
 
   while (true) {
+    if (!named && tracer.enabled()) {
+      tracer.set_thread_name("ion" + std::to_string(id_) + ".dispatcher");
+      named = true;
+    }
     // Pull everything immediately available into the scheduler.
     while (auto req = ingest_.try_pop()) ingest_one(std::move(*req));
+    metrics_.queue_depth->set(static_cast<double>(ingest_.size()));
 
     if (auto dispatch = scheduler_->pop(now())) {
       process(*dispatch);
@@ -124,17 +156,23 @@ void IonDaemon::dispatcher_loop() {
 }
 
 void IonDaemon::process(const agios::Dispatch& dispatch) {
+  telemetry::ScopedSpan span("dispatch", "fwd.ion", "bytes",
+                             static_cast<std::int64_t>(dispatch.size));
+
   // One ingest charge per dispatch: aggregation amortises the per-access
   // overhead, which is exactly how forwarding recovers small-request
   // bandwidth.
   ingest_bucket_.acquire(static_cast<double>(dispatch.size) +
                          static_cast<double>(params_.op_overhead));
 
-  {
-    std::lock_guard lk(stats_mu_);
-    ++stats_.dispatches;
-    stats_.requests += dispatch.parts.size();
-    stats_.bytes_in += dispatch.size;
+  metrics_.dispatches->add();
+  metrics_.requests->add(dispatch.parts.size());
+  metrics_.bytes_in->add(dispatch.size);
+  metrics_.dispatch_bytes->observe(static_cast<double>(dispatch.size));
+  const Seconds t_dispatch = now();
+  for (const auto& part : dispatch.parts) {
+    metrics_.request_latency_us->observe(
+        std::max(0.0, (t_dispatch - part.arrival) * 1e6));
   }
 
   for (const auto& part : dispatch.parts) {
@@ -182,8 +220,7 @@ void IonDaemon::process(const agios::Dispatch& dispatch) {
                     .subspan(slice.file_offset - req.offset, slice.size));
           }
         }
-        std::lock_guard lk(stats_mu_);
-        ++stats_.reads_local;
+        metrics_.reads_local->add();
       } else {
         std::span<std::byte> out =
             (req.data && !req.data->empty())
@@ -193,8 +230,7 @@ void IonDaemon::process(const agios::Dispatch& dispatch) {
         // processes it stands for - that is the flow-reshaping benefit.
         n = pfs_.read(req.path, req.offset, req.size, out,
                       /*stream_weight=*/1.0);
-        std::lock_guard lk(stats_mu_);
-        ++stats_.reads_pfs;
+        metrics_.reads_pfs->add();
       }
       if (req.done) req.done->set_value(n);
     }
@@ -205,10 +241,18 @@ void IonDaemon::process(const agios::Dispatch& dispatch) {
 }
 
 void IonDaemon::flusher_loop() {
+  auto& tracer = telemetry::Tracer::global();
+  bool named = false;
   while (auto item = flush_queue_.pop()) {
+    if (!named && tracer.enabled()) {
+      tracer.set_thread_name("ion" + std::to_string(id_) + ".flusher");
+      named = true;
+    }
     if (item->fsync_done) {
       item->fsync_done->set_value(0);
     } else {
+      telemetry::ScopedSpan span("flush", "fwd.ion", "bytes",
+                                 static_cast<std::int64_t>(item->size));
       std::span<const std::byte> data =
           (item->data && !item->data->empty())
               ? std::span<const std::byte>(*item->data).first(item->size)
@@ -217,8 +261,7 @@ void IonDaemon::flusher_loop() {
                  /*stream_weight=*/1.0);
       mark_clean(gkfs::hash_path(item->path), item->offset, item->size);
       if (item->write_done) item->write_done->set_value(item->size);
-      std::lock_guard lk(stats_mu_);
-      stats_.bytes_flushed += item->size;
+      metrics_.bytes_flushed->add(item->size);
     }
     std::lock_guard lk(pending_mu_);
     --pending_flushes_;
@@ -287,8 +330,14 @@ bool IonDaemon::is_dirty(std::uint64_t file_id, std::uint64_t offset,
 }
 
 IonDaemon::Stats IonDaemon::stats() const {
-  std::lock_guard lk(stats_mu_);
-  return stats_;
+  Stats s;
+  s.requests = metrics_.requests->value() - baseline_.requests;
+  s.dispatches = metrics_.dispatches->value() - baseline_.dispatches;
+  s.bytes_in = metrics_.bytes_in->value() - baseline_.bytes_in;
+  s.bytes_flushed = metrics_.bytes_flushed->value() - baseline_.bytes_flushed;
+  s.reads_local = metrics_.reads_local->value() - baseline_.reads_local;
+  s.reads_pfs = metrics_.reads_pfs->value() - baseline_.reads_pfs;
+  return s;
 }
 
 }  // namespace iofa::fwd

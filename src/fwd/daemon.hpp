@@ -27,6 +27,7 @@
 #include "fwd/pfs_backend.hpp"
 #include "fwd/request.hpp"
 #include "gkfs/chunk_store.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace iofa::fwd {
 
@@ -39,6 +40,8 @@ struct IonParams {
   /// Write-through: acknowledge writes only after the PFS has them
   /// (no burst-buffer effect; ablation of the write-behind staging).
   bool write_through = false;
+  /// Metrics destination; nullptr means telemetry::Registry::global().
+  telemetry::Registry* registry = nullptr;
 };
 
 class IonDaemon {
@@ -63,6 +66,10 @@ class IonDaemon {
   void shutdown();
 
   // --- stats -----------------------------------------------------------
+  // The daemon reports into the telemetry registry ("fwd.ion.*",
+  // labelled with the ion id); Stats is kept as a compatibility view
+  // computed from those counters relative to this daemon's construction
+  // (daemon ids recur across services within one process).
   struct Stats {
     std::uint64_t requests = 0;
     std::uint64_t dispatches = 0;
@@ -127,8 +134,20 @@ class IonDaemon {
   std::thread dispatcher_;
   std::thread flusher_;
 
-  mutable std::mutex stats_mu_;
-  Stats stats_;
+  // Telemetry (lock-free on the hot path; registered at construction).
+  struct Metrics {
+    telemetry::Counter* requests = nullptr;
+    telemetry::Counter* dispatches = nullptr;
+    telemetry::Counter* bytes_in = nullptr;
+    telemetry::Counter* bytes_flushed = nullptr;
+    telemetry::Counter* reads_local = nullptr;
+    telemetry::Counter* reads_pfs = nullptr;
+    telemetry::Gauge* queue_depth = nullptr;
+    telemetry::Histogram* request_latency_us = nullptr;
+    telemetry::Histogram* dispatch_bytes = nullptr;
+  };
+  Metrics metrics_;
+  Stats baseline_;  ///< counter values at construction (stats() view)
 };
 
 }  // namespace iofa::fwd

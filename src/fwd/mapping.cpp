@@ -1,5 +1,7 @@
 #include "fwd/mapping.hpp"
 
+#include "telemetry/trace.hpp"
+
 namespace iofa::fwd {
 
 void MappingStore::publish(core::Mapping mapping) {
@@ -30,8 +32,30 @@ ClientMappingView::ClientMappingView(const MappingStore& store,
     : store_(store),
       job_(job),
       poll_period_(poll_period),
-      last_poll_(std::chrono::steady_clock::now() -
-                 std::chrono::hours(1)) {}
+      last_poll_(std::chrono::steady_clock::now() - std::chrono::hours(1)) {
+  auto& reg = telemetry::Registry::global();
+  const telemetry::Labels labels{{"job", std::to_string(job_)}};
+  poll_counter_ = &reg.counter("fwd.client.polls", labels);
+  remap_counter_ = &reg.counter("fwd.client.remaps", labels);
+}
+
+void ClientMappingView::poll_locked() {
+  ++polls_;
+  poll_counter_->add();
+  if (auto entry = store_.lookup(job_)) {
+    cached_ = entry->ions;
+  } else {
+    cached_.clear();
+  }
+  const std::uint64_t epoch = store_.epoch();
+  if (epoch != observed_epoch_) {
+    ++remaps_;
+    remap_counter_->add();
+    telemetry::Tracer::global().instant("remap", "fwd.client", "epoch",
+                                        static_cast<std::int64_t>(epoch));
+  }
+  observed_epoch_ = epoch;
+}
 
 std::vector<int> ClientMappingView::ions() {
   std::lock_guard lk(mu_);
@@ -40,13 +64,7 @@ std::vector<int> ClientMappingView::ions() {
       std::chrono::duration<double>(now - last_poll_).count();
   if (since >= poll_period_) {
     last_poll_ = now;
-    ++polls_;
-    if (auto entry = store_.lookup(job_)) {
-      cached_ = entry->ions;
-    } else {
-      cached_.clear();
-    }
-    observed_epoch_ = store_.epoch();
+    poll_locked();
   }
   return cached_;
 }
@@ -54,13 +72,7 @@ std::vector<int> ClientMappingView::ions() {
 void ClientMappingView::refresh_now() {
   std::lock_guard lk(mu_);
   last_poll_ = std::chrono::steady_clock::now();
-  ++polls_;
-  if (auto entry = store_.lookup(job_)) {
-    cached_ = entry->ions;
-  } else {
-    cached_.clear();
-  }
-  observed_epoch_ = store_.epoch();
+  poll_locked();
 }
 
 }  // namespace iofa::fwd

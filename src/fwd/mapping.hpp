@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/arbiter.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace iofa::fwd {
 
@@ -47,8 +48,12 @@ class ClientMappingView {
   void refresh_now();
   std::uint64_t observed_epoch() const { return observed_epoch_; }
   std::uint64_t polls() const { return polls_; }
+  /// Mapping epoch changes this view has observed (remap events).
+  std::uint64_t remaps() const { return remaps_; }
 
  private:
+  void poll_locked();
+
   const MappingStore& store_;
   core::JobId job_;
   Seconds poll_period_;
@@ -57,6 +62,9 @@ class ClientMappingView {
   std::vector<int> cached_;
   std::uint64_t observed_epoch_ = 0;
   std::uint64_t polls_ = 0;
+  std::uint64_t remaps_ = 0;
+  telemetry::Counter* poll_counter_ = nullptr;
+  telemetry::Counter* remap_counter_ = nullptr;
 };
 
 }  // namespace iofa::fwd

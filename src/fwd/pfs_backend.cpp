@@ -14,7 +14,17 @@ EmulatedPfs::EmulatedPfs(PfsParams params)
                              static_cast<double>(8 * MiB))),
       read_bucket_(params.read_bandwidth,
                    std::max(params.read_bandwidth * 0.02,
-                            static_cast<double>(8 * MiB))) {}
+                            static_cast<double>(8 * MiB))) {
+  auto& reg = telemetry::Registry::global();
+  ctr_bytes_written_ = &reg.counter("fwd.pfs.bytes_written");
+  ctr_bytes_read_ = &reg.counter("fwd.pfs.bytes_read");
+  ctr_write_ops_ = &reg.counter("fwd.pfs.write_ops");
+  ctr_read_ops_ = &reg.counter("fwd.pfs.read_ops");
+  ctr_lock_contention_ = &reg.counter("fwd.pfs.lock_contention");
+  gauge_streams_ = &reg.gauge("fwd.pfs.active_streams");
+  hist_request_bytes_ = &reg.histogram("fwd.pfs.request_bytes",
+                                       telemetry::BucketSpec::bytes());
+}
 
 std::shared_ptr<EmulatedPfs::FileLock> EmulatedPfs::lock_for(
     const std::string& path) {
@@ -28,6 +38,8 @@ double EmulatedPfs::charge(std::uint64_t size, double stream_weight,
                            bool is_read, double extra_factor) {
   const double streams =
       weighted_streams_.fetch_add(stream_weight) + stream_weight;
+  gauge_streams_->set(streams);
+  hist_request_bytes_->observe(static_cast<double>(size));
   const double contention =
       1.0 + params_.contention_coeff * std::max(0.0, streams - 1.0);
   const double tokens =
@@ -51,6 +63,9 @@ void EmulatedPfs::write(const std::string& path, std::uint64_t offset,
     const int queued = lock->waiters.load();
     const double extra =
         queued > 1 ? 1.0 + params_.shared_lock_overhead : 1.0;
+    // A write that pays the lock-domain surcharge is a contention
+    // stall: another writer queued on the same file while we held it.
+    if (queued > 1) ctr_lock_contention_->add();
     charge(size, stream_weight, /*is_read=*/false, extra);
     if (params_.store_data && !data.empty()) {
       assert(data.size() >= size);
@@ -65,6 +80,8 @@ void EmulatedPfs::write(const std::string& path, std::uint64_t offset,
   lock->waiters.fetch_sub(1);
   bytes_written_.fetch_add(size);
   write_ops_.fetch_add(1);
+  ctr_bytes_written_->add(size);
+  ctr_write_ops_->add();
 }
 
 std::size_t EmulatedPfs::read(const std::string& path, std::uint64_t offset,
@@ -73,6 +90,8 @@ std::size_t EmulatedPfs::read(const std::string& path, std::uint64_t offset,
   charge(size, stream_weight, /*is_read=*/true, 1.0);
   bytes_read_.fetch_add(size);
   read_ops_.fetch_add(1);
+  ctr_bytes_read_->add(size);
+  ctr_read_ops_->add();
 
   const auto md = metadata_.stat(path);
   if (!md) return params_.store_data ? 0 : size;

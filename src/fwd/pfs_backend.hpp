@@ -34,6 +34,7 @@
 #include "common/units.hpp"
 #include "gkfs/chunk_store.hpp"
 #include "gkfs/metadata.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace iofa::fwd {
 
@@ -103,6 +104,15 @@ class EmulatedPfs {
   std::atomic<Bytes> bytes_read_{0};
   std::atomic<std::uint64_t> write_ops_{0};
   std::atomic<std::uint64_t> read_ops_{0};
+
+  // Telemetry ("fwd.pfs.*", process-cumulative across instances).
+  telemetry::Counter* ctr_bytes_written_ = nullptr;
+  telemetry::Counter* ctr_bytes_read_ = nullptr;
+  telemetry::Counter* ctr_write_ops_ = nullptr;
+  telemetry::Counter* ctr_read_ops_ = nullptr;
+  telemetry::Counter* ctr_lock_contention_ = nullptr;
+  telemetry::Gauge* gauge_streams_ = nullptr;
+  telemetry::Histogram* hist_request_bytes_ = nullptr;
 };
 
 }  // namespace iofa::fwd

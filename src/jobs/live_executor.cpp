@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/log.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace iofa::jobs {
 
@@ -87,6 +88,11 @@ LiveRunResult run_queue_live(const std::vector<workload::AppSpec>& queue,
 
       job_threads.emplace_back([&, id, qi] {
         const auto& jspec = queue[qi];
+        auto& tracer = telemetry::Tracer::global();
+        if (tracer.enabled()) {
+          tracer.set_thread_name("job" + std::to_string(id) + "." +
+                                 jspec.label);
+        }
         fwd::ClientConfig cc;
         cc.job = id;
         cc.app_label = jspec.label;
@@ -100,8 +106,21 @@ LiveRunResult run_queue_live(const std::vector<workload::AppSpec>& queue,
         fwd::ReplayOptions ro = options.replay;
         ro.threads = options.threads_per_job;
         const Seconds started = now();
-        auto rr = replay_app(client, jspec, ro);
+        auto rr = [&] {
+          telemetry::ScopedSpan span("job", "jobs.live", "job",
+                                     static_cast<std::int64_t>(id));
+          return replay_app(client, jspec, ro);
+        }();
         const Seconds finished = now();
+
+        // Per-job achieved bandwidth (Equation 2 numerator term).
+        telemetry::Registry::global()
+            .gauge("jobs.live.bandwidth_mbps",
+                   {{"job", std::to_string(id)}, {"app", jspec.label}})
+            .set(rr.bandwidth());
+        telemetry::Registry::global()
+            .counter("jobs.live.jobs_completed")
+            .add();
 
         std::lock_guard jlk(mu);
         LiveJobResult jr;

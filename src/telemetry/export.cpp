@@ -1,0 +1,172 @@
+#include "telemetry/export.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace iofa::telemetry {
+
+namespace {
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+std::string json_escape(const std::string& s) {
+  std::ostringstream os;
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  return os.str();
+}
+
+std::string num(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  // Full integers print without a fraction so counters stay exact.
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    os << static_cast<long long>(v);
+  } else {
+    os.precision(6);
+    os << v;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+Table to_table(const Snapshot& snapshot) {
+  Table table({"metric", "labels", "kind", "value", "count", "mean", "p50",
+               "p99"});
+  for (const auto& s : snapshot.samples) {
+    if (s.histogram) {
+      const auto& h = *s.histogram;
+      table.add_row({s.name, labels_to_string(s.labels), kind_name(s.kind),
+                     num(h.sum), std::to_string(h.count), num(h.mean()),
+                     num(h.quantile(0.5)), num(h.quantile(0.99))});
+    } else {
+      table.add_row({s.name, labels_to_string(s.labels), kind_name(s.kind),
+                     num(s.value), "", "", "", ""});
+    }
+  }
+  return table;
+}
+
+void write_table(const Snapshot& snapshot, std::ostream& os) {
+  to_table(snapshot).print(os);
+}
+
+void write_csv(const Snapshot& snapshot, std::ostream& os) {
+  to_table(snapshot).print_csv(os);
+}
+
+void write_json(const Snapshot& snapshot, std::ostream& os) {
+  os << "{\"taken_us\":" << snapshot.taken_us << ",\"metrics\":[";
+  bool first = true;
+  for (const auto& s : snapshot.samples) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << json_escape(s.name) << "\",\"kind\":\""
+       << kind_name(s.kind) << "\",\"labels\":{";
+    for (std::size_t i = 0; i < s.labels.size(); ++i) {
+      if (i) os << ",";
+      os << "\"" << json_escape(s.labels[i].first) << "\":\""
+         << json_escape(s.labels[i].second) << "\"";
+    }
+    os << "}";
+    if (s.histogram) {
+      const auto& h = *s.histogram;
+      os << ",\"count\":" << h.count << ",\"sum\":" << num(h.sum)
+         << ",\"mean\":" << num(h.mean()) << ",\"p50\":" << num(h.quantile(0.5))
+         << ",\"p90\":" << num(h.quantile(0.9))
+         << ",\"p99\":" << num(h.quantile(0.99)) << ",\"buckets\":[";
+      for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+        if (i) os << ",";
+        os << "{\"lo\":" << num(h.spec.bucket_lo(i)) << ",\"count\":"
+           << h.buckets[i] << "}";
+      }
+      os << "]";
+    } else {
+      os << ",\"value\":" << num(s.value);
+    }
+    os << "}";
+  }
+  os << "]}\n";
+}
+
+void write_chrome_trace(const Tracer& tracer, std::ostream& os) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [tid, name] : tracer.thread_names()) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+  }
+  for (const auto& ev : tracer.events()) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\""
+       << json_escape(ev.cat) << "\",\"ph\":\"" << ev.phase
+       << "\",\"pid\":1,\"tid\":" << ev.tid << ",\"ts\":" << ev.ts_us;
+    if (ev.phase == 'X') os << ",\"dur\":" << ev.dur_us;
+    if (ev.arg_name) {
+      os << ",\"args\":{\"" << json_escape(ev.arg_name) << "\":" << ev.arg
+         << "}";
+    }
+    os << "}";
+  }
+  os << "]}\n";
+}
+
+DumpPaths dump_all(const std::string& prefix, Registry& registry,
+                   const Tracer& tracer) {
+  DumpPaths paths;
+  paths.metrics_csv = prefix + ".metrics.csv";
+  paths.metrics_json = prefix + ".metrics.json";
+  paths.trace_json = prefix + ".trace.json";
+
+  const Snapshot snap = registry.snapshot();
+  auto open = [](const std::string& path) {
+    std::ofstream os(path);
+    if (!os) {
+      throw std::runtime_error("telemetry: cannot write " + path);
+    }
+    return os;
+  };
+  {
+    auto os = open(paths.metrics_csv);
+    write_csv(snap, os);
+  }
+  {
+    auto os = open(paths.metrics_json);
+    write_json(snap, os);
+  }
+  {
+    auto os = open(paths.trace_json);
+    write_chrome_trace(tracer, os);
+  }
+  return paths;
+}
+
+}  // namespace iofa::telemetry

@@ -1,0 +1,44 @@
+#pragma once
+// iofa_telemetry exporters: a human-readable table (common/table), CSV
+// and JSON snapshot dumps, and Chrome trace_event JSON for the tracer.
+//
+// File naming convention (the benches' --telemetry-out hook):
+//   <prefix>.metrics.csv   flat CSV, one row per metric instance
+//   <prefix>.metrics.json  full snapshot including histogram buckets
+//   <prefix>.trace.json    chrome://tracing / Perfetto timeline
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace iofa::telemetry {
+
+/// Render a snapshot as an aligned table: histograms report count,
+/// mean and p50/p99; counters and gauges report their value.
+Table to_table(const Snapshot& snapshot);
+
+void write_table(const Snapshot& snapshot, std::ostream& os);
+void write_csv(const Snapshot& snapshot, std::ostream& os);
+void write_json(const Snapshot& snapshot, std::ostream& os);
+
+/// Chrome trace_event JSON ({"traceEvents":[...]}) with thread-name
+/// metadata records, loadable in chrome://tracing and Perfetto.
+void write_chrome_trace(const Tracer& tracer, std::ostream& os);
+
+struct DumpPaths {
+  std::string metrics_csv;
+  std::string metrics_json;
+  std::string trace_json;
+};
+
+/// Write all three files for `prefix`; returns the paths written.
+/// Throws std::runtime_error when a file cannot be opened.
+DumpPaths dump_all(const std::string& prefix,
+                   Registry& registry = Registry::global(),
+                   const Tracer& tracer = Tracer::global());
+
+}  // namespace iofa::telemetry

@@ -1,0 +1,238 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/clock.hpp"
+
+namespace iofa::telemetry {
+
+namespace detail {
+
+std::size_t shard_of_this_thread() {
+  // Sequential slot per thread: consecutive daemon/client threads land
+  // on distinct shards instead of hashing onto the same one.
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+}  // namespace detail
+
+// --- buckets --------------------------------------------------------------
+
+double BucketSpec::bucket_lo(std::size_t bucket) const {
+  return bucket == 0 ? 0.0 : lo * std::exp2(static_cast<double>(bucket));
+}
+
+double BucketSpec::bucket_hi(std::size_t bucket) const {
+  if (bucket + 1 >= count) return std::numeric_limits<double>::infinity();
+  return lo * std::exp2(static_cast<double>(bucket + 1));
+}
+
+std::size_t BucketSpec::bucket_of(double x) const {
+  if (!(x > lo)) return 0;
+  const auto i = static_cast<std::size_t>(std::log2(x / lo));
+  return std::min(i, count - 1);
+}
+
+// --- histogram ------------------------------------------------------------
+
+Histogram::Histogram(BucketSpec spec) : spec_(spec) {
+  for (auto& shard : shards_) {
+    shard.buckets = std::vector<std::atomic<std::uint64_t>>(spec_.count);
+  }
+}
+
+void Histogram::observe(double x) noexcept {
+  auto& shard = shards_[detail::shard_of_this_thread()];
+  shard.buckets[spec_.bucket_of(x)].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(x, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) {
+    for (const auto& b : shard.buckets) n += b.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+double Histogram::sum() const noexcept {
+  double s = 0.0;
+  for (const auto& shard : shards_) {
+    s += shard.sum.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t bucket) const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) {
+    n += shard.buckets[bucket].load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) >= target) {
+      const double lo = spec.bucket_lo(i);
+      const double hi = spec.bucket_hi(i);
+      if (!std::isfinite(hi)) return lo;
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+      return lo + frac * (hi - lo);
+    }
+    cum += in_bucket;
+  }
+  return spec.bucket_lo(buckets.size() - 1);
+}
+
+// --- registry -------------------------------------------------------------
+
+std::string labels_to_string(const Labels& labels) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) os << ",";
+    os << labels[i].first << "=" << labels[i].second;
+  }
+  return os.str();
+}
+
+namespace {
+
+Labels canonical(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+std::string registry_key(const std::string& name, const Labels& labels) {
+  return name + "\x1f" + labels_to_string(labels);
+}
+
+}  // namespace
+
+Registry::Entry& Registry::find_or_create(const std::string& name,
+                                          Labels labels, MetricKind kind,
+                                          const BucketSpec* spec) {
+  labels = canonical(std::move(labels));
+  const std::string key = registry_key(name, labels);
+  std::lock_guard lk(mu_);
+  if (auto it = index_.find(key); it != index_.end()) {
+    Entry& entry = entries_[it->second];
+    if (entry.kind != kind) {
+      throw std::logic_error("telemetry: metric '" + name +
+                             "' re-registered as a different kind");
+    }
+    return entry;
+  }
+  Entry entry;
+  entry.name = name;
+  entry.labels = std::move(labels);
+  entry.kind = kind;
+  switch (kind) {
+    case MetricKind::Counter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::Gauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::Histogram:
+      entry.histogram = std::make_unique<Histogram>(*spec);
+      break;
+  }
+  index_.emplace(key, entries_.size());
+  entries_.push_back(std::move(entry));
+  return entries_.back();
+}
+
+Counter& Registry::counter(const std::string& name, Labels labels) {
+  return *find_or_create(name, std::move(labels), MetricKind::Counter, nullptr)
+              .counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, Labels labels) {
+  return *find_or_create(name, std::move(labels), MetricKind::Gauge, nullptr)
+              .gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, const BucketSpec& spec,
+                               Labels labels) {
+  return *find_or_create(name, std::move(labels), MetricKind::Histogram, &spec)
+              .histogram;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  snap.taken_us = monotonic_micros();
+  {
+    std::lock_guard lk(mu_);
+    snap.samples.reserve(entries_.size());
+    for (const auto& entry : entries_) {
+      Sample s;
+      s.name = entry.name;
+      s.labels = entry.labels;
+      s.kind = entry.kind;
+      switch (entry.kind) {
+        case MetricKind::Counter:
+          s.value = static_cast<double>(entry.counter->value());
+          break;
+        case MetricKind::Gauge:
+          s.value = entry.gauge->value();
+          break;
+        case MetricKind::Histogram: {
+          HistogramSnapshot h;
+          h.spec = entry.histogram->spec();
+          h.buckets.resize(h.spec.count);
+          for (std::size_t i = 0; i < h.spec.count; ++i) {
+            h.buckets[i] = entry.histogram->bucket_count(i);
+          }
+          for (std::uint64_t b : h.buckets) h.count += b;
+          h.sum = entry.histogram->sum();
+          s.value = static_cast<double>(h.count);
+          s.histogram = std::move(h);
+          break;
+        }
+      }
+      snap.samples.push_back(std::move(s));
+    }
+  }
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const Sample& a, const Sample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return snap;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard lk(mu_);
+  return entries_.size();
+}
+
+const Sample* Snapshot::find(const std::string& name,
+                             const Labels& labels) const {
+  const Labels want = canonical(labels);
+  for (const auto& s : samples) {
+    if (s.name == name && s.labels == want) return &s;
+  }
+  return nullptr;
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // never destroyed
+  return *instance;
+}
+
+}  // namespace iofa::telemetry

@@ -1,0 +1,184 @@
+#pragma once
+// iofa_telemetry metrics: a process-wide registry of named counters,
+// gauges and fixed-bucket histograms with labels (ion id, app id,
+// policy name, ...).
+//
+// Hot-path updates are lock-free: counters and histograms stripe their
+// cells across cache-line-padded shards indexed by a per-thread slot,
+// so concurrent increments from daemon/client threads never contend on
+// one cache line. Reads (snapshot()) sum the shards; they are exact for
+// quiescent metrics and monotonically consistent for live ones.
+//
+// Registration (registry.counter("fwd.ion.requests", {{"ion","3"}}))
+// takes a mutex and is meant for construction time; the returned
+// reference is stable for the registry's lifetime.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace iofa::telemetry {
+
+/// Sorted key/value pairs identifying one instance of a metric.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind { Counter, Gauge, Histogram };
+
+namespace detail {
+
+inline constexpr std::size_t kShards = 16;
+
+struct alignas(64) PaddedU64 {
+  std::atomic<std::uint64_t> v{0};
+};
+
+/// Stable small slot for the calling thread, striped over kShards.
+std::size_t shard_of_this_thread();
+
+}  // namespace detail
+
+/// Monotonic event/byte counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    cells_[detail::shard_of_this_thread()].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  std::array<detail::PaddedU64, detail::kShards> cells_;
+};
+
+/// Point-in-time value (queue depth, bandwidth, pool size).
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept { v_.fetch_add(d, std::memory_order_relaxed); }
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed log2 bucket layout: bucket i covers [lo*2^i, lo*2^(i+1)), the
+/// last bucket is open-ended, values below lo land in bucket 0.
+struct BucketSpec {
+  double lo = 1.0;
+  std::size_t count = 24;
+
+  static BucketSpec latency_us() { return {1.0, 26}; }    ///< 1 us .. ~34 s
+  static BucketSpec bytes() { return {256.0, 26}; }       ///< 256 B .. ~8 GiB
+
+  /// Inclusive lower edge of a bucket.
+  double bucket_lo(std::size_t bucket) const;
+  /// Exclusive upper edge (+inf for the last bucket).
+  double bucket_hi(std::size_t bucket) const;
+  std::size_t bucket_of(double x) const;
+
+  bool operator==(const BucketSpec&) const = default;
+};
+
+/// Lock-free latency/size histogram over a fixed BucketSpec.
+class Histogram {
+ public:
+  explicit Histogram(BucketSpec spec);
+
+  void observe(double x) noexcept;
+
+  const BucketSpec& spec() const { return spec_; }
+  std::uint64_t count() const noexcept;
+  double sum() const noexcept;
+  std::uint64_t bucket_count(std::size_t bucket) const noexcept;
+
+ private:
+  struct alignas(64) Shard {
+    std::vector<std::atomic<std::uint64_t>> buckets;
+    std::atomic<double> sum{0.0};
+  };
+  BucketSpec spec_;
+  std::array<Shard, detail::kShards> shards_;
+};
+
+/// Point-in-time copy of one histogram, with quantile estimation.
+struct HistogramSnapshot {
+  BucketSpec spec;
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+  /// Linear interpolation inside the owning bucket; the open top bucket
+  /// reports its lower edge.
+  double quantile(double q) const;
+};
+
+/// Point-in-time copy of one metric instance.
+struct Sample {
+  std::string name;
+  Labels labels;
+  MetricKind kind = MetricKind::Counter;
+  double value = 0.0;  ///< counter/gauge value
+  std::optional<HistogramSnapshot> histogram;
+};
+
+/// Point-in-time copy of a whole registry, sorted by (name, labels).
+struct Snapshot {
+  std::uint64_t taken_us = 0;  ///< iofa::monotonic_micros() at capture
+  std::vector<Sample> samples;
+
+  const Sample* find(const std::string& name, const Labels& labels = {}) const;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create. Throws std::logic_error when (name, labels) is
+  /// already registered as a different kind.
+  Counter& counter(const std::string& name, Labels labels = {});
+  Gauge& gauge(const std::string& name, Labels labels = {});
+  Histogram& histogram(const std::string& name, const BucketSpec& spec,
+                       Labels labels = {});
+
+  Snapshot snapshot() const;
+  std::size_t size() const;
+
+  /// The process-wide default registry the runtime reports into.
+  static Registry& global();
+
+ private:
+  struct Entry {
+    std::string name;
+    Labels labels;
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry& find_or_create(const std::string& name, Labels labels,
+                        MetricKind kind, const BucketSpec* spec);
+
+  mutable std::mutex mu_;
+  std::deque<Entry> entries_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+/// Canonical "k=v,k=v" rendering used in exports and registry keys.
+std::string labels_to_string(const Labels& labels);
+
+}  // namespace iofa::telemetry

@@ -1,0 +1,21 @@
+#pragma once
+// Umbrella header for the observability subsystem. Typical use:
+//
+//   auto& reqs = telemetry::Registry::global().counter(
+//       "fwd.ion.requests", {{"ion", "3"}});
+//   reqs.add();                                   // lock-free hot path
+//
+//   telemetry::Tracer::global().set_enabled(true);
+//   { telemetry::ScopedSpan span("dispatch", "fwd", "ion", 3); ... }
+//
+//   telemetry::dump_all("run1");  // run1.metrics.{csv,json}, run1.trace.json
+//
+// Metric naming: "<module>.<component>.<what>" with snake_case leaves
+// ("fwd.ion.bytes_flushed", "core.arbiter.solve_us"). Units are part of
+// the name suffix (_us, _bytes, _mbps) where ambiguous. Identity that
+// varies per instance (ion id, job id, app label, policy or scheduler
+// name) goes into labels, never into the metric name.
+
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"

@@ -1,0 +1,159 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+
+namespace iofa::telemetry {
+
+namespace {
+
+std::uint64_t next_tracer_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Per-thread cache of (tracer id -> ring), so repeat events skip the
+/// tracer's registration mutex. Entries for destroyed tracers are
+/// harmless: the shared_ptr keeps only the ring alive, and ids are
+/// never reused.
+struct RingCache {
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<void>>> entries;
+  void* find(std::uint64_t id) const {
+    for (const auto& [eid, ring] : entries) {
+      if (eid == id) return ring.get();
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace
+
+Tracer::Tracer() : id_(next_tracer_id()) {}
+
+Tracer& Tracer::global() {
+  static Tracer* instance = new Tracer();  // never destroyed
+  return *instance;
+}
+
+Tracer::Ring& Tracer::ring_for_this_thread() {
+  thread_local RingCache cache;
+  if (void* hit = cache.find(id_)) return *static_cast<Ring*>(hit);
+  auto ring = std::make_shared<Ring>();
+  ring->events.resize(kRingCapacity);
+  {
+    std::lock_guard lk(mu_);
+    ring->tid = next_tid_++;
+    rings_.push_back(ring);
+  }
+  cache.entries.emplace_back(id_, ring);
+  return *ring;
+}
+
+void Tracer::push(TraceEvent ev) {
+  Ring& ring = ring_for_this_thread();
+  ev.tid = ring.tid;
+  std::lock_guard lk(ring.mu);
+  ring.events[ring.written % kRingCapacity] = ev;
+  ++ring.written;
+}
+
+void Tracer::set_thread_name(const std::string& name) {
+  Ring& ring = ring_for_this_thread();
+  std::lock_guard lk(ring.mu);
+  ring.thread_name = name;
+}
+
+void Tracer::instant(const char* name, const char* cat, const char* arg_name,
+                     std::int64_t arg) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.phase = 'i';
+  ev.ts_us = monotonic_micros();
+  ev.arg_name = arg_name;
+  ev.arg = arg;
+  push(ev);
+}
+
+void Tracer::complete(const char* name, const char* cat, std::uint64_t ts_us,
+                      std::uint64_t dur_us, const char* arg_name,
+                      std::int64_t arg) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.phase = 'X';
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.arg_name = arg_name;
+  ev.arg = arg;
+  push(ev);
+}
+
+void Tracer::counter(const char* name, const char* cat, std::int64_t value) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.phase = 'C';
+  ev.ts_us = monotonic_micros();
+  ev.arg_name = "value";
+  ev.arg = value;
+  push(ev);
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard lk(mu_);
+    rings = rings_;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& ring : rings) {
+    std::lock_guard lk(ring->mu);
+    const std::uint64_t kept = std::min<std::uint64_t>(ring->written,
+                                                       kRingCapacity);
+    const std::uint64_t first = ring->written - kept;
+    for (std::uint64_t i = first; i < ring->written; ++i) {
+      out.push_back(ring->events[i % kRingCapacity]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  return out;
+}
+
+std::vector<std::pair<std::uint32_t, std::string>> Tracer::thread_names()
+    const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard lk(mu_);
+    rings = rings_;
+  }
+  std::vector<std::pair<std::uint32_t, std::string>> out;
+  for (const auto& ring : rings) {
+    std::lock_guard lk(ring->mu);
+    if (!ring->thread_name.empty()) {
+      out.emplace_back(ring->tid, ring->thread_name);
+    }
+  }
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard lk(mu_);
+    rings = rings_;
+  }
+  std::uint64_t n = 0;
+  for (const auto& ring : rings) {
+    std::lock_guard lk(ring->mu);
+    if (ring->written > kRingCapacity) n += ring->written - kRingCapacity;
+  }
+  return n;
+}
+
+}  // namespace iofa::telemetry

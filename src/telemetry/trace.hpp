@@ -1,0 +1,128 @@
+#pragma once
+// iofa_telemetry tracing: span/event capture into per-thread ring
+// buffers, exported as Chrome trace_event JSON (chrome://tracing or
+// ui.perfetto.dev) so a full dynamic run can be inspected
+// daemon-by-daemon on one timeline.
+//
+// Tracing is off by default and costs one relaxed load per span when
+// disabled. When enabled, each thread appends into its own fixed-size
+// ring (oldest events are overwritten; the drop count is reported), so
+// hot paths never contend with each other or with the exporter beyond
+// a per-ring, owner-mostly mutex.
+//
+// Event names and categories must be string literals (or otherwise
+// outlive the tracer): events store the pointers, not copies.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace iofa::telemetry {
+
+/// One trace_event. `phase` follows the Chrome format: 'X' complete
+/// (ts+dur), 'i' instant, 'C' counter track.
+struct TraceEvent {
+  const char* name = "";
+  const char* cat = "";
+  char phase = 'X';
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+  std::uint32_t tid = 0;
+  const char* arg_name = nullptr;  ///< optional single numeric argument
+  std::int64_t arg = 0;
+};
+
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide tracer the runtime reports into.
+  static Tracer& global();
+
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Name the calling thread's track in the exported timeline
+  /// (e.g. "ion3.dispatcher").
+  void set_thread_name(const std::string& name);
+
+  void instant(const char* name, const char* cat,
+               const char* arg_name = nullptr, std::int64_t arg = 0);
+  void complete(const char* name, const char* cat, std::uint64_t ts_us,
+                std::uint64_t dur_us, const char* arg_name = nullptr,
+                std::int64_t arg = 0);
+  void counter(const char* name, const char* cat, std::int64_t value);
+
+  /// Timestamp-sorted copy of every buffered event.
+  std::vector<TraceEvent> events() const;
+  /// (tid, name) for every thread that named its track.
+  std::vector<std::pair<std::uint32_t, std::string>> thread_names() const;
+  /// Events lost to ring overwrite so far.
+  std::uint64_t dropped() const;
+
+  static constexpr std::size_t kRingCapacity = 1 << 14;  ///< per thread
+
+ private:
+  struct Ring {
+    std::uint32_t tid = 0;
+    std::string thread_name;
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;  ///< ring of kRingCapacity slots
+    std::uint64_t written = 0;       ///< total appended (mod for slot)
+  };
+
+  Ring& ring_for_this_thread();
+  void push(TraceEvent ev);
+
+  const std::uint64_t id_;  ///< distinguishes tracer instances in TLS
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Ring>> rings_;
+  std::uint32_t next_tid_ = 1;
+};
+
+/// RAII span: captures the construction time and records a complete
+/// event at destruction. No-op when the tracer is disabled.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer& tracer, const char* name, const char* cat,
+             const char* arg_name = nullptr, std::int64_t arg = 0)
+      : tracer_(tracer.enabled() ? &tracer : nullptr),
+        name_(name),
+        cat_(cat),
+        arg_name_(arg_name),
+        arg_(arg),
+        t0_(tracer_ ? monotonic_micros() : 0) {}
+  explicit ScopedSpan(const char* name, const char* cat,
+                      const char* arg_name = nullptr, std::int64_t arg = 0)
+      : ScopedSpan(Tracer::global(), name, cat, arg_name, arg) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (tracer_) {
+      tracer_->complete(name_, cat_, t0_, monotonic_micros() - t0_, arg_name_,
+                        arg_);
+    }
+  }
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  const char* cat_;
+  const char* arg_name_;
+  std::int64_t arg_;
+  std::uint64_t t0_;
+};
+
+}  // namespace iofa::telemetry

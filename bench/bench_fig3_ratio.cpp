@@ -50,9 +50,10 @@ int main() {
     for (std::size_t a = 0; a < kAppsPerSet; ++a) {
       const std::size_t idx = rng.index(grid.size());
       const auto& p = grid[idx];
-      prob.apps.push_back(core::AppEntry{
-          "S" + std::to_string(idx), p.compute_nodes, p.processes(),
-          curves[idx]});
+      std::string label = "S";
+      label += std::to_string(idx);
+      prob.apps.push_back(core::AppEntry{std::move(label), p.compute_nodes,
+                                         p.processes(), curves[idx]});
     }
     for (std::size_t pi = 0; pi < pools.size(); ++pi) {
       prob.pool = pools[pi];

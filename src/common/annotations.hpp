@@ -1,0 +1,73 @@
+#pragma once
+// Compile-time concurrency contracts.
+//
+// Thin wrappers over Clang's capability (thread-safety) analysis
+// attributes. Under `clang++ -Wthread-safety` (the IOFA_STRICT build)
+// every annotated invariant — "this field is guarded by that mutex",
+// "this method requires the lock held", "this method must not be
+// called with it held" — is checked at compile time. Under GCC the
+// macros expand to nothing and the code is unchanged.
+//
+// Conventions (see DESIGN.md "Concurrency model"):
+//   * every std::mutex member guards at least one IOFA_GUARDED_BY
+//     field — enforced by tools/iofa_lint even on GCC-only setups;
+//   * private `*_locked()` helpers take IOFA_REQUIRES(mu_) instead of
+//     re-locking;
+//   * fields owned by exactly one thread (no lock needed) carry an
+//     explicit "owned by the X thread" comment instead of a guard.
+
+#if defined(__clang__) && !defined(SWIG)
+#define IOFA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define IOFA_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Declares a type to be a capability (e.g. a custom lock type).
+#define IOFA_CAPABILITY(name) IOFA_THREAD_ANNOTATION(capability(name))
+
+/// Declares an RAII type that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define IOFA_SCOPED_CAPABILITY IOFA_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field is protected by the given mutex.
+#define IOFA_GUARDED_BY(x) IOFA_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointee is protected by the given mutex (the pointer itself is not).
+#define IOFA_PT_GUARDED_BY(x) IOFA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Caller must hold the given capability(ies) exclusively.
+#define IOFA_REQUIRES(...) \
+  IOFA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must hold the given capability(ies) at least shared.
+#define IOFA_REQUIRES_SHARED(...) \
+  IOFA_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and does not release it.
+#define IOFA_ACQUIRE(...) \
+  IOFA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define IOFA_RELEASE(...) \
+  IOFA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability when it returns the given value.
+#define IOFA_TRY_ACQUIRE(...) \
+  IOFA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the given capability(ies) (deadlock guard).
+#define IOFA_EXCLUDES(...) IOFA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Return value is the capability guarding this object.
+#define IOFA_RETURN_CAPABILITY(x) IOFA_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function body is not analysed. Use only where the
+/// analysis cannot express the invariant (document why at the site).
+#define IOFA_NO_THREAD_SAFETY_ANALYSIS \
+  IOFA_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Declares acquisition order: this lock must be taken before `x`.
+#define IOFA_ACQUIRED_BEFORE(...) \
+  IOFA_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define IOFA_ACQUIRED_AFTER(...) \
+  IOFA_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))

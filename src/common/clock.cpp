@@ -1,6 +1,7 @@
 #include "common/clock.hpp"
 
 #include <chrono>
+#include <thread>
 
 namespace iofa {
 
@@ -25,6 +26,11 @@ double monotonic_seconds() {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        process_epoch())
       .count();
+}
+
+void sleep_for_seconds(double s) {
+  if (s <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(s));
 }
 
 }  // namespace iofa

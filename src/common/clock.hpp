@@ -13,4 +13,10 @@ std::uint64_t monotonic_micros();
 /// Seconds since the process clock epoch, monotonic.
 double monotonic_seconds();
 
+/// Sleep the calling thread for `s` seconds (no-op when s <= 0).
+/// The project's single blessed sleep: tools/iofa_lint rejects raw
+/// std::this_thread::sleep_for / usleep / nanosleep outside this
+/// module, so pacing code stays greppable and mockable in one place.
+void sleep_for_seconds(double s);
+
 }  // namespace iofa

@@ -3,15 +3,16 @@
 #include <atomic>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 
+#include "common/annotations.hpp"
 #include "common/clock.hpp"
+#include "common/mutex.hpp"
 
 namespace iofa {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
-std::mutex g_mu;  // serialises sink calls and sink swaps
+Mutex g_mu;  // serialises sink calls and sink swaps
 
 void default_sink(LogLevel level, double timestamp_s, std::string_view msg) {
   std::fprintf(stderr, "[%12.6f] [%s] %.*s\n", timestamp_s,
@@ -19,7 +20,10 @@ void default_sink(LogLevel level, double timestamp_s, std::string_view msg) {
                msg.data());
 }
 
-LogSink& sink_slot() {
+// Function-local static (not a guarded global) so a log call during
+// another TU's static initialisation still finds a constructed sink;
+// the REQUIRES contract keeps every access under g_mu regardless.
+LogSink& sink_slot() IOFA_REQUIRES(g_mu) {
   static LogSink sink = default_sink;
   return sink;
 }
@@ -41,7 +45,7 @@ void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void set_log_sink(LogSink sink) {
-  std::lock_guard lk(g_mu);
+  MutexLock lk(g_mu);
   sink_slot() = sink ? std::move(sink) : LogSink(default_sink);
 }
 
@@ -50,7 +54,7 @@ void log_message(LogLevel level, const std::string& msg) {
   // Stamp with the clock the telemetry tracer uses, so log lines and
   // trace events share one timeline.
   const double t = monotonic_seconds();
-  std::lock_guard lk(g_mu);
+  MutexLock lk(g_mu);
   sink_slot()(level, t, msg);
 }
 

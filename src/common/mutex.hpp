@@ -1,0 +1,105 @@
+#pragma once
+// Annotated lock primitives: thin wrappers over std::mutex /
+// std::condition_variable that carry the Clang capability attributes
+// (common/annotations.hpp). libstdc++'s std::mutex is not annotated,
+// so -Wthread-safety cannot see through it; these wrappers are what
+// make the IOFA_STRICT build actually check lock ownership.
+//
+// Usage conventions:
+//   * iofa::Mutex member + IOFA_GUARDED_BY on every field it protects;
+//   * iofa::MutexLock for plain critical sections (lock_guard shape);
+//   * iofa::UniqueLock + iofa::CondVar for wait loops — predicates are
+//     written as explicit `while (!cond) cv.wait(lk);` loops in the
+//     locked scope, never as captured lambdas (the analysis treats a
+//     lambda body as a separate, unlocked function).
+//
+// The wrappers compile to the std primitives with zero overhead; under
+// GCC the attributes vanish and nothing else changes.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/annotations.hpp"
+
+namespace iofa {
+
+/// Annotated exclusive mutex (a Clang "capability").
+class IOFA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() IOFA_ACQUIRE() { mu_.lock(); }
+  void unlock() IOFA_RELEASE() { mu_.unlock(); }
+  bool try_lock() IOFA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class UniqueLock;
+  std::mutex mu_;
+};
+
+/// RAII critical section (std::lock_guard shape).
+class IOFA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) IOFA_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() IOFA_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII lock usable with CondVar. Holds the mutex for its whole
+/// lifetime from the analysis's point of view (CondVar::wait releases
+/// and reacquires it internally, which is invisible — and irrelevant —
+/// to the static contract: guarded state is only touched while the
+/// lock is genuinely held).
+class IOFA_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) IOFA_ACQUIRE(mu) : lk_(mu.mu_) {}
+  ~UniqueLock() IOFA_RELEASE() {}
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// Condition variable paired with iofa::UniqueLock. No predicate
+/// overloads on purpose: callers re-check their predicate in an
+/// explicit while loop inside the locked scope, which is both
+/// spurious-wakeup safe and visible to the thread-safety analysis.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(UniqueLock& lk) { cv_.wait(lk.lk_); }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      UniqueLock& lk, const std::chrono::time_point<Clock, Duration>& tp) {
+    return cv_.wait_until(lk.lk_, tp);
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(UniqueLock& lk,
+                          const std::chrono::duration<Rep, Period>& d) {
+    return cv_.wait_for(lk.lk_, d);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace iofa

@@ -4,14 +4,20 @@
 // This is the transport between GekkoFWD client shims and ION daemons:
 // it plays the role Mercury RPC plays in the real GekkoFS deployment
 // (in-process, since our cluster is emulated inside one address space).
+//
+// All state is guarded by one mutex; wait loops re-check their
+// predicate explicitly after every wakeup (spurious-wakeup safe) and
+// the lock discipline is enforced at compile time by the IOFA_STRICT
+// clang build (see common/annotations.hpp).
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 
 namespace iofa {
 
@@ -24,20 +30,21 @@ class BoundedQueue {
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   /// Blocks while full. Returns false if the queue was closed.
-  bool push(T item) {
-    std::unique_lock lk(mu_);
-    not_full_.wait(lk, [&] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    lk.unlock();
+  bool push(T item) IOFA_EXCLUDES(mu_) {
+    {
+      UniqueLock lk(mu_);
+      while (!closed_ && items_.size() >= capacity_) not_full_.wait(lk);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
     not_empty_.notify_one();
     return true;
   }
 
   /// Non-blocking push. Returns false when full or closed.
-  bool try_push(T item) {
+  bool try_push(T item) IOFA_EXCLUDES(mu_) {
     {
-      std::lock_guard lk(mu_);
+      MutexLock lk(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
@@ -46,41 +53,60 @@ class BoundedQueue {
   }
 
   /// Blocks while empty. Returns nullopt once closed and drained.
-  std::optional<T> pop() {
-    std::unique_lock lk(mu_);
-    not_empty_.wait(lk, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lk.unlock();
+  std::optional<T> pop() IOFA_EXCLUDES(mu_) {
+    std::optional<T> out;
+    {
+      UniqueLock lk(mu_);
+      while (!closed_ && items_.empty()) not_empty_.wait(lk);
+      if (items_.empty()) return std::nullopt;
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
     not_full_.notify_one();
-    return item;
+    return out;
   }
 
-  /// Pop with a deadline. Returns nullopt on timeout or once closed and
-  /// drained.
+  /// Pop with a relative timeout. Returns nullopt on timeout or once
+  /// closed and drained. Waits against an absolute deadline so that
+  /// spurious wakeups re-enter the wait with the remaining budget
+  /// instead of restarting the full timeout.
   template <typename Rep, typename Period>
-  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock lk(mu_);
-    if (!not_empty_.wait_for(lk, timeout,
-                             [&] { return closed_ || !items_.empty(); })) {
-      return std::nullopt;
+  std::optional<T> try_pop_for(std::chrono::duration<Rep, Period> timeout)
+      IOFA_EXCLUDES(mu_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::optional<T> out;
+    {
+      UniqueLock lk(mu_);
+      while (!closed_ && items_.empty()) {
+        if (not_empty_.wait_until(lk, deadline) == std::cv_status::timeout &&
+            items_.empty()) {
+          return std::nullopt;  // predicate re-checked: a timed-out wait
+                                // still pops when an item slipped in
+        }
+      }
+      if (items_.empty()) return std::nullopt;
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
     }
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lk.unlock();
     not_full_.notify_one();
-    return item;
+    return out;
+  }
+
+  /// Deprecated spelling of try_pop_for, kept for call-site symmetry
+  /// with pop().
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout)
+      IOFA_EXCLUDES(mu_) {
+    return try_pop_for(timeout);
   }
 
   /// Non-blocking pop.
-  std::optional<T> try_pop() {
+  std::optional<T> try_pop() IOFA_EXCLUDES(mu_) {
     std::optional<T> out;
     {
-      std::lock_guard lk(mu_);
+      MutexLock lk(mu_);
       if (items_.empty()) return std::nullopt;
-      out = std::move(items_.front());
+      out.emplace(std::move(items_.front()));
       items_.pop_front();
     }
     not_full_.notify_one();
@@ -89,34 +115,34 @@ class BoundedQueue {
 
   /// After close(): pushes fail, pops drain the remaining items then
   /// return nullopt.
-  void close() {
+  void close() IOFA_EXCLUDES(mu_) {
     {
-      std::lock_guard lk(mu_);
+      MutexLock lk(mu_);
       closed_ = true;
     }
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
-  bool closed() const {
-    std::lock_guard lk(mu_);
+  bool closed() const IOFA_EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     return closed_;
   }
 
-  std::size_t size() const {
-    std::lock_guard lk(mu_);
+  std::size_t size() const IOFA_EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     return items_.size();
   }
 
-  bool empty() const { return size() == 0; }
+  bool empty() const IOFA_EXCLUDES(mu_) { return size() == 0; }
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ IOFA_GUARDED_BY(mu_);
+  bool closed_ IOFA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace iofa

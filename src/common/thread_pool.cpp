@@ -4,6 +4,8 @@
 #include <atomic>
 #include <exception>
 
+#include "common/mutex.hpp"
+
 namespace iofa {
 
 ThreadPool::ThreadPool(std::size_t threads)
@@ -35,7 +37,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
   }
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
-  std::mutex err_mu;
+  Mutex err_mu;
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) {
@@ -46,7 +48,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
         try {
           fn(i);
         } catch (...) {
-          std::lock_guard lk(err_mu);
+          MutexLock lk(err_mu);
           if (!first_error) first_error = std::current_exception();
         }
       }

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
-#include <thread>
+
+#include "common/clock.hpp"
 
 namespace iofa {
 
@@ -27,18 +28,18 @@ void TokenBucket::acquire(double n) {
   double deficit;
   double rate;
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     refill_locked(Clock::now());
     deficit = n - tokens_;
     tokens_ -= n;
     rate = rate_;
   }
   if (deficit <= 0.0) return;
-  std::this_thread::sleep_for(std::chrono::duration<double>(deficit / rate));
+  sleep_for_seconds(deficit / rate);
 }
 
 bool TokenBucket::try_acquire(double n) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   refill_locked(Clock::now());
   if (tokens_ < n) return false;
   tokens_ -= n;
@@ -46,19 +47,19 @@ bool TokenBucket::try_acquire(double n) {
 }
 
 double TokenBucket::available() {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   refill_locked(Clock::now());
   return tokens_;
 }
 
 void TokenBucket::set_rate(double rate_per_sec) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   refill_locked(Clock::now());
   rate_ = rate_per_sec;
 }
 
 double TokenBucket::rate() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return rate_;
 }
 

@@ -8,7 +8,9 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 
 namespace iofa {
 
@@ -23,26 +25,26 @@ class TokenBucket {
   /// size; the bucket then runs a token debt and the caller sleeps until
   /// its share of the debt is repaid (admission-order queueing). A rate
   /// change during an in-flight acquire() applies to later calls.
-  void acquire(double n);
+  void acquire(double n) IOFA_EXCLUDES(mu_);
 
   /// Non-blocking: consume `n` tokens if currently available.
-  bool try_acquire(double n);
+  bool try_acquire(double n) IOFA_EXCLUDES(mu_);
 
   /// Tokens currently available (refreshes the fill level first).
-  double available();
+  double available() IOFA_EXCLUDES(mu_);
 
   /// Change the refill rate. Tokens already accrued are kept.
-  void set_rate(double rate_per_sec);
-  double rate() const;
+  void set_rate(double rate_per_sec) IOFA_EXCLUDES(mu_);
+  double rate() const IOFA_EXCLUDES(mu_);
 
  private:
-  void refill_locked(Clock::time_point now);
+  void refill_locked(Clock::time_point now) IOFA_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  double rate_;
-  double burst_;
-  double tokens_;
-  Clock::time_point last_;
+  mutable Mutex mu_;
+  double rate_ IOFA_GUARDED_BY(mu_);
+  double burst_ IOFA_GUARDED_BY(mu_);
+  double tokens_ IOFA_GUARDED_BY(mu_);
+  Clock::time_point last_ IOFA_GUARDED_BY(mu_);
 };
 
 }  // namespace iofa

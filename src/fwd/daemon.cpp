@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/clock.hpp"
+
 #include "gkfs/chunk.hpp"
 #include "telemetry/trace.hpp"
 
@@ -58,11 +60,11 @@ Seconds IonDaemon::now() const {
 bool IonDaemon::submit(FwdRequest req) {
   if (!running_.load()) return false;
   {
-    std::lock_guard lk(pending_mu_);
+    MutexLock lk(pending_mu_);
     ++pending_requests_;
   }
   if (!ingest_.push(std::move(req))) {
-    std::lock_guard lk(pending_mu_);
+    MutexLock lk(pending_mu_);
     --pending_requests_;
     pending_cv_.notify_all();
     return false;
@@ -72,10 +74,10 @@ bool IonDaemon::submit(FwdRequest req) {
 }
 
 void IonDaemon::drain() {
-  std::unique_lock lk(pending_mu_);
-  pending_cv_.wait(lk, [&] {
-    return pending_requests_ == 0 && pending_flushes_ == 0;
-  });
+  UniqueLock lk(pending_mu_);
+  while (pending_requests_ != 0 || pending_flushes_ != 0) {
+    pending_cv_.wait(lk);
+  }
 }
 
 void IonDaemon::shutdown() {
@@ -97,11 +99,11 @@ void IonDaemon::dispatcher_loop() {
       marker.path = req.path;
       marker.fsync_done = req.done;
       {
-        std::lock_guard lk(pending_mu_);
+        MutexLock lk(pending_mu_);
         ++pending_flushes_;
       }
       flush_queue_.push(std::move(marker));
-      std::lock_guard lk(pending_mu_);
+      MutexLock lk(pending_mu_);
       --pending_requests_;
       pending_cv_.notify_all();
       return;
@@ -150,7 +152,7 @@ void IonDaemon::dispatcher_loop() {
       // Queue closed but the scheduler is still holding requests back
       // (aggregation/TWINS window): let real time pass instead of
       // spinning on the already-closed queue.
-      std::this_thread::sleep_for(100us);
+      sleep_for_seconds(100e-6);
     }
   }
 }
@@ -197,7 +199,7 @@ void IonDaemon::process(const agios::Dispatch& dispatch) {
       item.size = req.size;
       item.data = req.data;
       {
-        std::lock_guard lk(pending_mu_);
+        MutexLock lk(pending_mu_);
         ++pending_flushes_;
       }
       if (params_.write_through) {
@@ -234,7 +236,7 @@ void IonDaemon::process(const agios::Dispatch& dispatch) {
       }
       if (req.done) req.done->set_value(n);
     }
-    std::lock_guard lk(pending_mu_);
+    MutexLock lk(pending_mu_);
     --pending_requests_;
     pending_cv_.notify_all();
   }
@@ -263,7 +265,7 @@ void IonDaemon::flusher_loop() {
       if (item->write_done) item->write_done->set_value(item->size);
       metrics_.bytes_flushed->add(item->size);
     }
-    std::lock_guard lk(pending_mu_);
+    MutexLock lk(pending_mu_);
     --pending_flushes_;
     pending_cv_.notify_all();
   }
@@ -271,7 +273,7 @@ void IonDaemon::flusher_loop() {
 
 void IonDaemon::mark_dirty(std::uint64_t file_id, std::uint64_t offset,
                            std::uint64_t size) {
-  std::lock_guard lk(dirty_mu_);
+  MutexLock lk(dirty_mu_);
   auto& ranges = dirty_[file_id];
   std::uint64_t lo = offset;
   std::uint64_t hi = offset + size;
@@ -291,7 +293,7 @@ void IonDaemon::mark_dirty(std::uint64_t file_id, std::uint64_t offset,
 
 void IonDaemon::mark_clean(std::uint64_t file_id, std::uint64_t offset,
                            std::uint64_t size) {
-  std::lock_guard lk(dirty_mu_);
+  MutexLock lk(dirty_mu_);
   auto fit = dirty_.find(file_id);
   if (fit == dirty_.end()) return;
   auto& ranges = fit->second;
@@ -315,7 +317,7 @@ void IonDaemon::mark_clean(std::uint64_t file_id, std::uint64_t offset,
 
 bool IonDaemon::is_dirty(std::uint64_t file_id, std::uint64_t offset,
                          std::uint64_t size) const {
-  std::lock_guard lk(dirty_mu_);
+  MutexLock lk(dirty_mu_);
   auto fit = dirty_.find(file_id);
   if (fit == dirty_.end()) return false;
   const auto& ranges = fit->second;

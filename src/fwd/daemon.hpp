@@ -10,17 +10,17 @@
 // after everything staged before it has reached the PFS.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "agios/scheduler.hpp"
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "common/queue.hpp"
 #include "common/token_bucket.hpp"
 #include "common/units.hpp"
@@ -60,7 +60,7 @@ class IonDaemon {
 
   /// Block until every accepted request has been dispatched AND every
   /// staged write has been flushed to the PFS.
-  void drain();
+  void drain() IOFA_EXCLUDES(pending_mu_);
 
   /// Stop accepting requests, drain, and join the worker threads.
   void shutdown();
@@ -99,11 +99,11 @@ class IonDaemon {
 
   /// Dirty interval bookkeeping per file (staged but not yet flushed).
   void mark_dirty(std::uint64_t file_id, std::uint64_t offset,
-                  std::uint64_t size);
+                  std::uint64_t size) IOFA_EXCLUDES(dirty_mu_);
   void mark_clean(std::uint64_t file_id, std::uint64_t offset,
-                  std::uint64_t size);
+                  std::uint64_t size) IOFA_EXCLUDES(dirty_mu_);
   bool is_dirty(std::uint64_t file_id, std::uint64_t offset,
-                std::uint64_t size) const;
+                std::uint64_t size) const IOFA_EXCLUDES(dirty_mu_);
 
   int id_;
   IonParams params_;
@@ -113,22 +113,26 @@ class IonDaemon {
   BoundedQueue<FwdRequest> ingest_;
   BoundedQueue<FlushItem> flush_queue_;
 
+  // Owned exclusively by the dispatcher thread (created before the
+  // thread starts, touched only from dispatcher_loop/process): no lock.
   std::unique_ptr<agios::Scheduler> scheduler_;
   std::unordered_map<std::uint64_t, FwdRequest> in_flight_;
   std::uint64_t next_tag_ = 1;
 
   gkfs::ChunkStore staging_;
-  mutable std::mutex dirty_mu_;
+  mutable Mutex dirty_mu_;
   // file_id -> (offset -> end), disjoint merged intervals.
   std::unordered_map<std::uint64_t, std::map<std::uint64_t, std::uint64_t>>
-      dirty_;
+      dirty_ IOFA_GUARDED_BY(dirty_mu_);
 
   std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex pending_mu_;
-  std::condition_variable pending_cv_;
-  std::uint64_t pending_requests_ = 0;  ///< accepted, not yet dispatched
-  std::uint64_t pending_flushes_ = 0;   ///< staged, not yet on the PFS
+  mutable Mutex pending_mu_;
+  CondVar pending_cv_;
+  /// accepted, not yet dispatched
+  std::uint64_t pending_requests_ IOFA_GUARDED_BY(pending_mu_) = 0;
+  /// staged, not yet on the PFS
+  std::uint64_t pending_flushes_ IOFA_GUARDED_BY(pending_mu_) = 0;
 
   std::atomic<bool> running_{true};
   std::thread dispatcher_;

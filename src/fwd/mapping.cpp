@@ -5,13 +5,13 @@
 namespace iofa::fwd {
 
 void MappingStore::publish(core::Mapping mapping) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   mapping_ = std::move(mapping);
   epoch_.store(mapping_.epoch, std::memory_order_release);
 }
 
 core::Mapping MappingStore::get() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return mapping_;
 }
 
@@ -21,7 +21,7 @@ std::uint64_t MappingStore::epoch() const {
 
 std::optional<core::Mapping::Entry> MappingStore::lookup(
     core::JobId job) const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto it = mapping_.jobs.find(job);
   if (it == mapping_.jobs.end()) return std::nullopt;
   return it->second;
@@ -58,7 +58,7 @@ void ClientMappingView::poll_locked() {
 }
 
 std::vector<int> ClientMappingView::ions() {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   const auto now = std::chrono::steady_clock::now();
   const double since =
       std::chrono::duration<double>(now - last_poll_).count();
@@ -70,9 +70,24 @@ std::vector<int> ClientMappingView::ions() {
 }
 
 void ClientMappingView::refresh_now() {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   last_poll_ = std::chrono::steady_clock::now();
   poll_locked();
+}
+
+std::uint64_t ClientMappingView::observed_epoch() const {
+  MutexLock lk(mu_);
+  return observed_epoch_;
+}
+
+std::uint64_t ClientMappingView::polls() const {
+  MutexLock lk(mu_);
+  return polls_;
+}
+
+std::uint64_t ClientMappingView::remaps() const {
+  MutexLock lk(mu_);
+  return remaps_;
 }
 
 }  // namespace iofa::fwd

@@ -7,10 +7,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "core/arbiter.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -19,50 +20,53 @@ namespace iofa::fwd {
 class MappingStore {
  public:
   /// Publish a new mapping (replaces the previous one).
-  void publish(core::Mapping mapping);
+  void publish(core::Mapping mapping) IOFA_EXCLUDES(mu_);
 
-  core::Mapping get() const;
+  core::Mapping get() const IOFA_EXCLUDES(mu_);
   std::uint64_t epoch() const;
 
   /// Entry for one job, if present in the current mapping.
-  std::optional<core::Mapping::Entry> lookup(core::JobId job) const;
+  std::optional<core::Mapping::Entry> lookup(core::JobId job) const
+      IOFA_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  core::Mapping mapping_;
+  mutable Mutex mu_;
+  core::Mapping mapping_ IOFA_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> epoch_{0};
 };
 
 /// A client's cached view of its own mapping entry. Refreshes from the
 /// store at most once per poll period (checked on each access, so no
-/// watcher thread is needed); refresh_now() forces it.
+/// watcher thread is needed); refresh_now() forces it. Thread-safe:
+/// issuing threads share one view, so the counters and the cached ION
+/// list are read under the same lock the poller writes them under.
 class ClientMappingView {
  public:
   ClientMappingView(const MappingStore& store, core::JobId job,
                     Seconds poll_period);
 
   /// Current ION list (empty = direct access). Triggers a poll when due.
-  std::vector<int> ions();
+  std::vector<int> ions() IOFA_EXCLUDES(mu_);
   bool direct() { return ions().empty(); }
 
-  void refresh_now();
-  std::uint64_t observed_epoch() const { return observed_epoch_; }
-  std::uint64_t polls() const { return polls_; }
+  void refresh_now() IOFA_EXCLUDES(mu_);
+  std::uint64_t observed_epoch() const IOFA_EXCLUDES(mu_);
+  std::uint64_t polls() const IOFA_EXCLUDES(mu_);
   /// Mapping epoch changes this view has observed (remap events).
-  std::uint64_t remaps() const { return remaps_; }
+  std::uint64_t remaps() const IOFA_EXCLUDES(mu_);
 
  private:
-  void poll_locked();
+  void poll_locked() IOFA_REQUIRES(mu_);
 
   const MappingStore& store_;
   core::JobId job_;
   Seconds poll_period_;
-  std::chrono::steady_clock::time_point last_poll_;
-  std::mutex mu_;
-  std::vector<int> cached_;
-  std::uint64_t observed_epoch_ = 0;
-  std::uint64_t polls_ = 0;
-  std::uint64_t remaps_ = 0;
+  mutable Mutex mu_;
+  std::chrono::steady_clock::time_point last_poll_ IOFA_GUARDED_BY(mu_);
+  std::vector<int> cached_ IOFA_GUARDED_BY(mu_);
+  std::uint64_t observed_epoch_ IOFA_GUARDED_BY(mu_) = 0;
+  std::uint64_t polls_ IOFA_GUARDED_BY(mu_) = 0;
+  std::uint64_t remaps_ IOFA_GUARDED_BY(mu_) = 0;
   telemetry::Counter* poll_counter_ = nullptr;
   telemetry::Counter* remap_counter_ = nullptr;
 };

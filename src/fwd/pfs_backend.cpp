@@ -28,7 +28,7 @@ EmulatedPfs::EmulatedPfs(PfsParams params)
 
 std::shared_ptr<EmulatedPfs::FileLock> EmulatedPfs::lock_for(
     const std::string& path) {
-  std::lock_guard lk(locks_mu_);
+  MutexLock lk(locks_mu_);
   auto& slot = locks_[path];
   if (!slot) slot = std::make_shared<FileLock>();
   return slot;
@@ -57,7 +57,7 @@ void EmulatedPfs::write(const std::string& path, std::uint64_t offset,
   auto lock = lock_for(path);
   lock->waiters.fetch_add(1);
   {
-    std::lock_guard file_lk(lock->mu);
+    MutexLock file_lk(lock->mu);
     // Concurrent writers queued on this file pay the lock-domain
     // surcharge (token revocation traffic in a real PFS).
     const int queued = lock->waiters.load();

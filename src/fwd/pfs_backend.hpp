@@ -24,12 +24,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "common/token_bucket.hpp"
 #include "common/units.hpp"
 #include "gkfs/chunk_store.hpp"
@@ -79,12 +80,15 @@ class EmulatedPfs {
   const PfsParams& params() const { return params_; }
 
  private:
-  /// Per-file lock domain: serialises writers and counts holders.
+  /// Per-file lock domain: serialises writers and counts holders. The
+  /// mutex is the capability over the emulated file's on-device state,
+  /// not over a field of this struct.
   struct FileLock {
-    std::mutex mu;
+    Mutex mu;  // iofa-lint: allow(naked-mutex) — guards the file, not a field
     std::atomic<int> waiters{0};
   };
-  std::shared_ptr<FileLock> lock_for(const std::string& path);
+  std::shared_ptr<FileLock> lock_for(const std::string& path)
+      IOFA_EXCLUDES(locks_mu_);
 
   double charge(std::uint64_t size, double stream_weight, bool is_read,
                 double extra_factor);
@@ -93,8 +97,9 @@ class EmulatedPfs {
   TokenBucket write_bucket_;
   TokenBucket read_bucket_;
 
-  mutable std::mutex locks_mu_;
-  std::unordered_map<std::string, std::shared_ptr<FileLock>> locks_;
+  mutable Mutex locks_mu_;
+  std::unordered_map<std::string, std::shared_ptr<FileLock>> locks_
+      IOFA_GUARDED_BY(locks_mu_);
 
   gkfs::MetadataStore metadata_;
   gkfs::ChunkStore store_;

@@ -13,7 +13,7 @@ PosixShim::OpenFile* PosixShim::lookup(int fd) {
 
 int PosixShim::open(const std::string& path, unsigned flags,
                     std::uint32_t rank) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   // Existence is judged against the PFS namespace (forwarded data is
   // eventually durable there) plus files this shim created.
   std::uint64_t size = 0;
@@ -51,7 +51,7 @@ std::int64_t PosixShim::write(int fd, std::span<const std::byte> data) {
   std::uint32_t rank = 0;
   std::string path;
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     OpenFile* of = lookup(fd);
     if (of == nullptr || !(of->flags & kWrite)) return -1;
     offset = (of->flags & kAppend) ? of->size : of->offset;
@@ -72,7 +72,7 @@ std::int64_t PosixShim::pwrite(int fd, std::span<const std::byte> data,
   std::uint32_t rank = 0;
   std::string path;
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     OpenFile* of = lookup(fd);
     if (of == nullptr || !(of->flags & kWrite)) return -1;
     rank = of->rank;
@@ -89,7 +89,7 @@ std::int64_t PosixShim::read(int fd, std::span<std::byte> out) {
   std::uint32_t rank = 0;
   std::string path;
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     OpenFile* of = lookup(fd);
     if (of == nullptr || !(of->flags & kRead)) return -1;
     offset = of->offset;
@@ -111,7 +111,7 @@ std::int64_t PosixShim::pread(int fd, std::span<std::byte> out,
   std::string path;
   std::uint64_t readable = 0;
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     OpenFile* of = lookup(fd);
     if (of == nullptr || !(of->flags & kRead)) return -1;
     readable = of->size > offset
@@ -126,7 +126,7 @@ std::int64_t PosixShim::pread(int fd, std::span<std::byte> out,
 }
 
 std::int64_t PosixShim::lseek(int fd, std::int64_t offset, Whence whence) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   OpenFile* of = lookup(fd);
   if (of == nullptr) return -1;
   std::int64_t base = 0;
@@ -144,7 +144,7 @@ std::int64_t PosixShim::lseek(int fd, std::int64_t offset, Whence whence) {
 int PosixShim::fsync(int fd) {
   std::string path;
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     OpenFile* of = lookup(fd);
     if (of == nullptr) return -1;
     path = of->path;
@@ -157,7 +157,7 @@ int PosixShim::close(int fd) {
   std::string path;
   bool written = false;
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     OpenFile* of = lookup(fd);
     if (of == nullptr) return -1;
     path = of->path;
@@ -171,7 +171,7 @@ int PosixShim::close(int fd) {
 }
 
 std::size_t PosixShim::open_descriptors() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return files_.size();
 }
 

@@ -11,12 +11,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "fwd/client.hpp"
 
 namespace iofa::fwd {
@@ -70,12 +71,12 @@ class PosixShim {
     std::uint64_t size = 0;  ///< shim-tracked logical size
   };
 
-  OpenFile* lookup(int fd);
+  OpenFile* lookup(int fd) IOFA_REQUIRES(mu_);
 
   Client& client_;
-  mutable std::mutex mu_;
-  std::unordered_map<int, OpenFile> files_;
-  int next_fd_ = 3;  // 0..2 reserved, as in POSIX
+  mutable Mutex mu_;
+  std::unordered_map<int, OpenFile> files_ IOFA_GUARDED_BY(mu_);
+  int next_fd_ IOFA_GUARDED_BY(mu_) = 3;  // 0..2 reserved, as in POSIX
 };
 
 }  // namespace iofa::fwd

@@ -7,6 +7,7 @@
 #include <set>
 #include <thread>
 
+#include "common/clock.hpp"
 #include "common/rng.hpp"
 
 namespace iofa::fwd {
@@ -71,8 +72,7 @@ ReplayResult replay_app(Client& client, const workload::AppSpec& app,
   for (std::size_t pi = 0; pi < app.phases.size(); ++pi) {
     const auto& ph = app.phases[pi];
     if (ph.compute_before > 0.0 && options.time_scale > 0.0) {
-      std::this_thread::sleep_for(std::chrono::duration<double>(
-          ph.compute_before * options.time_scale));
+      sleep_for_seconds(ph.compute_before * options.time_scale);
     }
 
     PhasePlan plan;

@@ -17,7 +17,7 @@ void ChunkStore::write(std::uint64_t file_id, std::uint64_t chunk,
   assert(offset_in_chunk + data.size() <= chunk_size_);
   const Key key{file_id, chunk};
   Shard& shard = shard_for(key);
-  std::lock_guard lk(shard.mu);
+  MutexLock lk(shard.mu);
   auto& buf = shard.chunks[key];
   if (buf.size() < offset_in_chunk + data.size()) {
     buf.resize(offset_in_chunk + data.size());
@@ -30,7 +30,7 @@ std::size_t ChunkStore::read(std::uint64_t file_id, std::uint64_t chunk,
                              std::span<std::byte> out) const {
   const Key key{file_id, chunk};
   Shard& shard = shard_for(key);
-  std::lock_guard lk(shard.mu);
+  MutexLock lk(shard.mu);
   auto it = shard.chunks.find(key);
   if (it == shard.chunks.end()) {
     std::memset(out.data(), 0, out.size());
@@ -47,7 +47,7 @@ std::size_t ChunkStore::read(std::uint64_t file_id, std::uint64_t chunk,
 std::size_t ChunkStore::remove_file(std::uint64_t file_id) {
   std::size_t removed = 0;
   for (auto& shard : shards_) {
-    std::lock_guard lk(shard.mu);
+    MutexLock lk(shard.mu);
     for (auto it = shard.chunks.begin(); it != shard.chunks.end();) {
       if (it->first.file == file_id) {
         it = shard.chunks.erase(it);
@@ -63,7 +63,7 @@ std::size_t ChunkStore::remove_file(std::uint64_t file_id) {
 Bytes ChunkStore::bytes_stored() const {
   Bytes total = 0;
   for (auto& shard : shards_) {
-    std::lock_guard lk(shard.mu);
+    MutexLock lk(shard.mu);
     for (const auto& [key, buf] : shard.chunks) total += buf.size();
   }
   return total;
@@ -72,7 +72,7 @@ Bytes ChunkStore::bytes_stored() const {
 std::size_t ChunkStore::chunk_count() const {
   std::size_t total = 0;
   for (auto& shard : shards_) {
-    std::lock_guard lk(shard.mu);
+    MutexLock lk(shard.mu);
     total += shard.chunks.size();
   }
   return total;

@@ -5,11 +5,12 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "common/units.hpp"
 #include "gkfs/chunk.hpp"
 
@@ -53,8 +54,9 @@ class ChunkStore {
 
   static constexpr std::size_t kShards = 16;
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<Key, std::vector<std::byte>, KeyHash> chunks;
+    mutable Mutex mu;
+    std::unordered_map<Key, std::vector<std::byte>, KeyHash> chunks
+        IOFA_GUARDED_BY(mu);
   };
 
   Shard& shard_for(const Key& k) const;

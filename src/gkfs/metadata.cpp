@@ -5,7 +5,7 @@
 namespace iofa::gkfs {
 
 bool MetadataStore::create(const std::string& path, bool exclusive) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto [it, inserted] = entries_.try_emplace(path);
   if (inserted) {
     it->second.create_seq = next_seq_++;
@@ -15,26 +15,26 @@ bool MetadataStore::create(const std::string& path, bool exclusive) {
 }
 
 std::optional<Metadata> MetadataStore::stat(const std::string& path) const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto it = entries_.find(path);
   if (it == entries_.end()) return std::nullopt;
   return it->second;
 }
 
 bool MetadataStore::exists(const std::string& path) const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return entries_.count(path) > 0;
 }
 
 void MetadataStore::extend(const std::string& path, Bytes end) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto [it, inserted] = entries_.try_emplace(path);
   if (inserted) it->second.create_seq = next_seq_++;
   it->second.size = std::max(it->second.size, end);
 }
 
 bool MetadataStore::truncate(const std::string& path, Bytes size) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto it = entries_.find(path);
   if (it == entries_.end()) return false;
   it->second.size = size;
@@ -42,12 +42,12 @@ bool MetadataStore::truncate(const std::string& path, Bytes size) {
 }
 
 bool MetadataStore::remove(const std::string& path) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return entries_.erase(path) > 0;
 }
 
 std::vector<std::string> MetadataStore::list() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   std::vector<std::string> out;
   out.reserve(entries_.size());
   for (const auto& [path, md] : entries_) out.push_back(path);
@@ -56,7 +56,7 @@ std::vector<std::string> MetadataStore::list() const {
 }
 
 std::size_t MetadataStore::count() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return entries_.size();
 }
 

@@ -3,12 +3,13 @@
 // directory semantics; paths are plain keys). Thread-safe.
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "common/units.hpp"
 
 namespace iofa::gkfs {
@@ -40,9 +41,9 @@ class MetadataStore {
   std::size_t count() const;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Metadata> entries_;
-  std::uint64_t next_seq_ = 1;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Metadata> entries_ IOFA_GUARDED_BY(mu_);
+  std::uint64_t next_seq_ IOFA_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace iofa::gkfs

@@ -198,12 +198,17 @@ class DesCluster {
   // --------------------------------------------------------- request path
   std::string phase_file(const DesJob& job, std::uint32_t actor) const {
     const IoPhaseSpec& ph = job.spec->phases[job.phase];
-    std::string base = job.spec->label + "/" +
-                       (ph.file_tag.empty()
-                            ? "p" + std::to_string(job.phase)
-                            : ph.file_tag);
+    std::string base = job.spec->label;
+    base += '/';
+    if (ph.file_tag.empty()) {
+      base += 'p';
+      base += std::to_string(job.phase);
+    } else {
+      base += ph.file_tag;
+    }
     if (ph.layout == FileLayout::FilePerProcess) {
-      base += "." + std::to_string(actor);
+      base += '.';
+      base += std::to_string(actor);
     }
     return base;
   }

@@ -2,9 +2,9 @@
 
 #include <stdexcept>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
+
+#include "common/mutex.hpp"
 
 #include "common/log.hpp"
 #include "telemetry/telemetry.hpp"
@@ -50,8 +50,8 @@ LiveRunResult run_queue_live(const std::vector<workload::AppSpec>& queue,
   }
 
   LiveRunResult result;
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   int free_nodes = options.compute_nodes;
   std::size_t completed = 0;
 
@@ -71,10 +71,10 @@ LiveRunResult run_queue_live(const std::vector<workload::AppSpec>& queue,
   job_threads.reserve(queue.size());
 
   {
-    std::unique_lock lk(mu);
+    UniqueLock lk(mu);
     for (std::size_t qi = 0; qi < queue.size(); ++qi) {
       const auto& spec = queue[qi];
-      cv.wait(lk, [&] { return free_nodes >= spec.compute_nodes; });
+      while (free_nodes < spec.compute_nodes) cv.wait(lk);
       free_nodes -= spec.compute_nodes;
 
       const core::JobId id = static_cast<core::JobId>(qi + 1);
@@ -122,7 +122,7 @@ LiveRunResult run_queue_live(const std::vector<workload::AppSpec>& queue,
             .counter("jobs.live.jobs_completed")
             .add();
 
-        std::lock_guard jlk(mu);
+        MutexLock jlk(mu);
         LiveJobResult jr;
         jr.id = id;
         jr.label = jspec.label;
@@ -137,7 +137,7 @@ LiveRunResult run_queue_live(const std::vector<workload::AppSpec>& queue,
         cv.notify_all();
       });
     }
-    cv.wait(lk, [&] { return completed == queue.size(); });
+    while (completed != queue.size()) cv.wait(lk);
   }
 
   for (auto& t : job_threads) t.join();

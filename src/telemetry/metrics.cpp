@@ -128,7 +128,7 @@ Registry::Entry& Registry::find_or_create(const std::string& name,
                                           const BucketSpec* spec) {
   labels = canonical(std::move(labels));
   const std::string key = registry_key(name, labels);
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   if (auto it = index_.find(key); it != index_.end()) {
     Entry& entry = entries_[it->second];
     if (entry.kind != kind) {
@@ -177,7 +177,7 @@ Snapshot Registry::snapshot() const {
   Snapshot snap;
   snap.taken_us = monotonic_micros();
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     snap.samples.reserve(entries_.size());
     for (const auto& entry : entries_) {
       Sample s;
@@ -217,7 +217,7 @@ Snapshot Registry::snapshot() const {
 }
 
 std::size_t Registry::size() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return entries_.size();
 }
 

@@ -18,12 +18,14 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 
 namespace iofa::telemetry {
 
@@ -150,13 +152,15 @@ class Registry {
 
   /// Find-or-create. Throws std::logic_error when (name, labels) is
   /// already registered as a different kind.
-  Counter& counter(const std::string& name, Labels labels = {});
-  Gauge& gauge(const std::string& name, Labels labels = {});
+  Counter& counter(const std::string& name, Labels labels = {})
+      IOFA_EXCLUDES(mu_);
+  Gauge& gauge(const std::string& name, Labels labels = {})
+      IOFA_EXCLUDES(mu_);
   Histogram& histogram(const std::string& name, const BucketSpec& spec,
-                       Labels labels = {});
+                       Labels labels = {}) IOFA_EXCLUDES(mu_);
 
-  Snapshot snapshot() const;
-  std::size_t size() const;
+  Snapshot snapshot() const IOFA_EXCLUDES(mu_);
+  std::size_t size() const IOFA_EXCLUDES(mu_);
 
   /// The process-wide default registry the runtime reports into.
   static Registry& global();
@@ -171,11 +175,15 @@ class Registry {
     std::unique_ptr<Histogram> histogram;
   };
   Entry& find_or_create(const std::string& name, Labels labels,
-                        MetricKind kind, const BucketSpec* spec);
+                        MetricKind kind, const BucketSpec* spec)
+      IOFA_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::deque<Entry> entries_;
-  std::unordered_map<std::string, std::size_t> index_;
+  mutable Mutex mu_;
+  // entries_ is a deque so the Counter/Gauge/Histogram references it
+  // hands out stay stable; the container structure is what mu_ guards
+  // (the metric cells themselves are lock-free atomics).
+  std::deque<Entry> entries_ IOFA_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::size_t> index_ IOFA_GUARDED_BY(mu_);
 };
 
 /// Canonical "k=v,k=v" rendering used in exports and registry keys.

@@ -38,9 +38,8 @@ Tracer::Ring& Tracer::ring_for_this_thread() {
   thread_local RingCache cache;
   if (void* hit = cache.find(id_)) return *static_cast<Ring*>(hit);
   auto ring = std::make_shared<Ring>();
-  ring->events.resize(kRingCapacity);
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     ring->tid = next_tid_++;
     rings_.push_back(ring);
   }
@@ -51,14 +50,14 @@ Tracer::Ring& Tracer::ring_for_this_thread() {
 void Tracer::push(TraceEvent ev) {
   Ring& ring = ring_for_this_thread();
   ev.tid = ring.tid;
-  std::lock_guard lk(ring.mu);
+  MutexLock lk(ring.mu);
   ring.events[ring.written % kRingCapacity] = ev;
   ++ring.written;
 }
 
 void Tracer::set_thread_name(const std::string& name) {
   Ring& ring = ring_for_this_thread();
-  std::lock_guard lk(ring.mu);
+  MutexLock lk(ring.mu);
   ring.thread_name = name;
 }
 
@@ -105,12 +104,12 @@ void Tracer::counter(const char* name, const char* cat, std::int64_t value) {
 std::vector<TraceEvent> Tracer::events() const {
   std::vector<std::shared_ptr<Ring>> rings;
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     rings = rings_;
   }
   std::vector<TraceEvent> out;
   for (const auto& ring : rings) {
-    std::lock_guard lk(ring->mu);
+    MutexLock lk(ring->mu);
     const std::uint64_t kept = std::min<std::uint64_t>(ring->written,
                                                        kRingCapacity);
     const std::uint64_t first = ring->written - kept;
@@ -129,12 +128,12 @@ std::vector<std::pair<std::uint32_t, std::string>> Tracer::thread_names()
     const {
   std::vector<std::shared_ptr<Ring>> rings;
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     rings = rings_;
   }
   std::vector<std::pair<std::uint32_t, std::string>> out;
   for (const auto& ring : rings) {
-    std::lock_guard lk(ring->mu);
+    MutexLock lk(ring->mu);
     if (!ring->thread_name.empty()) {
       out.emplace_back(ring->tid, ring->thread_name);
     }
@@ -145,12 +144,12 @@ std::vector<std::pair<std::uint32_t, std::string>> Tracer::thread_names()
 std::uint64_t Tracer::dropped() const {
   std::vector<std::shared_ptr<Ring>> rings;
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     rings = rings_;
   }
   std::uint64_t n = 0;
   for (const auto& ring : rings) {
-    std::lock_guard lk(ring->mu);
+    MutexLock lk(ring->mu);
     if (ring->written > kRingCapacity) n += ring->written - kRingCapacity;
   }
   return n;

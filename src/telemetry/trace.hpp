@@ -16,11 +16,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/clock.hpp"
+#include "common/mutex.hpp"
 
 namespace iofa::telemetry {
 
@@ -73,21 +74,26 @@ class Tracer {
 
  private:
   struct Ring {
+    Ring() { events.resize(kRingCapacity); }
+    /// Written once at registration (under the tracer's mu_) before the
+    /// ring is published; the owning thread then reads it lock-free.
     std::uint32_t tid = 0;
-    std::string thread_name;
-    mutable std::mutex mu;
-    std::vector<TraceEvent> events;  ///< ring of kRingCapacity slots
-    std::uint64_t written = 0;       ///< total appended (mod for slot)
+    mutable Mutex mu;
+    std::string thread_name IOFA_GUARDED_BY(mu);
+    /// ring of kRingCapacity slots
+    std::vector<TraceEvent> events IOFA_GUARDED_BY(mu);
+    /// total appended (mod for slot)
+    std::uint64_t written IOFA_GUARDED_BY(mu) = 0;
   };
 
-  Ring& ring_for_this_thread();
-  void push(TraceEvent ev);
+  Ring& ring_for_this_thread() IOFA_EXCLUDES(mu_);
+  void push(TraceEvent ev) IOFA_EXCLUDES(mu_);
 
   const std::uint64_t id_;  ///< distinguishes tracer instances in TLS
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  std::vector<std::shared_ptr<Ring>> rings_;
-  std::uint32_t next_tid_ = 1;
+  mutable Mutex mu_;
+  std::vector<std::shared_ptr<Ring>> rings_ IOFA_GUARDED_BY(mu_);
+  std::uint32_t next_tid_ IOFA_GUARDED_BY(mu_) = 1;
 };
 
 /// RAII span: captures the construction time and records a complete

@@ -5,29 +5,29 @@ namespace iofa::trace {
 TraceLog::TraceLog(std::string job_label) : label_(std::move(job_label)) {}
 
 void TraceLog::append(const RequestRecord& rec) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   records_.push_back(rec);
   if (rec.op == OpKind::Write) bytes_written_ += rec.size;
   if (rec.op == OpKind::Read) bytes_read_ += rec.size;
 }
 
 std::vector<RequestRecord> TraceLog::snapshot() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return records_;
 }
 
 std::size_t TraceLog::size() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return records_.size();
 }
 
 Bytes TraceLog::bytes_written() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return bytes_written_;
 }
 
 Bytes TraceLog::bytes_read() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return bytes_read_;
 }
 

@@ -9,10 +9,11 @@
 // AccessPattern profiles.
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "common/units.hpp"
 
 namespace iofa::trace {
@@ -48,10 +49,10 @@ class TraceLog {
 
  private:
   std::string label_;
-  mutable std::mutex mu_;
-  std::vector<RequestRecord> records_;
-  Bytes bytes_written_ = 0;
-  Bytes bytes_read_ = 0;
+  mutable Mutex mu_;
+  std::vector<RequestRecord> records_ IOFA_GUARDED_BY(mu_);
+  Bytes bytes_written_ IOFA_GUARDED_BY(mu_) = 0;
+  Bytes bytes_read_ IOFA_GUARDED_BY(mu_) = 0;
 };
 
 /// FNV-1a path hash used for file ids (same hash the gkfs layer uses to

@@ -10,8 +10,10 @@
 #include <thread>
 
 #include "common/rng.hpp"
+#include "fwd/client.hpp"
 #include "fwd/daemon.hpp"
 #include "fwd/pfs_backend.hpp"
+#include "fwd/service.hpp"
 #include "gkfs/chunk.hpp"
 
 namespace iofa::fwd {
@@ -321,6 +323,84 @@ TEST(IonDaemon, WriteBehindAcksBeforePfs) {
   daemon.drain();  // the flush still happens eventually
   EXPECT_EQ(pfs.bytes_written(),
             static_cast<Bytes>(8 * MiB) + (1 << 20));  // incl. warm-up
+}
+
+// TSan-targeted stress: an arbiter thread republishes the mapping while
+// client threads issue forwarded I/O through views that poll on every
+// operation. Exercises MappingStore publish vs lookup, the
+// ClientMappingView counters, and the daemons' submit/flush paths under
+// real contention; run under -DIOFA_SANITIZE=thread to surface races.
+TEST(IonDaemon, RemapWhileClientsIssueIo) {
+  ServiceConfig cfg;
+  cfg.ion_count = 4;
+  cfg.pfs.write_bandwidth = 4.0e9;
+  cfg.pfs.read_bandwidth = 4.0e9;
+  cfg.pfs.op_overhead = 4 * KiB;
+  cfg.pfs.contention_coeff = 0.0;
+  cfg.ion.ingest_bandwidth = 4.0e9;
+  cfg.ion.op_overhead = 4 * KiB;
+  cfg.ion.scheduler.kind = agios::SchedulerKind::Fifo;
+  ForwardingService service(cfg);
+
+  ClientConfig cc;
+  cc.job = 7;
+  cc.app_label = "stress";
+  cc.poll_period = 0.0;  // consult the store on every operation
+  Client client(cc, service);
+
+  auto mapping_with = [](std::vector<int> ions, std::uint64_t epoch) {
+    core::Mapping m;
+    m.epoch = epoch;
+    m.pool = 4;
+    m.jobs[7] = core::Mapping::Entry{"stress", std::move(ions), false};
+    return m;
+  };
+  service.apply_mapping(mapping_with({0, 1}, 1));
+
+  std::atomic<bool> stop{false};
+  std::thread arbiter([&] {
+    // Cycle through ION subsets (including unmapped -> direct access).
+    const std::vector<std::vector<int>> plans{
+        {0, 1}, {2}, {}, {1, 2, 3}, {3}, {0}};
+    std::uint64_t epoch = 2;
+    while (!stop.load(std::memory_order_relaxed)) {
+      service.apply_mapping(mapping_with(plans[epoch % plans.size()], epoch));
+      ++epoch;
+      std::this_thread::yield();
+    }
+  });
+
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 200;
+  std::atomic<std::size_t> bytes{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      const auto rank = static_cast<std::uint32_t>(t);
+      const std::string path = "/stress" + std::to_string(t);
+      const auto data = pattern_data(4096, static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const auto off = static_cast<std::uint64_t>(i) * 4096;
+        bytes.fetch_add(client.pwrite(rank, path, off, 4096, data));
+        if (i % 16 == 15) {
+          std::vector<std::byte> buf(4096);
+          client.pread(rank, path, off, 4096, buf);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  stop.store(true);
+  arbiter.join();
+  service.drain();
+
+  EXPECT_EQ(bytes.load(),
+            static_cast<std::size_t>(kThreads) * kOpsPerThread * 4096u);
+  // Every op either went through an ION or straight to the PFS (each
+  // 4 KiB request is a single chunk, so one sub-request per op).
+  EXPECT_EQ(client.forwarded_ops() + client.direct_ops(),
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread +
+                static_cast<std::uint64_t>(kThreads) * (kOpsPerThread / 16));
 }
 
 }  // namespace

@@ -1,0 +1,223 @@
+// End-to-end tests for tools/iofa_lint: for every rule, one fixture
+// that passes and one that violates, plus the inline suppression tag.
+// The linter binary path is injected by CMake as IOFA_LINT_BIN.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+#ifndef IOFA_LINT_BIN
+#error "IOFA_LINT_BIN must be defined to the iofa_lint binary path"
+#endif
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+LintRun run_lint(const fs::path& target) {
+  const std::string cmd =
+      std::string(IOFA_LINT_BIN) + " " + target.string() + " 2>&1";
+  LintRun r;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (!pipe) return r;
+  char buf[512];
+  while (std::fgets(buf, sizeof(buf), pipe)) r.output += buf;
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) r.exit_code = WEXITSTATUS(status);
+  return r;
+}
+
+class LintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Fixture paths must contain src/ + fwd/ so the path-scoped rules
+    // (raw-cout, bare-units) apply; keep everything inside the build
+    // tree so nothing outside the repo is touched.
+    dir_ = fs::current_path() / "lint_fixtures" /
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() /
+           "src" / "fwd";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    fs::remove_all(dir_.parent_path().parent_path());
+  }
+
+  fs::path write_fixture(const std::string& name, const std::string& body) {
+    const fs::path p = dir_ / name;
+    std::ofstream(p) << body;
+    return p;
+  }
+
+  fs::path dir_;
+};
+
+// ------------------------------------------------------------ naked-mutex
+
+TEST_F(LintTest, AnnotatedMutexPasses) {
+  const auto p = write_fixture("good.hpp",
+                               "class Queue {\n"
+                               " private:\n"
+                               "  iofa::Mutex mu_;\n"
+                               "  int depth_ IOFA_GUARDED_BY(mu_) = 0;\n"
+                               "};\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("naked-mutex"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, NakedMutexFlagged) {
+  const auto p = write_fixture("bad.hpp",
+                               "class Queue {\n"
+                               " private:\n"
+                               "  std::mutex mu_;\n"
+                               "  int depth_ = 0;\n"
+                               "};\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("naked-mutex"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("bad.hpp:3"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, NakedMutexSuppressionHonoured) {
+  const auto p = write_fixture(
+      "allowed.hpp",
+      "struct FileLock {\n"
+      "  iofa::Mutex mu;  // iofa-lint: allow(naked-mutex) -- lock domain\n"
+      "};\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, LocalMutexInFunctionNotFlagged) {
+  // A mutex on the stack of a free function is not a member; the rule
+  // only fires inside class/struct scopes.
+  const auto p = write_fixture("local.cpp",
+                               "void f() {\n"
+                               "  std::mutex mu;\n"
+                               "  std::lock_guard lk(mu);\n"
+                               "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// -------------------------------------------------------------- raw-sleep
+
+TEST_F(LintTest, BlessedSleepPasses) {
+  const auto p = write_fixture("pace_good.cpp",
+                               "void pace() {\n"
+                               "  iofa::sleep_for_seconds(0.001);\n"
+                               "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, RawSleepFlagged) {
+  const auto p = write_fixture(
+      "pace_bad.cpp",
+      "void pace() {\n"
+      "  std::this_thread::sleep_for(std::chrono::milliseconds(1));\n"
+      "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("raw-sleep"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, WallClockFlagged) {
+  const auto p = write_fixture(
+      "wall.cpp", "auto t = std::chrono::system_clock::now();\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("raw-sleep"), std::string::npos) << r.output;
+}
+
+// --------------------------------------------------------------- raw-cout
+
+TEST_F(LintTest, OstreamParameterPasses) {
+  const auto p = write_fixture("print_good.cpp",
+                               "void print(std::ostream& os) {\n"
+                               "  os << \"depth\";\n"
+                               "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, CoutInLibraryFlagged) {
+  const auto p = write_fixture("print_bad.cpp",
+                               "void print() {\n"
+                               "  std::cout << \"depth\";\n"
+                               "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("raw-cout"), std::string::npos) << r.output;
+}
+
+// ------------------------------------------------------------- bare-units
+
+TEST_F(LintTest, UnitTypedefsPass) {
+  const auto p = write_fixture("api_good.hpp",
+                               "struct Params {\n"
+                               "  Bytes capacity = 0;\n"
+                               "  Seconds window = 0.0;\n"
+                               "};\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, BareDoubleUnitsFlagged) {
+  const auto p = write_fixture(
+      "api_bad.hpp",
+      "void charge(double bytes_in, double window_seconds);\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("bare-units"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, BareUnitsOnlyAppliesToPublicHeaders) {
+  // Same declaration in a .cpp: implementation detail, not flagged.
+  const auto p = write_fixture(
+      "impl.cpp", "static void charge(double bytes_in) { (void)bytes_in; }\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// ---------------------------------------------------------------- driver
+
+TEST_F(LintTest, DirectoryScanAggregatesFindings) {
+  write_fixture("one.hpp",
+                "class A {\n"
+                "  std::mutex mu_;\n"
+                "};\n");
+  write_fixture("two.cpp",
+                "void f() { usleep(100); }\n");
+  const auto r = run_lint(dir_);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("naked-mutex"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("raw-sleep"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("2 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, MissingPathIsUsageError) {
+  const auto r = run_lint(dir_ / "does_not_exist.cpp");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+// The repository's own library tree must stay clean; this is the same
+// gate CI runs, kept here so a plain `ctest` catches regressions too.
+TEST(LintRepoTest, SrcTreeIsClean) {
+#ifdef IOFA_REPO_SRC
+  const auto r = run_lint(IOFA_REPO_SRC);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+#else
+  GTEST_SKIP() << "IOFA_REPO_SRC not defined";
+#endif
+}
+
+}  // namespace

@@ -1,0 +1,292 @@
+// iofa_lint: project-specific source rules the compiler cannot check.
+//
+// Complements the IOFA_STRICT clang -Wthread-safety build (which proves
+// lock/field contracts once they are declared) by enforcing that the
+// contracts are declared at all, and a few hygiene rules:
+//
+//   naked-mutex  a std::mutex / iofa::Mutex member in a class that
+//                declares no IOFA_GUARDED_BY field: either annotate
+//                what the mutex protects or justify it inline.
+//   raw-sleep    sleep/usleep/nanosleep/system_clock outside
+//                common/clock: pacing goes through
+//                iofa::sleep_for_seconds so it stays greppable and the
+//                process stays on one monotonic timeline.
+//   raw-cout     std::cout/std::cerr logging in src/ outside
+//                common/log and the telemetry exporters.
+//   bare-units   `double <name>bytes/seconds<...>` declarations in
+//                public headers of src/core and src/fwd: use the
+//                Bytes / Seconds / MBps typedefs (common/units.hpp).
+//
+// A finding is suppressed by putting `iofa-lint: allow(<rule>)` in a
+// comment on the same line; the expectation is that the comment also
+// says why (reviewed in code review like any other escape hatch).
+//
+// Usage: iofa_lint <file-or-directory>...   (exit 0 clean, 1 findings)
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+std::vector<Finding> g_findings;
+
+void report(const std::string& file, std::size_t line, const std::string& rule,
+            const std::string& message) {
+  g_findings.push_back({file, line, rule, message});
+}
+
+bool path_contains(const std::string& path, const std::string& needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+bool suppressed(const std::string& raw_line, const std::string& rule) {
+  const std::string tag = "iofa-lint: allow(" + rule + ")";
+  return raw_line.find(tag) != std::string::npos;
+}
+
+/// One source line with comments blanked out (string literals kept:
+/// none of the rules trigger inside plausible literals, and keeping
+/// them avoids a lexer).
+struct CleanLine {
+  std::string text;  ///< comment-stripped
+  std::string raw;   ///< original (for suppression tags)
+};
+
+std::vector<CleanLine> read_and_strip(const fs::path& path) {
+  std::ifstream in(path);
+  std::vector<CleanLine> lines;
+  std::string line;
+  bool in_block_comment = false;
+  while (std::getline(in, line)) {
+    std::string out;
+    out.reserve(line.size());
+    for (std::size_t i = 0; i < line.size();) {
+      if (in_block_comment) {
+        if (line.compare(i, 2, "*/") == 0) {
+          in_block_comment = false;
+          i += 2;
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      if (line.compare(i, 2, "/*") == 0) {
+        in_block_comment = true;
+        i += 2;
+        continue;
+      }
+      if (line.compare(i, 2, "//") == 0) break;
+      out.push_back(line[i]);
+      ++i;
+    }
+    lines.push_back({std::move(out), line});
+  }
+  return lines;
+}
+
+// --- rule: naked-mutex ----------------------------------------------------
+
+struct Scope {
+  bool is_class = false;
+  std::string name;
+  bool has_guarded = false;
+  std::vector<std::pair<std::size_t, std::string>> mutex_members;
+};
+
+const std::regex kClassHeader(R"((?:class|struct)\s+(?:\w+\s+)*?(\w+)\s*(?:final)?\s*(?::[^{]*)?$)");
+const std::regex kMutexMember(
+    R"(^\s*(?:mutable\s+)?(?:(?:std|iofa)\s*::\s*)?[Mm]utex\s+(\w+)\s*(?:;|=))");
+
+void check_naked_mutex(const std::string& file,
+                       const std::vector<CleanLine>& lines) {
+  if (path_contains(file, "common/mutex.hpp") ||
+      path_contains(file, "common/annotations.hpp")) {
+    return;
+  }
+  std::vector<Scope> stack;
+  std::string header;  // text accumulated since the last ; { or }
+  auto close_scope = [&](Scope& sc) {
+    if (!sc.is_class || sc.has_guarded) return;
+    for (const auto& [line_no, name] : sc.mutex_members) {
+      report(file, line_no, "naked-mutex",
+             "class '" + sc.name + "' declares mutex member '" + name +
+                 "' but no IOFA_GUARDED_BY field; annotate what it "
+                 "protects (common/annotations.hpp)");
+    }
+  };
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& text = lines[li].text;
+    if (!stack.empty()) {
+      if (text.find("IOFA_GUARDED_BY") != std::string::npos ||
+          text.find("IOFA_PT_GUARDED_BY") != std::string::npos) {
+        stack.back().has_guarded = true;
+      }
+      std::smatch m;
+      if (std::regex_search(text, m, kMutexMember) && stack.back().is_class &&
+          !suppressed(lines[li].raw, "naked-mutex")) {
+        stack.back().mutex_members.emplace_back(li + 1, m[1].str());
+      }
+    }
+    for (char c : text) {
+      if (c == '{') {
+        Scope sc;
+        // Trim the accumulated header and match it against a class or
+        // struct introduction (enum class is excluded by the regex's
+        // trailing-name anchor never matching "enum").
+        std::smatch m;
+        std::string h = header;
+        if (h.find("enum") == std::string::npos &&
+            std::regex_search(h, m, kClassHeader)) {
+          sc.is_class = true;
+          sc.name = m[1].str();
+        }
+        stack.push_back(std::move(sc));
+        header.clear();
+      } else if (c == '}') {
+        if (!stack.empty()) {
+          close_scope(stack.back());
+          stack.pop_back();
+        }
+        header.clear();
+      } else if (c == ';') {
+        header.clear();
+      } else {
+        header.push_back(c);
+      }
+    }
+  }
+  for (auto& sc : stack) close_scope(sc);  // unbalanced file: best effort
+}
+
+// --- rule: raw-sleep ------------------------------------------------------
+
+const std::regex kRawSleep(
+    R"(std\s*::\s*this_thread\s*::\s*sleep_(for|until)|\busleep\s*\(|\bnanosleep\s*\(|std\s*::\s*chrono\s*::\s*system_clock|\bgettimeofday\s*\()");
+
+void check_raw_sleep(const std::string& file,
+                     const std::vector<CleanLine>& lines) {
+  if (path_contains(file, "common/clock.")) return;
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    if (std::regex_search(lines[li].text, kRawSleep) &&
+        !suppressed(lines[li].raw, "raw-sleep")) {
+      report(file, li + 1, "raw-sleep",
+             "raw sleep / wall-clock call; use iofa::sleep_for_seconds "
+             "or the monotonic clock (common/clock.hpp)");
+    }
+  }
+}
+
+// --- rule: raw-cout -------------------------------------------------------
+
+const std::regex kRawCout(R"(std\s*::\s*(cout|cerr)\b)");
+
+void check_raw_cout(const std::string& file,
+                    const std::vector<CleanLine>& lines) {
+  // Logging discipline applies to the library tree; tools/benches and
+  // the exporters write their actual output to streams by design.
+  if (!path_contains(file, "src/")) return;
+  if (path_contains(file, "common/log.") ||
+      path_contains(file, "telemetry/export")) {
+    return;
+  }
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    if (std::regex_search(lines[li].text, kRawCout) &&
+        !suppressed(lines[li].raw, "raw-cout")) {
+      report(file, li + 1, "raw-cout",
+             "direct std::cout/std::cerr in library code; use "
+             "iofa::log_* (common/log.hpp) or take a std::ostream&");
+    }
+  }
+}
+
+// --- rule: bare-units -----------------------------------------------------
+
+const std::regex kBareUnits(
+    R"(\bdouble\s+\w*(bytes|byte|seconds|second|secs)\w*)");
+
+void check_bare_units(const std::string& file,
+                      const std::vector<CleanLine>& lines) {
+  if (!(path_contains(file, "core/") || path_contains(file, "fwd/"))) return;
+  if (file.size() < 4 || file.compare(file.size() - 4, 4, ".hpp") != 0) return;
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    std::smatch m;
+    if (std::regex_search(lines[li].text, m, kBareUnits) &&
+        !suppressed(lines[li].raw, "bare-units")) {
+      report(file, li + 1, "bare-units",
+             "bare 'double' carrying bytes/seconds in a public header; "
+             "use the Bytes / Seconds typedefs (common/units.hpp)");
+    }
+  }
+}
+
+// --- driver ---------------------------------------------------------------
+
+bool lintable(const fs::path& p) {
+  const auto ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+void lint_file(const fs::path& path) {
+  const std::string file = path.generic_string();
+  const auto lines = read_and_strip(path);
+  check_naked_mutex(file, lines);
+  check_raw_sleep(file, lines);
+  check_raw_cout(file, lines);
+  check_bare_units(file, lines);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> roots;
+  for (int i = 1; i < argc; ++i) {
+    roots.emplace_back(argv[i]);
+  }
+  if (roots.empty()) {
+    std::cerr << "usage: iofa_lint <file-or-directory>...\n";
+    return 2;
+  }
+  std::size_t files = 0;
+  for (const auto& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (fs::recursive_directory_iterator it(root, ec), end;
+           it != end && !ec; it.increment(ec)) {
+        if (it->is_regular_file() && lintable(it->path())) {
+          lint_file(it->path());
+          ++files;
+        }
+      }
+    } else if (fs::is_regular_file(root, ec) && lintable(root)) {
+      lint_file(root);
+      ++files;
+    } else {
+      std::cerr << "iofa_lint: cannot read '" << root.generic_string()
+                << "'\n";
+      return 2;
+    }
+  }
+  for (const auto& f : g_findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  std::cout << "iofa_lint: " << files << " files, " << g_findings.size()
+            << " finding(s)\n";
+  return g_findings.empty() ? 0 : 1;
+}

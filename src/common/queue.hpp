@@ -21,6 +21,12 @@
 
 namespace iofa {
 
+/// Outcome of a timed pop. A timeout is NOT the same as a closed
+/// queue: consumers that drain-on-shutdown must keep polling after
+/// kTimeout and stop only on kClosed, otherwise items still queued (or
+/// held back by a scheduler window) get dropped.
+enum class PopResult { kItem, kTimeout, kClosed };
+
 template <typename T>
 class BoundedQueue {
  public:
@@ -66,29 +72,43 @@ class BoundedQueue {
     return out;
   }
 
-  /// Pop with a relative timeout. Returns nullopt on timeout or once
-  /// closed and drained. Waits against an absolute deadline so that
-  /// spurious wakeups re-enter the wait with the remaining budget
-  /// instead of restarting the full timeout.
+  /// Pop with a relative timeout, reporting WHY nothing was popped:
+  /// kTimeout (queue still open, caller should retry) vs kClosed
+  /// (closed and drained, caller may stop). Waits against an absolute
+  /// deadline so that spurious wakeups re-enter the wait with the
+  /// remaining budget instead of restarting the full timeout.
   template <typename Rep, typename Period>
-  std::optional<T> try_pop_for(std::chrono::duration<Rep, Period> timeout)
+  PopResult try_pop_for(std::chrono::duration<Rep, Period> timeout, T& out)
       IOFA_EXCLUDES(mu_) {
     const auto deadline = std::chrono::steady_clock::now() + timeout;
-    std::optional<T> out;
     {
       UniqueLock lk(mu_);
       while (!closed_ && items_.empty()) {
         if (not_empty_.wait_until(lk, deadline) == std::cv_status::timeout &&
             items_.empty()) {
-          return std::nullopt;  // predicate re-checked: a timed-out wait
-                                // still pops when an item slipped in
+          // predicate re-checked: a timed-out wait still pops when an
+          // item slipped in
+          return closed_ ? PopResult::kClosed : PopResult::kTimeout;
         }
       }
-      if (items_.empty()) return std::nullopt;
-      out.emplace(std::move(items_.front()));
+      if (items_.empty()) {
+        return closed_ ? PopResult::kClosed : PopResult::kTimeout;
+      }
+      out = std::move(items_.front());
       items_.pop_front();
     }
     not_full_.notify_one();
+    return PopResult::kItem;
+  }
+
+  /// Optional-returning flavour. Collapses timeout and closed into one
+  /// nullopt - fine for callers that poll closed() separately, wrong
+  /// for drain-on-shutdown loops (use the PopResult overload there).
+  template <typename Rep, typename Period>
+  std::optional<T> try_pop_for(std::chrono::duration<Rep, Period> timeout)
+      IOFA_EXCLUDES(mu_) {
+    std::optional<T> out(std::in_place);
+    if (try_pop_for(timeout, *out) != PopResult::kItem) out.reset();
     return out;
   }
 

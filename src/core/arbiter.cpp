@@ -99,9 +99,11 @@ Arbiter::Arbiter(std::shared_ptr<ArbitrationPolicy> policy,
     : policy_(std::move(policy)), options_(options) {
   mapping_.pool = options_.pool;
 
-  auto& reg = telemetry::Registry::global();
+  auto& reg = options_.registry ? *options_.registry
+                                : telemetry::Registry::global();
   const telemetry::Labels labels{{"policy", policy_->name()}};
   ctr_solves_ = &reg.counter("core.arbiter.solves", labels);
+  ctr_failure_resolves_ = &reg.counter("arbiter.resolves_on_failure", labels);
   ctr_items_ = &reg.counter("core.arbiter.items", labels);
   hist_solve_us_ = &reg.histogram("core.arbiter.solve_us",
                                   telemetry::BucketSpec::latency_us(), labels);
@@ -127,7 +129,22 @@ const Mapping& Arbiter::job_finished(JobId id) {
 
 const Mapping& Arbiter::set_pool(int pool) {
   options_.pool = pool;
+  // Recovered-beyond-pool ids would otherwise linger in failed_.
+  failed_.erase(failed_.lower_bound(pool), failed_.end());
   arbitrate();
+  return mapping_;
+}
+
+const Mapping& Arbiter::ion_failed(int ion) {
+  if (ion >= 0 && ion < options_.pool && failed_.insert(ion).second) {
+    ctr_failure_resolves_->add();
+    arbitrate();
+  }
+  return mapping_;
+}
+
+const Mapping& Arbiter::ion_recovered(int ion) {
+  if (failed_.erase(ion) != 0) arbitrate();
   return mapping_;
 }
 
@@ -135,7 +152,9 @@ void Arbiter::arbitrate() {
   telemetry::ScopedSpan span("arbitrate", "core.arbiter", "jobs",
                              static_cast<std::int64_t>(running_.size()));
   AllocationProblem problem;
-  problem.pool = options_.pool;
+  // The policy solves over the SURVIVING pool: dead IONs contribute no
+  // capacity (Eq. 2 recomputed on survivors).
+  problem.pool = options_.pool - static_cast<int>(failed_.size());
   problem.static_ratio = options_.static_ratio;
   std::vector<JobId> order;
   std::size_t items = 0;  ///< MCKP items: feasible options across classes
@@ -182,16 +201,23 @@ void Arbiter::materialize(const std::map<JobId, int>& counts,
   ++mapping_.epoch;
   mapping_.pool = options_.pool;
 
-  // The shared ION, when needed, is the highest-numbered node.
+  // Identities come from the surviving nodes only; dead ones keep their
+  // ids but are unassignable until ion_recovered().
+  std::vector<int> alive;
+  for (int i = 0; i < options_.pool; ++i) {
+    if (!failed_.contains(i)) alive.push_back(i);
+  }
+
+  // The shared ION, when needed, is the highest-numbered LIVE node.
   bool any_shared = false;
   for (const auto& [id, s] : shared) any_shared |= s;
-  const int shared_ion = options_.pool - 1;
-  const int usable = any_shared ? options_.pool - 1 : options_.pool;
+  const int shared_ion = alive.empty() ? -1 : alive.back();
 
   // Phase 1: retain as much of each job's previous assignment as its new
   // count allows; collect everything else as free.
-  std::set<int> free_ions;
-  for (int i = 0; i < usable; ++i) free_ions.insert(i);
+  std::set<int> free_ions(alive.begin(), alive.end());
+  if (any_shared && shared_ion >= 0) free_ions.erase(shared_ion);
+  const std::set<int> usable = free_ions;
 
   std::map<JobId, std::vector<int>> kept;
   for (const auto& [id, n] : counts) {
@@ -199,7 +225,7 @@ void Arbiter::materialize(const std::map<JobId, int>& counts,
     auto it = mapping_.jobs.find(id);
     if (it != mapping_.jobs.end() && !it->second.shared) {
       for (int ion : it->second.ions) {
-        if (static_cast<int>(keep.size()) < n && ion < usable) {
+        if (static_cast<int>(keep.size()) < n && usable.contains(ion)) {
           keep.push_back(ion);
         }
       }
@@ -219,7 +245,8 @@ void Arbiter::materialize(const std::map<JobId, int>& counts,
     entry.app_label = running_.at(id).label;
     entry.shared = shared.at(id);
     if (entry.shared) {
-      entry.ions = {shared_ion};
+      // Whole pool dead: nothing to share, the job goes direct.
+      if (shared_ion >= 0) entry.ions = {shared_ion};
     } else {
       entry.ions = kept[id];
       while (static_cast<int>(entry.ions.size()) < n && !free_ions.empty()) {

@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,8 @@ struct ArbiterOptions {
   /// When false, running jobs keep their allocation and only new jobs
   /// receive nodes from the free pool (the paper's STATIC behaviour).
   bool reallocate_running = true;
+  /// Metrics destination; nullptr means telemetry::Registry::global().
+  telemetry::Registry* registry = nullptr;
 };
 
 class Arbiter {
@@ -62,6 +65,15 @@ class Arbiter {
   /// re-arbitrate. Returns the new mapping.
   const Mapping& set_pool(int pool);
   int pool() const { return options_.pool; }
+
+  /// Failure-triggered re-solve (the HealthMonitor's entry points):
+  /// mark an ION dead / alive again, re-run MCKP over the surviving
+  /// set, and rematerialise identities so no job is mapped to a dead
+  /// node. The published pool stays options_.pool - dead nodes keep
+  /// their ids, they just become unassignable.
+  const Mapping& ion_failed(int ion);
+  const Mapping& ion_recovered(int ion);
+  const std::set<int>& failed_ions() const { return failed_; }
 
   const Mapping& mapping() const { return mapping_; }
   std::size_t running_jobs() const { return running_.size(); }
@@ -82,12 +94,14 @@ class Arbiter {
   ArbiterOptions options_;
   std::map<JobId, AppEntry> running_;
   std::map<JobId, int> counts_;
+  std::set<int> failed_;  ///< IONs excluded from arbitration
   Mapping mapping_;
   Seconds last_solve_seconds_ = 0.0;
 
   // Telemetry ("core.arbiter.*", labelled with the policy name): the
   // live analogue of the Sec. 5.3 solve-timing numbers.
   telemetry::Counter* ctr_solves_ = nullptr;
+  telemetry::Counter* ctr_failure_resolves_ = nullptr;
   telemetry::Counter* ctr_items_ = nullptr;
   telemetry::Histogram* hist_solve_us_ = nullptr;
   telemetry::Histogram* hist_classes_ = nullptr;

@@ -1,0 +1,45 @@
+#pragma once
+// Bounded exponential backoff with deterministic jitter.
+//
+// Retry delays grow geometrically up to a cap; jitter draws from the
+// seeded iofa::Rng stream, so a retry sequence is reproducible from
+// (seed, request identity, attempt) - no wall-clock or global
+// randomness anywhere (the iofa_lint raw-rand rule enforces this).
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace iofa::fault {
+
+struct BackoffPolicy {
+  Seconds base = 1.0e-3;     ///< first retry delay
+  Seconds cap = 20.0e-3;     ///< ceiling for any single delay
+  double multiplier = 2.0;   ///< growth per attempt
+};
+
+/// Delay before retry `attempt` (1-based), jittered uniformly into
+/// [delay/2, delay) from the caller's RNG stream.
+inline Seconds backoff_delay(const BackoffPolicy& policy, int attempt,
+                             Rng& rng) {
+  Seconds delay = policy.base;
+  for (int i = 1; i < attempt; ++i) {
+    delay = std::min(policy.cap, delay * policy.multiplier);
+  }
+  delay = std::min(policy.cap, delay);
+  return delay * (0.5 + 0.5 * rng.uniform01());
+}
+
+/// Stateless flavour: the jitter stream is derived on the spot from a
+/// mixed seed, so concurrent retry chains never share RNG state.
+inline Seconds backoff_delay(const BackoffPolicy& policy, int attempt,
+                             std::uint64_t seed) {
+  Rng rng(SplitMix64(seed ^ (0x9E3779B97F4A7C15ULL *
+                             static_cast<std::uint64_t>(attempt + 1)))
+              .next());
+  return backoff_delay(policy, attempt, rng);
+}
+
+}  // namespace iofa::fault

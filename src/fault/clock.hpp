@@ -1,0 +1,55 @@
+#pragma once
+// The clock fault plans are scheduled against.
+//
+// Time-triggered events ("at 0.5 crash ion.1") need a notion of "now"
+// that tests can control: WallFaultClock follows the process monotonic
+// clock from the moment it is armed (tools, live runs), while
+// ManualFaultClock only moves when the test advances it - so a scenario
+// can hold the world still, issue I/O, then step past a crash instant
+// and observe the exact transition.
+
+#include <atomic>
+
+#include "common/clock.hpp"
+#include "common/units.hpp"
+
+namespace iofa::fault {
+
+class FaultClock {
+ public:
+  virtual ~FaultClock() = default;
+  /// Seconds since the plan was armed. Never decreases.
+  virtual Seconds now() const = 0;
+};
+
+/// Real time, zeroed at arm(). Before arm() the clock reads 0, so
+/// "at 0" events are live from the first check.
+class WallFaultClock : public FaultClock {
+ public:
+  void arm() { t0_.store(monotonic_seconds(), std::memory_order_release); }
+  Seconds now() const override {
+    const double t0 = t0_.load(std::memory_order_acquire);
+    if (t0 < 0.0) return 0.0;
+    return monotonic_seconds() - t0;
+  }
+
+ private:
+  std::atomic<double> t0_{-1.0};
+};
+
+/// Test-controlled time: moves only via advance()/set().
+class ManualFaultClock : public FaultClock {
+ public:
+  Seconds now() const override {
+    return t_.load(std::memory_order_acquire);
+  }
+  void advance(Seconds delta) {
+    t_.fetch_add(delta, std::memory_order_acq_rel);
+  }
+  void set(Seconds t) { t_.store(t, std::memory_order_release); }
+
+ private:
+  std::atomic<double> t_{0.0};
+};
+
+}  // namespace iofa::fault

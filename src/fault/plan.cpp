@@ -1,0 +1,381 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace iofa::fault {
+
+namespace {
+
+/// Shortest decimal string that parses back to exactly `v` (so the DSL
+/// stays readable and parse(print(plan)) == plan holds bit-for-bit).
+std::string fmt_double(double v) {
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::ostringstream os;
+    os.precision(precision);
+    os << v;
+    if (std::stod(os.str()) == v) return os.str();
+  }
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+bool parse_u64(const std::string& tok, std::uint64_t* out) {
+  if (tok.empty()) return false;
+  for (char c : tok) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) return false;
+  }
+  try {
+    *out = std::stoull(tok);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+bool parse_double(const std::string& tok, double* out) {
+  try {
+    std::size_t used = 0;
+    *out = std::stod(tok, &used);
+    return used == tok.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// "ion.<N>" with no further segments - the lifecycle site.
+bool is_ion_lifecycle_site(const std::string& site) {
+  auto ion = ion_of_site(site);
+  return ion.has_value() && site == ion_site(*ion);
+}
+
+std::optional<EventKind> kind_of_verb(const std::string& verb) {
+  if (verb == "crash") return EventKind::Crash;
+  if (verb == "restart") return EventKind::Restart;
+  if (verb == "error") return EventKind::Error;
+  if (verb == "stall") return EventKind::Stall;
+  if (verb == "drop") return EventKind::Drop;
+  if (verb == "corrupt") return EventKind::Corrupt;
+  return std::nullopt;
+}
+
+}  // namespace
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::Crash: return "crash";
+    case EventKind::Restart: return "restart";
+    case EventKind::Error: return "error";
+    case EventKind::Stall: return "stall";
+    case EventKind::Drop: return "drop";
+    case EventKind::Corrupt: return "corrupt";
+  }
+  return "?";
+}
+
+const char* to_string(TriggerKind kind) {
+  switch (kind) {
+    case TriggerKind::At: return "at";
+    case TriggerKind::After: return "after";
+    case TriggerKind::Prob: return "prob";
+  }
+  return "?";
+}
+
+std::string ion_site(int ion) { return "ion." + std::to_string(ion); }
+
+std::string request_site(int ion) {
+  return "ion." + std::to_string(ion) + ".request";
+}
+
+bool site_is_valid(const std::string& site) {
+  if (site == kPfsWriteSite || site == kPfsReadSite ||
+      site == kMappingPublishSite) {
+    return true;
+  }
+  return ion_of_site(site).has_value();
+}
+
+std::optional<int> ion_of_site(const std::string& site) {
+  if (site.rfind("ion.", 0) != 0) return std::nullopt;
+  std::string rest = site.substr(4);
+  const auto dot = rest.find('.');
+  if (dot != std::string::npos) {
+    if (rest.substr(dot + 1) != "request") return std::nullopt;
+    rest = rest.substr(0, dot);
+  }
+  std::uint64_t n = 0;
+  if (!parse_u64(rest, &n) || n > 1'000'000) return std::nullopt;
+  return static_cast<int>(n);
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  os << "# iofa fault plan\n";
+  os << "seed " << seed << "\n";
+  for (const auto& e : events) {
+    switch (e.trigger) {
+      case TriggerKind::At:
+        os << "at " << fmt_double(e.at) << " " << fault::to_string(e.kind)
+           << " " << e.site;
+        if (e.kind == EventKind::Stall) os << " " << fmt_double(e.duration);
+        break;
+      case TriggerKind::After:
+        os << "after " << e.after << " " << fault::to_string(e.kind) << " "
+           << e.site;
+        break;
+      case TriggerKind::Prob:
+        os << "prob " << fmt_double(e.probability) << " "
+           << fault::to_string(e.kind) << " " << e.site;
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string& text,
+                                          std::string* error) {
+  auto fail = [&](int line_no, const std::string& why) {
+    if (error) {
+      *error = "line " + std::to_string(line_no) + ": " + why;
+    }
+    return std::nullopt;
+  };
+
+  FaultPlan plan;
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok)) continue;  // blank line
+    if (tok[0] == '#') continue;
+
+    if (tok == "seed") {
+      std::string value;
+      if (!(ls >> value) || !parse_u64(value, &plan.seed)) {
+        return fail(line_no, "seed wants an unsigned integer");
+      }
+    } else if (tok == "at" || tok == "after" || tok == "prob") {
+      FaultEvent e;
+      std::string value, verb;
+      if (!(ls >> value >> verb)) {
+        return fail(line_no, "expected '" + tok + " <value> <verb> <site>'");
+      }
+      if (tok == "at") {
+        e.trigger = TriggerKind::At;
+        if (!parse_double(value, &e.at)) {
+          return fail(line_no, "bad time '" + value + "'");
+        }
+      } else if (tok == "after") {
+        e.trigger = TriggerKind::After;
+        if (!parse_u64(value, &e.after)) {
+          return fail(line_no, "bad count '" + value + "'");
+        }
+      } else {
+        e.trigger = TriggerKind::Prob;
+        if (!parse_double(value, &e.probability)) {
+          return fail(line_no, "bad probability '" + value + "'");
+        }
+      }
+      const auto kind = kind_of_verb(verb);
+      if (!kind) return fail(line_no, "unknown event '" + verb + "'");
+      e.kind = *kind;
+      if (!(ls >> e.site)) return fail(line_no, "missing site");
+      if (e.kind == EventKind::Stall) {
+        std::string dur;
+        if (!(ls >> dur) || !parse_double(dur, &e.duration)) {
+          return fail(line_no, "stall wants a duration");
+        }
+      }
+      plan.events.push_back(std::move(e));
+    } else {
+      return fail(line_no, "unknown directive '" + tok + "'");
+    }
+    std::string extra;
+    if (ls >> extra) {
+      return fail(line_no, "trailing tokens from '" + extra + "'");
+    }
+  }
+  if (auto why = plan.validate()) {
+    if (error) *error = *why;
+    return std::nullopt;
+  }
+  return plan;
+}
+
+std::optional<std::string> FaultPlan::validate() const {
+  // Last `at` time seen per site: At-triggered events must be listed
+  // chronologically because the injector replays them in plan order to
+  // answer liveness queries.
+  std::map<std::string, Seconds> last_at;
+  // Stall windows per site, for the overlap check.
+  std::map<std::string, std::vector<std::pair<Seconds, Seconds>>> stalls;
+
+  for (const auto& e : events) {
+    const std::string what =
+        std::string(fault::to_string(e.kind)) + " " + e.site;
+    if (!site_is_valid(e.site)) {
+      return "bad site name '" + e.site + "'";
+    }
+    switch (e.kind) {
+      case EventKind::Crash:
+        if (!is_ion_lifecycle_site(e.site)) {
+          return what + ": crash wants an ion.<N> site";
+        }
+        if (e.trigger == TriggerKind::Prob) {
+          return what + ": crash is 'at' or 'after', not probabilistic";
+        }
+        break;
+      case EventKind::Restart:
+        if (!is_ion_lifecycle_site(e.site)) {
+          return what + ": restart wants an ion.<N> site";
+        }
+        if (e.trigger != TriggerKind::At) {
+          return what + ": restart is time-triggered only";
+        }
+        break;
+      case EventKind::Error:
+        if (e.trigger == TriggerKind::At) {
+          return what + ": error is 'after' or 'prob', not time-triggered";
+        }
+        if (e.site == kMappingPublishSite) {
+          return what + ": mapping.publish takes drop/corrupt, not error";
+        }
+        if (e.site == kPfsReadSite) {
+          return what + ": pfs.read is stall-only (short reads are not "
+                        "modelled as dispatch errors)";
+        }
+        break;
+      case EventKind::Stall:
+        if (e.trigger != TriggerKind::At) {
+          return what + ": stall is time-triggered only";
+        }
+        if (e.site == kMappingPublishSite) {
+          return what + ": mapping.publish takes drop/corrupt, not stall";
+        }
+        if (e.duration <= 0.0) {
+          return what + ": stall duration must be positive";
+        }
+        break;
+      case EventKind::Drop:
+      case EventKind::Corrupt:
+        if (e.trigger != TriggerKind::At) {
+          return what + ": " + fault::to_string(e.kind) +
+                 " is time-triggered only";
+        }
+        if (e.site != kMappingPublishSite) {
+          return what + ": only mapping.publish can be dropped/corrupted";
+        }
+        break;
+    }
+    switch (e.trigger) {
+      case TriggerKind::At: {
+        if (e.at < 0.0) return what + ": negative time";
+        auto [it, inserted] = last_at.try_emplace(e.site, e.at);
+        if (!inserted) {
+          if (e.at < it->second) {
+            return what + ": 'at' events for one site must be listed "
+                          "chronologically";
+          }
+          it->second = e.at;
+        }
+        break;
+      }
+      case TriggerKind::After:
+        if (e.after < 1) return what + ": 'after' count must be >= 1";
+        break;
+      case TriggerKind::Prob:
+        if (!(e.probability > 0.0 && e.probability <= 1.0)) {
+          return what + ": probability must be in (0, 1]";
+        }
+        break;
+    }
+    if (e.kind == EventKind::Stall) {
+      auto& windows = stalls[e.site];
+      for (const auto& [lo, hi] : windows) {
+        if (e.at < hi && lo < e.at + e.duration) {
+          return what + ": overlapping stall windows on one site";
+        }
+      }
+      windows.emplace_back(e.at, e.at + e.duration);
+    }
+  }
+  return std::nullopt;
+}
+
+FaultPlan& FaultPlan::crash_ion(int ion, Seconds at) {
+  events.push_back({EventKind::Crash, TriggerKind::At, ion_site(ion), at});
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_ion_after(int ion, std::uint64_t checks) {
+  FaultEvent e;
+  e.kind = EventKind::Crash;
+  e.trigger = TriggerKind::After;
+  e.site = ion_site(ion);
+  e.after = checks;
+  events.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::restart_ion(int ion, Seconds at) {
+  events.push_back({EventKind::Restart, TriggerKind::At, ion_site(ion), at});
+  return *this;
+}
+
+FaultPlan& FaultPlan::stall(const std::string& site, Seconds at,
+                            Seconds duration) {
+  FaultEvent e;
+  e.kind = EventKind::Stall;
+  e.trigger = TriggerKind::At;
+  e.site = site;
+  e.at = at;
+  e.duration = duration;
+  events.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::error_after(const std::string& site,
+                                  std::uint64_t checks) {
+  FaultEvent e;
+  e.kind = EventKind::Error;
+  e.trigger = TriggerKind::After;
+  e.site = site;
+  e.after = checks;
+  events.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::error_prob(const std::string& site,
+                                 double probability) {
+  FaultEvent e;
+  e.kind = EventKind::Error;
+  e.trigger = TriggerKind::Prob;
+  e.site = site;
+  e.probability = probability;
+  events.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop_mapping(Seconds at) {
+  events.push_back(
+      {EventKind::Drop, TriggerKind::At, kMappingPublishSite, at});
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupt_mapping(Seconds at) {
+  events.push_back(
+      {EventKind::Corrupt, TriggerKind::At, kMappingPublishSite, at});
+  return *this;
+}
+
+}  // namespace iofa::fault

@@ -1,0 +1,99 @@
+#pragma once
+// Fault plans: the declarative half of the fault-injection subsystem.
+//
+// A FaultPlan is a seeded schedule of failure events against named
+// sites in the forwarding runtime. Sites are strings:
+//
+//   ion.<N>          - ION daemon lifecycle (crash/restart) and the
+//                      per-request admission point inside daemon N
+//   ion.<N>.request  - request-level dispatch inside daemon N
+//   pfs.write        - PFS write dispatch (the flusher's backend call)
+//   pfs.read         - PFS read dispatch (stall only; reads are retried
+//                      by the client, not the PFS model)
+//   mapping.publish  - the arbiter's mapping-file publish
+//
+// Events come in three trigger flavours: `at <seconds>` (fault-clock
+// time), `after <count>` (the N-th check at the site), and
+// `prob <p>` (each check fails independently with probability p, drawn
+// from a per-site RNG stream derived from the plan seed - so the k-th
+// check at a site sees the same draw in every run).
+//
+// Plans parse from a one-directive-per-line text DSL and print back to
+// it; parse(print(plan)) == plan (tests/fault_plan_test.cpp). Builders
+// cover the same space for C++ callers.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace iofa::fault {
+
+enum class EventKind { Crash, Restart, Error, Stall, Drop, Corrupt };
+enum class TriggerKind { At, After, Prob };
+
+const char* to_string(EventKind kind);
+const char* to_string(TriggerKind kind);
+
+/// One scheduled fault. Which fields are meaningful depends on the
+/// trigger: At uses `at` (+ `duration` for stalls), After uses `after`,
+/// Prob uses `probability`.
+struct FaultEvent {
+  EventKind kind = EventKind::Error;
+  TriggerKind trigger = TriggerKind::At;
+  std::string site;
+  Seconds at = 0.0;            ///< fault-clock time (At)
+  std::uint64_t after = 0;     ///< 1-based check count (After)
+  double probability = 0.0;    ///< per-check failure probability (Prob)
+  Seconds duration = 0.0;      ///< stall window length (Stall only)
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Serialise to the DSL. Guaranteed to re-parse to an equal plan.
+  std::string to_string() const;
+
+  /// Parse the DSL; on failure returns nullopt and, when `error` is
+  /// non-null, a "line N: reason" message.
+  static std::optional<FaultPlan> parse(const std::string& text,
+                                        std::string* error = nullptr);
+
+  /// Structural validation (also run by parse): site names, trigger /
+  /// kind combinations, stall-window overlap, chronological `at` order
+  /// per site. Returns nullopt when valid, else a reason.
+  std::optional<std::string> validate() const;
+
+  // --- builders --------------------------------------------------------
+  FaultPlan& crash_ion(int ion, Seconds at);
+  FaultPlan& crash_ion_after(int ion, std::uint64_t checks);
+  FaultPlan& restart_ion(int ion, Seconds at);
+  FaultPlan& stall(const std::string& site, Seconds at, Seconds duration);
+  FaultPlan& error_after(const std::string& site, std::uint64_t checks);
+  FaultPlan& error_prob(const std::string& site, double probability);
+  FaultPlan& drop_mapping(Seconds at);
+  FaultPlan& corrupt_mapping(Seconds at);
+
+  bool operator==(const FaultPlan&) const = default;
+};
+
+/// Canonical site names.
+std::string ion_site(int ion);
+std::string request_site(int ion);
+inline constexpr const char* kPfsWriteSite = "pfs.write";
+inline constexpr const char* kPfsReadSite = "pfs.read";
+inline constexpr const char* kMappingPublishSite = "mapping.publish";
+
+/// True for syntactically valid site names (see header comment).
+bool site_is_valid(const std::string& site);
+/// Parses "ion.<N>" / "ion.<N>.request"; nullopt otherwise.
+std::optional<int> ion_of_site(const std::string& site);
+
+}  // namespace iofa::fault

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstring>
 #include <future>
 
+#include "common/clock.hpp"
 #include "gkfs/chunk.hpp"
 
 namespace iofa::fwd {
@@ -12,14 +14,19 @@ namespace iofa::fwd {
 Client::Client(ClientConfig config, ForwardingService& service)
     : config_(std::move(config)),
       service_(service),
-      view_(service.mapping_store(), config_.job, config_.poll_period),
+      view_(service.mapping_store(), config_.job, config_.poll_period,
+            config_.registry),
       epoch_(std::chrono::steady_clock::now()) {
-  auto& reg = telemetry::Registry::global();
+  auto& reg = config_.registry ? *config_.registry
+                               : telemetry::Registry::global();
   const telemetry::Labels labels{{"job", std::to_string(config_.job)},
                                  {"app", config_.app_label}};
   forwarded_ctr_ = &reg.counter("fwd.client.forwarded_ops", labels);
   direct_ctr_ = &reg.counter("fwd.client.direct_ops", labels);
   bytes_ctr_ = &reg.counter("fwd.client.bytes", labels);
+  retries_ctr_ = &reg.counter("fwd.retries", labels);
+  failover_ctr_ = &reg.counter("fwd.failovers", labels);
+  fallback_ctr_ = &reg.counter("fwd.client.direct_fallback", labels);
 }
 
 Seconds Client::now() const {
@@ -51,54 +58,156 @@ std::size_t Client::scatter(std::uint32_t rank, FwdOp op,
                             const std::vector<int>& targets) {
   // GekkoFS chunk distribution: one sub-request per chunk, each to the
   // chunk's home daemon - over ALL daemons in burst-buffer mode, over
-  // the job's assigned ION subset in forwarding mode.
+  // the job's assigned ION subset in forwarding mode. Failure handling
+  // per sub-request: bounded attempts rotating through the epoch's
+  // target list (timeouts, IonDownError, refused submits all advance),
+  // then a direct-PFS rescue. Positional I/O is idempotent, so a
+  // retried write that double-applies is indistinguishable from one
+  // that applied once.
   (void)rank;
   const std::uint64_t id = gkfs::hash_path(path);
   const auto daemons = targets.size();
   struct Pending {
     std::future<std::size_t> fut;
     std::shared_ptr<std::vector<std::byte>> buf;
+    std::uint64_t file_offset = 0;
+    std::uint64_t sub_size = 0;
     std::uint64_t rel = 0;
+    std::size_t slot = 0;   ///< index into `targets` currently serving
+    int attempts = 0;       ///< accepted submissions so far
+    bool submitted = false;
   };
-  std::vector<Pending> pending;
-  std::size_t n = 0;
-  for (const auto& slice : gkfs::split_range(offset, size)) {
+
+  auto make_request = [&](const Pending& p) {
     FwdRequest req;
     req.op = op;
     req.path = path;
     req.file_id = id;
-    req.offset = slice.file_offset;
-    req.size = slice.size;
+    req.offset = p.file_offset;
+    req.size = p.sub_size;
     req.stream_weight = config_.stream_weight;
-    const std::uint64_t rel = slice.file_offset - offset;
     if (op == FwdOp::Write && config_.store_data && !wdata.empty()) {
-      auto sub = wdata.subspan(rel, slice.size);
+      auto sub = wdata.subspan(p.rel, p.sub_size);
       req.data = std::make_shared<std::vector<std::byte>>(sub.begin(),
                                                           sub.end());
     } else if (op == FwdOp::Read && config_.store_data &&
                !rdata.empty()) {
-      req.data = std::make_shared<std::vector<std::byte>>(slice.size);
+      // Fresh buffer per attempt: an abandoned (timed-out) request may
+      // still complete into ITS buffer later without racing ours.
+      req.data = std::make_shared<std::vector<std::byte>>(p.sub_size);
     }
     req.done = std::make_shared<std::promise<std::size_t>>();
-    Pending p;
-    p.fut = req.done->get_future();
-    p.buf = req.data;
-    p.rel = rel;
-    const int target = targets[gkfs::daemon_of(id, slice.chunk, daemons)];
-    if (!service_.daemon(target).submit(std::move(req))) {
-      continue;  // daemon shut down; sub-request dropped
+    return req;
+  };
+
+  // One submission pass: offer the sub-request to IONs starting at
+  // `start`, at most one full cycle. Counts a failover whenever the
+  // accepting ION differs from the one that served (or was about to
+  // serve) the previous attempt.
+  auto submit_from = [&](Pending& p, std::size_t start) {
+    for (std::size_t k = 0; k < daemons; ++k) {
+      const std::size_t slot = (start + k) % daemons;
+      FwdRequest req = make_request(p);
+      auto fut = req.done->get_future();
+      auto buf = req.data;
+      if (service_.daemon(targets[slot]).submit(std::move(req))) {
+        if (p.submitted ? slot != p.slot : slot != start) {
+          failover_ctr_->add();
+        }
+        p.fut = std::move(fut);
+        p.buf = std::move(buf);
+        p.slot = slot;
+        p.submitted = true;
+        ++p.attempts;
+        return true;
+      }
     }
-    pending.push_back(std::move(p));
-    forwarded_ops_.fetch_add(1);
-    forwarded_ctr_->add();
+    return false;
+  };
+
+  // Wait for the current attempt; false on timeout or IonDownError.
+  auto wait_done = [&](Pending& p, std::size_t& got) {
+    try {
+      if (config_.request_timeout > 0.0) {
+        const auto status = p.fut.wait_for(
+            std::chrono::duration<double>(config_.request_timeout));
+        if (status != std::future_status::ready) return false;
+      }
+      got = p.fut.get();
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  };
+
+  // Rescue path: the op bypasses forwarding entirely. Direct writes
+  // retry through injected PFS dispatch errors until they land - the
+  // client owns durability once no ION holds the bytes.
+  auto direct_rescue = [&](Pending& p) -> std::size_t {
+    fallback_ctr_->add();
+    if (op == FwdOp::Write) {
+      auto sub = wdata.empty()
+                     ? std::span<const std::byte>()
+                     : wdata.subspan(p.rel, p.sub_size);
+      for (int attempt = 1;; ++attempt) {
+        if (service_.pfs().write(path, p.file_offset, p.sub_size, sub,
+                                 config_.stream_weight)) {
+          return p.sub_size;
+        }
+        retries_ctr_->add();
+        sleep_for_seconds(fault::backoff_delay(
+            config_.backoff, attempt,
+            config_.retry_seed ^ id ^ p.file_offset ^ 0x5CUL));
+      }
+    }
+    auto out = rdata.empty() ? std::span<std::byte>()
+                             : rdata.subspan(p.rel, p.sub_size);
+    return service_.pfs().read(path, p.file_offset, p.sub_size, out,
+                               config_.stream_weight);
+  };
+
+  std::vector<Pending> pending;
+  std::size_t n = 0;
+  for (const auto& slice : gkfs::split_range(offset, size)) {
+    Pending p;
+    p.file_offset = slice.file_offset;
+    p.sub_size = slice.size;
+    p.rel = slice.file_offset - offset;
+    const std::size_t preferred = gkfs::daemon_of(id, slice.chunk, daemons);
+    if (submit_from(p, preferred)) {
+      forwarded_ops_.fetch_add(1);
+      forwarded_ctr_->add();
+      pending.push_back(std::move(p));
+    } else {
+      n += direct_rescue(p);  // every ION refused (all down)
+    }
   }
   for (auto& p : pending) {
-    const std::size_t got = p.fut.get();
-    if (op == FwdOp::Read && p.buf && !rdata.empty()) {
-      std::memcpy(rdata.data() + p.rel, p.buf->data(),
-                  std::min<std::size_t>(got, p.buf->size()));
+    for (;;) {
+      std::size_t got = 0;
+      if (wait_done(p, got)) {
+        if (op == FwdOp::Read && p.buf && !rdata.empty()) {
+          std::memcpy(rdata.data() + p.rel, p.buf->data(),
+                      std::min<std::size_t>(got, p.buf->size()));
+        }
+        n += got;
+        break;
+      }
+      retries_ctr_->add();
+      if (p.attempts >= config_.max_attempts) {
+        n += direct_rescue(p);
+        break;
+      }
+      sleep_for_seconds(fault::backoff_delay(
+          config_.backoff, p.attempts,
+          config_.retry_seed ^ id ^ p.file_offset));
+      // Next ION of the epoch (same one when it is the only target).
+      const std::size_t next = daemons > 1 ? (p.slot + 1) % daemons : 0;
+      if (!submit_from(p, next)) {
+        n += direct_rescue(p);
+        break;
+      }
     }
-    n += got;
   }
   return n;
 }
@@ -160,7 +269,15 @@ void Client::fsync(const std::string& path) {
     req.file_id = gkfs::hash_path(path);
     req.done = std::make_shared<std::promise<std::size_t>>();
     auto fut = req.done->get_future();
-    if (service_.daemon(ion).submit(std::move(req))) fut.get();
+    if (service_.daemon(ion).submit(std::move(req))) {
+      try {
+        fut.get();
+      } catch (const std::exception&) {
+        // ION crashed mid-fsync. Its flusher keeps draining the staged
+        // data (node-local storage survives), so durability is a matter
+        // of time, not of this marker.
+      }
+    }
   };
   if (config_.mode == ClientMode::BurstBuffer) {
     // Chunks are scattered: every daemon may hold staged data.

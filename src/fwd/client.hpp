@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/units.hpp"
+#include "fault/backoff.hpp"
 #include "fwd/mapping.hpp"
 #include "fwd/request.hpp"
 #include "fwd/service.hpp"
@@ -40,6 +41,21 @@ struct ClientConfig {
   /// Null payloads: account bytes without materialising them.
   bool store_data = true;
   ClientMode mode = ClientMode::Forwarding;
+
+  // --- failure handling ------------------------------------------------
+  /// Per-sub-request completion timeout; 0 waits forever. A timed-out
+  /// request is abandoned and retried elsewhere - positional I/O is
+  /// idempotent, so a late completion of the abandoned copy is
+  /// harmless.
+  Seconds request_timeout = 0.0;
+  /// Submission attempts per sub-request (rotating through the IONs of
+  /// the current mapping epoch) before falling back to direct PFS.
+  int max_attempts = 4;
+  fault::BackoffPolicy backoff = {};
+  /// Seed for deterministic retry jitter (mixed with request identity).
+  std::uint64_t retry_seed = 0;
+  /// Metrics destination; nullptr means telemetry::Registry::global().
+  telemetry::Registry* registry = nullptr;
 };
 
 class Client {
@@ -99,6 +115,9 @@ class Client {
   telemetry::Counter* forwarded_ctr_ = nullptr;
   telemetry::Counter* direct_ctr_ = nullptr;
   telemetry::Counter* bytes_ctr_ = nullptr;
+  telemetry::Counter* retries_ctr_ = nullptr;    ///< "fwd.retries"
+  telemetry::Counter* failover_ctr_ = nullptr;   ///< "fwd.failovers"
+  telemetry::Counter* fallback_ctr_ = nullptr;   ///< direct-PFS rescues
 };
 
 }  // namespace iofa::fwd

@@ -38,6 +38,13 @@ IonDaemon::IonDaemon(int id, IonParams params, EmulatedPfs& pfs)
                      telemetry::BucketSpec::latency_us(), labels);
   metrics_.dispatch_bytes = &reg.histogram(
       "fwd.ion.dispatch_bytes", telemetry::BucketSpec::bytes(), labels);
+  metrics_.retries = &reg.counter("fwd.retries", labels);
+  metrics_.flush_abandoned = &reg.counter("fwd.ion.flush_abandoned", labels);
+  metrics_.failed_requests = &reg.counter("fwd.ion.failed_requests", labels);
+  flush_seed_ = SplitMix64((params_.injector ? params_.injector->plan().seed
+                                             : 0x10F0A5EEDULL) ^
+                           static_cast<std::uint64_t>(id_))
+                    .next();
   baseline_.requests = metrics_.requests->value();
   baseline_.dispatches = metrics_.dispatches->value();
   baseline_.bytes_in = metrics_.bytes_in->value();
@@ -58,7 +65,7 @@ Seconds IonDaemon::now() const {
 }
 
 bool IonDaemon::submit(FwdRequest req) {
-  if (!running_.load()) return false;
+  if (!running_.load() || is_crashed()) return false;
   {
     MutexLock lk(pending_mu_);
     ++pending_requests_;
@@ -88,11 +95,41 @@ void IonDaemon::shutdown() {
   if (flusher_.joinable()) flusher_.join();
 }
 
+void IonDaemon::fail_request(FwdRequest& req) {
+  if (req.done) {
+    req.done->set_exception(std::make_exception_ptr(IonDownError(id_)));
+  }
+  metrics_.failed_requests->add();
+  MutexLock lk(pending_mu_);
+  --pending_requests_;
+  pending_cv_.notify_all();
+}
+
+void IonDaemon::fail_in_flight() {
+  if (in_flight_.empty() && scheduler_->empty()) return;
+  for (auto& [tag, req] : in_flight_) fail_request(req);
+  in_flight_.clear();
+  // The scheduler still holds the tags we just failed; rebuilding it is
+  // the crash wiping the daemon's volatile dispatch state.
+  scheduler_ = agios::make_scheduler(params_.scheduler);
+}
+
 void IonDaemon::dispatcher_loop() {
   auto& tracer = telemetry::Tracer::global();
   bool named = false;
 
   auto ingest_one = [&](FwdRequest&& req) {
+    if (params_.injector) {
+      // Admission-level fault site: count-triggered crashes ("after N
+      // crash ion.K") fire here, taking the triggering request with
+      // them; stalls model an overloaded ingest path.
+      const auto d = params_.injector->decide(fault::ion_site(id_));
+      if (d.stall > 0.0) sleep_for_seconds(d.stall);
+      if (d.fail) {
+        fail_request(req);
+        return;
+      }
+    }
     if (req.op == FwdOp::Fsync) {
       // Order the marker after everything staged so far.
       FlushItem marker;
@@ -126,6 +163,17 @@ void IonDaemon::dispatcher_loop() {
       tracer.set_thread_name("ion" + std::to_string(id_) + ".dispatcher");
       named = true;
     }
+    if (is_crashed()) {
+      // Down: volatile dispatch state is lost, queued work is refused
+      // (clients fail over). The staging store and the flusher survive
+      // - they model node-local storage, which a daemon restart
+      // reattaches to.
+      fail_in_flight();
+      while (auto req = ingest_.try_pop()) fail_request(*req);
+      if (ingest_.closed() && ingest_.empty()) break;
+      sleep_for_seconds(200e-6);
+      continue;
+    }
     // Pull everything immediately available into the scheduler.
     while (auto req = ingest_.try_pop()) ingest_one(std::move(*req));
     metrics_.queue_depth->set(static_cast<double>(ingest_.size()));
@@ -142,17 +190,22 @@ void IonDaemon::dispatcher_loop() {
       wait = std::min(wait, std::chrono::duration<double>(
                                 std::max(1e-5, *ready_at - now())));
     }
-    auto req = ingest_.pop_for(wait);
-    if (req) {
-      ingest_one(std::move(*req));
-      continue;
-    }
-    if (ingest_.closed()) {
-      if (ingest_.empty() && scheduler_->empty()) break;
-      // Queue closed but the scheduler is still holding requests back
-      // (aggregation/TWINS window): let real time pass instead of
-      // spinning on the already-closed queue.
-      sleep_for_seconds(100e-6);
+    FwdRequest req;
+    switch (ingest_.try_pop_for(wait, req)) {
+      case PopResult::kItem:
+        ingest_one(std::move(req));
+        continue;
+      case PopResult::kTimeout:
+        // Still open - go around (fault state may have changed, the
+        // scheduler window may have expired).
+        continue;
+      case PopResult::kClosed:
+        if (scheduler_->empty()) return;
+        // Queue closed but the scheduler is still holding requests
+        // back (aggregation/TWINS window): let real time pass instead
+        // of spinning on the already-closed queue.
+        sleep_for_seconds(100e-6);
+        continue;
     }
   }
 }
@@ -182,6 +235,17 @@ void IonDaemon::process(const agios::Dispatch& dispatch) {
     assert(it != in_flight_.end());
     FwdRequest req = std::move(it->second);
     in_flight_.erase(it);
+
+    if (params_.injector) {
+      // Request-level fault site: an individual forwarded I/O fails or
+      // lags without taking the daemon down.
+      const auto d = params_.injector->decide(fault::request_site(id_));
+      if (d.stall > 0.0) sleep_for_seconds(d.stall);
+      if (d.fail) {
+        fail_request(req);
+        continue;
+      }
+    }
 
     if (req.op == FwdOp::Write) {
       if (params_.store_data && req.data && !req.data->empty()) {
@@ -259,11 +323,38 @@ void IonDaemon::flusher_loop() {
           (item->data && !item->data->empty())
               ? std::span<const std::byte>(*item->data).first(item->size)
               : std::span<const std::byte>();
-      pfs_.write(item->path, item->offset, item->size, data,
-                 /*stream_weight=*/1.0);
-      mark_clean(gkfs::hash_path(item->path), item->offset, item->size);
-      if (item->write_done) item->write_done->set_value(item->size);
-      metrics_.bytes_flushed->add(item->size);
+      // Positional writes are idempotent, so the retry loop is safe to
+      // re-dispatch: at-least-once at the PFS is exactly-once on disk.
+      bool flushed = false;
+      for (int attempt = 0;; ++attempt) {
+        if (pfs_.write(item->path, item->offset, item->size, data,
+                       /*stream_weight=*/1.0)) {
+          flushed = true;
+          break;
+        }
+        if (params_.max_flush_attempts > 0 &&
+            attempt + 1 >= params_.max_flush_attempts) {
+          break;
+        }
+        metrics_.retries->add();
+        sleep_for_seconds(fault::backoff_delay(
+            params_.flush_backoff, attempt + 1,
+            flush_seed_ ^ item->offset ^ (item->size << 20)));
+      }
+      if (flushed) {
+        mark_clean(gkfs::hash_path(item->path), item->offset, item->size);
+        if (item->write_done) item->write_done->set_value(item->size);
+        metrics_.bytes_flushed->add(item->size);
+      } else {
+        // Retry budget exhausted: the range stays dirty (reads keep
+        // hitting the staging copy) and write-through callers see the
+        // failure.
+        metrics_.flush_abandoned->add();
+        if (item->write_done) {
+          item->write_done->set_exception(
+              std::make_exception_ptr(IonDownError(id_)));
+        }
+      }
     }
     MutexLock lk(pending_mu_);
     --pending_flushes_;

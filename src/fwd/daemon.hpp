@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -24,6 +25,8 @@
 #include "common/queue.hpp"
 #include "common/token_bucket.hpp"
 #include "common/units.hpp"
+#include "fault/backoff.hpp"
+#include "fault/injector.hpp"
 #include "fwd/pfs_backend.hpp"
 #include "fwd/request.hpp"
 #include "gkfs/chunk_store.hpp"
@@ -42,6 +45,21 @@ struct IonParams {
   bool write_through = false;
   /// Metrics destination; nullptr means telemetry::Registry::global().
   telemetry::Registry* registry = nullptr;
+  /// Fault-injection hook (sites ion.<id> / ion.<id>.request); may be
+  /// null. Crash/restart schedules for this ION are polled through it.
+  fault::FaultInjector* injector = nullptr;
+  /// Flusher retry budget for failed PFS writes; 0 = retry until the
+  /// write lands (staged data is never abandoned).
+  int max_flush_attempts = 0;
+  fault::BackoffPolicy flush_backoff;
+};
+
+/// Thrown into a request's completion future when its ION crashes (or
+/// drops the request while down). Clients fail over to another ION of
+/// their mapping epoch, or fall back to direct PFS access.
+struct IonDownError : std::runtime_error {
+  explicit IonDownError(int ion)
+      : std::runtime_error("ion " + std::to_string(ion) + " is down") {}
 };
 
 class IonDaemon {
@@ -64,6 +82,17 @@ class IonDaemon {
 
   /// Stop accepting requests, drain, and join the worker threads.
   void shutdown();
+
+  // --- failure surface -------------------------------------------------
+  /// Kill the daemon (tests / manual chaos): submits are refused, queued
+  /// and in-flight requests fail with IonDownError. Staged data and the
+  /// flusher survive - node-local storage outlives the daemon process,
+  /// which is what makes restart() meaningful.
+  void crash() { crashed_manual_.store(true); }
+  /// Undo crash(); an injector-scheduled crash window still applies.
+  void restart() { crashed_manual_.store(false); }
+  /// Heartbeat the HealthMonitor samples: accepting and serving work.
+  bool alive() const { return running_.load() && !is_crashed(); }
 
   // --- stats -----------------------------------------------------------
   // The daemon reports into the telemetry registry ("fwd.ion.*",
@@ -96,6 +125,15 @@ class IonDaemon {
   void flusher_loop();
   void process(const agios::Dispatch& dispatch);
   Seconds now() const;
+
+  bool is_crashed() const {
+    return crashed_manual_.load() ||
+           (params_.injector && !params_.injector->ion_alive(id_));
+  }
+  /// Fail one accepted-but-unserved request (crash path).
+  void fail_request(FwdRequest& req) IOFA_EXCLUDES(pending_mu_);
+  /// Fail everything the dispatcher holds (in-flight map + scheduler).
+  void fail_in_flight() IOFA_EXCLUDES(pending_mu_);
 
   /// Dirty interval bookkeeping per file (staged but not yet flushed).
   void mark_dirty(std::uint64_t file_id, std::uint64_t offset,
@@ -135,6 +173,9 @@ class IonDaemon {
   std::uint64_t pending_flushes_ IOFA_GUARDED_BY(pending_mu_) = 0;
 
   std::atomic<bool> running_{true};
+  std::atomic<bool> crashed_manual_{false};
+  /// Seed for the flusher's deterministic retry jitter.
+  std::uint64_t flush_seed_ = 0;
   std::thread dispatcher_;
   std::thread flusher_;
 
@@ -149,6 +190,9 @@ class IonDaemon {
     telemetry::Gauge* queue_depth = nullptr;
     telemetry::Histogram* request_latency_us = nullptr;
     telemetry::Histogram* dispatch_bytes = nullptr;
+    telemetry::Counter* retries = nullptr;          ///< flush retries
+    telemetry::Counter* flush_abandoned = nullptr;  ///< retry budget hit
+    telemetry::Counter* failed_requests = nullptr;  ///< crash casualties
   };
   Metrics metrics_;
   Stats baseline_;  ///< counter values at construction (stats() view)

@@ -1,0 +1,98 @@
+#include "fwd/health.hpp"
+
+#include "common/clock.hpp"
+
+namespace iofa::fwd {
+
+namespace {
+
+/// Locks a mutex that may be absent. The capability is the caller's,
+/// not ours, so the analysis cannot see through the pointer.
+class OptionalLock {
+ public:
+  explicit OptionalLock(Mutex* mu) IOFA_NO_THREAD_SAFETY_ANALYSIS
+      : mu_(mu) {
+    if (mu_) mu_->lock();
+  }
+  ~OptionalLock() IOFA_NO_THREAD_SAFETY_ANALYSIS {
+    if (mu_) mu_->unlock();
+  }
+  OptionalLock(const OptionalLock&) = delete;
+  OptionalLock& operator=(const OptionalLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+}  // namespace
+
+HealthMonitor::HealthMonitor(ForwardingService& service,
+                             core::Arbiter& arbiter, Options options)
+    : service_(service), arbiter_(arbiter), options_(options) {
+  MutexLock lk(mu_);
+  alive_.assign(static_cast<std::size_t>(service_.ion_count()), 1);
+}
+
+HealthMonitor::~HealthMonitor() { stop(); }
+
+bool HealthMonitor::poll_once() {
+  std::vector<int> died;
+  std::vector<int> recovered;
+  {
+    MutexLock lk(mu_);
+    for (int i = 0; i < service_.ion_count(); ++i) {
+      const char now = service_.daemon(i).alive() ? 1 : 0;
+      const std::size_t idx = static_cast<std::size_t>(i);
+      if (now == alive_[idx]) continue;
+      alive_[idx] = now;
+      if (now) {
+        recovered.push_back(i);
+        ++recoveries_;
+      } else {
+        died.push_back(i);
+        ++failures_;
+      }
+    }
+  }
+
+  OptionalLock arb_lk(options_.arbiter_mu);
+  bool republish = !died.empty() || !recovered.empty();
+  for (int ion : died) arbiter_.ion_failed(ion);
+  for (int ion : recovered) arbiter_.ion_recovered(ion);
+  // Self-heal a lost publish: the arbiter moved on but the store never
+  // saw it (dropped / corrupt-rejected mapping file).
+  if (service_.mapping_store().epoch() != arbiter_.mapping().epoch) {
+    republish = true;
+  }
+  if (republish) service_.apply_mapping(arbiter_.mapping());
+  return republish;
+}
+
+void HealthMonitor::start() {
+  if (running_.exchange(true)) return;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void HealthMonitor::stop() {
+  running_.store(false);
+  if (thread_.joinable()) thread_.join();
+}
+
+void HealthMonitor::loop() {
+  while (running_.load()) {
+    poll_once();
+    sleep_for_seconds(options_.period);
+  }
+}
+
+std::uint64_t HealthMonitor::failures_seen() const {
+  MutexLock lk(mu_);
+  return failures_;
+}
+
+std::uint64_t HealthMonitor::recoveries_seen() const {
+  MutexLock lk(mu_);
+  return recoveries_;
+}
+
+}  // namespace iofa::fwd

@@ -5,6 +5,19 @@
 namespace iofa::fwd {
 
 void MappingStore::publish(core::Mapping mapping) {
+  if (injector_) {
+    if (injector_->should_drop_mapping()) return;
+    if (injector_->should_corrupt_mapping()) {
+      // Mangle the real serialized form and push it through the real
+      // parser, so the reject path is the production one.
+      std::string text = mapping.to_string();
+      const auto pos = text.find("job ");
+      if (pos != std::string::npos) text.replace(pos, 4, "j0b ");
+      const auto reparsed = core::Mapping::parse(text);
+      if (!reparsed) return;  // torn file refused; previous epoch stands
+      mapping = *reparsed;
+    }
+  }
   MutexLock lk(mu_);
   mapping_ = std::move(mapping);
   epoch_.store(mapping_.epoch, std::memory_order_release);
@@ -28,12 +41,13 @@ std::optional<core::Mapping::Entry> MappingStore::lookup(
 }
 
 ClientMappingView::ClientMappingView(const MappingStore& store,
-                                     core::JobId job, Seconds poll_period)
+                                     core::JobId job, Seconds poll_period,
+                                     telemetry::Registry* registry)
     : store_(store),
       job_(job),
       poll_period_(poll_period),
       last_poll_(std::chrono::steady_clock::now() - std::chrono::hours(1)) {
-  auto& reg = telemetry::Registry::global();
+  auto& reg = registry ? *registry : telemetry::Registry::global();
   const telemetry::Labels labels{{"job", std::to_string(job_)}};
   poll_counter_ = &reg.counter("fwd.client.polls", labels);
   remap_counter_ = &reg.counter("fwd.client.remaps", labels);

@@ -13,13 +13,25 @@
 #include "common/annotations.hpp"
 #include "common/mutex.hpp"
 #include "core/arbiter.hpp"
+#include "fault/injector.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace iofa::fwd {
 
 class MappingStore {
  public:
-  /// Publish a new mapping (replaces the previous one).
+  /// Fault-injection hook for the publish path (site mapping.publish);
+  /// may be null. Not synchronised: set before traffic starts.
+  void set_injector(fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
+
+  /// Publish a new mapping (replaces the previous one). Under fault
+  /// injection a publish can be dropped (clients keep the old epoch
+  /// until someone republishes - the HealthMonitor self-heals this) or
+  /// corrupted (the serialized text is mangled; Mapping::parse rejects
+  /// it and the store keeps the previous epoch, like a client refusing
+  /// a torn mapping file).
   void publish(core::Mapping mapping) IOFA_EXCLUDES(mu_);
 
   core::Mapping get() const IOFA_EXCLUDES(mu_);
@@ -33,6 +45,7 @@ class MappingStore {
   mutable Mutex mu_;
   core::Mapping mapping_ IOFA_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> epoch_{0};
+  fault::FaultInjector* injector_ = nullptr;
 };
 
 /// A client's cached view of its own mapping entry. Refreshes from the
@@ -42,8 +55,10 @@ class MappingStore {
 /// list are read under the same lock the poller writes them under.
 class ClientMappingView {
  public:
+  /// `registry` defaults to telemetry::Registry::global().
   ClientMappingView(const MappingStore& store, core::JobId job,
-                    Seconds poll_period);
+                    Seconds poll_period,
+                    telemetry::Registry* registry = nullptr);
 
   /// Current ION list (empty = direct access). Triggers a poll when due.
   std::vector<int> ions() IOFA_EXCLUDES(mu_);

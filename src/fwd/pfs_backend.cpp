@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/clock.hpp"
 #include "gkfs/chunk.hpp"
 
 namespace iofa::fwd {
@@ -15,7 +16,8 @@ EmulatedPfs::EmulatedPfs(PfsParams params)
       read_bucket_(params.read_bandwidth,
                    std::max(params.read_bandwidth * 0.02,
                             static_cast<double>(8 * MiB))) {
-  auto& reg = telemetry::Registry::global();
+  auto& reg = params_.registry ? *params_.registry
+                               : telemetry::Registry::global();
   ctr_bytes_written_ = &reg.counter("fwd.pfs.bytes_written");
   ctr_bytes_read_ = &reg.counter("fwd.pfs.bytes_read");
   ctr_write_ops_ = &reg.counter("fwd.pfs.write_ops");
@@ -51,9 +53,16 @@ double EmulatedPfs::charge(std::uint64_t size, double stream_weight,
   return tokens;
 }
 
-void EmulatedPfs::write(const std::string& path, std::uint64_t offset,
+bool EmulatedPfs::write(const std::string& path, std::uint64_t offset,
                         std::uint64_t size, std::span<const std::byte> data,
                         double stream_weight) {
+  if (params_.injector) {
+    // Dispatch-level fault: the request never reaches the device, so it
+    // costs no tokens and stores nothing - the caller must retry.
+    const auto d = params_.injector->decide(fault::kPfsWriteSite);
+    if (d.stall > 0.0) sleep_for_seconds(d.stall);
+    if (d.fail) return false;
+  }
   auto lock = lock_for(path);
   lock->waiters.fetch_add(1);
   {
@@ -82,11 +91,17 @@ void EmulatedPfs::write(const std::string& path, std::uint64_t offset,
   write_ops_.fetch_add(1);
   ctr_bytes_written_->add(size);
   ctr_write_ops_->add();
+  return true;
 }
 
 std::size_t EmulatedPfs::read(const std::string& path, std::uint64_t offset,
                               std::uint64_t size, std::span<std::byte> out,
                               double stream_weight) {
+  if (params_.injector) {
+    // Reads are stall-only (latency spikes); see FaultPlan::validate.
+    const auto d = params_.injector->decide(fault::kPfsReadSite);
+    if (d.stall > 0.0) sleep_for_seconds(d.stall);
+  }
   charge(size, stream_weight, /*is_read=*/true, 1.0);
   bytes_read_.fetch_add(size);
   read_ops_.fetch_add(1);

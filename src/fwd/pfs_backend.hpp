@@ -33,6 +33,7 @@
 #include "common/mutex.hpp"
 #include "common/token_bucket.hpp"
 #include "common/units.hpp"
+#include "fault/injector.hpp"
 #include "gkfs/chunk_store.hpp"
 #include "gkfs/metadata.hpp"
 #include "telemetry/metrics.hpp"
@@ -47,6 +48,10 @@ struct PfsParams {
   double shared_lock_overhead = 0.5; ///< extra cost factor under a file
                                      ///  lock held by >1 concurrent writer
   bool store_data = true;            ///< keep bytes for read-back
+  /// Metrics destination; nullptr means telemetry::Registry::global().
+  telemetry::Registry* registry = nullptr;
+  /// Fault-injection hook (sites pfs.write / pfs.read); may be null.
+  fault::FaultInjector* injector = nullptr;
 };
 
 class EmulatedPfs {
@@ -55,8 +60,10 @@ class EmulatedPfs {
 
   /// Blocking positional write. `stream_weight` is the number of logical
   /// client processes this calling thread represents (threads are scaled
-  /// down from the app's process count).
-  void write(const std::string& path, std::uint64_t offset,
+  /// down from the app's process count). Returns false when the dispatch
+  /// fails (fault injection only - the emulated device itself never
+  /// fails); callers owning durability retry with backoff.
+  bool write(const std::string& path, std::uint64_t offset,
              std::uint64_t size, std::span<const std::byte> data,
              double stream_weight = 1.0);
 

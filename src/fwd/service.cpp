@@ -2,14 +2,21 @@
 
 namespace iofa::fwd {
 
-ForwardingService::ForwardingService(ServiceConfig config)
-    : config_(config), pfs_(std::make_unique<EmulatedPfs>(config.pfs)) {
-  daemons_.reserve(static_cast<std::size_t>(config.ion_count));
-  for (int i = 0; i < config.ion_count; ++i) {
-    IonParams params = config.ion;
-    params.store_data = config.pfs.store_data && params.store_data;
+ForwardingService::ForwardingService(ServiceConfig config) : config_(config) {
+  if (config_.injector && !config_.pfs.injector) {
+    config_.pfs.injector = config_.injector;
+  }
+  pfs_ = std::make_unique<EmulatedPfs>(config_.pfs);
+  daemons_.reserve(static_cast<std::size_t>(config_.ion_count));
+  for (int i = 0; i < config_.ion_count; ++i) {
+    IonParams params = config_.ion;
+    params.store_data = config_.pfs.store_data && params.store_data;
+    if (config_.injector && !params.injector) {
+      params.injector = config_.injector;
+    }
     daemons_.push_back(std::make_unique<IonDaemon>(i, params, *pfs_));
   }
+  mapping_store_.set_injector(config_.injector);
 }
 
 ForwardingService::~ForwardingService() { shutdown(); }

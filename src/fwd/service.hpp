@@ -18,6 +18,9 @@ struct ServiceConfig {
   int ion_count = 4;
   PfsParams pfs;
   IonParams ion;
+  /// One injector for the whole deployment; propagated into the PFS,
+  /// every daemon, and the mapping store. May be null (no faults).
+  fault::FaultInjector* injector = nullptr;
 };
 
 class ForwardingService {

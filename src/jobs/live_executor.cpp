@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 #include <chrono>
+#include <optional>
 #include <thread>
 
 #include "common/mutex.hpp"
@@ -60,6 +61,14 @@ LiveRunResult run_queue_live(const std::vector<workload::AppSpec>& queue,
       core::ArbiterOptions{options.pool, options.static_ratio,
                            options.reallocate_running});
 
+  if (options.fault_clock) options.fault_clock->arm();
+  std::optional<fwd::HealthMonitor> health;
+  if (options.health_period > 0.0) {
+    health.emplace(service, arbiter,
+                   fwd::HealthMonitor::Options{options.health_period, &mu});
+    health->start();
+  }
+
   const auto t_begin = std::chrono::steady_clock::now();
   auto now = [&] {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -101,6 +110,8 @@ LiveRunResult run_queue_live(const std::vector<workload::AppSpec>& queue,
             static_cast<double>(std::max(1, options.threads_per_job));
         cc.poll_period = options.poll_period;
         cc.store_data = options.replay.store_data;
+        cc.request_timeout = options.request_timeout;
+        cc.retry_seed = id;  // per-job jitter streams
         fwd::Client client(cc, service);
 
         fwd::ReplayOptions ro = options.replay;
@@ -141,6 +152,7 @@ LiveRunResult run_queue_live(const std::vector<workload::AppSpec>& queue,
   }
 
   for (auto& t : job_threads) t.join();
+  if (health) health->stop();
   service.drain();
   result.makespan = now();
   return result;

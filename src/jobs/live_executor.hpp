@@ -9,6 +9,8 @@
 
 #include "core/arbiter.hpp"
 #include "core/policies.hpp"
+#include "fault/clock.hpp"
+#include "fwd/health.hpp"
 #include "fwd/replayer.hpp"
 #include "fwd/service.hpp"
 #include "platform/profile.hpp"
@@ -27,6 +29,18 @@ struct LiveExecutorOptions {
   int threads_per_job = 4;
   fwd::ReplayOptions replay;
   Seconds poll_period = 0.02;  ///< client mapping poll (paper: 10 s)
+  /// Fault drills: when set, the clock is armed as the run starts so a
+  /// plan's `at <sec>` events count from first job submission (the
+  /// caller builds the FaultInjector against this clock and hands it to
+  /// the ForwardingService).
+  fault::WallFaultClock* fault_clock = nullptr;
+  /// > 0 starts a HealthMonitor for the run: daemon deaths feed the
+  /// arbiter (failure re-solve + republish) at this sampling period.
+  Seconds health_period = 0.0;
+  /// Per-sub-request client timeout (0 = wait forever). Needed for
+  /// failover under crash drills: a client blocked on a dead ION's
+  /// promise otherwise never rotates to a live one.
+  Seconds request_timeout = 0.0;
 };
 
 struct LiveJobResult {

@@ -105,6 +105,99 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ArbiterFuzz,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
                                            34u));
 
+/// ION-death sequences: random crash/recover edges interleaved with job
+/// churn. After every effective step the mapping must (a) satisfy the
+/// structural invariants, (b) never assign a dead ION, and (c) carry
+/// exactly the per-job counts a FRESH solve of the same policy over the
+/// surviving pool would produce - the failure re-solve is not allowed
+/// to drift from first-principles arbitration.
+class IonDeathFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IonDeathFuzz, DeathSequencesNeverMapToDeadIonsAndMatchFreshSolve) {
+  Rng rng(GetParam() * 104729);
+  platform::PerfModel model(platform::mn4_params());
+  const auto grid = workload::mn4_scenario_grid();
+  const auto options = platform::default_ion_options();
+
+  const int pool = 2 + static_cast<int>(rng.index(14));
+  Arbiter arb(std::make_shared<MckpPolicy>(),
+              ArbiterOptions{pool, std::nullopt, true});
+
+  std::map<JobId, AppEntry> running;  // oracle copy of the job set
+  std::set<int> failed;               // oracle copy of the failed set
+  JobId next_id = 1;
+  std::uint64_t prev_epoch = 0;
+
+  for (int step = 0; step < 160; ++step) {
+    const double dice = rng.uniform01();
+    bool effective = true;
+    if (running.empty() || dice < 0.35) {
+      const auto& pattern = grid[rng.index(grid.size())];
+      const JobId id = next_id++;
+      AppEntry app{"S", pattern.compute_nodes, pattern.processes(),
+                   platform::curve_from_model(model, pattern, options)};
+      running.emplace(id, app);
+      arb.job_started(id, app);
+    } else if (dice < 0.55) {
+      auto it = running.begin();
+      std::advance(it, static_cast<long>(rng.index(running.size())));
+      arb.job_finished(it->first);
+      running.erase(it);
+    } else if (dice < 0.85) {
+      // Deliberately includes already-dead and out-of-range ids: those
+      // must be no-ops, not epoch bumps.
+      const int ion = static_cast<int>(rng.index(
+          static_cast<std::size_t>(pool) + 2));
+      effective = ion < pool && failed.insert(ion).second;
+      arb.ion_failed(ion);
+    } else {
+      const int ion = static_cast<int>(rng.index(
+          static_cast<std::size_t>(pool) + 2));
+      effective = failed.erase(ion) != 0;
+      arb.ion_recovered(ion);
+    }
+
+    const Mapping& m = arb.mapping();
+    if (effective) {
+      EXPECT_GT(m.epoch, prev_epoch);
+    } else {
+      EXPECT_EQ(m.epoch, prev_epoch);
+    }
+    prev_epoch = m.epoch;
+    EXPECT_EQ(arb.failed_ions(), failed);
+    EXPECT_EQ(m.jobs.size(), running.size());
+    check_mapping(m, pool);
+    for (const auto& [id, entry] : m.jobs) {
+      for (int ion : entry.ions) {
+        EXPECT_EQ(failed.count(ion), 0u)
+            << "job " << id << " mapped to dead ION " << ion
+            << " (epoch " << m.epoch << ")";
+      }
+    }
+
+    // Oracle: a fresh solve over the surviving pool must agree with the
+    // counts behind the published mapping (running_ iterates in JobId
+    // order, same as our oracle map).
+    AllocationProblem prob;
+    prob.pool = pool - static_cast<int>(failed.size());
+    for (const auto& [id, app] : running) prob.apps.push_back(app);
+    const auto fresh = MckpPolicy().allocate(prob);
+    ASSERT_EQ(fresh.ions.size(), running.size());
+    std::size_t i = 0;
+    for (const auto& [id, app] : running) {
+      ASSERT_TRUE(arb.last_counts().count(id));
+      EXPECT_EQ(arb.last_counts().at(id), fresh.ions[i])
+          << "job " << id << " diverged from the fresh solve after "
+          << failed.size() << " failures";
+      ++i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IonDeathFuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u));
+
 class PolicyFuzz
     : public ::testing::TestWithParam<std::uint64_t> {};
 

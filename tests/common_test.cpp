@@ -324,6 +324,62 @@ TEST(BoundedQueueTest, PopForTimesOut) {
   EXPECT_GT(elapsed, 0.025);
 }
 
+// Regression for the drain-on-shutdown bug: consumers used the
+// optional-returning try_pop_for, which collapses "nothing yet, retry"
+// and "closed and drained, stop" into one nullopt - so a slow producer
+// (or a scheduler holding requests back) could see its consumer leave
+// early. The PopResult overload keeps the two apart.
+TEST(BoundedQueueTest, TryPopForDistinguishesTimeoutFromClosed) {
+  BoundedQueue<int> q(4);
+  int out = 0;
+  EXPECT_EQ(q.try_pop_for(std::chrono::milliseconds(5), out),
+            PopResult::kTimeout);
+  ASSERT_TRUE(q.push(7));
+  EXPECT_EQ(q.try_pop_for(std::chrono::milliseconds(5), out),
+            PopResult::kItem);
+  EXPECT_EQ(out, 7);
+  q.close();
+  EXPECT_EQ(q.try_pop_for(std::chrono::milliseconds(5), out),
+            PopResult::kClosed);
+}
+
+TEST(BoundedQueueTest, TryPopForDrainsItemsAfterClose) {
+  // kClosed must only be reported once the queue is EMPTY: closing with
+  // items still queued keeps yielding kItem until they are drained.
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  q.close();
+  int out = 0;
+  EXPECT_EQ(q.try_pop_for(std::chrono::milliseconds(5), out),
+            PopResult::kItem);
+  EXPECT_EQ(out, 1);
+  EXPECT_EQ(q.try_pop_for(std::chrono::milliseconds(5), out),
+            PopResult::kItem);
+  EXPECT_EQ(out, 2);
+  EXPECT_EQ(q.try_pop_for(std::chrono::milliseconds(5), out),
+            PopResult::kClosed);
+}
+
+TEST(BoundedQueueTest, TryPopForReportsClosedWhileWaiting) {
+  // A consumer parked in the timed wait must wake to kClosed promptly
+  // when the producer closes, not burn the whole timeout.
+  BoundedQueue<int> q(4);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+  });
+  int out = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(q.try_pop_for(std::chrono::seconds(10), out),
+            PopResult::kClosed);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 5.0);
+  closer.join();
+}
+
 TEST(BoundedQueueTest, BlockingPushWaitsForConsumer) {
   BoundedQueue<int> q(1);
   ASSERT_TRUE(q.push(1));

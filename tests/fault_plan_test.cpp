@@ -1,0 +1,225 @@
+// FaultPlan DSL tests: parse -> print -> parse identity over the whole
+// event space, and rejection of malformed plans with line-accurate
+// messages. The identity property is what makes saved drill plans (CI
+// fixtures, operator runbooks) stable artifacts.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fault/plan.hpp"
+
+namespace iofa::fault {
+namespace {
+
+FaultPlan full_plan() {
+  FaultPlan plan;
+  plan.seed = 1337;
+  plan.crash_ion(1, 0.25)
+      .restart_ion(1, 0.75)
+      .crash_ion_after(2, 40)
+      .stall(kPfsReadSite, 0.1, 0.05)
+      .stall(kPfsReadSite, 0.3, 0.025)
+      .error_after(kPfsWriteSite, 3)
+      .error_prob(request_site(0), 0.125)
+      .drop_mapping(0.5)
+      .corrupt_mapping(0.9);
+  return plan;
+}
+
+std::string parse_error(const std::string& text) {
+  std::string error;
+  const auto plan = FaultPlan::parse(text, &error);
+  EXPECT_FALSE(plan.has_value()) << text;
+  EXPECT_FALSE(error.empty()) << text;
+  return error;
+}
+
+TEST(FaultPlanDsl, BuilderPlanSurvivesPrintParseRoundTrip) {
+  const FaultPlan plan = full_plan();
+  ASSERT_EQ(plan.validate(), std::nullopt);
+
+  std::string error;
+  const auto reparsed = FaultPlan::parse(plan.to_string(), &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_EQ(*reparsed, plan);
+  // And the printed form is a fixed point, not merely equivalent.
+  EXPECT_EQ(reparsed->to_string(), plan.to_string());
+}
+
+TEST(FaultPlanDsl, TextSurvivesParsePrintParseRoundTrip) {
+  const std::string text =
+      "# drill: lose ion 1, flaky pfs\n"
+      "seed 42\n"
+      "\n"
+      "at 0.2 crash ion.1\n"
+      "at 0.8 restart ion.1\n"
+      "at 0.1 stall pfs.read 0.05\n"
+      "after 5 error ion.0.request\n"
+      "prob 0.25 error pfs.write\n"
+      "at 0.5 drop mapping.publish\n"
+      "at 0.6 corrupt mapping.publish\n";
+  std::string error;
+  const auto plan = FaultPlan::parse(text, &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  EXPECT_EQ(plan->seed, 42u);
+  ASSERT_EQ(plan->events.size(), 7u);
+
+  const auto again = FaultPlan::parse(plan->to_string(), &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(*again, *plan);
+}
+
+TEST(FaultPlanDsl, FractionalValuesRoundTripExactly) {
+  // Values with no short decimal representation must still come back
+  // bit-identical through the printer.
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.crash_ion(3, 1.0 / 3.0).stall(kPfsWriteSite, 0.7, 1e-4);
+  plan.error_prob(kPfsWriteSite, 0.1 + 0.2);  // 0.30000000000000004
+
+  std::string error;
+  const auto reparsed = FaultPlan::parse(plan.to_string(), &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_EQ(*reparsed, plan);
+}
+
+TEST(FaultPlanDsl, EmptyAndCommentOnlyTextParsesToEmptyPlan) {
+  std::string error;
+  const auto plan = FaultPlan::parse("# nothing scheduled\n\n  \n", &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  EXPECT_TRUE(plan->empty());
+  EXPECT_EQ(plan->seed, 0u);
+}
+
+TEST(FaultPlanDsl, RejectsBadSiteName) {
+  EXPECT_NE(parse_error("at 0.5 crash ion.x\n").find("bad site name"),
+            std::string::npos);
+  EXPECT_NE(parse_error("prob 0.5 error pfs.delete\n").find("bad site name"),
+            std::string::npos);
+  EXPECT_NE(
+      parse_error("at 1 stall ion.2.response 0.1\n").find("bad site name"),
+      std::string::npos);
+}
+
+TEST(FaultPlanDsl, RejectsNegativeTime) {
+  EXPECT_NE(parse_error("at -0.5 crash ion.0\n").find("negative time"),
+            std::string::npos);
+}
+
+TEST(FaultPlanDsl, RejectsOverlappingStallWindows) {
+  const std::string text =
+      "at 0.1 stall pfs.write 0.2\n"
+      "at 0.2 stall pfs.write 0.1\n";
+  EXPECT_NE(parse_error(text).find("overlapping stall windows"),
+            std::string::npos);
+  // Adjacent windows (end == start) are fine; use values that are
+  // exact in binary so end really equals start (0.1 + 0.2 != 0.3).
+  std::string error;
+  EXPECT_TRUE(FaultPlan::parse("at 0.125 stall pfs.write 0.125\n"
+                               "at 0.25 stall pfs.write 0.125\n",
+                               &error)
+                  .has_value())
+      << error;
+}
+
+TEST(FaultPlanDsl, RejectsOutOfOrderAtEventsPerSite) {
+  const std::string text =
+      "at 0.8 crash ion.1\n"
+      "at 0.2 restart ion.1\n";
+  EXPECT_NE(parse_error(text).find("chronologically"), std::string::npos);
+  // Different sites are independent timelines.
+  std::string error;
+  EXPECT_TRUE(FaultPlan::parse("at 0.8 crash ion.1\nat 0.2 crash ion.2\n",
+                               &error)
+                  .has_value())
+      << error;
+}
+
+TEST(FaultPlanDsl, RejectsBadVerbAndTrailingTokens) {
+  EXPECT_NE(parse_error("at 0.5 explode ion.0\n").find("unknown event"),
+            std::string::npos);
+  EXPECT_NE(parse_error("flaky 0.5 error pfs.write\n")
+                .find("unknown directive"),
+            std::string::npos);
+  EXPECT_NE(parse_error("at 0.5 crash ion.0 extra\n")
+                .find("trailing tokens"),
+            std::string::npos);
+  EXPECT_NE(parse_error("seed -3\n").find("unsigned integer"),
+            std::string::npos);
+}
+
+TEST(FaultPlanDsl, RejectsBadTriggerKindCombinations) {
+  // crash is at/after only; restart/stall/drop/corrupt are at-only;
+  // error is after/prob only.
+  EXPECT_FALSE(FaultPlan::parse("prob 0.5 crash ion.0\n").has_value());
+  EXPECT_FALSE(FaultPlan::parse("after 3 restart ion.0\n").has_value());
+  EXPECT_FALSE(FaultPlan::parse("prob 0.5 stall pfs.write 0.1\n").has_value());
+  EXPECT_FALSE(FaultPlan::parse("at 0.5 error pfs.write\n").has_value());
+  EXPECT_FALSE(
+      FaultPlan::parse("after 2 drop mapping.publish\n").has_value());
+  EXPECT_FALSE(
+      FaultPlan::parse("prob 0.1 corrupt mapping.publish\n").has_value());
+}
+
+TEST(FaultPlanDsl, RejectsBadKindSiteCombinations) {
+  // crash/restart want a lifecycle site, not a request or pfs site.
+  EXPECT_FALSE(FaultPlan::parse("at 0.5 crash ion.0.request\n").has_value());
+  EXPECT_FALSE(FaultPlan::parse("at 0.5 crash pfs.write\n").has_value());
+  EXPECT_FALSE(FaultPlan::parse("at 0.5 restart pfs.read\n").has_value());
+  // mapping.publish is drop/corrupt territory.
+  EXPECT_FALSE(
+      FaultPlan::parse("prob 0.5 error mapping.publish\n").has_value());
+  EXPECT_FALSE(
+      FaultPlan::parse("at 0.5 stall mapping.publish 0.1\n").has_value());
+  // reads are stall-only; drops/corrupts apply only to the mapping.
+  EXPECT_FALSE(FaultPlan::parse("prob 0.5 error pfs.read\n").has_value());
+  EXPECT_FALSE(FaultPlan::parse("at 0.5 drop pfs.write\n").has_value());
+}
+
+TEST(FaultPlanDsl, RejectsBadValueRanges) {
+  EXPECT_FALSE(FaultPlan::parse("prob 0 error pfs.write\n").has_value());
+  EXPECT_FALSE(FaultPlan::parse("prob 1.5 error pfs.write\n").has_value());
+  EXPECT_FALSE(FaultPlan::parse("after 0 error pfs.write\n").has_value());
+  EXPECT_FALSE(
+      FaultPlan::parse("at 0.5 stall pfs.write 0\n").has_value());
+  EXPECT_FALSE(
+      FaultPlan::parse("at 0.5 stall pfs.write -0.1\n").has_value());
+}
+
+TEST(FaultPlanDsl, ErrorsReportTheOffendingLine) {
+  const std::string text =
+      "seed 1\n"
+      "at 0.5 crash ion.0\n"
+      "at 0.6 crash ion.nope\n";
+  EXPECT_NE(parse_error(text).find("bad site name"), std::string::npos);
+
+  EXPECT_NE(parse_error("seed 1\nat x crash ion.0\n").find("line 2"),
+            std::string::npos);
+  EXPECT_NE(parse_error("after x error pfs.write\n").find("bad count"),
+            std::string::npos);
+  EXPECT_NE(parse_error("prob x error pfs.write\n").find("bad probability"),
+            std::string::npos);
+  EXPECT_NE(parse_error("at 0.5 stall pfs.write\n").find("duration"),
+            std::string::npos);
+}
+
+TEST(FaultPlanDsl, SiteHelpers) {
+  EXPECT_EQ(ion_site(3), "ion.3");
+  EXPECT_EQ(request_site(3), "ion.3.request");
+  EXPECT_TRUE(site_is_valid("ion.0"));
+  EXPECT_TRUE(site_is_valid("ion.12.request"));
+  EXPECT_TRUE(site_is_valid(kPfsWriteSite));
+  EXPECT_TRUE(site_is_valid(kPfsReadSite));
+  EXPECT_TRUE(site_is_valid(kMappingPublishSite));
+  EXPECT_FALSE(site_is_valid("ion."));
+  EXPECT_FALSE(site_is_valid("ion.-1"));
+  EXPECT_FALSE(site_is_valid("ion.1.reply"));
+  EXPECT_FALSE(site_is_valid("pfs"));
+  EXPECT_EQ(ion_of_site("ion.7"), 7);
+  EXPECT_EQ(ion_of_site("ion.7.request"), 7);
+  EXPECT_EQ(ion_of_site("pfs.write"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace iofa::fault

@@ -211,6 +211,34 @@ TEST(IonDaemon, ShutdownFlushesAcceptedWork) {
   EXPECT_EQ(pfs.bytes_written(), 8u * 4096u);
 }
 
+// Regression: the dispatcher's timed pop must distinguish "queue closed
+// and drained" from "nothing ingested before the timeout". With a
+// time-window aggregation scheduler the window can expire AFTER the
+// ingest queue closes; a dispatcher that treated the two alike walked
+// away from requests still parked inside the scheduler, losing their
+// completions and their staged flushes.
+TEST(IonDaemon, ShutdownWaitsOutTheAggregationWindow) {
+  EmulatedPfs pfs(fast_pfs());
+  IonParams params = fast_ion();
+  params.scheduler.kind = agios::SchedulerKind::TimeWindowAggregation;
+  params.scheduler.aggregation_window = 0.05;  // >> dispatcher poll slice
+  std::vector<std::future<std::size_t>> futs;
+  {
+    IonDaemon daemon(0, params, pfs);
+    for (int i = 0; i < 8; ++i) {
+      auto req = write_req("/f", static_cast<std::uint64_t>(i) * 4096,
+                           pattern_data(4096, static_cast<std::uint64_t>(i)));
+      futs.push_back(req.done->get_future());
+      ASSERT_TRUE(daemon.submit(std::move(req)));
+    }
+    // Close the ingest queue while the window still holds every
+    // request back; shutdown must wait for the scheduler to drain.
+    daemon.shutdown();
+  }
+  for (auto& f : futs) EXPECT_EQ(f.get(), 4096u);
+  EXPECT_EQ(pfs.bytes_written(), 8u * 4096u);
+}
+
 TEST(IonDaemon, ConcurrentSubmittersAllComplete) {
   EmulatedPfs pfs(fast_pfs());
   IonDaemon daemon(0, fast_ion(), pfs);

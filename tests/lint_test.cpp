@@ -159,6 +159,61 @@ TEST_F(LintTest, CoutInLibraryFlagged) {
   EXPECT_NE(r.output.find("raw-cout"), std::string::npos) << r.output;
 }
 
+// --------------------------------------------------------------- raw-rand
+
+TEST_F(LintTest, SeededRngPasses) {
+  const auto p = write_fixture("jitter_good.cpp",
+                               "iofa::Seconds jitter(iofa::Rng& rng) {\n"
+                               "  return 1e-3 * rng.uniform01();\n"
+                               "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("raw-rand"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, Mt19937Flagged) {
+  const auto p = write_fixture(
+      "jitter_bad.cpp",
+      "double jitter() {\n"
+      "  std::mt19937_64 gen(std::random_device{}());\n"
+      "  return std::uniform_real_distribution<double>(0, 1)(gen);\n"
+      "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("raw-rand"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("jitter_bad.cpp:2"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, CLibraryRandFlagged) {
+  const auto p = write_fixture("crand.cpp",
+                               "int roll() { return rand() % 6; }\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("raw-rand"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, RawRandSuppressionHonoured) {
+  const auto p = write_fixture(
+      "entropy.cpp",
+      "std::uint64_t entropy() {\n"
+      "  return std::random_device{}();  "
+      "// iofa-lint: allow(raw-rand) -- seed harvesting CLI\n"
+      "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, RandomWordInIdentifierNotFlagged) {
+  // "random" as part of an identifier or comment is not a call into the
+  // C library's random().
+  const auto p = write_fixture(
+      "naming.cpp",
+      "void shuffle(iofa::Rng& rng, std::vector<int>& random_order);\n"
+      "// randomised via the seeded generator\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
 // ------------------------------------------------------------- bare-units
 
 TEST_F(LintTest, UnitTypedefsPass) {

@@ -13,6 +13,9 @@
 //                process stays on one monotonic timeline.
 //   raw-cout     std::cout/std::cerr logging in src/ outside
 //                common/log and the telemetry exporters.
+//   raw-rand     <random> engines / rand() / random_device outside
+//                common/rng: randomness goes through iofa::Rng so every
+//                run is seedable and fault drills replay byte-for-byte.
 //   bare-units   `double <name>bytes/seconds<...>` declarations in
 //                public headers of src/core and src/fwd: use the
 //                Bytes / Seconds / MBps typedefs (common/units.hpp).
@@ -192,6 +195,30 @@ void check_raw_sleep(const std::string& file,
   }
 }
 
+// --- rule: raw-rand -------------------------------------------------------
+
+// The escaped `\s*` separators keep these patterns from matching their
+// own source line (the literal text contains a backslash, not a space).
+const std::regex kRawRand(
+    R"(std\s*::\s*(mt19937(_64)?|minstd_rand0?|default_random_engine|random_device|(uniform_int|uniform_real|normal|bernoulli|poisson|exponential|discrete)_distribution)\b|\b[sd]?rand\s*(48)?\s*\(|\brandom\s*\()");
+
+void check_raw_rand(const std::string& file,
+                    const std::vector<CleanLine>& lines) {
+  // Determinism discipline covers the library AND the tools (fault
+  // drills replay from a seed end to end); the one blessed source of
+  // randomness is iofa::Rng itself.
+  if (!(path_contains(file, "src/") || path_contains(file, "tools/"))) return;
+  if (path_contains(file, "common/rng.")) return;
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    if (std::regex_search(lines[li].text, kRawRand) &&
+        !suppressed(lines[li].raw, "raw-rand")) {
+      report(file, li + 1, "raw-rand",
+             "unseeded/raw randomness; use iofa::Rng (common/rng.hpp) "
+             "so runs replay from a seed");
+    }
+  }
+}
+
 // --- rule: raw-cout -------------------------------------------------------
 
 const std::regex kRawCout(R"(std\s*::\s*(cout|cerr)\b)");
@@ -247,6 +274,7 @@ void lint_file(const fs::path& path) {
   const auto lines = read_and_strip(path);
   check_naked_mutex(file, lines);
   check_raw_sleep(file, lines);
+  check_raw_rand(file, lines);
   check_raw_cout(file, lines);
   check_bare_units(file, lines);
 }

@@ -5,19 +5,32 @@
 // Usage:
 //   iofa_queue_sim [--policy P] [--nodes N] [--pool K] [--ratio R]
 //                  [--delay S] [--queue paper|random:<seed>:<njobs>]
+//                  [--fault-plan FILE]
 //
 // Jobs come from the paper's Section 5.3 queue by default, or from the
 // random covering generator. Profiles are the Grid'5000 reference set.
+//
+// --fault-plan FILE switches from the discrete-event simulator to the
+// LIVE runtime and injects the scripted faults (src/fault DSL): ION
+// crashes, PFS dispatch errors, mapping-publish drops. The run prints
+// the usual per-job table plus the fault/failover telemetry counters,
+// so an operator can rehearse "what does losing ION k at t=0.5s do to
+// this queue" before trying it on a production system.
 
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/related.hpp"
+#include "fault/injector.hpp"
+#include "jobs/live_executor.hpp"
 #include "jobs/sim_executor.hpp"
 #include "platform/profile.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workload/queuegen.hpp"
 
 namespace {
@@ -36,11 +49,102 @@ std::shared_ptr<core::ArbitrationPolicy> make_policy(
   return std::make_shared<core::MckpPolicy>();
 }
 
+/// Rehearse `plan` against the live runtime (drills use real daemons:
+/// crashes, retries and republishes have to actually happen).
+int run_fault_drill(const std::string& plan_path,
+                    const std::vector<workload::AppSpec>& queue,
+                    const std::string& policy_name,
+                    const jobs::SimExecutorOptions& sim_opts) {
+  std::ifstream in(plan_path);
+  if (!in) {
+    std::cerr << "iofa_queue_sim: cannot read fault plan '" << plan_path
+              << "'\n";
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::string error;
+  const auto plan = fault::FaultPlan::parse(text.str(), &error);
+  if (!plan) {
+    std::cerr << "iofa_queue_sim: bad fault plan '" << plan_path
+              << "': " << error << "\n";
+    return 2;
+  }
+
+  fault::WallFaultClock clock;
+  fault::FaultInjector injector(*plan, &clock,
+                                &telemetry::Registry::global());
+
+  fwd::ServiceConfig cfg;
+  cfg.ion_count = sim_opts.pool;
+  cfg.pfs.write_bandwidth = 900.0e6;
+  cfg.pfs.read_bandwidth = 1400.0e6;
+  cfg.pfs.op_overhead = 128 * KiB;
+  cfg.pfs.contention_coeff = 0.02;
+  cfg.pfs.store_data = false;
+  cfg.ion.ingest_bandwidth = 650.0e6;
+  cfg.ion.op_overhead = 32 * KiB;
+  cfg.ion.store_data = false;
+  cfg.injector = &injector;
+  fwd::ForwardingService service(cfg);
+
+  jobs::LiveExecutorOptions opts;
+  opts.compute_nodes = sim_opts.compute_nodes;
+  opts.pool = sim_opts.pool;
+  opts.static_ratio = sim_opts.static_ratio;
+  opts.reallocate_running = sim_opts.reallocate_running;
+  opts.threads_per_job = 2;
+  opts.poll_period = 0.002;
+  opts.replay.store_data = false;
+  opts.replay.volume_scale = 1.0 / 8192.0;
+  opts.replay.min_phase_bytes = 4 * MiB;
+  opts.fault_clock = &clock;
+  opts.health_period = 0.002;
+  opts.request_timeout = 0.05;
+
+  const auto result =
+      jobs::run_queue_live(queue, platform::g5k_reference_profiles(),
+                           make_policy(policy_name), service, opts);
+
+  Table table({"job", "app", "started_s", "finished_s", "MB/s"});
+  for (const auto& job : result.jobs) {
+    table.add_row({std::to_string(job.id), job.label, fmt(job.started, 2),
+                   fmt(job.finished, 2),
+                   fmt(job.replay.bandwidth(), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\npolicy " << make_policy(policy_name)->name()
+            << " under fault plan " << plan_path << " (seed "
+            << plan->seed << "): aggregate "
+            << fmt(result.aggregate_bw(), 1) << " MB/s, makespan "
+            << fmt(result.makespan, 2) << " s over "
+            << result.jobs.size() << " jobs\n\nfault telemetry:\n";
+
+  const auto snap = telemetry::Registry::global().snapshot();
+  for (const auto& s : snap.samples) {
+    const bool fault_metric =
+        s.name.rfind("fault.", 0) == 0 || s.name.rfind("fwd.retries", 0) == 0 ||
+        s.name.rfind("fwd.failovers", 0) == 0 ||
+        s.name.rfind("fwd.client.direct_fallback", 0) == 0 ||
+        s.name.rfind("fwd.ion.flush_abandoned", 0) == 0 ||
+        s.name.rfind("fwd.ion.failed_requests", 0) == 0 ||
+        s.name.rfind("arbiter.resolves_on_failure", 0) == 0;
+    if (!fault_metric || s.value == 0.0) continue;
+    std::cout << "  " << s.name;
+    for (const auto& [k, v] : s.labels) {
+      std::cout << " " << k << "=" << v;
+    }
+    std::cout << " = " << s.value << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string policy_name = "mckp";
   std::string queue_spec = "paper";
+  std::string fault_plan;
   jobs::SimExecutorOptions opts;
   opts.compute_nodes = 96;
   opts.pool = 12;
@@ -60,10 +164,15 @@ int main(int argc, char** argv) {
       opts.remap_delay = std::stod(argv[++i]);
     } else if (arg == "--queue" && i + 1 < argc) {
       queue_spec = argv[++i];
+    } else if (arg == "--fault-plan" && i + 1 < argc) {
+      fault_plan = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: iofa_queue_sim [--policy P] [--nodes N] "
                    "[--pool K] [--ratio R] [--delay S] "
-                   "[--queue paper|random:<seed>:<njobs>]\n";
+                   "[--queue paper|random:<seed>:<njobs>] "
+                   "[--fault-plan FILE]\n"
+                   "  --fault-plan FILE  rehearse the queue on the LIVE "
+                   "runtime under the scripted faults\n";
       return 0;
     }
   }
@@ -80,6 +189,10 @@ int main(int argc, char** argv) {
                  : std::stoull(rest.substr(colon + 1)));
   } else {
     queue = workload::paper_queue();
+  }
+
+  if (!fault_plan.empty()) {
+    return run_fault_drill(fault_plan, queue, policy_name, opts);
   }
 
   const auto profiles = platform::g5k_reference_profiles();

@@ -1,0 +1,204 @@
+// Throughput bench for the sharded ION dispatch pipeline: one daemon,
+// a fixed-seed write workload over many files, worker pool widths
+// {1, 2, 4, 8}. The dispatch cost being pipelined is the modelled
+// per-dispatch service latency (IonParams::dispatch_latency - RPC
+// handling, syscall, interrupt cost), which is independent per
+// in-flight request; backend bandwidths are set effectively infinite
+// so queueing at the relay is the only bottleneck. Reported per width:
+// acknowledged ops/s and the p99 ingest-queue wait from the
+// fwd.ion.queue_wait_us histogram.
+//
+// Usage: bench_daemon_pipeline [--quick] [--out FILE]
+//   --quick   1/8th of the ops (CI smoke); same seed and shape
+//   --out     JSON results path (default BENCH_daemon_pipeline.json)
+
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "common/clock.hpp"
+#include "common/table.hpp"
+#include "fwd/daemon.hpp"
+#include "fwd/pfs_backend.hpp"
+#include "gkfs/chunk.hpp"
+
+namespace {
+
+using namespace iofa;
+
+constexpr std::uint64_t kSeed = 1337;
+constexpr int kFiles = 64;
+constexpr std::uint64_t kRequestBytes = 64 * KiB;
+constexpr Seconds kDispatchLatency = 150e-6;
+
+struct RunResult {
+  int workers = 0;
+  int ops = 0;
+  Seconds elapsed = 0.0;
+  double ops_per_sec = 0.0;
+  double p99_queue_wait_us = 0.0;
+  double mean_queue_wait_us = 0.0;
+};
+
+RunResult run_once(int workers, int ops) {
+  telemetry::Registry reg;
+
+  // Effectively infinite devices: the modelled dispatch latency is the
+  // only cost, so the measurement isolates what the worker pool
+  // pipelines.
+  fwd::PfsParams pp;
+  pp.write_bandwidth = 1.0e15;
+  pp.read_bandwidth = 1.0e15;
+  pp.op_overhead = 0;
+  pp.contention_coeff = 0.0;
+  pp.store_data = false;
+  pp.registry = &reg;
+  fwd::EmulatedPfs pfs(pp);
+
+  fwd::IonParams ip;
+  ip.ingest_bandwidth = 1.0e15;
+  ip.op_overhead = 0;
+  ip.queue_capacity = 512;
+  ip.scheduler.kind = agios::SchedulerKind::Fifo;
+  ip.store_data = false;
+  ip.workers = workers;
+  ip.dispatch_latency = kDispatchLatency;
+  ip.registry = &reg;
+  fwd::IonDaemon daemon(0, ip, pfs);
+
+  // Fixed-seed workload: sequential 64 KiB writes round-robin across
+  // kFiles streams (the shard router scrambles file ids, so streams
+  // spread over the pool).
+  Rng rng(kSeed);
+  std::vector<std::string> paths;
+  std::vector<std::uint64_t> next_block(kFiles, 0);
+  paths.reserve(kFiles);
+  for (int f = 0; f < kFiles; ++f) {
+    paths.push_back("/bench/f" + std::to_string(rng.next() % 100000) + "_" +
+                    std::to_string(f));
+  }
+
+  std::vector<std::future<std::size_t>> futs;
+  futs.reserve(static_cast<std::size_t>(ops));
+  const Seconds t0 = monotonic_seconds();
+  for (int i = 0; i < ops; ++i) {
+    const int f = i % kFiles;
+    fwd::FwdRequest req;
+    req.op = fwd::FwdOp::Write;
+    req.path = paths[static_cast<std::size_t>(f)];
+    req.file_id = gkfs::hash_path(req.path);
+    req.offset = next_block[static_cast<std::size_t>(f)]++ * kRequestBytes;
+    req.size = kRequestBytes;
+    req.done = std::make_shared<std::promise<std::size_t>>();
+    futs.push_back(req.done->get_future());
+    daemon.submit(std::move(req));
+  }
+  for (auto& f : futs) f.get();
+  daemon.drain();
+  const Seconds elapsed = monotonic_seconds() - t0;
+
+  RunResult r;
+  r.workers = workers;
+  r.ops = ops;
+  r.elapsed = elapsed;
+  r.ops_per_sec = static_cast<double>(ops) / elapsed;
+  const auto snap = reg.snapshot();
+  if (const auto* s =
+          snap.find("fwd.ion.queue_wait_us", {{"ion", "0"}})) {
+    if (s->histogram) {
+      r.p99_queue_wait_us = s->histogram->quantile(0.99);
+      r.mean_queue_wait_us = s->histogram->mean();
+    }
+  }
+  return r;
+}
+
+std::string json_escape_free_number(double v) {
+  // JSON has no Inf/NaN; the bench never produces them, but keep the
+  // output well-formed if a clock hiccup ever does.
+  if (!(v == v) || v > 1e300 || v < -1e300) return "0";
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_daemon_pipeline.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: bench_daemon_pipeline [--quick] [--out FILE]\n";
+      return 0;
+    }
+  }
+  const int ops = quick ? 512 : 4096;
+
+  bench::banner("ION dispatch pipeline throughput",
+                "DESIGN.md: ION pipeline",
+                "Sharded workers vs the serial dispatcher, fixed seed " +
+                    std::to_string(kSeed));
+
+  Table table({"workers", "ops", "elapsed_s", "ops/s", "p99_wait_us",
+               "speedup"});
+  std::vector<RunResult> results;
+  for (int w : {1, 2, 4, 8}) {
+    results.push_back(run_once(w, ops));
+    const auto& r = results.back();
+    table.add_row({std::to_string(r.workers), std::to_string(r.ops),
+                   fmt(r.elapsed, 3), fmt(r.ops_per_sec, 0),
+                   fmt(r.p99_queue_wait_us, 0),
+                   fmt(r.ops_per_sec / results.front().ops_per_sec, 2)});
+  }
+  table.print(std::cout);
+
+  const double speedup_4w =
+      results[2].ops_per_sec / results[0].ops_per_sec;
+  std::cout << "\n4-worker speedup over serial: " << fmt(speedup_4w, 2)
+            << "x (acceptance floor: 2x)\n";
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"daemon_pipeline\",\n"
+       << "  \"seed\": " << kSeed << ",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"ops\": " << ops << ",\n"
+       << "  \"request_bytes\": " << kRequestBytes << ",\n"
+       << "  \"files\": " << kFiles << ",\n"
+       << "  \"dispatch_latency_us\": "
+       << json_escape_free_number(kDispatchLatency * 1e6) << ",\n"
+       << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    json << "    {\"workers\": " << r.workers << ", \"ops_per_sec\": "
+         << json_escape_free_number(r.ops_per_sec) << ", \"elapsed_s\": "
+         << json_escape_free_number(r.elapsed)
+         << ", \"p99_queue_wait_us\": "
+         << json_escape_free_number(r.p99_queue_wait_us)
+         << ", \"mean_queue_wait_us\": "
+         << json_escape_free_number(r.mean_queue_wait_us) << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"speedup_4w_vs_1w\": " << json_escape_free_number(speedup_4w)
+       << "\n}\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "bench_daemon_pipeline: cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << json.str();
+  std::cout << "results written: " << out_path << "\n";
+  return 0;
+}

@@ -48,13 +48,21 @@ std::optional<Dispatch> AggregationScheduler::pop(Seconds now) {
   if (best_stream == streams_.end()) return std::nullopt;
 
   // Merge the contiguous run starting at the ripe request. Extend
-  // backwards first: earlier offsets that are exactly adjacent join too.
+  // backwards first: earlier offsets that are exactly adjacent join
+  // too - but only while the run through the ripe request stays under
+  // the aggregation cap. An uncapped backward walk could push the
+  // window so far back that the capped forward merge below would stop
+  // before the very request whose ripeness triggered this dispatch
+  // (and hand the PFS an over-cap run besides).
   auto& queue = best_stream->second;
   auto start = best_it;
+  std::uint64_t run_bytes = best_it->second.size;
   while (start != queue.begin()) {
     auto prev = std::prev(start);
     if (prev->second.offset + prev->second.size != start->second.offset)
       break;
+    if (run_bytes + prev->second.size > max_aggregate_) break;
+    run_bytes += prev->second.size;
     start = prev;
   }
 

@@ -167,12 +167,13 @@ void Arbiter::arbitrate() {
   const auto t0 = std::chrono::steady_clock::now();
   const Allocation alloc = policy_->allocate(problem);
   const auto t1 = std::chrono::steady_clock::now();
-  last_solve_seconds_ =
+  const Seconds solve_seconds =
       std::chrono::duration<double>(t1 - t0).count();
+  last_solve_seconds_.store(solve_seconds, std::memory_order_relaxed);
 
   ctr_solves_->add();
   ctr_items_->add(items);
-  hist_solve_us_->observe(last_solve_seconds_ * 1e6);
+  hist_solve_us_->observe(solve_seconds * 1e6);
   hist_classes_->observe(static_cast<double>(problem.apps.size()));
   gauge_running_->set(static_cast<double>(running_.size()));
   gauge_pool_->set(static_cast<double>(options_.pool));

@@ -5,6 +5,7 @@
 // publishes the result as an epoch-stamped mapping - the "mapping file"
 // GekkoFWD clients poll at runtime.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -79,7 +80,11 @@ class Arbiter {
   std::size_t running_jobs() const { return running_.size(); }
 
   /// Wall time of the last policy solve (the 399 us figure of Sec. 5.3).
-  Seconds last_solve_seconds() const { return last_solve_seconds_; }
+  /// Atomic: the HealthMonitor thread triggers failure re-solves while
+  /// observers poll this concurrently.
+  Seconds last_solve_seconds() const {
+    return last_solve_seconds_.load(std::memory_order_relaxed);
+  }
 
   /// Last allocation decision (per running job, same order as
   /// mapping().jobs iteration).
@@ -96,7 +101,7 @@ class Arbiter {
   std::map<JobId, int> counts_;
   std::set<int> failed_;  ///< IONs excluded from arbitration
   Mapping mapping_;
-  Seconds last_solve_seconds_ = 0.0;
+  std::atomic<Seconds> last_solve_seconds_{0.0};
 
   // Telemetry ("core.arbiter.*", labelled with the policy name): the
   // live analogue of the Sec. 5.3 solve-timing numbers.

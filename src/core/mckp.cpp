@@ -2,13 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
-#include <limits>
 
 namespace iofa::core {
-
-namespace {
-constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-}
 
 std::optional<MckpSolution> solve_mckp_dp(
     const std::vector<MckpClass>& classes, int capacity) {
@@ -22,18 +17,23 @@ std::optional<MckpSolution> solve_mckp_dp(
   }
 
   // dp[w]: best value after processing the classes so far with total
-  // weight exactly <= w reachable states; kNegInf marks unreachable.
-  std::vector<double> dp(w_dim, kNegInf);
-  std::vector<double> next(w_dim, kNegInf);
+  // weight exactly w. Reachability is tracked in an explicit parallel
+  // bitmap rather than a -inf value sentinel: item values are
+  // arbitrary doubles, so a legitimate state value could collide with
+  // (or arithmetic could perturb) any in-band marker.
+  std::vector<double> dp(w_dim, 0.0);
+  std::vector<double> next(w_dim, 0.0);
+  std::vector<char> reach(w_dim, 0);
+  std::vector<char> next_reach(w_dim, 0);
   // choice[i][w]: item picked for class i at state weight w.
   std::vector<std::vector<std::uint16_t>> choice(
       k, std::vector<std::uint16_t>(w_dim, 0));
 
-  dp[0] = 0.0;
+  reach[0] = 1;
   // Non-zero weights start unreachable so each class contributes exactly
   // one item.
   for (std::size_t i = 0; i < k; ++i) {
-    std::fill(next.begin(), next.end(), kNegInf);
+    std::fill(next_reach.begin(), next_reach.end(), 0);
     const auto& cls = classes[i];
     for (std::size_t j = 0; j < cls.size(); ++j) {
       const int w = cls[j].weight;
@@ -42,28 +42,32 @@ std::optional<MckpSolution> solve_mckp_dp(
       for (std::size_t prev_w = 0; prev_w + static_cast<std::size_t>(w) <
                                    w_dim;
            ++prev_w) {
-        if (dp[prev_w] == kNegInf) continue;
+        if (!reach[prev_w]) continue;
         const std::size_t new_w = prev_w + static_cast<std::size_t>(w);
         const double cand = dp[prev_w] + v;
-        if (cand > next[new_w]) {
+        if (!next_reach[new_w] || cand > next[new_w]) {
           next[new_w] = cand;
+          next_reach[new_w] = 1;
           choice[i][new_w] = static_cast<std::uint16_t>(j);
         }
       }
     }
     dp.swap(next);
+    reach.swap(next_reach);
   }
 
-  // Best final state across all weights <= capacity.
+  // Best final state across all reachable weights <= capacity.
   std::size_t best_w = 0;
-  double best_v = kNegInf;
+  double best_v = 0.0;
+  bool found = false;
   for (std::size_t w = 0; w < w_dim; ++w) {
-    if (dp[w] > best_v) {
+    if (reach[w] && (!found || dp[w] > best_v)) {
       best_v = dp[w];
       best_w = w;
+      found = true;
     }
   }
-  if (best_v == kNegInf) return std::nullopt;
+  if (!found) return std::nullopt;
 
   // Reconstruct by replaying choices backwards.
   MckpSolution sol;

@@ -58,12 +58,17 @@ Rng& FaultInjector::site_rng(const std::string& site) {
 FaultDecision FaultInjector::decide(const std::string& site) {
   FaultDecision d;
   if (!enabled_) return d;
+  // Shard streams ("ion.N.shard.S") match events targeting the generic
+  // request site ("ion.N.request") as well as their own, but count
+  // checks and draw randomness per stream - the k-th check on a shard
+  // sees the same draw in every run regardless of the other shards.
+  const auto parent = shard_site_parent(site);
   MutexLock lk(mu_);
   const std::uint64_t k = ++checks_[site];
   const Seconds t = clock_ ? clock_->now() : 0.0;
   for (std::size_t i = 0; i < plan_.events.size(); ++i) {
     const FaultEvent& e = plan_.events[i];
-    if (e.site != site) continue;
+    if (e.site != site && (!parent || e.site != *parent)) continue;
     switch (e.kind) {
       case EventKind::Stall:
         if (t >= e.at && t < e.at + e.duration) {

@@ -93,6 +93,10 @@ std::string request_site(int ion) {
   return "ion." + std::to_string(ion) + ".request";
 }
 
+std::string shard_site(int ion, int shard) {
+  return "ion." + std::to_string(ion) + ".shard." + std::to_string(shard);
+}
+
 bool site_is_valid(const std::string& site) {
   if (site == kPfsWriteSite || site == kPfsReadSite ||
       site == kMappingPublishSite) {
@@ -106,12 +110,27 @@ std::optional<int> ion_of_site(const std::string& site) {
   std::string rest = site.substr(4);
   const auto dot = rest.find('.');
   if (dot != std::string::npos) {
-    if (rest.substr(dot + 1) != "request") return std::nullopt;
+    const std::string suffix = rest.substr(dot + 1);
+    if (suffix != "request") {
+      // "shard.<S>" - a per-shard request stream (see shard_site()).
+      if (suffix.rfind("shard.", 0) != 0) return std::nullopt;
+      std::uint64_t s = 0;
+      if (!parse_u64(suffix.substr(6), &s) || s > 1'000'000) {
+        return std::nullopt;
+      }
+    }
     rest = rest.substr(0, dot);
   }
   std::uint64_t n = 0;
   if (!parse_u64(rest, &n) || n > 1'000'000) return std::nullopt;
   return static_cast<int>(n);
+}
+
+std::optional<std::string> shard_site_parent(const std::string& site) {
+  if (site.find(".shard.") == std::string::npos) return std::nullopt;
+  const auto ion = ion_of_site(site);
+  if (!ion) return std::nullopt;
+  return request_site(*ion);
 }
 
 std::string FaultPlan::to_string() const {

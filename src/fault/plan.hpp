@@ -4,9 +4,13 @@
 // A FaultPlan is a seeded schedule of failure events against named
 // sites in the forwarding runtime. Sites are strings:
 //
-//   ion.<N>          - ION daemon lifecycle (crash/restart) and the
-//                      per-request admission point inside daemon N
-//   ion.<N>.request  - request-level dispatch inside daemon N
+//   ion.<N>           - ION daemon lifecycle (crash/restart) and the
+//                       per-request admission point inside daemon N
+//   ion.<N>.request   - request-level dispatch inside daemon N
+//   ion.<N>.shard.<S> - request-level dispatch on worker shard S when
+//                       daemon N runs a sharded pipeline; events
+//                       targeting ion.<N>.request also fire on shard
+//                       streams, each with its own check count and RNG
 //   pfs.write        - PFS write dispatch (the flusher's backend call)
 //   pfs.read         - PFS read dispatch (stall only; reads are retried
 //                      by the client, not the PFS model)
@@ -87,13 +91,22 @@ struct FaultPlan {
 /// Canonical site names.
 std::string ion_site(int ion);
 std::string request_site(int ion);
+/// Per-shard request stream inside a sharded daemon ("ion.3.shard.1").
+/// Plan events written against the generic ion.<N>.request site match
+/// shard streams too; each stream keeps independent check counts and
+/// RNG draws so per-shard injection replays deterministically.
+std::string shard_site(int ion, int shard);
 inline constexpr const char* kPfsWriteSite = "pfs.write";
 inline constexpr const char* kPfsReadSite = "pfs.read";
 inline constexpr const char* kMappingPublishSite = "mapping.publish";
 
 /// True for syntactically valid site names (see header comment).
 bool site_is_valid(const std::string& site);
-/// Parses "ion.<N>" / "ion.<N>.request"; nullopt otherwise.
+/// Parses "ion.<N>" / "ion.<N>.request" / "ion.<N>.shard.<S>";
+/// nullopt otherwise.
 std::optional<int> ion_of_site(const std::string& site);
+/// For a shard stream, the generic request site whose plan events it
+/// matches ("ion.3.shard.1" -> "ion.3.request"); nullopt otherwise.
+std::optional<std::string> shard_site_parent(const std::string& site);
 
 }  // namespace iofa::fault

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/clock.hpp"
+#include "common/rng.hpp"
 
 #include "gkfs/chunk.hpp"
 #include "telemetry/trace.hpp"
@@ -19,9 +20,6 @@ IonDaemon::IonDaemon(int id, IonParams params, EmulatedPfs& pfs)
       ingest_bucket_(params.ingest_bandwidth,
                      std::max(params.ingest_bandwidth * 0.02,
                               static_cast<double>(4 * MiB))),
-      ingest_(params.queue_capacity),
-      flush_queue_(params.queue_capacity * 4),
-      scheduler_(agios::make_scheduler(params.scheduler)),
       epoch_(std::chrono::steady_clock::now()) {
   auto& reg = params_.registry ? *params_.registry
                                : telemetry::Registry::global();
@@ -33,11 +31,18 @@ IonDaemon::IonDaemon(int id, IonParams params, EmulatedPfs& pfs)
   metrics_.reads_local = &reg.counter("fwd.ion.reads_local", labels);
   metrics_.reads_pfs = &reg.counter("fwd.ion.reads_pfs", labels);
   metrics_.queue_depth = &reg.gauge("fwd.ion.queue_depth", labels);
+  metrics_.workers = &reg.gauge("fwd.ion.workers", labels);
   metrics_.request_latency_us =
       &reg.histogram("fwd.ion.request_latency_us",
                      telemetry::BucketSpec::latency_us(), labels);
   metrics_.dispatch_bytes = &reg.histogram(
       "fwd.ion.dispatch_bytes", telemetry::BucketSpec::bytes(), labels);
+  metrics_.queue_wait_us =
+      &reg.histogram("fwd.ion.queue_wait_us",
+                     telemetry::BucketSpec::latency_us(), labels);
+  metrics_.flush_batch_bytes =
+      &reg.histogram("fwd.ion.flush_batch_bytes",
+                     telemetry::BucketSpec::bytes(), labels);
   metrics_.retries = &reg.counter("fwd.retries", labels);
   metrics_.flush_abandoned = &reg.counter("fwd.ion.flush_abandoned", labels);
   metrics_.failed_requests = &reg.counter("fwd.ion.failed_requests", labels);
@@ -52,8 +57,29 @@ IonDaemon::IonDaemon(int id, IonParams params, EmulatedPfs& pfs)
   baseline_.reads_local = metrics_.reads_local->value();
   baseline_.reads_pfs = metrics_.reads_pfs->value();
 
-  dispatcher_ = std::thread([this] { dispatcher_loop(); });
-  flusher_ = std::thread([this] { flusher_loop(); });
+  const int workers = std::max(1, params_.workers);
+  const int flushers = params_.flushers > 0 ? params_.flushers : workers;
+  metrics_.workers->set(static_cast<double>(workers));
+
+  shards_.reserve(static_cast<std::size_t>(workers));
+  for (int s = 0; s < workers; ++s) {
+    auto shard = std::make_unique<Shard>(params_.queue_capacity);
+    shard->scheduler = agios::make_scheduler(params_.scheduler);
+    shards_.push_back(std::move(shard));
+  }
+  flush_shards_.reserve(static_cast<std::size_t>(flushers));
+  for (int f = 0; f < flushers; ++f) {
+    flush_shards_.push_back(
+        std::make_unique<FlushShard>(params_.queue_capacity * 4));
+  }
+  // All shard state exists before any thread starts: worker/flusher
+  // loops never see a partially built pipeline.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->worker = std::thread([this, s] { worker_loop(s); });
+  }
+  for (std::size_t f = 0; f < flush_shards_.size(); ++f) {
+    flush_shards_[f]->worker = std::thread([this, f] { flusher_loop(f); });
+  }
 }
 
 IonDaemon::~IonDaemon() { shutdown(); }
@@ -64,35 +90,67 @@ Seconds IonDaemon::now() const {
       .count();
 }
 
+std::size_t IonDaemon::shard_of(std::uint64_t file_id, FwdOp op) const {
+  if (shards_.size() == 1) return 0;
+  // (file_id, op) keys the shard: one file's write stream (and its
+  // fsyncs, which ride the write key) is always FIFO through one
+  // worker, while reads and other files proceed in parallel. SplitMix64
+  // scrambles low-entropy sequential file ids across shards.
+  const std::uint64_t key = file_id * 2 + (op == FwdOp::Read ? 1 : 0);
+  return static_cast<std::size_t>(SplitMix64(key).next() % shards_.size());
+}
+
+std::size_t IonDaemon::flush_shard_of(std::uint64_t file_id) const {
+  if (flush_shards_.size() == 1) return 0;
+  return static_cast<std::size_t>(SplitMix64(file_id).next() %
+                                  flush_shards_.size());
+}
+
+std::size_t IonDaemon::queue_depth() const {
+  std::size_t depth = 0;
+  for (const auto& shard : shards_) depth += shard->ingest.size();
+  return depth;
+}
+
 bool IonDaemon::submit(FwdRequest req) {
   if (!running_.load() || is_crashed()) return false;
-  {
-    MutexLock lk(pending_mu_);
-    ++pending_requests_;
-  }
-  if (!ingest_.push(std::move(req))) {
-    MutexLock lk(pending_mu_);
-    --pending_requests_;
-    pending_cv_.notify_all();
+  req.queued_us = monotonic_micros();
+  pending_requests_.fetch_add(1);
+  auto& shard = *shards_[shard_of(req.file_id, req.op)];
+  if (!shard.ingest.push(std::move(req))) {
+    finish_pending(pending_requests_);
     return false;
   }
-  metrics_.queue_depth->set(static_cast<double>(ingest_.size()));
+  metrics_.queue_depth->set(static_cast<double>(queue_depth()));
   return true;
 }
 
 void IonDaemon::drain() {
   UniqueLock lk(pending_mu_);
-  while (pending_requests_ != 0 || pending_flushes_ != 0) {
+  while (pending_requests_.load() != 0 || pending_flushes_.load() != 0) {
     pending_cv_.wait(lk);
   }
 }
 
 void IonDaemon::shutdown() {
   if (!running_.exchange(false)) return;
-  ingest_.close();
-  if (dispatcher_.joinable()) dispatcher_.join();
-  flush_queue_.close();
-  if (flusher_.joinable()) flusher_.join();
+  for (auto& shard : shards_) shard->ingest.close();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  for (auto& fs : flush_shards_) fs->queue.close();
+  for (auto& fs : flush_shards_) {
+    if (fs->worker.joinable()) fs->worker.join();
+  }
+}
+
+void IonDaemon::finish_pending(std::atomic<std::uint64_t>& counter) {
+  if (counter.fetch_sub(1) == 1) {
+    // Taking the mutex orders this notify after drain()'s re-check, so
+    // the zero-crossing wakeup cannot be lost.
+    MutexLock lk(pending_mu_);
+    pending_cv_.notify_all();
+  }
 }
 
 void IonDaemon::fail_request(FwdRequest& req) {
@@ -100,30 +158,65 @@ void IonDaemon::fail_request(FwdRequest& req) {
     req.done->set_exception(std::make_exception_ptr(IonDownError(id_)));
   }
   metrics_.failed_requests->add();
-  MutexLock lk(pending_mu_);
-  --pending_requests_;
-  pending_cv_.notify_all();
+  finish_pending(pending_requests_);
 }
 
-void IonDaemon::fail_in_flight() {
-  if (in_flight_.empty() && scheduler_->empty()) return;
-  for (auto& [tag, req] : in_flight_) fail_request(req);
-  in_flight_.clear();
+void IonDaemon::fail_in_flight(Shard& shard) {
+  if (shard.in_flight.empty() && shard.scheduler->empty()) return;
+  for (auto& [tag, req] : shard.in_flight) fail_request(req);
+  shard.in_flight.clear();
   // The scheduler still holds the tags we just failed; rebuilding it is
   // the crash wiping the daemon's volatile dispatch state.
-  scheduler_ = agios::make_scheduler(params_.scheduler);
+  shard.scheduler = agios::make_scheduler(params_.scheduler);
 }
 
-void IonDaemon::dispatcher_loop() {
+void IonDaemon::enqueue_flush(FlushItem item, std::uint64_t file_id) {
+  // flush_enqueue_mu_ spans [counter update, queue push] so a marker's
+  // barrier can never be overtaken in its own queue by a data item that
+  // was counted before it - the invariant the fsync barrier's
+  // deadlock-freedom argument rests on. flush_mu_ is NOT held across
+  // the (blocking) push: flusher completions need it to make room.
+  MutexLock elk(flush_enqueue_mu_);
+  {
+    MutexLock lk(flush_mu_);
+    if (item.fsync_done) {
+      item.barrier = flush_enqueued_;
+    } else {
+      ++flush_enqueued_;
+    }
+  }
+  pending_flushes_.fetch_add(1);
+  flush_shards_[flush_shard_of(file_id)]->queue.push(std::move(item));
+}
+
+void IonDaemon::worker_loop(std::size_t si) {
   auto& tracer = telemetry::Tracer::global();
   bool named = false;
+  Shard& shard = *shards_[si];
+  // At workers == 1 the legacy site name keeps fault-seed replay
+  // byte-identical with the serial daemon; sharded pipelines get one
+  // deterministic stream per shard.
+  const std::string admit_site = fault::ion_site(id_);
+  const std::string request_fault_site =
+      shards_.size() == 1 ? fault::request_site(id_)
+                          : fault::shard_site(id_, static_cast<int>(si));
 
   auto ingest_one = [&](FwdRequest&& req) {
+    if (req.queued_us != 0) {
+      const std::uint64_t now_us = monotonic_micros();
+      const std::uint64_t wait_us =
+          now_us > req.queued_us ? now_us - req.queued_us : 0;
+      metrics_.queue_wait_us->observe(static_cast<double>(wait_us));
+      if (tracer.enabled()) {
+        tracer.complete("queue_wait", "fwd.ion", req.queued_us, wait_us,
+                        "bytes", static_cast<std::int64_t>(req.size));
+      }
+    }
     if (params_.injector) {
       // Admission-level fault site: count-triggered crashes ("after N
       // crash ion.K") fire here, taking the triggering request with
       // them; stalls model an overloaded ingest path.
-      const auto d = params_.injector->decide(fault::ion_site(id_));
+      const auto d = params_.injector->decide(admit_site);
       if (d.stall > 0.0) sleep_for_seconds(d.stall);
       if (d.fail) {
         fail_request(req);
@@ -131,21 +224,16 @@ void IonDaemon::dispatcher_loop() {
       }
     }
     if (req.op == FwdOp::Fsync) {
-      // Order the marker after everything staged so far.
+      // Order the marker after everything staged so far (its barrier
+      // covers every data item enqueued daemon-wide before it).
       FlushItem marker;
       marker.path = req.path;
       marker.fsync_done = req.done;
-      {
-        MutexLock lk(pending_mu_);
-        ++pending_flushes_;
-      }
-      flush_queue_.push(std::move(marker));
-      MutexLock lk(pending_mu_);
-      --pending_requests_;
-      pending_cv_.notify_all();
+      enqueue_flush(std::move(marker), req.file_id);
+      finish_pending(pending_requests_);
       return;
     }
-    const std::uint64_t tag = next_tag_++;
+    const std::uint64_t tag = shard.next_tag++;
     agios::SchedRequest sr;
     sr.tag = tag;
     sr.file_id = req.file_id;
@@ -154,44 +242,47 @@ void IonDaemon::dispatcher_loop() {
     sr.offset = req.offset;
     sr.size = req.size;
     sr.arrival = now();
-    in_flight_.emplace(tag, std::move(req));
-    scheduler_->add(sr);
+    shard.in_flight.emplace(tag, std::move(req));
+    shard.scheduler->add(sr);
   };
 
   while (true) {
     if (!named && tracer.enabled()) {
-      tracer.set_thread_name("ion" + std::to_string(id_) + ".dispatcher");
+      tracer.set_thread_name(
+          "ion" + std::to_string(id_) +
+          (shards_.size() == 1 ? ".dispatcher"
+                               : ".worker" + std::to_string(si)));
       named = true;
     }
     if (is_crashed()) {
       // Down: volatile dispatch state is lost, queued work is refused
-      // (clients fail over). The staging store and the flusher survive
+      // (clients fail over). The staging store and the flushers survive
       // - they model node-local storage, which a daemon restart
       // reattaches to.
-      fail_in_flight();
-      while (auto req = ingest_.try_pop()) fail_request(*req);
-      if (ingest_.closed() && ingest_.empty()) break;
+      fail_in_flight(shard);
+      while (auto req = shard.ingest.try_pop()) fail_request(*req);
+      if (shard.ingest.closed() && shard.ingest.empty()) break;
       sleep_for_seconds(200e-6);
       continue;
     }
     // Pull everything immediately available into the scheduler.
-    while (auto req = ingest_.try_pop()) ingest_one(std::move(*req));
-    metrics_.queue_depth->set(static_cast<double>(ingest_.size()));
+    while (auto req = shard.ingest.try_pop()) ingest_one(std::move(*req));
+    metrics_.queue_depth->set(static_cast<double>(queue_depth()));
 
-    if (auto dispatch = scheduler_->pop(now())) {
-      process(*dispatch);
+    if (auto dispatch = shard.scheduler->pop(now())) {
+      process(shard, *dispatch, request_fault_site);
       continue;
     }
 
     // Nothing ready: wait for new arrivals, bounded by the scheduler's
     // own readiness horizon (aggregation / TWINS windows).
     std::chrono::duration<double> wait = 2ms;
-    if (auto ready_at = scheduler_->next_ready_time(now())) {
+    if (auto ready_at = shard.scheduler->next_ready_time(now())) {
       wait = std::min(wait, std::chrono::duration<double>(
                                 std::max(1e-5, *ready_at - now())));
     }
     FwdRequest req;
-    switch (ingest_.try_pop_for(wait, req)) {
+    switch (shard.ingest.try_pop_for(wait, req)) {
       case PopResult::kItem:
         ingest_one(std::move(req));
         continue;
@@ -200,7 +291,7 @@ void IonDaemon::dispatcher_loop() {
         // scheduler window may have expired).
         continue;
       case PopResult::kClosed:
-        if (scheduler_->empty()) return;
+        if (shard.scheduler->empty()) return;
         // Queue closed but the scheduler is still holding requests
         // back (aggregation/TWINS window): let real time pass instead
         // of spinning on the already-closed queue.
@@ -210,7 +301,8 @@ void IonDaemon::dispatcher_loop() {
   }
 }
 
-void IonDaemon::process(const agios::Dispatch& dispatch) {
+void IonDaemon::process(Shard& shard, const agios::Dispatch& dispatch,
+                        const std::string& request_fault_site) {
   telemetry::ScopedSpan span("dispatch", "fwd.ion", "bytes",
                              static_cast<std::int64_t>(dispatch.size));
 
@@ -219,6 +311,12 @@ void IonDaemon::process(const agios::Dispatch& dispatch) {
   // bandwidth.
   ingest_bucket_.acquire(static_cast<double>(dispatch.size) +
                          static_cast<double>(params_.op_overhead));
+  // The latency component of a dispatch (RPC handling, syscall cost) is
+  // per-worker, not shared relay bandwidth - this is what a wider
+  // worker pool pipelines.
+  if (params_.dispatch_latency > 0.0) {
+    sleep_for_seconds(params_.dispatch_latency);
+  }
 
   metrics_.dispatches->add();
   metrics_.requests->add(dispatch.parts.size());
@@ -231,15 +329,15 @@ void IonDaemon::process(const agios::Dispatch& dispatch) {
   }
 
   for (const auto& part : dispatch.parts) {
-    auto it = in_flight_.find(part.tag);
-    assert(it != in_flight_.end());
+    auto it = shard.in_flight.find(part.tag);
+    assert(it != shard.in_flight.end());
     FwdRequest req = std::move(it->second);
-    in_flight_.erase(it);
+    shard.in_flight.erase(it);
 
     if (params_.injector) {
       // Request-level fault site: an individual forwarded I/O fails or
       // lags without taking the daemon down.
-      const auto d = params_.injector->decide(fault::request_site(id_));
+      const auto d = params_.injector->decide(request_fault_site);
       if (d.stall > 0.0) sleep_for_seconds(d.stall);
       if (d.fail) {
         fail_request(req);
@@ -262,17 +360,13 @@ void IonDaemon::process(const agios::Dispatch& dispatch) {
       item.offset = req.offset;
       item.size = req.size;
       item.data = req.data;
-      {
-        MutexLock lk(pending_mu_);
-        ++pending_flushes_;
-      }
       if (params_.write_through) {
         // Ack from the flusher, after the PFS write.
         item.write_done = req.done;
       } else if (req.done) {
         req.done->set_value(req.size);
       }
-      flush_queue_.push(std::move(item));
+      enqueue_flush(std::move(item), req.file_id);
     } else {
       // Read: prefer the staging store while the range is dirty here.
       std::size_t n = req.size;
@@ -300,65 +394,111 @@ void IonDaemon::process(const agios::Dispatch& dispatch) {
       }
       if (req.done) req.done->set_value(n);
     }
-    MutexLock lk(pending_mu_);
-    --pending_requests_;
-    pending_cv_.notify_all();
+    finish_pending(pending_requests_);
   }
 }
 
-void IonDaemon::flusher_loop() {
+void IonDaemon::flush_one(const FlushItem& item) {
+  if (item.fsync_done) {
+    // The barrier counts data items enqueued daemon-wide before this
+    // marker; durability means all of them drained (flushed or
+    // abandoned). Waiting here cannot deadlock: the oldest undrained
+    // data item is always at some flusher's queue head, and that
+    // flusher is not blocked on a barrier (its marker would be newer).
+    {
+      UniqueLock lk(flush_mu_);
+      while (flush_completed_ < item.barrier) flush_cv_.wait(lk);
+    }
+    item.fsync_done->set_value(0);
+    finish_pending(pending_flushes_);
+    return;
+  }
+
+  telemetry::ScopedSpan span("flush", "fwd.ion", "bytes",
+                             static_cast<std::int64_t>(item.size));
+  const Bytes budget = params_.flush_inflight_budget;
+  if (budget > 0) {
+    // In-flight byte budget: cap what the pool pushes at the PFS
+    // concurrently. An over-budget item is admitted once the pool is
+    // otherwise idle, so progress is never blocked.
+    UniqueLock lk(flush_mu_);
+    while (flush_inflight_ > 0 && flush_inflight_ + item.size > budget) {
+      flush_cv_.wait(lk);
+    }
+    flush_inflight_ += item.size;
+  }
+
+  std::span<const std::byte> data =
+      (item.data && !item.data->empty())
+          ? std::span<const std::byte>(*item.data).first(item.size)
+          : std::span<const std::byte>();
+  // Positional writes are idempotent, so the retry loop is safe to
+  // re-dispatch: at-least-once at the PFS is exactly-once on disk.
+  bool flushed = false;
+  for (int attempt = 0;; ++attempt) {
+    if (pfs_.write(item.path, item.offset, item.size, data,
+                   /*stream_weight=*/1.0)) {
+      flushed = true;
+      break;
+    }
+    if (params_.max_flush_attempts > 0 &&
+        attempt + 1 >= params_.max_flush_attempts) {
+      break;
+    }
+    metrics_.retries->add();
+    sleep_for_seconds(fault::backoff_delay(
+        params_.flush_backoff, attempt + 1,
+        flush_seed_ ^ item.offset ^ (item.size << 20)));
+  }
+  if (flushed) {
+    mark_clean(gkfs::hash_path(item.path), item.offset, item.size);
+    if (item.write_done) item.write_done->set_value(item.size);
+    metrics_.bytes_flushed->add(item.size);
+  } else {
+    // Retry budget exhausted: the range stays dirty (reads keep
+    // hitting the staging copy) and write-through callers see the
+    // failure.
+    metrics_.flush_abandoned->add();
+    if (item.write_done) {
+      item.write_done->set_exception(
+          std::make_exception_ptr(IonDownError(id_)));
+    }
+  }
+  {
+    MutexLock lk(flush_mu_);
+    ++flush_completed_;
+    if (budget > 0) flush_inflight_ -= item.size;
+    flush_cv_.notify_all();
+  }
+  finish_pending(pending_flushes_);
+}
+
+void IonDaemon::flusher_loop(std::size_t fi) {
   auto& tracer = telemetry::Tracer::global();
   bool named = false;
-  while (auto item = flush_queue_.pop()) {
+  FlushShard& fs = *flush_shards_[fi];
+  while (auto item = fs.queue.pop()) {
     if (!named && tracer.enabled()) {
-      tracer.set_thread_name("ion" + std::to_string(id_) + ".flusher");
+      tracer.set_thread_name(
+          "ion" + std::to_string(id_) +
+          (flush_shards_.size() == 1 ? ".flusher"
+                                     : ".flusher" + std::to_string(fi)));
       named = true;
     }
-    if (item->fsync_done) {
-      item->fsync_done->set_value(0);
-    } else {
-      telemetry::ScopedSpan span("flush", "fwd.ion", "bytes",
-                                 static_cast<std::int64_t>(item->size));
-      std::span<const std::byte> data =
-          (item->data && !item->data->empty())
-              ? std::span<const std::byte>(*item->data).first(item->size)
-              : std::span<const std::byte>();
-      // Positional writes are idempotent, so the retry loop is safe to
-      // re-dispatch: at-least-once at the PFS is exactly-once on disk.
-      bool flushed = false;
-      for (int attempt = 0;; ++attempt) {
-        if (pfs_.write(item->path, item->offset, item->size, data,
-                       /*stream_weight=*/1.0)) {
-          flushed = true;
-          break;
-        }
-        if (params_.max_flush_attempts > 0 &&
-            attempt + 1 >= params_.max_flush_attempts) {
-          break;
-        }
-        metrics_.retries->add();
-        sleep_for_seconds(fault::backoff_delay(
-            params_.flush_backoff, attempt + 1,
-            flush_seed_ ^ item->offset ^ (item->size << 20)));
-      }
-      if (flushed) {
-        mark_clean(gkfs::hash_path(item->path), item->offset, item->size);
-        if (item->write_done) item->write_done->set_value(item->size);
-        metrics_.bytes_flushed->add(item->size);
-      } else {
-        // Retry budget exhausted: the range stays dirty (reads keep
-        // hitting the staging copy) and write-through callers see the
-        // failure.
-        metrics_.flush_abandoned->add();
-        if (item->write_done) {
-          item->write_done->set_exception(
-              std::make_exception_ptr(IonDownError(id_)));
-        }
-      }
+    // Drain a batch: everything immediately available up to
+    // flush_batch_max, in FIFO order (grouping amortises queue wakeups;
+    // processing order is unchanged, so replay determinism holds).
+    std::vector<FlushItem> batch;
+    Bytes batch_bytes = item->fsync_done ? 0 : item->size;
+    batch.push_back(std::move(*item));
+    while (batch_bytes < params_.flush_batch_max) {
+      auto more = fs.queue.try_pop();
+      if (!more) break;
+      if (!more->fsync_done) batch_bytes += more->size;
+      batch.push_back(std::move(*more));
     }
-    MutexLock lk(pending_mu_);
-    --pending_flushes_;
-    pending_cv_.notify_all();
+    metrics_.flush_batch_bytes->observe(static_cast<double>(batch_bytes));
+    for (const auto& entry : batch) flush_one(entry);
   }
 }
 

@@ -1,13 +1,30 @@
 #pragma once
 // GekkoFWD ION daemon.
 //
-// One daemon = one temporary I/O node: an ingest queue fed by client
-// shims, an AGIOS scheduler deciding dispatch order and aggregation, a
-// node-local staging store (the GekkoFS burst-buffer role), and a
-// background flusher that drains staged writes to the PFS in order.
-// Writes complete towards the client once staged (write-behind);
-// durability is obtained with fsync, which the flusher acknowledges
-// after everything staged before it has reached the PFS.
+// One daemon = one temporary I/O node: sharded ingest queues fed by
+// client shims, one AGIOS scheduler per shard deciding dispatch order
+// and aggregation, a node-local staging store (the GekkoFS burst-buffer
+// role), and a pool of background flushers that drain staged writes to
+// the PFS. Writes complete towards the client once staged
+// (write-behind); durability is obtained with fsync, which a flusher
+// acknowledges after everything staged before it has reached the PFS.
+//
+// Pipeline layout (workers = N, flushers = M):
+//
+//   submit() --(file_id, op) shard--> ingest[0..N) --> worker[0..N)
+//       worker: AGIOS schedule + aggregate, stage, ack, enqueue flush
+//   flush items --(file_id) shard--> flush[0..M) --> flusher[0..M)
+//       flusher: batched PFS drain under the in-flight byte budget
+//
+// Requests for one (file_id, op) stream always land on the same
+// dispatch shard and all flush traffic of a file on the same flusher,
+// so per-file FIFO ordering is preserved end-to-end while independent
+// streams proceed in parallel. Fsync markers carry a sequence barrier:
+// they complete only after every flush item enqueued before them
+// (across all flush shards) has been drained or abandoned. With
+// workers == 1 and flushers == 1 the pipeline degenerates to the
+// original serial dispatcher/flusher pair and is byte-identical under
+// fault-seed replay.
 
 #include <atomic>
 #include <cstdint>
@@ -43,10 +60,31 @@ struct IonParams {
   /// Write-through: acknowledge writes only after the PFS has them
   /// (no burst-buffer effect; ablation of the write-behind staging).
   bool write_through = false;
+  /// Dispatcher shards. Requests are keyed by (file_id, op) to a shard
+  /// so per-stream FIFO order is preserved; independent streams proceed
+  /// in parallel. 1 = the original serial dispatcher.
+  int workers = 1;
+  /// PFS flusher pool size; 0 = one flusher per worker. Flush items are
+  /// keyed by file_id to a flusher so per-file flush order holds.
+  int flushers = 0;
+  /// Modelled per-dispatch service time of the relay (RPC handling,
+  /// syscall, interrupt cost) - the latency component the worker pool
+  /// pipelines, as opposed to op_overhead which charges the bandwidth
+  /// component. 0 = not modelled (legacy behaviour).
+  Seconds dispatch_latency = 0.0;
+  /// Cap on bytes concurrently in flight from the flusher pool to the
+  /// PFS (0 = unbounded). A single over-budget item is still admitted
+  /// alone, so progress is never blocked.
+  Bytes flush_inflight_budget = 0;
+  /// A flusher drains up to this many bytes from its queue in one
+  /// batched run before writing (amortises queue wakeups; the drain
+  /// order stays FIFO so replay determinism is unaffected).
+  Bytes flush_batch_max = 8 * MiB;
   /// Metrics destination; nullptr means telemetry::Registry::global().
   telemetry::Registry* registry = nullptr;
-  /// Fault-injection hook (sites ion.<id> / ion.<id>.request); may be
-  /// null. Crash/restart schedules for this ION are polled through it.
+  /// Fault-injection hook (sites ion.<id> / ion.<id>.request, or
+  /// ion.<id>.shard.<s> when workers > 1); may be null. Crash/restart
+  /// schedules for this ION are polled through it.
   fault::FaultInjector* injector = nullptr;
   /// Flusher retry budget for failed PFS writes; 0 = retry until the
   /// write lands (staged data is never abandoned).
@@ -71,6 +109,8 @@ class IonDaemon {
   IonDaemon& operator=(const IonDaemon&) = delete;
 
   int id() const { return id_; }
+  int workers() const { return static_cast<int>(shards_.size()); }
+  int flushers() const { return static_cast<int>(flush_shards_.size()); }
 
   /// Enqueue a request (blocking when the ingest queue is full).
   /// Returns false after shutdown.
@@ -86,7 +126,7 @@ class IonDaemon {
   // --- failure surface -------------------------------------------------
   /// Kill the daemon (tests / manual chaos): submits are refused, queued
   /// and in-flight requests fail with IonDownError. Staged data and the
-  /// flusher survive - node-local storage outlives the daemon process,
+  /// flushers survive - node-local storage outlives the daemon process,
   /// which is what makes restart() meaningful.
   void crash() { crashed_manual_.store(true); }
   /// Undo crash(); an injector-scheduled crash window still applies.
@@ -108,7 +148,7 @@ class IonDaemon {
     std::uint64_t reads_pfs = 0;
   };
   Stats stats() const;
-  std::size_t queue_depth() const { return ingest_.size(); }
+  std::size_t queue_depth() const;
 
  private:
   struct FlushItem {
@@ -117,23 +157,55 @@ class IonDaemon {
     std::uint64_t size = 0;
     std::shared_ptr<std::vector<std::byte>> data;
     std::shared_ptr<std::promise<std::size_t>> fsync_done;  ///< marker
+    /// Fsync barrier: data items enqueued (daemon-wide) before this
+    /// marker; the marker completes once that many items have drained.
+    std::uint64_t barrier = 0;
     /// Write-through mode: the write's own completion promise.
     std::shared_ptr<std::promise<std::size_t>> write_done;
   };
 
-  void dispatcher_loop();
-  void flusher_loop();
-  void process(const agios::Dispatch& dispatch);
+  /// One dispatch shard: a bounded ingest queue plus scheduler state
+  /// owned exclusively by the shard's worker thread (created before the
+  /// thread starts, touched only from worker_loop/process): no lock.
+  struct Shard {
+    explicit Shard(std::size_t capacity) : ingest(capacity) {}
+    BoundedQueue<FwdRequest> ingest;
+    std::unique_ptr<agios::Scheduler> scheduler;
+    std::unordered_map<std::uint64_t, FwdRequest> in_flight;
+    std::uint64_t next_tag = 1;
+    std::thread worker;
+  };
+
+  struct FlushShard {
+    explicit FlushShard(std::size_t capacity) : queue(capacity) {}
+    BoundedQueue<FlushItem> queue;
+    std::thread worker;
+  };
+
+  void worker_loop(std::size_t si);
+  void flusher_loop(std::size_t fi);
+  void process(Shard& shard, const agios::Dispatch& dispatch,
+               const std::string& request_fault_site);
+  void flush_one(const FlushItem& item) IOFA_EXCLUDES(flush_mu_);
   Seconds now() const;
+
+  std::size_t shard_of(std::uint64_t file_id, FwdOp op) const;
+  std::size_t flush_shard_of(std::uint64_t file_id) const;
+
+  /// Enqueue a data item / fsync marker. Serialised by
+  /// flush_enqueue_mu_ so a marker's barrier count can never be
+  /// overtaken in its own queue by a later data item.
+  void enqueue_flush(FlushItem item, std::uint64_t file_id)
+      IOFA_EXCLUDES(flush_enqueue_mu_);
 
   bool is_crashed() const {
     return crashed_manual_.load() ||
            (params_.injector && !params_.injector->ion_alive(id_));
   }
   /// Fail one accepted-but-unserved request (crash path).
-  void fail_request(FwdRequest& req) IOFA_EXCLUDES(pending_mu_);
-  /// Fail everything the dispatcher holds (in-flight map + scheduler).
-  void fail_in_flight() IOFA_EXCLUDES(pending_mu_);
+  void fail_request(FwdRequest& req);
+  /// Fail everything one shard's worker holds (in-flight + scheduler).
+  void fail_in_flight(Shard& shard);
 
   /// Dirty interval bookkeeping per file (staged but not yet flushed).
   void mark_dirty(std::uint64_t file_id, std::uint64_t offset,
@@ -148,14 +220,10 @@ class IonDaemon {
   EmulatedPfs& pfs_;
   TokenBucket ingest_bucket_;
 
-  BoundedQueue<FwdRequest> ingest_;
-  BoundedQueue<FlushItem> flush_queue_;
-
-  // Owned exclusively by the dispatcher thread (created before the
-  // thread starts, touched only from dispatcher_loop/process): no lock.
-  std::unique_ptr<agios::Scheduler> scheduler_;
-  std::unordered_map<std::uint64_t, FwdRequest> in_flight_;
-  std::uint64_t next_tag_ = 1;
+  // Shard vectors are sized in the constructor and never resized, so
+  // the vectors themselves are safe to read concurrently.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<FlushShard>> flush_shards_;
 
   gkfs::ChunkStore staging_;
   mutable Mutex dirty_mu_;
@@ -165,19 +233,33 @@ class IonDaemon {
 
   std::chrono::steady_clock::time_point epoch_;
 
+  // Drain accounting: counters are atomic (hot path is lock-free); the
+  // mutex+cv pair only serialises the zero-crossing notification that
+  // drain() sleeps on.
   mutable Mutex pending_mu_;
   CondVar pending_cv_;
   /// accepted, not yet dispatched
-  std::uint64_t pending_requests_ IOFA_GUARDED_BY(pending_mu_) = 0;
+  std::atomic<std::uint64_t> pending_requests_{0};
   /// staged, not yet on the PFS
-  std::uint64_t pending_flushes_ IOFA_GUARDED_BY(pending_mu_) = 0;
+  std::atomic<std::uint64_t> pending_flushes_{0};
+  void finish_pending(std::atomic<std::uint64_t>& counter)
+      IOFA_EXCLUDES(pending_mu_);
+
+  // Fsync barrier + in-flight budget accounting for the flusher pool.
+  Mutex flush_enqueue_mu_;
+  mutable Mutex flush_mu_;
+  CondVar flush_cv_;
+  /// data items enqueued towards the flushers (markers excluded)
+  std::uint64_t flush_enqueued_ IOFA_GUARDED_BY(flush_mu_) = 0;
+  /// data items drained (flushed or abandoned)
+  std::uint64_t flush_completed_ IOFA_GUARDED_BY(flush_mu_) = 0;
+  /// bytes currently being written to the PFS by the pool
+  Bytes flush_inflight_ IOFA_GUARDED_BY(flush_mu_) = 0;
 
   std::atomic<bool> running_{true};
   std::atomic<bool> crashed_manual_{false};
-  /// Seed for the flusher's deterministic retry jitter.
+  /// Seed for the flushers' deterministic retry jitter.
   std::uint64_t flush_seed_ = 0;
-  std::thread dispatcher_;
-  std::thread flusher_;
 
   // Telemetry (lock-free on the hot path; registered at construction).
   struct Metrics {
@@ -188,8 +270,11 @@ class IonDaemon {
     telemetry::Counter* reads_local = nullptr;
     telemetry::Counter* reads_pfs = nullptr;
     telemetry::Gauge* queue_depth = nullptr;
+    telemetry::Gauge* workers = nullptr;
     telemetry::Histogram* request_latency_us = nullptr;
     telemetry::Histogram* dispatch_bytes = nullptr;
+    telemetry::Histogram* queue_wait_us = nullptr;
+    telemetry::Histogram* flush_batch_bytes = nullptr;
     telemetry::Counter* retries = nullptr;          ///< flush retries
     telemetry::Counter* flush_abandoned = nullptr;  ///< retry budget hit
     telemetry::Counter* failed_requests = nullptr;  ///< crash casualties

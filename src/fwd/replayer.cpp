@@ -104,7 +104,9 @@ ReplayResult replay_app(Client& client, const workload::AppSpec& app,
     std::atomic<Bytes> phase_bytes{0};
     const auto t0 = std::chrono::steady_clock::now();
 
-    std::vector<std::thread> workers;
+    // Per-phase replay ranks, joined at phase end; their count is part
+    // of the workload shape, not a tunable pool width.
+    std::vector<std::thread> workers;  // iofa-lint: allow(raw-thread)
     workers.reserve(static_cast<std::size_t>(threads));
     for (int t = 0; t < threads; ++t) {
       workers.emplace_back([&, t] {

@@ -30,6 +30,9 @@ struct FwdRequest {
   /// request (for writes: once staged; durability comes from Fsync).
   std::shared_ptr<std::promise<std::size_t>> done;
   std::uint64_t tag = 0;  ///< daemon-local scheduler handle
+  /// Stamped by IonDaemon::submit (monotonic_micros) so the ingest
+  /// queue wait is observable per request; 0 = not stamped.
+  std::uint64_t queued_us = 0;
 };
 
 }  // namespace iofa::fwd

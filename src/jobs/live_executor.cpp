@@ -35,6 +35,23 @@ platform::BandwidthCurve arbitration_curve(
 
 }  // namespace
 
+fwd::ServiceConfig live_service_config(const LiveExecutorOptions& options,
+                                       fault::FaultInjector* injector) {
+  fwd::ServiceConfig cfg;
+  cfg.ion_count = options.pool;
+  cfg.pfs.write_bandwidth = 900.0e6;
+  cfg.pfs.read_bandwidth = 1400.0e6;
+  cfg.pfs.op_overhead = 128 * KiB;
+  cfg.pfs.contention_coeff = 0.02;
+  cfg.pfs.store_data = false;
+  cfg.ion.ingest_bandwidth = 650.0e6;
+  cfg.ion.op_overhead = 32 * KiB;
+  cfg.ion.store_data = false;
+  cfg.ion.workers = std::max(1, options.workers_per_ion);
+  cfg.injector = injector;
+  return cfg;
+}
+
 LiveRunResult run_queue_live(const std::vector<workload::AppSpec>& queue,
                              const platform::ProfileDB& profiles,
                              std::shared_ptr<core::ArbitrationPolicy> policy,
@@ -76,7 +93,9 @@ LiveRunResult run_queue_live(const std::vector<workload::AppSpec>& queue,
         .count();
   };
 
-  std::vector<std::thread> job_threads;
+  // One thread per job for the run's lifetime, joined below; a shared
+  // pool would serialise jobs that must overlap to contend for IONs.
+  std::vector<std::thread> job_threads;  // iofa-lint: allow(raw-thread)
   job_threads.reserve(queue.size());
 
   {

@@ -41,6 +41,10 @@ struct LiveExecutorOptions {
   /// failover under crash drills: a client blocked on a dead ION's
   /// promise otherwise never rotates to a live one.
   Seconds request_timeout = 0.0;
+  /// Dispatch shards per ION daemon (IonParams::workers).
+  /// live_service_config() mirrors it into the ServiceConfig; 1 = the
+  /// serial legacy pipeline, byte-identical under fault-seed replay.
+  int workers_per_ion = 1;
 };
 
 struct LiveJobResult {
@@ -56,6 +60,13 @@ struct LiveRunResult {
   Seconds makespan = 0.0;
   MBps aggregate_bw() const;  ///< Equation 2
 };
+
+/// Canonical live-runtime service wiring (the fault-drill tool and the
+/// scenario tests share it): `options.pool` daemons, accounting-only
+/// data path, and `options.workers_per_ion` dispatch shards per daemon.
+fwd::ServiceConfig live_service_config(
+    const LiveExecutorOptions& options,
+    fault::FaultInjector* injector = nullptr);
 
 /// Run `queue` on `service` under `policy`. Curves in `profiles` feed
 /// the arbitration decisions (the estimates MCKP consumes); achieved

@@ -186,6 +186,47 @@ TEST(Aggregation, BackwardExtensionJoinsEarlierOffsets) {
   EXPECT_EQ(d->size, 200u);
 }
 
+TEST(Aggregation, OverCapContiguousRunSplitsAtTheCap) {
+  // An over-cap contiguous run (800 bytes against a 250-byte cap) must
+  // come out as several dispatches, none above the cap, covering every
+  // part exactly once and in offset order.
+  AggregationScheduler s(/*window=*/10.0, /*max=*/250);
+  for (int i = 0; i < 8; ++i) {
+    s.add(req(static_cast<std::uint64_t>(i + 1), 1,
+              static_cast<std::uint64_t>(i) * 100, 100, /*arrival=*/0.0));
+  }
+  const auto out = drain(s, 0.0);
+  ASSERT_GT(out.size(), 1u);
+  std::uint64_t next_offset = 0;
+  std::size_t parts = 0;
+  for (const auto& d : out) {
+    EXPECT_LE(d.size, 250u);
+    EXPECT_EQ(d.offset, next_offset);
+    next_offset = d.offset + d.size;
+    parts += d.parts.size();
+  }
+  EXPECT_EQ(parts, 8u);
+  EXPECT_EQ(next_offset, 800u);
+}
+
+TEST(Aggregation, BackwardExtensionKeepsRipeRequestUnderCap) {
+  // Backward extension accounts joined bytes against the cap, so the
+  // run through the ripe request stays dispatchable: the request whose
+  // expiry triggered the pop must be part of the dispatch, and the
+  // merged run must not exceed the cap.
+  AggregationScheduler s(/*window=*/0.5, /*max=*/250);
+  s.add(req(1, 1, 0, 100, /*arrival=*/0.4));    // younger, earlier offset
+  s.add(req(2, 1, 100, 100, /*arrival=*/0.0));  // ripe at t=0.55
+  const auto d = s.pop(0.55);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_LE(d->size, 250u);
+  bool has_ripe = false;
+  for (const auto& p : d->parts) has_ripe |= (p.tag == 2);
+  EXPECT_TRUE(has_ripe);
+  EXPECT_EQ(d->offset, 0u);
+  EXPECT_EQ(d->size, 200u);
+}
+
 TEST(Aggregation, StatsCountMerges) {
   AggregationScheduler s(0.0, 1 << 20);
   s.add(req(1, 1, 0, 100, 0.0));

@@ -5,12 +5,18 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
+#include <limits>
 #include <map>
 #include <memory>
 #include <set>
+#include <thread>
 
+#include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "core/arbiter.hpp"
+#include "core/mckp.hpp"
 #include "core/related.hpp"
 #include "platform/perf_model.hpp"
 #include "platform/profile.hpp"
@@ -197,6 +203,95 @@ TEST_P(IonDeathFuzz, DeathSequencesNeverMapToDeadIonsAndMatchFreshSolve) {
 INSTANTIATE_TEST_SUITE_P(Seeds, IonDeathFuzz,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
                                            34u));
+
+/// TSan regression for Arbiter::last_solve_seconds(): the value is
+/// written by every solve while observers (dashboards, the telemetry
+/// exporter) poll it from other threads. Drive a failure re-solve
+/// storm - the HealthMonitor's access pattern - under a concurrent
+/// poller; the read is atomic, so TSan must stay quiet.
+TEST(ArbiterSolveTime, PollingDuringFailureResolveStormIsRaceFree) {
+  platform::PerfModel model(platform::mn4_params());
+  const auto grid = workload::mn4_scenario_grid();
+  const auto options = platform::default_ion_options();
+
+  const int pool = 8;
+  core::Arbiter arb(std::make_shared<MckpPolicy>(),
+                    ArbiterOptions{pool, std::nullopt, true});
+  Rng rng(42);
+  for (JobId id = 1; id <= 4; ++id) {
+    const auto& pattern = grid[rng.index(grid.size())];
+    arb.job_started(
+        id, AppEntry{"S", pattern.compute_nodes, pattern.processes(),
+                     platform::curve_from_model(model, pattern, options)});
+  }
+
+  std::atomic<bool> stop{false};
+  Seconds max_seen = 0.0;
+  std::thread poller([&] {
+    while (!stop.load()) {
+      max_seen = std::max(max_seen, arb.last_solve_seconds());
+      sleep_for_seconds(1e-5);
+    }
+  });
+  // The storm: every ion_failed/ion_recovered re-solves and rewrites
+  // the solve time while the poller reads it.
+  for (int round = 0; round < 40; ++round) {
+    arb.ion_failed(round % pool);
+    arb.ion_recovered(round % pool);
+  }
+  stop.store(true);
+  poller.join();
+
+  EXPECT_GE(max_seen, 0.0);
+  EXPECT_GE(arb.last_solve_seconds(), 0.0);
+}
+
+/// Negative-value classes pin DP == brute force: the DP used to track
+/// reachability with a -inf value sentinel compared by float equality,
+/// which negative (or -inf) item values can collide with.
+class MckpNegativeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MckpNegativeFuzz, DpMatchesBruteforceUnderNegativeValues) {
+  Rng rng(GetParam() * 31337);
+  for (int trial = 0; trial < 120; ++trial) {
+    std::vector<MckpClass> classes;
+    const std::size_t k = 1 + rng.index(4);
+    for (std::size_t i = 0; i < k; ++i) {
+      MckpClass c;
+      const std::size_t n = 1 + rng.index(4);
+      for (std::size_t j = 0; j < n; ++j) {
+        double value = rng.uniform(-100.0, 20.0);
+        // Sprinkle exact -inf items: legitimate "never pick unless
+        // forced" markers that an in-band sentinel mistakes for
+        // unreachable states.
+        if (rng.uniform01() < 0.1) {
+          value = -std::numeric_limits<double>::infinity();
+        }
+        c.push_back(MckpItem{rng.uniform_int(0, 5), value});
+      }
+      classes.push_back(std::move(c));
+    }
+    const int capacity = rng.uniform_int(0, 12);
+
+    const auto dp = solve_mckp_dp(classes, capacity);
+    const auto brute = solve_mckp_bruteforce(classes, capacity);
+    ASSERT_EQ(dp.has_value(), brute.has_value())
+        << "seed " << GetParam() << " trial " << trial;
+    if (dp) {
+      if (std::isinf(brute->value)) {
+        EXPECT_EQ(dp->value, brute->value)
+            << "seed " << GetParam() << " trial " << trial;
+      } else {
+        EXPECT_NEAR(dp->value, brute->value, 1e-9)
+            << "seed " << GetParam() << " trial " << trial;
+      }
+      EXPECT_LE(dp->weight, capacity);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MckpNegativeFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u));
 
 class PolicyFuzz
     : public ::testing::TestWithParam<std::uint64_t> {};

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/rng.hpp"
 #include "core/mckp.hpp"
 
@@ -98,6 +100,39 @@ TEST(MckpDp, PaperTable4Instance) {
   EXPECT_NEAR(sol->value, 6791.9, 0.1);
 }
 
+// ---------------------------------------- reachability regressions
+// The DP used to mark unreachable states with a -inf value sentinel
+// and compare floats for exact equality against it; these pin the
+// explicit reachability bitmap that replaced it.
+
+TEST(MckpDp, AllNegativeValuesMatchBruteForce) {
+  const std::vector<MckpClass> classes{
+      cls({{1, -5.0}, {2, -1.0}}),
+      cls({{0, -3.0}, {1, -2.0}}),
+  };
+  const auto dp = solve_mckp_dp(classes, 3);
+  const auto brute = solve_mckp_bruteforce(classes, 3);
+  ASSERT_TRUE(dp.has_value());
+  ASSERT_TRUE(brute.has_value());
+  EXPECT_DOUBLE_EQ(dp->value, brute->value);
+  EXPECT_DOUBLE_EQ(dp->value, -3.0);  // (2,-1) + (1,-2)
+}
+
+TEST(MckpDp, NegativeInfinityItemValueIsNotUnreachable) {
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  // A finite sibling must win over the -inf item...
+  const auto with_sibling =
+      solve_mckp_dp({cls({{1, kNegInf}, {2, 7.0}})}, 2);
+  ASSERT_TRUE(with_sibling.has_value());
+  EXPECT_DOUBLE_EQ(with_sibling->value, 7.0);
+  // ...and when the -inf item is the ONLY feasible pick, the problem
+  // is still solvable (the sentinel version reported infeasible here).
+  const auto forced = solve_mckp_dp({cls({{1, kNegInf}})}, 1);
+  ASSERT_TRUE(forced.has_value());
+  EXPECT_EQ(forced->weight, 1);
+  EXPECT_EQ(forced->value, kNegInf);
+}
+
 // ------------------------------------------------------------ greedy
 TEST(MckpGreedy, FeasibleAndReasonable) {
   const std::vector<MckpClass> classes{
@@ -153,6 +188,23 @@ TEST(MckpProperty, DpMatchesBruteForceOn500RandomInstances) {
   Rng rng(2021);
   for (int trial = 0; trial < 500; ++trial) {
     const auto inst = random_instance(rng);
+    const auto dp = solve_mckp_dp(inst.classes, inst.capacity);
+    const auto brute = solve_mckp_bruteforce(inst.classes, inst.capacity);
+    ASSERT_EQ(dp.has_value(), brute.has_value()) << "trial " << trial;
+    if (dp) {
+      EXPECT_NEAR(dp->value, brute->value, 1e-9) << "trial " << trial;
+      EXPECT_LE(dp->weight, inst.capacity);
+    }
+  }
+}
+
+TEST(MckpProperty, DpMatchesBruteForceWithNegativeValues) {
+  Rng rng(40961);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto inst = random_instance(rng);
+    for (auto& c : inst.classes) {
+      for (auto& item : c) item.value -= 100.0;  // values in [-100, 0)
+    }
     const auto dp = solve_mckp_dp(inst.classes, inst.capacity);
     const auto brute = solve_mckp_bruteforce(inst.classes, inst.capacity);
     ASSERT_EQ(dp.has_value(), brute.has_value()) << "trial " << trial;

@@ -221,5 +221,21 @@ TEST(FaultPlanDsl, SiteHelpers) {
   EXPECT_EQ(ion_of_site("pfs.write"), std::nullopt);
 }
 
+TEST(FaultPlanDsl, ShardSiteHelpers) {
+  EXPECT_EQ(shard_site(3, 1), "ion.3.shard.1");
+  EXPECT_TRUE(site_is_valid("ion.3.shard.1"));
+  EXPECT_TRUE(site_is_valid("ion.0.shard.0"));
+  EXPECT_FALSE(site_is_valid("ion.3.shard."));
+  EXPECT_FALSE(site_is_valid("ion.3.shard.-1"));
+  EXPECT_FALSE(site_is_valid("ion.3.shard.x"));
+  EXPECT_FALSE(site_is_valid("ion.3.shard.1.extra"));
+  EXPECT_EQ(ion_of_site("ion.3.shard.1"), 3);
+  EXPECT_EQ(ion_of_site("ion.3.shard.x"), std::nullopt);
+  EXPECT_EQ(shard_site_parent("ion.3.shard.1"), "ion.3.request");
+  EXPECT_EQ(shard_site_parent("ion.3.request"), std::nullopt);
+  EXPECT_EQ(shard_site_parent("ion.3"), std::nullopt);
+  EXPECT_EQ(shard_site_parent("pfs.write"), std::nullopt);
+}
+
 }  // namespace
 }  // namespace iofa::fault

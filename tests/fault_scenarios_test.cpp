@@ -78,7 +78,7 @@ fault::BackoffPolicy fast_backoff() {
 /// wired through the injector into every component, with device
 /// parameters fast enough that scenarios finish in milliseconds.
 struct Cluster {
-  Cluster(fault::FaultPlan plan, int ions)
+  Cluster(fault::FaultPlan plan, int ions, int workers_per_ion = 1)
       : injector(std::move(plan), &clock, &reg) {
     ServiceConfig cfg;
     cfg.ion_count = ions;
@@ -92,6 +92,7 @@ struct Cluster {
     cfg.ion.scheduler.kind = agios::SchedulerKind::Fifo;
     cfg.ion.registry = &reg;
     cfg.ion.flush_backoff = fast_backoff();
+    cfg.ion.workers = workers_per_ion;
     cfg.injector = &injector;
     service.emplace(cfg);
   }
@@ -627,6 +628,34 @@ TEST(FaultScenarios, KillingOneOfThreeIonsMidRunLosesNoAcknowledgedData) {
   for (int ion : healed->ions) EXPECT_NE(ion, victim);
   // The paper-level claim: nothing acknowledged was lost.
   expect_blocks_on_pfs(c.service->pfs(), "/survive", 24, seed);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 14: the sharded dispatch pipeline (workers_per_ion = 4)
+// under a count-triggered crash plus request-level errors. Shard
+// streams match events written against the generic ion.<N>.request
+// site; the client fails over exactly as with the serial daemon, and
+// every acknowledged byte still lands on the PFS.
+TEST(FaultScenarios, ShardedPipelineCrashAndRequestErrorsLoseNoData) {
+  const std::uint64_t seed = base_seed();
+  IOFA_TRACE_SEED(seed);
+  fault::FaultPlan plan;
+  plan.seed = seed;
+  plan.crash_ion_after(0, 6).error_after(fault::request_site(1), 3);
+  Cluster c(std::move(plan), 2, /*workers_per_ion=*/4);
+  EXPECT_EQ(c.service->daemon(0).workers(), 4);
+  c.service->apply_mapping(mapping_to({0, 1}, 1, 2));
+
+  Client client(c.client_config(), *c.service);
+  write_blocks(client, "/shards", 0, 24, seed);
+  client.fsync("/shards");
+  c.service->drain();
+
+  EXPECT_FALSE(c.service->daemon(0).alive());
+  EXPECT_TRUE(c.service->daemon(1).alive());
+  EXPECT_GE(c.injector.injected(fault::ion_site(0)), 1u);
+  EXPECT_GE(counter_sum(c.reg, "fwd.failovers"), 1.0);
+  expect_blocks_on_pfs(c.service->pfs(), "/shards", 24, seed);
 }
 
 }  // namespace

@@ -10,11 +10,14 @@
 #include <thread>
 
 #include "common/rng.hpp"
+#include "fault/clock.hpp"
+#include "fault/plan.hpp"
 #include "fwd/client.hpp"
 #include "fwd/daemon.hpp"
 #include "fwd/pfs_backend.hpp"
 #include "fwd/service.hpp"
 #include "gkfs/chunk.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace iofa::fwd {
 namespace {
@@ -429,6 +432,169 @@ TEST(IonDaemon, RemapWhileClientsIssueIo) {
   EXPECT_EQ(client.forwarded_ops() + client.direct_ops(),
             static_cast<std::uint64_t>(kThreads) * kOpsPerThread +
                 static_cast<std::uint64_t>(kThreads) * (kOpsPerThread / 16));
+}
+
+// --- sharded pipeline ------------------------------------------------
+
+TEST(IonDaemon, PipelineLastWriterWinsAcrossWorkerCounts) {
+  // Per-(file_id, op) shard routing must preserve program order: K
+  // rewrites of the same offset, submitted in order from one thread,
+  // land on the PFS with the last writer winning at every pool width.
+  for (int w : {2, 4, 8}) {
+    EmulatedPfs pfs(fast_pfs());
+    IonParams params = fast_ion();
+    params.workers = w;
+    IonDaemon daemon(0, params, pfs);
+    ASSERT_EQ(daemon.workers(), w);
+    ASSERT_EQ(daemon.flushers(), w);
+
+    constexpr int kFiles = 6;
+    constexpr int kVersions = 5;
+    std::vector<std::future<std::size_t>> futs;
+    for (int v = 0; v < kVersions; ++v) {
+      for (int f = 0; f < kFiles; ++f) {
+        auto req = write_req(
+            "/lw" + std::to_string(f), 0,
+            pattern_data(4096, static_cast<std::uint64_t>(100 * f + v)));
+        futs.push_back(req.done->get_future());
+        ASSERT_TRUE(daemon.submit(std::move(req)));
+      }
+    }
+    for (auto& fut : futs) EXPECT_EQ(fut.get(), 4096u);
+    daemon.drain();
+
+    for (int f = 0; f < kFiles; ++f) {
+      std::vector<std::byte> out(4096);
+      ASSERT_EQ(pfs.read("/lw" + std::to_string(f), 0, 4096, out), 4096u);
+      EXPECT_EQ(out, pattern_data(4096, static_cast<std::uint64_t>(
+                                            100 * f + kVersions - 1)))
+          << "file " << f << " at workers=" << w;
+    }
+  }
+}
+
+TEST(IonDaemon, PipelineCrashRestartLosesNoAckedByteAcrossWorkerCounts) {
+  // Crash/restart fault plan against the sharded pipeline: whatever the
+  // daemon acknowledged before (or after) the crash window must reach
+  // the PFS, because staging and the flushers survive the crash. The
+  // byte accounting has to close exactly: flushed == acked, abandoned
+  // == 0.
+  for (int w : {2, 4, 8}) {
+    telemetry::Registry reg;
+    fault::ManualFaultClock clock;
+    fault::FaultPlan plan;
+    plan.seed = 42;
+    plan.crash_ion(0, 0.5).restart_ion(0, 1.0);
+    fault::FaultInjector injector(std::move(plan), &clock, &reg);
+
+    EmulatedPfs pfs(fast_pfs());
+    IonParams params = fast_ion();
+    params.workers = w;
+    params.registry = &reg;
+    params.injector = &injector;
+    IonDaemon daemon(0, params, pfs);
+
+    struct Write {
+      std::string path;
+      std::uint64_t offset;
+      std::uint64_t seed;
+    };
+    std::vector<Write> acked;
+    std::uint64_t next = 0;
+    auto submit_phase = [&](int count) {
+      std::vector<std::pair<Write, std::future<std::size_t>>> round;
+      for (int i = 0; i < count; ++i) {
+        const std::uint64_t n = next++;
+        Write a{"/cr" + std::to_string(n % 4), (n / 4) * 4096, n + 1};
+        auto req = write_req(a.path, a.offset, pattern_data(4096, a.seed));
+        auto fut = req.done->get_future();
+        if (!daemon.submit(std::move(req))) continue;  // refused: down
+        round.emplace_back(std::move(a), std::move(fut));
+      }
+      for (auto& [a, fut] : round) {
+        try {
+          if (fut.get() == 4096u) acked.push_back(a);
+        } catch (const IonDownError&) {
+          // Crash casualty: the client fails over; no durability claim.
+        }
+      }
+    };
+
+    submit_phase(24);  // before the crash: every write is acked
+    clock.set(0.6);    // inside the crash window
+    EXPECT_FALSE(daemon.alive());
+    submit_phase(8);   // refused (or failed) - never acked
+    clock.set(1.1);    // restart: staging and flushers reattach
+    EXPECT_TRUE(daemon.alive());
+    submit_phase(24);  // after the restart: acked again
+    daemon.drain();
+
+    EXPECT_GE(acked.size(), 48u) << "workers=" << w;
+    std::uint64_t acked_bytes = 0;
+    for (const auto& a : acked) {
+      std::vector<std::byte> out(4096);
+      ASSERT_EQ(pfs.read(a.path, a.offset, 4096, out), 4096u)
+          << a.path << "+" << a.offset << " lost at workers=" << w;
+      EXPECT_EQ(out, pattern_data(4096, a.seed))
+          << a.path << "+" << a.offset << " corrupt at workers=" << w;
+      acked_bytes += 4096;
+    }
+    EXPECT_EQ(daemon.stats().bytes_flushed, acked_bytes);
+    EXPECT_EQ(
+        reg.counter("fwd.ion.flush_abandoned", {{"ion", "0"}}).value(), 0u);
+  }
+}
+
+TEST(IonDaemon, PipelineAccountsAbandonedFlushes) {
+  // A PFS write error with a retry budget of 1 abandons exactly one
+  // staged item. The accounting must close (flushed bytes + abandoned
+  // item == acked bytes) and no acked byte may be lost: the abandoned
+  // range stays dirty and is served from staging.
+  telemetry::Registry reg;
+  fault::ManualFaultClock clock;
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  plan.error_after(fault::kPfsWriteSite, 5);
+  fault::FaultInjector injector(std::move(plan), &clock, &reg);
+
+  PfsParams pp = fast_pfs();
+  pp.registry = &reg;
+  pp.injector = &injector;
+  EmulatedPfs pfs(pp);
+
+  IonParams params = fast_ion();
+  params.workers = 4;
+  params.registry = &reg;
+  params.injector = &injector;
+  params.max_flush_attempts = 1;  // first failure abandons
+  IonDaemon daemon(0, params, pfs);
+
+  constexpr int kWrites = 32;
+  std::vector<std::future<std::size_t>> futs;
+  for (int i = 0; i < kWrites; ++i) {
+    auto req = write_req("/ab" + std::to_string(i % 4),
+                         static_cast<std::uint64_t>(i / 4) * 4096,
+                         pattern_data(4096, static_cast<std::uint64_t>(i)));
+    futs.push_back(req.done->get_future());
+    ASSERT_TRUE(daemon.submit(std::move(req)));
+  }
+  for (auto& f : futs) EXPECT_EQ(f.get(), 4096u);  // write-behind acks
+  daemon.drain();
+
+  EXPECT_EQ(reg.counter("fwd.ion.flush_abandoned", {{"ion", "0"}}).value(),
+            1u);
+  EXPECT_EQ(daemon.stats().bytes_flushed, (kWrites - 1) * 4096u);
+
+  for (int i = 0; i < kWrites; ++i) {
+    auto rreq = read_req("/ab" + std::to_string(i % 4),
+                         static_cast<std::uint64_t>(i / 4) * 4096, 4096);
+    auto buf = rreq.data;
+    auto rfut = rreq.done->get_future();
+    ASSERT_TRUE(daemon.submit(std::move(rreq)));
+    EXPECT_EQ(rfut.get(), 4096u);
+    EXPECT_EQ(*buf, pattern_data(4096, static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_GE(daemon.stats().reads_local, 1u);  // the dirty range
 }
 
 }  // namespace

@@ -214,6 +214,71 @@ TEST_F(LintTest, RandomWordInIdentifierNotFlagged) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 
+// ------------------------------------------------------------- raw-thread
+
+TEST_F(LintTest, ThreadPoolUsePasses) {
+  const auto p = write_fixture("fanout_good.cpp",
+                               "void fanout(iofa::ThreadPool& pool) {\n"
+                               "  pool.submit([] {});\n"
+                               "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("raw-thread"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, RawThreadFlagged) {
+  const auto p = write_fixture("fanout_bad.cpp",
+                               "void fanout() {\n"
+                               "  std::thread t([] {});\n"
+                               "  t.join();\n"
+                               "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("raw-thread"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("fanout_bad.cpp:2"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, JthreadFlaggedToo) {
+  const auto p = write_fixture("fanout_j.cpp",
+                               "std::jthread watcher;\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("raw-thread"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, HardwareConcurrencyNotFlagged) {
+  // Static member calls are not thread construction.
+  const auto p = write_fixture(
+      "width.cpp",
+      "unsigned width() { return std::thread::hardware_concurrency(); }\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, RawThreadApprovedFilePasses) {
+  // The fixture dir is .../src/fwd/, so a file named daemon.cpp is one
+  // of the approved thread owners.
+  const auto p = write_fixture("daemon.cpp",
+                               "void spawn() {\n"
+                               "  std::thread t([] {});\n"
+                               "  t.detach();\n"
+                               "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, RawThreadSuppressionHonoured) {
+  const auto p = write_fixture(
+      "jobs.cpp",
+      "void run() {\n"
+      "  std::thread t([] {});  "
+      "// iofa-lint: allow(raw-thread) -- per-job lifetime, joined below\n"
+      "  t.join();\n"
+      "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
 // ------------------------------------------------------------- bare-units
 
 TEST_F(LintTest, UnitTypedefsPass) {

@@ -19,6 +19,11 @@
 //   bare-units   `double <name>bytes/seconds<...>` declarations in
 //                public headers of src/core and src/fwd: use the
 //                Bytes / Seconds / MBps typedefs (common/units.hpp).
+//   raw-thread   std::thread / std::jthread outside the approved
+//                owners (common/thread_pool, fwd/daemon, fwd/health):
+//                long-lived threads belong to components whose
+//                join-on-shutdown discipline is TSan-covered; everything
+//                else composes those.
 //
 // A finding is suppressed by putting `iofa-lint: allow(<rule>)` in a
 // comment on the same line; the expectation is that the comment also
@@ -242,6 +247,35 @@ void check_raw_cout(const std::string& file,
   }
 }
 
+// --- rule: raw-thread -----------------------------------------------------
+
+// `(?!\s*::)` keeps static member calls legal
+// (std::thread::hardware_concurrency); the `\s*::\s*` separator keeps
+// the pattern from matching its own source line.
+const std::regex kRawThread(R"(std\s*::\s*j?thread\b(?!\s*::))");
+
+void check_raw_thread(const std::string& file,
+                      const std::vector<CleanLine>& lines) {
+  // Thread-ownership discipline for the library and the tools: spawning
+  // is confined to the pool and the daemon-style owners, where the
+  // join-on-shutdown lifecycle is centralised and TSan-exercised.
+  if (!(path_contains(file, "src/") || path_contains(file, "tools/"))) return;
+  if (path_contains(file, "common/thread_pool.") ||
+      path_contains(file, "fwd/daemon.") ||
+      path_contains(file, "fwd/health.")) {
+    return;
+  }
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    if (std::regex_search(lines[li].text, kRawThread) &&
+        !suppressed(lines[li].raw, "raw-thread")) {
+      report(file, li + 1, "raw-thread",
+             "raw std::thread outside the approved owners; use "
+             "iofa::ThreadPool (common/thread_pool.hpp) or justify the "
+             "ownership inline");
+    }
+  }
+}
+
 // --- rule: bare-units -----------------------------------------------------
 
 const std::regex kBareUnits(
@@ -276,6 +310,7 @@ void lint_file(const fs::path& path) {
   check_raw_sleep(file, lines);
   check_raw_rand(file, lines);
   check_raw_cout(file, lines);
+  check_raw_thread(file, lines);
   check_bare_units(file, lines);
 }
 

@@ -54,7 +54,8 @@ std::shared_ptr<core::ArbitrationPolicy> make_policy(
 int run_fault_drill(const std::string& plan_path,
                     const std::vector<workload::AppSpec>& queue,
                     const std::string& policy_name,
-                    const jobs::SimExecutorOptions& sim_opts) {
+                    const jobs::SimExecutorOptions& sim_opts,
+                    int workers_per_ion) {
   std::ifstream in(plan_path);
   if (!in) {
     std::cerr << "iofa_queue_sim: cannot read fault plan '" << plan_path
@@ -75,19 +76,6 @@ int run_fault_drill(const std::string& plan_path,
   fault::FaultInjector injector(*plan, &clock,
                                 &telemetry::Registry::global());
 
-  fwd::ServiceConfig cfg;
-  cfg.ion_count = sim_opts.pool;
-  cfg.pfs.write_bandwidth = 900.0e6;
-  cfg.pfs.read_bandwidth = 1400.0e6;
-  cfg.pfs.op_overhead = 128 * KiB;
-  cfg.pfs.contention_coeff = 0.02;
-  cfg.pfs.store_data = false;
-  cfg.ion.ingest_bandwidth = 650.0e6;
-  cfg.ion.op_overhead = 32 * KiB;
-  cfg.ion.store_data = false;
-  cfg.injector = &injector;
-  fwd::ForwardingService service(cfg);
-
   jobs::LiveExecutorOptions opts;
   opts.compute_nodes = sim_opts.compute_nodes;
   opts.pool = sim_opts.pool;
@@ -101,6 +89,10 @@ int run_fault_drill(const std::string& plan_path,
   opts.fault_clock = &clock;
   opts.health_period = 0.002;
   opts.request_timeout = 0.05;
+  opts.workers_per_ion = workers_per_ion;
+
+  fwd::ForwardingService service(
+      jobs::live_service_config(opts, &injector));
 
   const auto result =
       jobs::run_queue_live(queue, platform::g5k_reference_profiles(),
@@ -145,6 +137,7 @@ int main(int argc, char** argv) {
   std::string policy_name = "mckp";
   std::string queue_spec = "paper";
   std::string fault_plan;
+  int workers_per_ion = 1;
   jobs::SimExecutorOptions opts;
   opts.compute_nodes = 96;
   opts.pool = 12;
@@ -166,13 +159,17 @@ int main(int argc, char** argv) {
       queue_spec = argv[++i];
     } else if (arg == "--fault-plan" && i + 1 < argc) {
       fault_plan = argv[++i];
+    } else if (arg == "--workers-per-ion" && i + 1 < argc) {
+      workers_per_ion = std::stoi(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: iofa_queue_sim [--policy P] [--nodes N] "
                    "[--pool K] [--ratio R] [--delay S] "
                    "[--queue paper|random:<seed>:<njobs>] "
-                   "[--fault-plan FILE]\n"
+                   "[--fault-plan FILE] [--workers-per-ion W]\n"
                    "  --fault-plan FILE  rehearse the queue on the LIVE "
-                   "runtime under the scripted faults\n";
+                   "runtime under the scripted faults\n"
+                   "  --workers-per-ion W  dispatch shards per ION "
+                   "daemon in the live runtime (default 1)\n";
       return 0;
     }
   }
@@ -192,7 +189,8 @@ int main(int argc, char** argv) {
   }
 
   if (!fault_plan.empty()) {
-    return run_fault_drill(fault_plan, queue, policy_name, opts);
+    return run_fault_drill(fault_plan, queue, policy_name, opts,
+                           workers_per_ion);
   }
 
   const auto profiles = platform::g5k_reference_profiles();

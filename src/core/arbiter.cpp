@@ -104,6 +104,7 @@ Arbiter::Arbiter(std::shared_ptr<ArbitrationPolicy> policy,
   const telemetry::Labels labels{{"policy", policy_->name()}};
   ctr_solves_ = &reg.counter("core.arbiter.solves", labels);
   ctr_failure_resolves_ = &reg.counter("arbiter.resolves_on_failure", labels);
+  ctr_load_hints_ = &reg.counter("core.arbiter.load_hints", labels);
   ctr_items_ = &reg.counter("core.arbiter.items", labels);
   hist_solve_us_ = &reg.histogram("core.arbiter.solve_us",
                                   telemetry::BucketSpec::latency_us(), labels);
@@ -146,6 +147,24 @@ const Mapping& Arbiter::ion_failed(int ion) {
 const Mapping& Arbiter::ion_recovered(int ion) {
   if (failed_.erase(ion) != 0) arbitrate();
   return mapping_;
+}
+
+void Arbiter::set_load_hint(int ion, double load) {
+  if (ion < 0 || ion >= options_.pool) return;
+  if (load <= 0.0) {
+    load_hints_.erase(ion);
+    return;
+  }
+  // Overloaded != dead: the node stays in the arbitration set (no
+  // eviction, no re-solve); the hint only reorders the next top-up.
+  if (load_hints_.insert_or_assign(ion, load).second) {
+    ctr_load_hints_->add();
+  }
+}
+
+double Arbiter::load_hint(int ion) const {
+  auto it = load_hints_.find(ion);
+  return it == load_hints_.end() ? 0.0 : it->second;
 }
 
 void Arbiter::arbitrate() {
@@ -237,7 +256,16 @@ void Arbiter::materialize(const std::map<JobId, int>& counts,
     for (int ion : ions) free_ions.erase(ion);
   }
 
-  // Phase 2: top up from the free pool, lowest id first.
+  // Phase 2: top up from the free pool - least-loaded first per the
+  // HealthMonitor's overload hints, lowest id breaking ties (with no
+  // hints this is exactly the legacy lowest-id order).
+  std::vector<int> free_order(free_ions.begin(), free_ions.end());
+  std::stable_sort(free_order.begin(), free_order.end(),
+                   [this](int a, int b) {
+                     return load_hint(a) < load_hint(b);
+                   });
+  std::size_t next_free = 0;
+
   Mapping next;
   next.epoch = mapping_.epoch;
   next.pool = mapping_.pool;
@@ -250,9 +278,9 @@ void Arbiter::materialize(const std::map<JobId, int>& counts,
       if (shared_ion >= 0) entry.ions = {shared_ion};
     } else {
       entry.ions = kept[id];
-      while (static_cast<int>(entry.ions.size()) < n && !free_ions.empty()) {
-        entry.ions.push_back(*free_ions.begin());
-        free_ions.erase(free_ions.begin());
+      while (static_cast<int>(entry.ions.size()) < n &&
+             next_free < free_order.size()) {
+        entry.ions.push_back(free_order[next_free++]);
       }
       std::sort(entry.ions.begin(), entry.ions.end());
     }

@@ -76,6 +76,14 @@ class Arbiter {
   const Mapping& ion_recovered(int ion);
   const std::set<int>& failed_ions() const { return failed_; }
 
+  /// Overload hint (HealthMonitor): the ION is alive but saturated.
+  /// Unlike ion_failed this NEVER evicts the node and NEVER triggers a
+  /// re-solve - it only biases the next materialisation, which tops
+  /// jobs up from the least-loaded free IONs first. load <= 0 clears
+  /// the hint.
+  void set_load_hint(int ion, double load);
+  double load_hint(int ion) const;
+
   const Mapping& mapping() const { return mapping_; }
   std::size_t running_jobs() const { return running_.size(); }
 
@@ -100,6 +108,7 @@ class Arbiter {
   std::map<JobId, AppEntry> running_;
   std::map<JobId, int> counts_;
   std::set<int> failed_;  ///< IONs excluded from arbitration
+  std::map<int, double> load_hints_;  ///< saturated-but-alive IONs
   Mapping mapping_;
   std::atomic<Seconds> last_solve_seconds_{0.0};
 
@@ -107,6 +116,7 @@ class Arbiter {
   // live analogue of the Sec. 5.3 solve-timing numbers.
   telemetry::Counter* ctr_solves_ = nullptr;
   telemetry::Counter* ctr_failure_resolves_ = nullptr;
+  telemetry::Counter* ctr_load_hints_ = nullptr;
   telemetry::Counter* ctr_items_ = nullptr;
   telemetry::Histogram* hist_solve_us_ = nullptr;
   telemetry::Histogram* hist_classes_ = nullptr;

@@ -97,6 +97,10 @@ std::string shard_site(int ion, int shard) {
   return "ion." + std::to_string(ion) + ".shard." + std::to_string(shard);
 }
 
+std::string busy_site(int ion) {
+  return "ion." + std::to_string(ion) + ".busy";
+}
+
 bool site_is_valid(const std::string& site) {
   if (site == kPfsWriteSite || site == kPfsReadSite ||
       site == kMappingPublishSite) {
@@ -111,7 +115,7 @@ std::optional<int> ion_of_site(const std::string& site) {
   const auto dot = rest.find('.');
   if (dot != std::string::npos) {
     const std::string suffix = rest.substr(dot + 1);
-    if (suffix != "request") {
+    if (suffix != "request" && suffix != "busy") {
       // "shard.<S>" - a per-shard request stream (see shard_site()).
       if (suffix.rfind("shard.", 0) != 0) return std::nullopt;
       std::uint64_t s = 0;

@@ -11,6 +11,9 @@
 //                       daemon N runs a sharded pipeline; events
 //                       targeting ion.<N>.request also fire on shard
 //                       streams, each with its own check count and RNG
+//   ion.<N>.busy      - the admission decision in daemon N's
+//                       try_submit; error events force a retryable
+//                       IonBusy answer, stalls slow the admission path
 //   pfs.write        - PFS write dispatch (the flusher's backend call)
 //   pfs.read         - PFS read dispatch (stall only; reads are retried
 //                      by the client, not the PFS model)
@@ -96,6 +99,10 @@ std::string request_site(int ion);
 /// shard streams too; each stream keeps independent check counts and
 /// RNG draws so per-shard injection replays deterministically.
 std::string shard_site(int ion, int shard);
+/// Admission point inside daemon N ("ion.3.busy"): error events make
+/// try_submit answer IonBusy, stalls model a slow admission path.
+/// Crash/restart stay on the lifecycle site (busy is not one).
+std::string busy_site(int ion);
 inline constexpr const char* kPfsWriteSite = "pfs.write";
 inline constexpr const char* kPfsReadSite = "pfs.read";
 inline constexpr const char* kMappingPublishSite = "mapping.publish";

@@ -7,6 +7,7 @@
 #include <future>
 
 #include "common/clock.hpp"
+#include "common/rng.hpp"
 #include "gkfs/chunk.hpp"
 
 namespace iofa::fwd {
@@ -27,6 +28,60 @@ Client::Client(ClientConfig config, ForwardingService& service)
   retries_ctr_ = &reg.counter("fwd.retries", labels);
   failover_ctr_ = &reg.counter("fwd.failovers", labels);
   fallback_ctr_ = &reg.counter("fwd.client.direct_fallback", labels);
+  submitted_ctr_ = &reg.counter("fwd.overload.submitted", labels);
+  rejected_ctr_ = &reg.counter("fwd.overload.rejected", labels);
+  ovl_fallback_ctr_ = &reg.counter("fwd.overload.direct_fallback", labels);
+  if (config_.breaker.enabled) {
+    CircuitBreaker::Counters ctrs;
+    ctrs.opened = &reg.counter("fwd.overload.breaker_open", labels);
+    ctrs.half_opened = &reg.counter("fwd.overload.breaker_half_open", labels);
+    ctrs.closed = &reg.counter("fwd.overload.breaker_closed", labels);
+    breakers_.reserve(static_cast<std::size_t>(service_.ion_count()));
+    for (int i = 0; i < service_.ion_count(); ++i) {
+      // One jitter stream per (job, ion): open windows never sync up
+      // across clients, and fault-seed replay stays byte-identical.
+      breakers_.push_back(std::make_unique<CircuitBreaker>(
+          config_.breaker,
+          SplitMix64(config_.retry_seed ^
+                     (0x9E3779B97F4A7C15ULL *
+                      static_cast<std::uint64_t>(i + 1)))
+              .next(),
+          ctrs));
+    }
+  }
+}
+
+bool Client::breaker_allow(int ion) {
+  if (breakers_.empty()) return true;
+  return breakers_[static_cast<std::size_t>(ion)]->allow(now());
+}
+
+void Client::breaker_success(int ion) {
+  if (breakers_.empty()) return;
+  breakers_[static_cast<std::size_t>(ion)]->on_success(now());
+}
+
+void Client::breaker_failure(int ion) {
+  if (breakers_.empty()) return;
+  breakers_[static_cast<std::size_t>(ion)]->on_failure(now());
+}
+
+void Client::direct_write_pfs(const std::string& path, std::uint64_t offset,
+                              std::uint64_t size,
+                              std::span<const std::byte> data) {
+  // The client owns durability on the direct path - no ION holds the
+  // bytes - so injected PFS dispatch errors are retried until the
+  // (idempotent, positional) write lands.
+  for (int attempt = 1;; ++attempt) {
+    if (service_.pfs().write(path, offset, size, data,
+                             config_.stream_weight)) {
+      return;
+    }
+    retries_ctr_->add();
+    sleep_for_seconds(fault::backoff_delay(
+        config_.backoff, attempt,
+        config_.retry_seed ^ gkfs::hash_path(path) ^ offset ^ 0xD1UL));
+  }
 }
 
 Seconds Client::now() const {
@@ -96,6 +151,14 @@ std::size_t Client::scatter(std::uint32_t rank, FwdOp op,
       // still complete into ITS buffer later without racing ours.
       req.data = std::make_shared<std::vector<std::byte>>(p.sub_size);
     }
+    if (config_.request_timeout > 0.0) {
+      // Absolute deadline: once the client would have given up anyway,
+      // the daemon may drop the request at dequeue instead of spending
+      // saturated dispatch capacity on it.
+      req.deadline_us =
+          monotonic_micros() +
+          static_cast<std::uint64_t>(config_.request_timeout * 1e6);
+    }
     req.done = std::make_shared<std::promise<std::size_t>>();
     return req;
   };
@@ -107,10 +170,18 @@ std::size_t Client::scatter(std::uint32_t rank, FwdOp op,
   auto submit_from = [&](Pending& p, std::size_t start) {
     for (std::size_t k = 0; k < daemons; ++k) {
       const std::size_t slot = (start + k) % daemons;
+      const int ion = targets[slot];
+      // An open breaker means "stop offering work": skip the ION
+      // without submitting (half-open windows admit their budgeted
+      // probes through this same check).
+      if (!breaker_allow(ion)) continue;
       FwdRequest req = make_request(p);
       auto fut = req.done->get_future();
       auto buf = req.data;
-      if (service_.daemon(targets[slot]).submit(std::move(req))) {
+      submitted_ctr_->add();
+      const SubmitResult res =
+          service_.daemon(ion).try_submit(std::move(req));
+      if (res == SubmitResult::kAccepted) {
         if (p.submitted ? slot != p.slot : slot != start) {
           failover_ctr_->add();
         }
@@ -121,6 +192,10 @@ std::size_t Client::scatter(std::uint32_t rank, FwdOp op,
         ++p.attempts;
         return true;
       }
+      // IonBusy or down: a fast, counted rejection that feeds the
+      // breaker - not a timeout masquerading as a failure.
+      rejected_ctr_->add();
+      breaker_failure(ion);
     }
     return false;
   };
@@ -145,6 +220,14 @@ std::size_t Client::scatter(std::uint32_t rank, FwdOp op,
   // client owns durability once no ION holds the bytes.
   auto direct_rescue = [&](Pending& p) -> std::size_t {
     fallback_ctr_->add();
+    submitted_ctr_->add();
+    ovl_fallback_ctr_->add();
+    // Graceful degradation is bandwidth-capped: every client of the
+    // deployment shares one limiter, so a storm of open breakers
+    // cannot stampede the PFS (the ZERO-policy route is rationed).
+    if (auto* limiter = service_.fallback_limiter()) {
+      limiter->acquire(static_cast<double>(p.sub_size));
+    }
     if (op == FwdOp::Write) {
       auto sub = wdata.empty()
                      ? std::span<const std::byte>()
@@ -186,6 +269,7 @@ std::size_t Client::scatter(std::uint32_t rank, FwdOp op,
     for (;;) {
       std::size_t got = 0;
       if (wait_done(p, got)) {
+        breaker_success(targets[p.slot]);
         if (op == FwdOp::Read && p.buf && !rdata.empty()) {
           std::memcpy(rdata.data() + p.rel, p.buf->data(),
                       std::min<std::size_t>(got, p.buf->size()));
@@ -193,6 +277,7 @@ std::size_t Client::scatter(std::uint32_t rank, FwdOp op,
         n += got;
         break;
       }
+      breaker_failure(targets[p.slot]);
       retries_ctr_->add();
       if (p.attempts >= config_.max_attempts) {
         n += direct_rescue(p);
@@ -223,8 +308,7 @@ std::size_t Client::pwrite(std::uint32_t rank, const std::string& path,
   } else {
     const auto ions = view_.ions();
     if (ions.empty()) {
-      service_.pfs().write(path, offset, size, data,
-                           config_.stream_weight);
+      direct_write_pfs(path, offset, size, data);
       n = size;
       direct_ops_.fetch_add(1);
       direct_ctr_->add();
@@ -269,7 +353,12 @@ void Client::fsync(const std::string& path) {
     req.file_id = gkfs::hash_path(path);
     req.done = std::make_shared<std::promise<std::size_t>>();
     auto fut = req.done->get_future();
-    if (service_.daemon(ion).submit(std::move(req))) {
+    // Fsync bypasses the breakers: it is a durability barrier for data
+    // already staged on that ION, not new load to shed. The daemon
+    // exempts markers from admission control for the same reason.
+    submitted_ctr_->add();
+    if (service_.daemon(ion).try_submit(std::move(req)) ==
+        SubmitResult::kAccepted) {
       try {
         fut.get();
       } catch (const std::exception&) {
@@ -277,6 +366,8 @@ void Client::fsync(const std::string& path) {
         // data (node-local storage survives), so durability is a matter
         // of time, not of this marker.
       }
+    } else {
+      rejected_ctr_->add();
     }
   };
   if (config_.mode == ClientMode::BurstBuffer) {

@@ -15,6 +15,7 @@
 #include "common/units.hpp"
 #include "fault/backoff.hpp"
 #include "fwd/mapping.hpp"
+#include "fwd/overload.hpp"
 #include "fwd/request.hpp"
 #include "fwd/service.hpp"
 #include "telemetry/metrics.hpp"
@@ -54,6 +55,11 @@ struct ClientConfig {
   fault::BackoffPolicy backoff = {};
   /// Seed for deterministic retry jitter (mixed with request identity).
   std::uint64_t retry_seed = 0;
+  /// Per-ION circuit breakers: consecutive IonBusy/timeout outcomes
+  /// open an ION's breaker and route its traffic to the rate-limited
+  /// direct-PFS path until half-open probes succeed. Jitter seeds mix
+  /// retry_seed with the ION id, so replay stays deterministic.
+  BreakerOptions breaker = {};
   /// Metrics destination; nullptr means telemetry::Registry::global().
   telemetry::Registry* registry = nullptr;
 };
@@ -91,6 +97,12 @@ class Client {
   const ClientConfig& config() const { return config_; }
   ForwardingService& service() { return service_; }
 
+  /// The ION's circuit breaker (null when breakers are disabled).
+  const CircuitBreaker* breaker(int ion) const {
+    return breakers_.empty() ? nullptr
+                             : breakers_[static_cast<std::size_t>(ion)].get();
+  }
+
  private:
   /// Chunk the request and scatter it across `targets` by (path, chunk)
   /// hash (GekkoFS distribution). Returns bytes transferred.
@@ -105,6 +117,16 @@ class Client {
               std::uint64_t offset, std::uint64_t size, Seconds t0,
               Seconds t1);
 
+  // Breaker plumbing (no-ops while breakers are disabled).
+  bool breaker_allow(int ion);
+  void breaker_success(int ion);
+  void breaker_failure(int ion);
+
+  /// Direct PFS write that owns durability: retries through injected
+  /// dispatch errors until the write lands.
+  void direct_write_pfs(const std::string& path, std::uint64_t offset,
+                        std::uint64_t size, std::span<const std::byte> data);
+
   ClientConfig config_;
   ForwardingService& service_;
   ClientMappingView view_;
@@ -118,6 +140,12 @@ class Client {
   telemetry::Counter* retries_ctr_ = nullptr;    ///< "fwd.retries"
   telemetry::Counter* failover_ctr_ = nullptr;   ///< "fwd.failovers"
   telemetry::Counter* fallback_ctr_ = nullptr;   ///< direct-PFS rescues
+  // Overload accounting (see overload.hpp for the identity).
+  telemetry::Counter* submitted_ctr_ = nullptr;  ///< offers + fallbacks
+  telemetry::Counter* rejected_ctr_ = nullptr;   ///< busy/down answers
+  telemetry::Counter* ovl_fallback_ctr_ = nullptr;  ///< identity bucket
+  /// One breaker per ION of the service; empty while disabled.
+  std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
 };
 
 }  // namespace iofa::fwd

@@ -46,6 +46,13 @@ IonDaemon::IonDaemon(int id, IonParams params, EmulatedPfs& pfs)
   metrics_.retries = &reg.counter("fwd.retries", labels);
   metrics_.flush_abandoned = &reg.counter("fwd.ion.flush_abandoned", labels);
   metrics_.failed_requests = &reg.counter("fwd.ion.failed_requests", labels);
+  metrics_.admitted = &reg.counter("fwd.overload.admitted", labels);
+  metrics_.expired = &reg.counter("fwd.overload.expired", labels);
+  metrics_.busy = &reg.counter("fwd.overload.busy", labels);
+  metrics_.saturation = &reg.gauge("fwd.overload.saturation", labels);
+  admission_ = std::make_unique<SaturationTracker>(params_.admission,
+                                                   metrics_.queue_wait_us);
+  busy_site_ = fault::busy_site(id_);
   flush_seed_ = SplitMix64((params_.injector ? params_.injector->plan().seed
                                              : 0x10F0A5EEDULL) ^
                            static_cast<std::uint64_t>(id_))
@@ -112,17 +119,48 @@ std::size_t IonDaemon::queue_depth() const {
   return depth;
 }
 
-bool IonDaemon::submit(FwdRequest req) {
-  if (!running_.load() || is_crashed()) return false;
+double IonDaemon::saturation() const {
+  return admission_->score(queue_depth(),
+                           shards_.size() * params_.queue_capacity,
+                           inflight_bytes_.load());
+}
+
+SubmitResult IonDaemon::try_submit(FwdRequest req) {
+  if (!running_.load() || is_crashed()) return SubmitResult::kDown;
+  // Fsync markers are exempt from overload rejection: they carry no
+  // payload, and refusing a durability barrier would only make a
+  // saturated client re-offer it.
+  const bool data_request = req.op != FwdOp::Fsync;
+  if (data_request && params_.injector) {
+    // Forced IonBusy answers ("error ... ion.<id>.busy") and admission
+    // stalls ("stall ... ion.<id>.busy") for overload drills.
+    const auto d = params_.injector->decide(busy_site_);
+    if (d.stall > 0.0) sleep_for_seconds(d.stall);
+    if (d.fail) {
+      metrics_.busy->add();
+      return SubmitResult::kBusy;
+    }
+  }
+  if (data_request && params_.admission.enabled) {
+    const double score = saturation();
+    metrics_.saturation->set(score);
+    if (score >= 1.0) {
+      metrics_.busy->add();
+      return SubmitResult::kBusy;
+    }
+  }
+  const Bytes size = req.size;
   req.queued_us = monotonic_micros();
   pending_requests_.fetch_add(1);
+  inflight_bytes_.fetch_add(size);
   auto& shard = *shards_[shard_of(req.file_id, req.op)];
   if (!shard.ingest.push(std::move(req))) {
+    inflight_bytes_.fetch_sub(size);
     finish_pending(pending_requests_);
-    return false;
+    return SubmitResult::kDown;
   }
   metrics_.queue_depth->set(static_cast<double>(queue_depth()));
-  return true;
+  return SubmitResult::kAccepted;
 }
 
 void IonDaemon::drain() {
@@ -157,6 +195,7 @@ void IonDaemon::fail_request(FwdRequest& req) {
   if (req.done) {
     req.done->set_exception(std::make_exception_ptr(IonDownError(id_)));
   }
+  inflight_bytes_.fetch_sub(req.size);
   metrics_.failed_requests->add();
   finish_pending(pending_requests_);
 }
@@ -211,6 +250,21 @@ void IonDaemon::worker_loop(std::size_t si) {
         tracer.complete("queue_wait", "fwd.ion", req.queued_us, wait_us,
                         "bytes", static_cast<std::int64_t>(req.size));
       }
+    }
+    if (req.op != FwdOp::Fsync && req.deadline_us != 0 &&
+        monotonic_micros() > req.deadline_us) {
+      // Deadline passed while queued: drop at dequeue (counted, never
+      // silently) so a saturated queue spends dispatch capacity on work
+      // a client is still waiting for. Fsync markers are exempt - they
+      // gate durability, not latency.
+      metrics_.expired->add();
+      inflight_bytes_.fetch_sub(req.size);
+      if (req.done) {
+        req.done->set_exception(
+            std::make_exception_ptr(RequestExpiredError(id_)));
+      }
+      finish_pending(pending_requests_);
+      return;
     }
     if (params_.injector) {
       // Admission-level fault site: count-triggered crashes ("after N
@@ -344,6 +398,8 @@ void IonDaemon::process(Shard& shard, const agios::Dispatch& dispatch,
         continue;
       }
     }
+    // Dispatched: the payload leaves the admission window.
+    inflight_bytes_.fetch_sub(req.size);
 
     if (req.op == FwdOp::Write) {
       if (params_.store_data && req.data && !req.data->empty()) {
@@ -361,10 +417,13 @@ void IonDaemon::process(Shard& shard, const agios::Dispatch& dispatch,
       item.size = req.size;
       item.data = req.data;
       if (params_.write_through) {
-        // Ack from the flusher, after the PFS write.
+        // Ack from the flusher, after the PFS write; the overload
+        // accounting (admitted vs failed) moves there with it.
         item.write_done = req.done;
-      } else if (req.done) {
-        req.done->set_value(req.size);
+        item.write_through = true;
+      } else {
+        if (req.done) req.done->set_value(req.size);
+        metrics_.admitted->add();
       }
       enqueue_flush(std::move(item), req.file_id);
     } else {
@@ -393,6 +452,7 @@ void IonDaemon::process(Shard& shard, const agios::Dispatch& dispatch,
         metrics_.reads_pfs->add();
       }
       if (req.done) req.done->set_value(n);
+      metrics_.admitted->add();
     }
     finish_pending(pending_requests_);
   }
@@ -410,6 +470,7 @@ void IonDaemon::flush_one(const FlushItem& item) {
       while (flush_completed_ < item.barrier) flush_cv_.wait(lk);
     }
     item.fsync_done->set_value(0);
+    metrics_.admitted->add();
     finish_pending(pending_flushes_);
     return;
   }
@@ -453,6 +514,7 @@ void IonDaemon::flush_one(const FlushItem& item) {
   if (flushed) {
     mark_clean(gkfs::hash_path(item.path), item.offset, item.size);
     if (item.write_done) item.write_done->set_value(item.size);
+    if (item.write_through) metrics_.admitted->add();
     metrics_.bytes_flushed->add(item.size);
   } else {
     // Retry budget exhausted: the range stays dirty (reads keep
@@ -463,6 +525,10 @@ void IonDaemon::flush_one(const FlushItem& item) {
       item.write_done->set_exception(
           std::make_exception_ptr(IonDownError(id_)));
     }
+    // A write-through request that was accepted but never completed
+    // toward the client lands in the failed bucket, keeping the
+    // overload accounting identity exact.
+    if (item.write_through) metrics_.failed_requests->add();
   }
   {
     MutexLock lk(flush_mu_);

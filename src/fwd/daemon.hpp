@@ -44,6 +44,7 @@
 #include "common/units.hpp"
 #include "fault/backoff.hpp"
 #include "fault/injector.hpp"
+#include "fwd/overload.hpp"
 #include "fwd/pfs_backend.hpp"
 #include "fwd/request.hpp"
 #include "gkfs/chunk_store.hpp"
@@ -90,6 +91,10 @@ struct IonParams {
   /// write lands (staged data is never abandoned).
   int max_flush_attempts = 0;
   fault::BackoffPolicy flush_backoff;
+  /// Admission control: past the saturation high-watermark try_submit
+  /// answers IonBusy instead of blocking (fsync markers are exempt -
+  /// they carry no payload and gate durability). Disabled by default.
+  AdmissionOptions admission = {};
 };
 
 /// Thrown into a request's completion future when its ION crashes (or
@@ -98,6 +103,23 @@ struct IonParams {
 struct IonDownError : std::runtime_error {
   explicit IonDownError(int ion)
       : std::runtime_error("ion " + std::to_string(ion) + " is down") {}
+};
+
+/// Thrown into a request's completion future when its deadline passed
+/// while it sat in the ingest queue (dropped at dequeue, counted in
+/// fwd.overload.expired). Retryable: the client charges its attempt
+/// budget and resubmits with a fresh deadline.
+struct RequestExpiredError : std::runtime_error {
+  explicit RequestExpiredError(int ion)
+      : std::runtime_error("request expired in queue at ion " +
+                           std::to_string(ion)) {}
+};
+
+/// Outcome of offering a request to an ION (try_submit).
+enum class SubmitResult {
+  kAccepted,  ///< queued; will end in admitted / expired / failed
+  kBusy,      ///< retryable overload rejection (admission or fault)
+  kDown       ///< daemon crashed or shut down
 };
 
 class IonDaemon {
@@ -112,9 +134,19 @@ class IonDaemon {
   int workers() const { return static_cast<int>(shards_.size()); }
   int flushers() const { return static_cast<int>(flush_shards_.size()); }
 
-  /// Enqueue a request (blocking when the ingest queue is full).
-  /// Returns false after shutdown.
-  bool submit(FwdRequest req);
+  /// Offer a request. kBusy is the fast retryable overload answer
+  /// (saturation past the admission watermark, or an ion.<id>.busy
+  /// fault); an accepted request blocks only on the shard queue and is
+  /// guaranteed to end in exactly one of fwd.overload.admitted /
+  /// fwd.overload.expired / fwd.ion.failed_requests.
+  SubmitResult try_submit(FwdRequest req);
+
+  /// Legacy enqueue (blocking when the ingest queue is full). Returns
+  /// false when the request was not accepted (down, or busy when
+  /// admission control is enabled).
+  bool submit(FwdRequest req) {
+    return try_submit(std::move(req)) == SubmitResult::kAccepted;
+  }
 
   /// Block until every accepted request has been dispatched AND every
   /// staged write has been flushed to the PFS.
@@ -133,6 +165,17 @@ class IonDaemon {
   void restart() { crashed_manual_.store(false); }
   /// Heartbeat the HealthMonitor samples: accepting and serving work.
   bool alive() const { return running_.load() && !is_crashed(); }
+
+  // --- overload surface ------------------------------------------------
+  /// Saturation score in [0, inf); >= 1.0 means past the admission
+  /// high-watermark. Always 0 while admission control is disabled.
+  double saturation() const;
+  /// Overloaded-but-alive: refusing new work yet still serving. The
+  /// HealthMonitor turns this into an arbiter load hint, never an
+  /// eviction.
+  bool overloaded() const {
+    return params_.admission.enabled && saturation() >= 1.0;
+  }
 
   // --- stats -----------------------------------------------------------
   // The daemon reports into the telemetry registry ("fwd.ion.*",
@@ -162,6 +205,9 @@ class IonDaemon {
     std::uint64_t barrier = 0;
     /// Write-through mode: the write's own completion promise.
     std::shared_ptr<std::promise<std::size_t>> write_done;
+    /// Write-through item: overload accounting (admitted / failed)
+    /// happens at flush time instead of stage time.
+    bool write_through = false;
   };
 
   /// One dispatch shard: a bounded ingest queue plus scheduler state
@@ -261,6 +307,14 @@ class IonDaemon {
   /// Seed for the flushers' deterministic retry jitter.
   std::uint64_t flush_seed_ = 0;
 
+  /// Admission control (saturation scoring over the queue-wait
+  /// histogram); built after the metrics are registered.
+  std::unique_ptr<SaturationTracker> admission_;
+  /// Accepted-but-undispatched payload bytes (admission criterion).
+  std::atomic<Bytes> inflight_bytes_{0};
+  /// Fault site for forced IonBusy answers ("ion.<id>.busy").
+  std::string busy_site_;
+
   // Telemetry (lock-free on the hot path; registered at construction).
   struct Metrics {
     telemetry::Counter* requests = nullptr;
@@ -278,6 +332,11 @@ class IonDaemon {
     telemetry::Counter* retries = nullptr;          ///< flush retries
     telemetry::Counter* flush_abandoned = nullptr;  ///< retry budget hit
     telemetry::Counter* failed_requests = nullptr;  ///< crash casualties
+    // Overload accounting (see overload.hpp for the invariant).
+    telemetry::Counter* admitted = nullptr;  ///< completed toward client
+    telemetry::Counter* expired = nullptr;   ///< deadline-dropped at dequeue
+    telemetry::Counter* busy = nullptr;      ///< IonBusy answers
+    telemetry::Gauge* saturation = nullptr;  ///< last admission score
   };
   Metrics metrics_;
   Stats baseline_;  ///< counter values at construction (stats() view)

@@ -1,5 +1,7 @@
 #include "fwd/health.hpp"
 
+#include <utility>
+
 #include "common/clock.hpp"
 
 namespace iofa::fwd {
@@ -31,6 +33,8 @@ HealthMonitor::HealthMonitor(ForwardingService& service,
     : service_(service), arbiter_(arbiter), options_(options) {
   MutexLock lk(mu_);
   alive_.assign(static_cast<std::size_t>(service_.ion_count()), 1);
+  misses_.assign(static_cast<std::size_t>(service_.ion_count()), 0);
+  hints_.assign(static_cast<std::size_t>(service_.ion_count()), 0.0);
 }
 
 HealthMonitor::~HealthMonitor() { stop(); }
@@ -38,25 +42,47 @@ HealthMonitor::~HealthMonitor() { stop(); }
 bool HealthMonitor::poll_once() {
   std::vector<int> died;
   std::vector<int> recovered;
+  /// (ion, score) hint changes; score 0 clears the hint.
+  std::vector<std::pair<int, double>> hints;
   {
     MutexLock lk(mu_);
     for (int i = 0; i < service_.ion_count(); ++i) {
-      const char now = service_.daemon(i).alive() ? 1 : 0;
+      auto& daemon = service_.daemon(i);
+      const bool beat = daemon.alive();
       const std::size_t idx = static_cast<std::size_t>(i);
-      if (now == alive_[idx]) continue;
-      alive_[idx] = now;
-      if (now) {
-        recovered.push_back(i);
-        ++recoveries_;
-      } else {
-        died.push_back(i);
-        ++failures_;
+      if (beat) {
+        misses_[idx] = 0;
+        if (!alive_[idx]) {
+          // Recovery edges are immediate - holding work back from a
+          // node that is demonstrably serving again has no upside.
+          alive_[idx] = 1;
+          recovered.push_back(i);
+          ++recoveries_;
+        }
+        // Overloaded-but-alive is NOT a failure: it becomes a load
+        // hint for the next materialisation, never an eviction.
+        const double score = daemon.overloaded() ? daemon.saturation() : 0.0;
+        if (score != hints_[idx]) {
+          hints_[idx] = score;
+          hints.emplace_back(i, score);
+        }
+      } else if (alive_[idx]) {
+        // Debounce: a 1-beat flap must not trigger an MCKP re-solve.
+        if (++misses_[idx] >= options_.fail_threshold) {
+          alive_[idx] = 0;
+          misses_[idx] = 0;
+          died.push_back(i);
+          ++failures_;
+        }
       }
     }
   }
 
   OptionalLock arb_lk(options_.arbiter_mu);
   bool republish = !died.empty() || !recovered.empty();
+  for (const auto& [ion, score] : hints) {
+    arbiter_.set_load_hint(ion, score);
+  }
   for (int ion : died) arbiter_.ion_failed(ion);
   for (int ion : recovered) arbiter_.ion_recovered(ion);
   // Self-heal a lost publish: the arbiter moved on but the store never

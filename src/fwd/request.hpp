@@ -33,6 +33,11 @@ struct FwdRequest {
   /// Stamped by IonDaemon::submit (monotonic_micros) so the ingest
   /// queue wait is observable per request; 0 = not stamped.
   std::uint64_t queued_us = 0;
+  /// Absolute deadline (monotonic_micros) derived from the client's
+  /// request timeout; the daemon drops the request at dequeue once it
+  /// has passed (counted in fwd.overload.expired, failing `done` with
+  /// RequestExpiredError). 0 = no deadline.
+  std::uint64_t deadline_us = 0;
 };
 
 }  // namespace iofa::fwd

@@ -1,5 +1,7 @@
 #include "fwd/service.hpp"
 
+#include <algorithm>
+
 namespace iofa::fwd {
 
 ForwardingService::ForwardingService(ServiceConfig config) : config_(config) {
@@ -17,6 +19,12 @@ ForwardingService::ForwardingService(ServiceConfig config) : config_(config) {
     daemons_.push_back(std::make_unique<IonDaemon>(i, params, *pfs_));
   }
   mapping_store_.set_injector(config_.injector);
+  if (config_.fallback_bandwidth > 0.0) {
+    fallback_limiter_ = std::make_unique<TokenBucket>(
+        config_.fallback_bandwidth,
+        std::max(config_.fallback_bandwidth * 0.05,
+                 static_cast<double>(MiB)));
+  }
 }
 
 ForwardingService::~ForwardingService() { shutdown(); }

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/token_bucket.hpp"
 #include "core/arbiter.hpp"
 #include "fwd/daemon.hpp"
 #include "fwd/mapping.hpp"
@@ -21,6 +22,11 @@ struct ServiceConfig {
   /// One injector for the whole deployment; propagated into the PFS,
   /// every daemon, and the mapping store. May be null (no faults).
   fault::FaultInjector* injector = nullptr;
+  /// Aggregate bandwidth cap (bytes/s) on the clients' direct-PFS
+  /// degradation path, shared by every client of this deployment so an
+  /// overload storm cannot stampede the PFS (the ZERO-policy route is
+  /// rate-limited, not free). 0 = uncapped.
+  double fallback_bandwidth = 0.0;
 };
 
 class ForwardingService {
@@ -39,6 +45,10 @@ class ForwardingService {
   MappingStore& mapping_store() { return mapping_store_; }
   const MappingStore& mapping_store() const { return mapping_store_; }
 
+  /// Shared rate limiter for the direct-PFS degradation path; null when
+  /// fallback_bandwidth is 0 (uncapped).
+  TokenBucket* fallback_limiter() { return fallback_limiter_.get(); }
+
   /// Publish a new arbitration result to the clients.
   void apply_mapping(const core::Mapping& mapping);
 
@@ -55,6 +65,7 @@ class ForwardingService {
   std::unique_ptr<EmulatedPfs> pfs_;
   std::vector<std::unique_ptr<IonDaemon>> daemons_;
   MappingStore mapping_store_;
+  std::unique_ptr<TokenBucket> fallback_limiter_;
 };
 
 }  // namespace iofa::fwd

@@ -48,8 +48,60 @@ fwd::ServiceConfig live_service_config(const LiveExecutorOptions& options,
   cfg.ion.op_overhead = 32 * KiB;
   cfg.ion.store_data = false;
   cfg.ion.workers = std::max(1, options.workers_per_ion);
+  cfg.ion.admission = options.admission;
+  cfg.fallback_bandwidth = options.fallback_bandwidth;
   cfg.injector = injector;
   return cfg;
+}
+
+void validate_live_options(const LiveExecutorOptions& options) {
+  auto reject = [](const std::string& why) {
+    throw std::invalid_argument("live executor options: " + why);
+  };
+  if (options.max_attempts < 1) {
+    reject("max_attempts must be >= 1 (got " +
+           std::to_string(options.max_attempts) + ")");
+  }
+  if (options.request_timeout < 0.0) {
+    reject("request_timeout must be >= 0");
+  }
+  if (options.client_backoff.base <= 0.0 ||
+      options.client_backoff.cap < options.client_backoff.base ||
+      options.client_backoff.multiplier < 1.0) {
+    reject("client_backoff wants base > 0, cap >= base, multiplier >= 1");
+  }
+  if (options.breaker.enabled) {
+    if (options.request_timeout <= 0.0) {
+      // A breaker fed only by submission outcomes never sees a slow
+      // (as opposed to refusing) ION fail; without a timeout it would
+      // sit closed while every client blocks forever.
+      reject("breaker requires request_timeout > 0");
+    }
+    if (options.breaker.failure_threshold < 1 ||
+        options.breaker.half_open_probes < 1 ||
+        options.breaker.half_open_successes < 1) {
+      reject("breaker thresholds and probe budgets must be >= 1");
+    }
+    if (options.breaker.open_base <= 0.0 ||
+        options.breaker.open_cap < options.breaker.open_base) {
+      reject("breaker open window wants base > 0 and cap >= base");
+    }
+  }
+  if (options.admission.enabled) {
+    if (options.admission.queue_high_watermark <= 0.0 ||
+        options.admission.queue_high_watermark > 1.0) {
+      reject("admission queue_high_watermark must be in (0, 1]");
+    }
+    if (options.admission.queue_wait_limit < 0.0) {
+      reject("admission queue_wait_limit must be >= 0");
+    }
+  }
+  if (options.fallback_bandwidth < 0.0) {
+    reject("fallback_bandwidth must be >= 0");
+  }
+  if (options.health_fail_threshold < 1) {
+    reject("health_fail_threshold must be >= 1");
+  }
 }
 
 LiveRunResult run_queue_live(const std::vector<workload::AppSpec>& queue,
@@ -57,6 +109,7 @@ LiveRunResult run_queue_live(const std::vector<workload::AppSpec>& queue,
                              std::shared_ptr<core::ArbitrationPolicy> policy,
                              fwd::ForwardingService& service,
                              const LiveExecutorOptions& options) {
+  validate_live_options(options);
   for (const auto& spec : queue) {
     if (spec.compute_nodes > options.compute_nodes) {
       throw std::invalid_argument(
@@ -82,7 +135,8 @@ LiveRunResult run_queue_live(const std::vector<workload::AppSpec>& queue,
   std::optional<fwd::HealthMonitor> health;
   if (options.health_period > 0.0) {
     health.emplace(service, arbiter,
-                   fwd::HealthMonitor::Options{options.health_period, &mu});
+                   fwd::HealthMonitor::Options{options.health_period, &mu,
+                                               options.health_fail_threshold});
     health->start();
   }
 
@@ -130,6 +184,9 @@ LiveRunResult run_queue_live(const std::vector<workload::AppSpec>& queue,
         cc.poll_period = options.poll_period;
         cc.store_data = options.replay.store_data;
         cc.request_timeout = options.request_timeout;
+        cc.max_attempts = options.max_attempts;
+        cc.backoff = options.client_backoff;
+        cc.breaker = options.breaker;
         cc.retry_seed = id;  // per-job jitter streams
         fwd::Client client(cc, service);
 

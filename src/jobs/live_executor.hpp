@@ -11,6 +11,7 @@
 #include "core/policies.hpp"
 #include "fault/clock.hpp"
 #include "fwd/health.hpp"
+#include "fwd/overload.hpp"
 #include "fwd/replayer.hpp"
 #include "fwd/service.hpp"
 #include "platform/profile.hpp"
@@ -45,6 +46,26 @@ struct LiveExecutorOptions {
   /// live_service_config() mirrors it into the ServiceConfig; 1 = the
   /// serial legacy pipeline, byte-identical under fault-seed replay.
   int workers_per_ion = 1;
+
+  // --- overload control (PR 5) ----------------------------------------
+  /// Client submission attempts per sub-request before the direct-PFS
+  /// rescue (ClientConfig::max_attempts).
+  int max_attempts = 4;
+  /// Client retry backoff schedule (base / ceiling / growth).
+  fault::BackoffPolicy client_backoff = {};
+  /// ION admission control; live_service_config() mirrors it into
+  /// IonParams::admission.
+  fwd::AdmissionOptions admission = {};
+  /// Per-ION client circuit breakers (ClientConfig::breaker). Requires
+  /// request_timeout > 0: a breaker fed only by submissions would never
+  /// see a slow ION fail.
+  fwd::BreakerOptions breaker = {};
+  /// Bandwidth cap (bytes/s) on the shared direct-PFS degradation path;
+  /// 0 = uncapped (ServiceConfig::fallback_bandwidth).
+  double fallback_bandwidth = 0.0;
+  /// HealthMonitor debounce: consecutive missed heartbeats before an
+  /// ION is declared failed.
+  int health_fail_threshold = 1;
 };
 
 struct LiveJobResult {
@@ -67,6 +88,13 @@ struct LiveRunResult {
 fwd::ServiceConfig live_service_config(
     const LiveExecutorOptions& options,
     fault::FaultInjector* injector = nullptr);
+
+/// Reject nonsensical option combinations (zero timeout with breakers,
+/// negative retry budget, inverted backoff bounds, ...) with
+/// std::invalid_argument before any thread or daemon is started.
+/// run_queue_live() calls this on entry; tools call it right after flag
+/// parsing so a bad flag dies with a message instead of a hang.
+void validate_live_options(const LiveExecutorOptions& options);
 
 /// Run `queue` on `service` under `policy`. Curves in `profiles` feed
 /// the arbitration decisions (the estimates MCKP consumes); achieved

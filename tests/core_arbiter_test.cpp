@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <set>
+#include <vector>
 
 #include "core/arbiter.hpp"
 #include "platform/profile.hpp"
@@ -142,6 +144,46 @@ TEST(Arbiter, MckpDoesReallocateRunningJobs) {
   arb.job_started(2, entry("IOR-MPI"));
   // IOR-MPI at 8 is worth 5089.9; HACC must shrink.
   EXPECT_LT(arb.mapping().jobs.at(1).ions.size(), 8u);
+}
+
+// ----------------------------------------------------------- load hints
+
+TEST(Arbiter, NoHintsKeepLegacyLowestIdTopUpOrder) {
+  Arbiter arb(std::make_shared<MckpPolicy>(), opts(12));
+  const auto& m = arb.job_started(1, entry("IOR-MPI"));  // wants 8 of 12
+  EXPECT_EQ(m.jobs.at(1).ions, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(Arbiter, LoadHintSteersTopUpAwayFromSaturatedIon) {
+  Arbiter arb(std::make_shared<MckpPolicy>(), opts(12));
+  arb.set_load_hint(0, 2.5);  // ion 0 is drowning but alive
+  const auto& m = arb.job_started(1, entry("IOR-MPI"));
+  const auto& ions = m.jobs.at(1).ions;
+  ASSERT_EQ(ions.size(), 8u);
+  EXPECT_EQ(std::count(ions.begin(), ions.end(), 0), 0)
+      << "saturated ION assigned despite 4 unloaded alternatives";
+}
+
+TEST(Arbiter, LoadHintNeverEvictsOrResolves) {
+  Arbiter arb(std::make_shared<MckpPolicy>(), opts(12));
+  arb.job_started(1, entry("IOR-MPI"));
+  const auto before = arb.mapping().jobs.at(1).ions;
+  const auto epoch_before = arb.mapping().epoch;
+  arb.set_load_hint(3, 9.0);  // overloaded != dead
+  EXPECT_EQ(arb.mapping().epoch, epoch_before);      // no re-solve
+  EXPECT_EQ(arb.mapping().jobs.at(1).ions, before);  // no eviction
+  EXPECT_TRUE(arb.failed_ions().empty());
+  EXPECT_DOUBLE_EQ(arb.load_hint(3), 9.0);
+}
+
+TEST(Arbiter, LoadHintClearsAndIgnoresOutOfPoolIds) {
+  Arbiter arb(std::make_shared<MckpPolicy>(), opts(12));
+  arb.set_load_hint(3, 1.5);
+  arb.set_load_hint(3, 0.0);  // back below the watermark: hint gone
+  EXPECT_DOUBLE_EQ(arb.load_hint(3), 0.0);
+  arb.set_load_hint(-1, 1.0);
+  arb.set_load_hint(99, 1.0);
+  EXPECT_DOUBLE_EQ(arb.load_hint(99), 0.0);
 }
 
 TEST(Arbiter, SolveTimeIsMeasuredAndSmall) {

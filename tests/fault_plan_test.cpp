@@ -237,5 +237,35 @@ TEST(FaultPlanDsl, ShardSiteHelpers) {
   EXPECT_EQ(shard_site_parent("pfs.write"), std::nullopt);
 }
 
+TEST(FaultPlanDsl, BusySiteHelpers) {
+  EXPECT_EQ(busy_site(3), "ion.3.busy");
+  EXPECT_TRUE(site_is_valid("ion.0.busy"));
+  EXPECT_TRUE(site_is_valid("ion.12.busy"));
+  EXPECT_FALSE(site_is_valid("ion..busy"));
+  EXPECT_FALSE(site_is_valid("ion.-1.busy"));
+  EXPECT_EQ(ion_of_site("ion.7.busy"), 7);
+}
+
+TEST(FaultPlanDsl, BusySiteDslRoundTripsAndValidates) {
+  // Forced IonBusy answers: count and probability triggered errors, and
+  // stall windows on the admission path, all round-trip through the DSL.
+  const std::string text =
+      "seed 9\n"
+      "after 2 error ion.0.busy\n"
+      "prob 0.25 error ion.1.busy\n"
+      "at 0.5 stall ion.0.busy 0.1\n";
+  const auto plan = FaultPlan::parse(text);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->events.size(), 3u);
+  const auto reparsed = FaultPlan::parse(plan->to_string());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(plan->to_string(), reparsed->to_string());
+
+  // busy is an admission point, not a lifecycle site: crash/restart
+  // stay on ion.<N>.
+  EXPECT_FALSE(FaultPlan::parse("at 0.5 crash ion.0.busy\n").has_value());
+  EXPECT_FALSE(FaultPlan::parse("at 0.5 restart ion.0.busy\n").has_value());
+}
+
 }  // namespace
 }  // namespace iofa::fault

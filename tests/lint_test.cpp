@@ -308,6 +308,96 @@ TEST_F(LintTest, BareUnitsOnlyAppliesToPublicHeaders) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 
+// --------------------------------------------------------- swallowed-error
+
+TEST_F(LintTest, CheckedSubmitPasses) {
+  const auto p = write_fixture(
+      "offer_good.cpp",
+      "void offer(IonDaemon& d, FwdRequest req) {\n"
+      "  if (d.try_submit(std::move(req)) != SubmitResult::kAccepted) {\n"
+      "    rejected_->add();\n"
+      "  }\n"
+      "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("swallowed-error"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, DiscardedSubmitFlagged) {
+  const auto p = write_fixture("offer_bad.cpp",
+                               "void offer(IonDaemon& d, FwdRequest req) {\n"
+                               "  d.submit(std::move(req));\n"
+                               "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("swallowed-error"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("offer_bad.cpp:2"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, DiscardedPfsWriteFlagged) {
+  const auto p = write_fixture(
+      "flush_bad.cpp",
+      "void flush(Item& item) {\n"
+      "  pfs_.write(item.path, item.offset, item.size, {}, 1.0);\n"
+      "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("swallowed-error"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, CatchAllFlagged) {
+  const auto p = write_fixture("handler_bad.cpp",
+                               "void drain() {\n"
+                               "  try {\n"
+                               "    pump();\n"
+                               "  } catch (...) {\n"
+                               "  }\n"
+                               "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("swallowed-error"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("handler_bad.cpp:4"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, SwallowedErrorSuppressionHonoured) {
+  const auto p = write_fixture(
+      "handler_allowed.cpp",
+      "void shutdown() {\n"
+      "  try {\n"
+      "    pump();\n"
+      "  } catch (...) {  "
+      "// iofa-lint: allow(swallowed-error) -- teardown, daemon gone\n"
+      "  }\n"
+      "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, AssignedCallContinuationNotFlagged) {
+  // The wrapped tail of an assignment is not a discarded statement.
+  const auto p = write_fixture(
+      "offer_wrapped.cpp",
+      "void offer(IonDaemon& d, FwdRequest req) {\n"
+      "  const SubmitResult result =\n"
+      "      d.try_submit(std::move(req));\n"
+      "  (void)result;\n"
+      "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("swallowed-error"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, PoolSubmitNotFlagged) {
+  // ThreadPool::submit returns a future, not an error code.
+  const auto p = write_fixture("fanout_pool.cpp",
+                               "void fanout(iofa::ThreadPool& pool) {\n"
+                               "  pool.submit([] {});\n"
+                               "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("swallowed-error"), std::string::npos) << r.output;
+}
+
 // ---------------------------------------------------------------- driver
 
 TEST_F(LintTest, DirectoryScanAggregatesFindings) {

@@ -24,6 +24,13 @@
 //                long-lived threads belong to components whose
 //                join-on-shutdown discipline is TSan-covered; everything
 //                else composes those.
+//   swallowed-error
+//                in src/fwd: a `catch (...)` handler, or a failable
+//                forwarding call (submit/try_submit/try_push/
+//                try_acquire, pfs .write) whose result is discarded at
+//                statement position. A dropped error code on the
+//                forwarding path is silently lost bytes; check it,
+//                or suppress with a justification.
 //
 // A finding is suppressed by putting `iofa-lint: allow(<rule>)` in a
 // comment on the same line; the expectation is that the comment also
@@ -296,6 +303,64 @@ void check_bare_units(const std::string& file,
   }
 }
 
+// --- rule: swallowed-error ------------------------------------------------
+
+// Failable forwarding-path calls whose result is discarded at statement
+// position. The chain prefix admits only simple receivers
+// (obj. / obj-> / ns:: / obj(arg).), so guarded uses - `if (...)`,
+// `ok = ...`, `return ...` - do not start the statement with the call
+// and never match.
+const std::regex kSwallowedCall(
+    R"(^\s*((?:[A-Za-z_]\w*(?:\([^()]*\))?\s*(?:\.|->|::)\s*)*)(?:try_submit|try_push|try_acquire|submit)\s*\()");
+const std::regex kSwallowedPfsWrite(
+    R"(^\s*(?:[A-Za-z_]\w*(?:\([^()]*\))?\s*(?:\.|->|::)\s*)*pfs(?:_|\(\))\s*\.\s*write\s*\()");
+const std::regex kCatchAll(R"(\bcatch\s*\(\s*\.\.\.\s*\))");
+// ThreadPool::submit returns a future, not an error code; a pool-named
+// receiver is task fan-out, not a forwarding offer.
+const std::regex kPoolReceiver(R"(\w*pool_?\s*(?:\.|->)\s*$)");
+
+/// A call chain at the start of a PHYSICAL line is only a statement if
+/// the previous code line completed one; otherwise it is the wrapped
+/// tail of `ok = ...` / `return ...` / an argument list.
+bool continuation_line(const std::vector<CleanLine>& lines, std::size_t li) {
+  for (std::size_t j = li; j-- > 0;) {
+    const std::string& prev = lines[j].text;
+    const auto last = prev.find_last_not_of(" \t");
+    if (last == std::string::npos) continue;  // blank line: keep looking
+    const char c = prev[last];
+    return !(c == ';' || c == '{' || c == '}' || c == ')' || c == ':');
+  }
+  return false;
+}
+
+void check_swallowed_error(const std::string& file,
+                           const std::vector<CleanLine>& lines) {
+  // Scope: the forwarding data path, where every refused or failed
+  // request must land in an accounting bucket (fwd/overload.hpp).
+  if (!path_contains(file, "src/fwd")) return;
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& text = lines[li].text;
+    if (suppressed(lines[li].raw, "swallowed-error")) continue;
+    if (std::regex_search(text, kCatchAll)) {
+      report(file, li + 1, "swallowed-error",
+             "catch (...) swallows errors on the forwarding path; catch "
+             "the concrete exception types and account the failure");
+      continue;
+    }
+    std::smatch m;
+    const bool call = std::regex_search(text, m, kSwallowedCall) &&
+                      !std::regex_search(m[1].first, m[1].second,
+                                         kPoolReceiver);
+    if ((call || std::regex_search(text, kSwallowedPfsWrite)) &&
+        !continuation_line(lines, li)) {
+      report(file, li + 1, "swallowed-error",
+             "failable call with its result discarded; check the "
+             "submit/acquire/write outcome so refused work is retried "
+             "or accounted, not dropped");
+    }
+  }
+}
+
 // --- driver ---------------------------------------------------------------
 
 bool lintable(const fs::path& p) {
@@ -312,6 +377,7 @@ void lint_file(const fs::path& path) {
   check_raw_cout(file, lines);
   check_raw_thread(file, lines);
   check_bare_units(file, lines);
+  check_swallowed_error(file, lines);
 }
 
 }  // namespace

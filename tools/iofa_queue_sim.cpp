@@ -5,7 +5,7 @@
 // Usage:
 //   iofa_queue_sim [--policy P] [--nodes N] [--pool K] [--ratio R]
 //                  [--delay S] [--queue paper|random:<seed>:<njobs>]
-//                  [--fault-plan FILE]
+//                  [--fault-plan FILE] [overload flags, see --help]
 //
 // Jobs come from the paper's Section 5.3 queue by default, or from the
 // random covering generator. Profiles are the Grid'5000 reference set.
@@ -21,6 +21,7 @@
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 #include "common/rng.hpp"
@@ -49,13 +50,49 @@ std::shared_ptr<core::ArbitrationPolicy> make_policy(
   return std::make_shared<core::MckpPolicy>();
 }
 
+/// Overload-control flags forwarded into the live drill (PR 5). The
+/// defaults leave every mechanism off so legacy drills replay
+/// byte-identically.
+struct OverloadFlags {
+  int max_attempts = 4;
+  double backoff_base = 1.0e-3;
+  double backoff_cap = 20.0e-3;
+  double request_timeout = 0.05;
+  double admission_watermark = 0.0;  ///< > 0 enables admission control
+  int breaker_threshold = 0;         ///< > 0 enables circuit breakers
+  double fallback_mbps = 0.0;        ///< direct-PFS bandwidth cap
+  bool check_accounting = false;     ///< assert the overload identity
+};
+
+/// Verify the overload accounting identity (overload.hpp) against the
+/// global registry. Returns true when every submission attempt landed
+/// in exactly one bucket.
+bool overload_accounting_ok() {
+  const auto snap = telemetry::Registry::global().snapshot();
+  double submitted = 0, accounted = 0;
+  for (const auto& s : snap.samples) {
+    if (s.name == "fwd.overload.submitted") {
+      submitted += s.value;
+    } else if (s.name == "fwd.overload.admitted" ||
+               s.name == "fwd.overload.rejected" ||
+               s.name == "fwd.overload.expired" ||
+               s.name == "fwd.overload.direct_fallback" ||
+               s.name == "fwd.ion.failed_requests") {
+      accounted += s.value;
+    }
+  }
+  std::cout << "overload accounting: submitted " << submitted
+            << " vs accounted " << accounted << "\n";
+  return submitted == accounted;
+}
+
 /// Rehearse `plan` against the live runtime (drills use real daemons:
 /// crashes, retries and republishes have to actually happen).
 int run_fault_drill(const std::string& plan_path,
                     const std::vector<workload::AppSpec>& queue,
                     const std::string& policy_name,
                     const jobs::SimExecutorOptions& sim_opts,
-                    int workers_per_ion) {
+                    int workers_per_ion, const OverloadFlags& overload) {
   std::ifstream in(plan_path);
   if (!in) {
     std::cerr << "iofa_queue_sim: cannot read fault plan '" << plan_path
@@ -88,8 +125,27 @@ int run_fault_drill(const std::string& plan_path,
   opts.replay.min_phase_bytes = 4 * MiB;
   opts.fault_clock = &clock;
   opts.health_period = 0.002;
-  opts.request_timeout = 0.05;
+  opts.request_timeout = overload.request_timeout;
   opts.workers_per_ion = workers_per_ion;
+  opts.max_attempts = overload.max_attempts;
+  opts.client_backoff.base = overload.backoff_base;
+  opts.client_backoff.cap = overload.backoff_cap;
+  if (overload.admission_watermark > 0.0) {
+    opts.admission.enabled = true;
+    opts.admission.queue_high_watermark = overload.admission_watermark;
+  }
+  if (overload.breaker_threshold > 0) {
+    opts.breaker.enabled = true;
+    opts.breaker.failure_threshold = overload.breaker_threshold;
+  }
+  opts.fallback_bandwidth = overload.fallback_mbps * MiB;
+
+  try {
+    jobs::validate_live_options(opts);
+  } catch (const std::invalid_argument& bad) {
+    std::cerr << "iofa_queue_sim: " << bad.what() << "\n";
+    return 2;
+  }
 
   fwd::ForwardingService service(
       jobs::live_service_config(opts, &injector));
@@ -120,6 +176,7 @@ int run_fault_drill(const std::string& plan_path,
         s.name.rfind("fwd.client.direct_fallback", 0) == 0 ||
         s.name.rfind("fwd.ion.flush_abandoned", 0) == 0 ||
         s.name.rfind("fwd.ion.failed_requests", 0) == 0 ||
+        s.name.rfind("fwd.overload.", 0) == 0 ||
         s.name.rfind("arbiter.resolves_on_failure", 0) == 0;
     if (!fault_metric || s.value == 0.0) continue;
     std::cout << "  " << s.name;
@@ -127,6 +184,15 @@ int run_fault_drill(const std::string& plan_path,
       std::cout << " " << k << "=" << v;
     }
     std::cout << " = " << s.value << "\n";
+  }
+
+  if (overload.check_accounting) {
+    if (!overload_accounting_ok()) {
+      std::cerr << "iofa_queue_sim: overload accounting identity "
+                   "violated (see overload.hpp)\n";
+      return 3;
+    }
+    std::cout << "overload accounting ok\n";
   }
   return 0;
 }
@@ -138,6 +204,7 @@ int main(int argc, char** argv) {
   std::string queue_spec = "paper";
   std::string fault_plan;
   int workers_per_ion = 1;
+  OverloadFlags overload;
   jobs::SimExecutorOptions opts;
   opts.compute_nodes = 96;
   opts.pool = 12;
@@ -161,15 +228,49 @@ int main(int argc, char** argv) {
       fault_plan = argv[++i];
     } else if (arg == "--workers-per-ion" && i + 1 < argc) {
       workers_per_ion = std::stoi(argv[++i]);
+    } else if (arg == "--max-attempts" && i + 1 < argc) {
+      overload.max_attempts = std::stoi(argv[++i]);
+    } else if (arg == "--backoff-base" && i + 1 < argc) {
+      overload.backoff_base = std::stod(argv[++i]);
+    } else if (arg == "--backoff-cap" && i + 1 < argc) {
+      overload.backoff_cap = std::stod(argv[++i]);
+    } else if (arg == "--request-timeout" && i + 1 < argc) {
+      overload.request_timeout = std::stod(argv[++i]);
+    } else if (arg == "--admission-watermark" && i + 1 < argc) {
+      overload.admission_watermark = std::stod(argv[++i]);
+    } else if (arg == "--breaker-threshold" && i + 1 < argc) {
+      overload.breaker_threshold = std::stoi(argv[++i]);
+    } else if (arg == "--fallback-mbps" && i + 1 < argc) {
+      overload.fallback_mbps = std::stod(argv[++i]);
+    } else if (arg == "--check-accounting") {
+      overload.check_accounting = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: iofa_queue_sim [--policy P] [--nodes N] "
                    "[--pool K] [--ratio R] [--delay S] "
                    "[--queue paper|random:<seed>:<njobs>] "
-                   "[--fault-plan FILE] [--workers-per-ion W]\n"
+                   "[--fault-plan FILE] [--workers-per-ion W] "
+                   "[overload flags]\n"
                    "  --fault-plan FILE  rehearse the queue on the LIVE "
                    "runtime under the scripted faults\n"
                    "  --workers-per-ion W  dispatch shards per ION "
-                   "daemon in the live runtime (default 1)\n";
+                   "daemon in the live runtime (default 1)\n"
+                   "overload flags (live drills only):\n"
+                   "  --max-attempts N         client submission attempts "
+                   "per sub-request (default 4)\n"
+                   "  --backoff-base S         client retry backoff base "
+                   "(default 1e-3)\n"
+                   "  --backoff-cap S          client retry backoff "
+                   "ceiling (default 20e-3)\n"
+                   "  --request-timeout S      per-sub-request timeout "
+                   "(default 0.05; 0 = wait forever)\n"
+                   "  --admission-watermark F  enable ION admission "
+                   "control at this queue fraction (0,1]\n"
+                   "  --breaker-threshold N    enable per-ION circuit "
+                   "breakers tripping after N failures\n"
+                   "  --fallback-mbps M        cap the direct-PFS "
+                   "degradation path at M MiB/s (0 = uncapped)\n"
+                   "  --check-accounting       exit 3 unless the "
+                   "fwd.overload.* identity holds after the run\n";
       return 0;
     }
   }
@@ -190,7 +291,7 @@ int main(int argc, char** argv) {
 
   if (!fault_plan.empty()) {
     return run_fault_drill(fault_plan, queue, policy_name, opts,
-                           workers_per_ion);
+                           workers_per_ion, overload);
   }
 
   const auto profiles = platform::g5k_reference_profiles();

@@ -44,6 +44,10 @@ struct SchedRequest {
   std::uint64_t offset = 0;
   std::uint64_t size = 0;
   Seconds arrival = 0.0;
+  /// QoS tenant id; opaque to the base schedulers, consulted by the
+  /// tenant-weighted decorator (qos/scheduler.hpp) to route requests
+  /// to their priority class. 0 = default tenant.
+  std::uint32_t tenant = 0;
 };
 
 /// A dispatchable access: one or more client requests, possibly merged

@@ -5,6 +5,12 @@
 // aggregate drain bandwidth: every request must acquire its byte count in
 // tokens before it completes. The rate is adjustable at runtime so tests
 // can model degradation and benches can model contention.
+//
+// The QoS hierarchy (src/qos) reuses the bucket as its per-tenant leaf
+// node, driven on a caller-owned timeline: the explicit-time overloads
+// never read the wall clock, and drain_overflow() surfaces the tokens a
+// full bucket sheds past its burst cap so an idle tenant's refill can be
+// lent to busy siblings instead of evaporating.
 
 #include <chrono>
 #include <cstdint>
@@ -19,23 +25,50 @@ class TokenBucket {
   using Clock = std::chrono::steady_clock;
 
   /// rate: tokens (bytes) replenished per second; burst: bucket capacity.
+  /// Throws std::invalid_argument when either is non-positive or
+  /// non-finite (a zero rate would make acquire() divide by zero and
+  /// sleep forever; it used to be only an assert).
   TokenBucket(double rate_per_sec, double burst);
+
+  /// Deterministic variant: the first refill measures from `start`
+  /// instead of Clock::now(). Callers that pass explicit time to every
+  /// later call (the QoS hierarchy) get byte-identical replay.
+  TokenBucket(double rate_per_sec, double burst, Clock::time_point start);
 
   /// Block until `n` tokens have been consumed. `n` may exceed the burst
   /// size; the bucket then runs a token debt and the caller sleeps until
   /// its share of the debt is repaid (admission-order queueing). A rate
   /// change during an in-flight acquire() applies to later calls.
+  /// Throws std::invalid_argument when `n` is negative or non-finite.
   void acquire(double n) IOFA_EXCLUDES(mu_);
 
-  /// Non-blocking: consume `n` tokens if currently available.
+  /// Non-blocking: consume `n` tokens if currently available. Throws
+  /// std::invalid_argument when `n` is negative, non-finite, or larger
+  /// than the burst capacity (such a request can never be satisfied;
+  /// callers used to spin on it forever).
   bool try_acquire(double n) IOFA_EXCLUDES(mu_);
+  /// Explicit-time variant: no wall-clock read; time moving backwards
+  /// is clamped to the last observed instant.
+  bool try_acquire(double n, Clock::time_point now) IOFA_EXCLUDES(mu_);
+
+  /// Consume up to `n` tokens - whatever is available - and return the
+  /// amount actually taken. Never blocks and never goes into debt.
+  double take(double n, Clock::time_point now) IOFA_EXCLUDES(mu_);
 
   /// Tokens currently available (refreshes the fill level first).
   double available() IOFA_EXCLUDES(mu_);
+  double available(Clock::time_point now) IOFA_EXCLUDES(mu_);
 
-  /// Change the refill rate. Tokens already accrued are kept.
+  /// Tokens shed past the burst cap since the last drain: refill that
+  /// arrived while the bucket was already full. The QoS hierarchy lends
+  /// this slack to sibling tenants; standalone users may ignore it.
+  double drain_overflow(Clock::time_point now) IOFA_EXCLUDES(mu_);
+
+  /// Change the refill rate. Tokens already accrued are kept. Throws
+  /// std::invalid_argument on a non-positive or non-finite rate.
   void set_rate(double rate_per_sec) IOFA_EXCLUDES(mu_);
   double rate() const IOFA_EXCLUDES(mu_);
+  double burst() const IOFA_EXCLUDES(mu_);
 
  private:
   void refill_locked(Clock::time_point now) IOFA_REQUIRES(mu_);
@@ -44,6 +77,7 @@ class TokenBucket {
   double rate_ IOFA_GUARDED_BY(mu_);
   double burst_ IOFA_GUARDED_BY(mu_);
   double tokens_ IOFA_GUARDED_BY(mu_);
+  double overflow_ IOFA_GUARDED_BY(mu_) = 0.0;
   Clock::time_point last_ IOFA_GUARDED_BY(mu_);
 };
 

@@ -31,6 +31,9 @@ Client::Client(ClientConfig config, ForwardingService& service)
   submitted_ctr_ = &reg.counter("fwd.overload.submitted", labels);
   rejected_ctr_ = &reg.counter("fwd.overload.rejected", labels);
   ovl_fallback_ctr_ = &reg.counter("fwd.overload.direct_fallback", labels);
+  if (auto* qos = service_.qos()) {
+    qos_ = &qos->metrics().tenant(config_.tenant);
+  }
   if (config_.breaker.enabled) {
     CircuitBreaker::Counters ctrs;
     ctrs.opened = &reg.counter("fwd.overload.breaker_open", labels);
@@ -141,6 +144,7 @@ std::size_t Client::scatter(std::uint32_t rank, FwdOp op,
     req.offset = p.file_offset;
     req.size = p.sub_size;
     req.stream_weight = config_.stream_weight;
+    req.tenant = config_.tenant;
     if (op == FwdOp::Write && config_.store_data && !wdata.empty()) {
       auto sub = wdata.subspan(p.rel, p.sub_size);
       req.data = std::make_shared<std::vector<std::byte>>(sub.begin(),
@@ -179,6 +183,10 @@ std::size_t Client::scatter(std::uint32_t rank, FwdOp op,
       auto fut = req.done->get_future();
       auto buf = req.data;
       submitted_ctr_->add();
+      if (qos_) {
+        qos_->submitted->add();
+        qos_->submitted_bytes->add(p.sub_size);
+      }
       const SubmitResult res =
           service_.daemon(ion).try_submit(std::move(req));
       if (res == SubmitResult::kAccepted) {
@@ -195,6 +203,7 @@ std::size_t Client::scatter(std::uint32_t rank, FwdOp op,
       // IonBusy or down: a fast, counted rejection that feeds the
       // breaker - not a timeout masquerading as a failure.
       rejected_ctr_->add();
+      if (qos_) qos_->rejected->add();
       breaker_failure(ion);
     }
     return false;
@@ -222,6 +231,11 @@ std::size_t Client::scatter(std::uint32_t rank, FwdOp op,
     fallback_ctr_->add();
     submitted_ctr_->add();
     ovl_fallback_ctr_->add();
+    if (qos_) {
+      qos_->submitted->add();
+      qos_->submitted_bytes->add(p.sub_size);
+      qos_->direct_fallback->add();
+    }
     // Graceful degradation is bandwidth-capped: every client of the
     // deployment shares one limiter, so a storm of open breakers
     // cannot stampede the PFS (the ZERO-policy route is rationed).
@@ -351,12 +365,14 @@ void Client::fsync(const std::string& path) {
     req.op = FwdOp::Fsync;
     req.path = path;
     req.file_id = gkfs::hash_path(path);
+    req.tenant = config_.tenant;
     req.done = std::make_shared<std::promise<std::size_t>>();
     auto fut = req.done->get_future();
     // Fsync bypasses the breakers: it is a durability barrier for data
     // already staged on that ION, not new load to shed. The daemon
     // exempts markers from admission control for the same reason.
     submitted_ctr_->add();
+    if (qos_) qos_->submitted->add();
     if (service_.daemon(ion).try_submit(std::move(req)) ==
         SubmitResult::kAccepted) {
       try {
@@ -368,6 +384,7 @@ void Client::fsync(const std::string& path) {
       }
     } else {
       rejected_ctr_->add();
+      if (qos_) qos_->rejected->add();
     }
   };
   if (config_.mode == ClientMode::BurstBuffer) {

@@ -60,6 +60,10 @@ struct ClientConfig {
   /// direct-PFS path until half-open probes succeed. Jitter seeds mix
   /// retry_seed with the ION id, so replay stays deterministic.
   BreakerOptions breaker = {};
+  /// QoS tenant every request of this shim accounts under (index into
+  /// the service's TenantRegistry; resolved from the app label by the
+  /// live executor). 0 = default best-effort tenant.
+  std::uint32_t tenant = 0;
   /// Metrics destination; nullptr means telemetry::Registry::global().
   telemetry::Registry* registry = nullptr;
 };
@@ -144,6 +148,9 @@ class Client {
   telemetry::Counter* submitted_ctr_ = nullptr;  ///< offers + fallbacks
   telemetry::Counter* rejected_ctr_ = nullptr;   ///< busy/down answers
   telemetry::Counter* ovl_fallback_ctr_ = nullptr;  ///< identity bucket
+  /// Per-tenant mirror of the overload accounting (qos.tenant.*);
+  /// null while the service runs without QoS.
+  qos::TenantCounters* qos_ = nullptr;
   /// One breaker per ION of the service; empty while disabled.
   std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
 };

@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 
 #include "gkfs/chunk.hpp"
+#include "qos/scheduler.hpp"
 #include "telemetry/trace.hpp"
 
 namespace iofa::fwd {
@@ -71,7 +72,7 @@ IonDaemon::IonDaemon(int id, IonParams params, EmulatedPfs& pfs)
   shards_.reserve(static_cast<std::size_t>(workers));
   for (int s = 0; s < workers; ++s) {
     auto shard = std::make_unique<Shard>(params_.queue_capacity);
-    shard->scheduler = agios::make_scheduler(params_.scheduler);
+    shard->scheduler = make_shard_scheduler();
     shards_.push_back(std::move(shard));
   }
   flush_shards_.reserve(static_cast<std::size_t>(flushers));
@@ -95,6 +96,14 @@ Seconds IonDaemon::now() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        epoch_)
       .count();
+}
+
+std::unique_ptr<agios::Scheduler> IonDaemon::make_shard_scheduler() const {
+  if (params_.qos) {
+    return qos::make_tenant_scheduler(params_.qos->registry(),
+                                      params_.scheduler);
+  }
+  return agios::make_scheduler(params_.scheduler);
 }
 
 std::size_t IonDaemon::shard_of(std::uint64_t file_id, FwdOp op) const {
@@ -144,7 +153,16 @@ SubmitResult IonDaemon::try_submit(FwdRequest req) {
   if (data_request && params_.admission.enabled) {
     const double score = saturation();
     metrics_.saturation->set(score);
-    if (score >= 1.0) {
+    if (params_.qos) {
+      // Class-aware admission: best-effort is shed first, burst rides
+      // on tokens, guaranteed is exempt up to its reservation. The
+      // per-tenant rejected bucket is counted client-side, where every
+      // kBusy answer lands (same site as the global identity).
+      if (!params_.qos->admit(req.tenant, req.size, score, now())) {
+        metrics_.busy->add();
+        return SubmitResult::kBusy;
+      }
+    } else if (score >= 1.0) {
       metrics_.busy->add();
       return SubmitResult::kBusy;
     }
@@ -197,6 +215,7 @@ void IonDaemon::fail_request(FwdRequest& req) {
   }
   inflight_bytes_.fetch_sub(req.size);
   metrics_.failed_requests->add();
+  if (params_.qos) params_.qos->on_failed(req.tenant);
   finish_pending(pending_requests_);
 }
 
@@ -206,7 +225,7 @@ void IonDaemon::fail_in_flight(Shard& shard) {
   shard.in_flight.clear();
   // The scheduler still holds the tags we just failed; rebuilding it is
   // the crash wiping the daemon's volatile dispatch state.
-  shard.scheduler = agios::make_scheduler(params_.scheduler);
+  shard.scheduler = make_shard_scheduler();
 }
 
 void IonDaemon::enqueue_flush(FlushItem item, std::uint64_t file_id) {
@@ -246,6 +265,9 @@ void IonDaemon::worker_loop(std::size_t si) {
       const std::uint64_t wait_us =
           now_us > req.queued_us ? now_us - req.queued_us : 0;
       metrics_.queue_wait_us->observe(static_cast<double>(wait_us));
+      if (params_.qos) {
+        params_.qos->observe_wait(req.tenant, static_cast<double>(wait_us));
+      }
       if (tracer.enabled()) {
         tracer.complete("queue_wait", "fwd.ion", req.queued_us, wait_us,
                         "bytes", static_cast<std::int64_t>(req.size));
@@ -258,6 +280,7 @@ void IonDaemon::worker_loop(std::size_t si) {
       // a client is still waiting for. Fsync markers are exempt - they
       // gate durability, not latency.
       metrics_.expired->add();
+      if (params_.qos) params_.qos->on_expired(req.tenant);
       inflight_bytes_.fetch_sub(req.size);
       if (req.done) {
         req.done->set_exception(
@@ -283,6 +306,7 @@ void IonDaemon::worker_loop(std::size_t si) {
       FlushItem marker;
       marker.path = req.path;
       marker.fsync_done = req.done;
+      marker.tenant = req.tenant;
       enqueue_flush(std::move(marker), req.file_id);
       finish_pending(pending_requests_);
       return;
@@ -296,6 +320,7 @@ void IonDaemon::worker_loop(std::size_t si) {
     sr.offset = req.offset;
     sr.size = req.size;
     sr.arrival = now();
+    sr.tenant = req.tenant;
     shard.in_flight.emplace(tag, std::move(req));
     shard.scheduler->add(sr);
   };
@@ -416,6 +441,7 @@ void IonDaemon::process(Shard& shard, const agios::Dispatch& dispatch,
       item.offset = req.offset;
       item.size = req.size;
       item.data = req.data;
+      item.tenant = req.tenant;
       if (params_.write_through) {
         // Ack from the flusher, after the PFS write; the overload
         // accounting (admitted vs failed) moves there with it.
@@ -424,6 +450,7 @@ void IonDaemon::process(Shard& shard, const agios::Dispatch& dispatch,
       } else {
         if (req.done) req.done->set_value(req.size);
         metrics_.admitted->add();
+        if (params_.qos) params_.qos->on_admitted(req.tenant, req.size);
       }
       enqueue_flush(std::move(item), req.file_id);
     } else {
@@ -453,6 +480,7 @@ void IonDaemon::process(Shard& shard, const agios::Dispatch& dispatch,
       }
       if (req.done) req.done->set_value(n);
       metrics_.admitted->add();
+      if (params_.qos) params_.qos->on_admitted(req.tenant, req.size);
     }
     finish_pending(pending_requests_);
   }
@@ -471,6 +499,7 @@ void IonDaemon::flush_one(const FlushItem& item) {
     }
     item.fsync_done->set_value(0);
     metrics_.admitted->add();
+    if (params_.qos) params_.qos->on_admitted(item.tenant, 0);
     finish_pending(pending_flushes_);
     return;
   }
@@ -514,7 +543,10 @@ void IonDaemon::flush_one(const FlushItem& item) {
   if (flushed) {
     mark_clean(gkfs::hash_path(item.path), item.offset, item.size);
     if (item.write_done) item.write_done->set_value(item.size);
-    if (item.write_through) metrics_.admitted->add();
+    if (item.write_through) {
+      metrics_.admitted->add();
+      if (params_.qos) params_.qos->on_admitted(item.tenant, item.size);
+    }
     metrics_.bytes_flushed->add(item.size);
   } else {
     // Retry budget exhausted: the range stays dirty (reads keep
@@ -528,7 +560,10 @@ void IonDaemon::flush_one(const FlushItem& item) {
     // A write-through request that was accepted but never completed
     // toward the client lands in the failed bucket, keeping the
     // overload accounting identity exact.
-    if (item.write_through) metrics_.failed_requests->add();
+    if (item.write_through) {
+      metrics_.failed_requests->add();
+      if (params_.qos) params_.qos->on_failed(item.tenant);
+    }
   }
   {
     MutexLock lk(flush_mu_);

@@ -47,6 +47,7 @@
 #include "fwd/overload.hpp"
 #include "fwd/pfs_backend.hpp"
 #include "fwd/request.hpp"
+#include "qos/enforcer.hpp"
 #include "gkfs/chunk_store.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -95,6 +96,13 @@ struct IonParams {
   /// answers IonBusy instead of blocking (fsync markers are exempt -
   /// they carry no payload and gate durability). Disabled by default.
   AdmissionOptions admission = {};
+  /// This ION's QoS enforcer (owned by the service's QosRuntime); null
+  /// while QoS is disabled. With an enforcer, admission decisions
+  /// become class-aware (qos/enforcer.hpp), dispatch order is
+  /// tenant-weighted, and every terminal outcome is mirrored into the
+  /// per-tenant accounting identity. Requires admission.enabled for the
+  /// saturated lattice to ever engage.
+  qos::QosEnforcer* qos = nullptr;
 };
 
 /// Thrown into a request's completion future when its ION crashes (or
@@ -176,6 +184,16 @@ class IonDaemon {
   bool overloaded() const {
     return params_.admission.enabled && saturation() >= 1.0;
   }
+  /// Load hint fed to the arbiter. Without QoS this is the raw
+  /// saturation score; with QoS the borrowed (sheddable) share of the
+  /// granted bandwidth is discounted - an ION drowning in best-effort
+  /// loans frees up the instant lenders reclaim, so it advertises less
+  /// load than one saturated by reserved traffic.
+  double load_hint_score() const {
+    const double score = saturation();
+    if (!params_.qos) return score;
+    return score * (1.0 - params_.qos->sheddable_fraction());
+  }
 
   // --- stats -----------------------------------------------------------
   // The daemon reports into the telemetry registry ("fwd.ion.*",
@@ -208,6 +226,9 @@ class IonDaemon {
     /// Write-through item: overload accounting (admitted / failed)
     /// happens at flush time instead of stage time.
     bool write_through = false;
+    /// Originating tenant, carried to the flush-time accounting sites
+    /// (fsync admits, write-through admits/fails).
+    std::uint32_t tenant = 0;
   };
 
   /// One dispatch shard: a bounded ingest queue plus scheduler state
@@ -230,6 +251,9 @@ class IonDaemon {
 
   void worker_loop(std::size_t si);
   void flusher_loop(std::size_t fi);
+  /// Per-shard scheduler factory: the configured AGIOS scheduler,
+  /// wrapped in the tenant-weighted decorator when QoS is active.
+  std::unique_ptr<agios::Scheduler> make_shard_scheduler() const;
   void process(Shard& shard, const agios::Dispatch& dispatch,
                const std::string& request_fault_site);
   void flush_one(const FlushItem& item) IOFA_EXCLUDES(flush_mu_);
@@ -264,7 +288,9 @@ class IonDaemon {
   int id_;
   IonParams params_;
   EmulatedPfs& pfs_;
-  TokenBucket ingest_bucket_;
+  // The relay's aggregate capacity - the QoS hierarchy's ROOT, not a
+  // per-tenant limiter, so it legitimately sits outside it.
+  TokenBucket ingest_bucket_;  // iofa-lint: allow(raw-token-bucket)
 
   // Shard vectors are sized in the constructor and never resized, so
   // the vectors themselves are safe to read concurrently.

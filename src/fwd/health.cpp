@@ -60,8 +60,11 @@ bool HealthMonitor::poll_once() {
           ++recoveries_;
         }
         // Overloaded-but-alive is NOT a failure: it becomes a load
-        // hint for the next materialisation, never an eviction.
-        const double score = daemon.overloaded() ? daemon.saturation() : 0.0;
+        // hint for the next materialisation, never an eviction. With
+        // QoS active the hint discounts borrowed (sheddable) bandwidth:
+        // an ION busy lending slack is less loaded than it looks.
+        const double score =
+            daemon.overloaded() ? daemon.load_hint_score() : 0.0;
         if (score != hints_[idx]) {
           hints_[idx] = score;
           hints.emplace_back(i, score);

@@ -101,8 +101,10 @@ class EmulatedPfs {
                 double extra_factor);
 
   PfsParams params_;
-  TokenBucket write_bucket_;
-  TokenBucket read_bucket_;
+  // The PFS's own bandwidth model, not a per-tenant limiter: tenancy
+  // ends at the ION; the backing store is shared capacity by design.
+  TokenBucket write_bucket_;  // iofa-lint: allow(raw-token-bucket)
+  TokenBucket read_bucket_;   // iofa-lint: allow(raw-token-bucket)
 
   mutable Mutex locks_mu_;
   std::unordered_map<std::string, std::shared_ptr<FileLock>> locks_

@@ -38,6 +38,11 @@ struct FwdRequest {
   /// has passed (counted in fwd.overload.expired, failing `done` with
   /// RequestExpiredError). 0 = no deadline.
   std::uint64_t deadline_us = 0;
+  /// QoS tenant id (qos::TenantId; index into the service's
+  /// TenantRegistry). 0 = the default best-effort tenant; every request
+  /// accounts under exactly one tenant so the per-tenant overload
+  /// identity holds. Ignored while QoS is disabled.
+  std::uint32_t tenant = 0;
 };
 
 }  // namespace iofa::fwd

@@ -9,6 +9,12 @@ ForwardingService::ForwardingService(ServiceConfig config) : config_(config) {
     config_.pfs.injector = config_.injector;
   }
   pfs_ = std::make_unique<EmulatedPfs>(config_.pfs);
+  if (config_.qos.enabled) {
+    auto& reg = config_.ion.registry ? *config_.ion.registry
+                                     : telemetry::Registry::global();
+    qos_ = std::make_unique<qos::QosRuntime>(
+        config_.qos, config_.ion.ingest_bandwidth, config_.ion_count, reg);
+  }
   daemons_.reserve(static_cast<std::size_t>(config_.ion_count));
   for (int i = 0; i < config_.ion_count; ++i) {
     IonParams params = config_.ion;
@@ -16,10 +22,13 @@ ForwardingService::ForwardingService(ServiceConfig config) : config_(config) {
     if (config_.injector && !params.injector) {
       params.injector = config_.injector;
     }
+    if (qos_) params.qos = qos_->enforcer(i);
     daemons_.push_back(std::make_unique<IonDaemon>(i, params, *pfs_));
   }
   mapping_store_.set_injector(config_.injector);
   if (config_.fallback_bandwidth > 0.0) {
+    // Deployment-wide degradation limiter, deliberately outside the
+    // per-tenant hierarchy.  iofa-lint: allow(raw-token-bucket)
     fallback_limiter_ = std::make_unique<TokenBucket>(
         config_.fallback_bandwidth,
         std::max(config_.fallback_bandwidth * 0.05,

@@ -12,6 +12,7 @@
 #include "fwd/daemon.hpp"
 #include "fwd/mapping.hpp"
 #include "fwd/pfs_backend.hpp"
+#include "qos/enforcer.hpp"
 
 namespace iofa::fwd {
 
@@ -27,6 +28,11 @@ struct ServiceConfig {
   /// overload storm cannot stampede the PFS (the ZERO-policy route is
   /// rate-limited, not free). 0 = uncapped.
   double fallback_bandwidth = 0.0;
+  /// Multi-tenant QoS: priority classes, hierarchical token borrowing
+  /// and per-job SLOs. Disabled by default; validated at construction
+  /// (throws std::invalid_argument, same contract as the overload
+  /// knobs). Each ION gets its own enforcer rooted at ingest_bandwidth.
+  qos::QosOptions qos;
 };
 
 class ForwardingService {
@@ -49,6 +55,10 @@ class ForwardingService {
   /// fallback_bandwidth is 0 (uncapped).
   TokenBucket* fallback_limiter() { return fallback_limiter_.get(); }
 
+  /// The QoS runtime (tenant registry, per-ION enforcers, SLO beats);
+  /// null while config.qos.enabled is false.
+  qos::QosRuntime* qos() { return qos_.get(); }
+
   /// Publish a new arbitration result to the clients.
   void apply_mapping(const core::Mapping& mapping);
 
@@ -63,6 +73,9 @@ class ForwardingService {
  private:
   ServiceConfig config_;
   std::unique_ptr<EmulatedPfs> pfs_;
+  /// Built before the daemons: each IonParams carries a pointer to its
+  /// enforcer, so the runtime must outlive (and pre-date) them.
+  std::unique_ptr<qos::QosRuntime> qos_;
   std::vector<std::unique_ptr<IonDaemon>> daemons_;
   MappingStore mapping_store_;
   std::unique_ptr<TokenBucket> fallback_limiter_;

@@ -50,6 +50,7 @@ fwd::ServiceConfig live_service_config(const LiveExecutorOptions& options,
   cfg.ion.workers = std::max(1, options.workers_per_ion);
   cfg.ion.admission = options.admission;
   cfg.fallback_bandwidth = options.fallback_bandwidth;
+  cfg.qos = options.qos;
   cfg.injector = injector;
   return cfg;
 }
@@ -102,6 +103,13 @@ void validate_live_options(const LiveExecutorOptions& options) {
   if (options.health_fail_threshold < 1) {
     reject("health_fail_threshold must be >= 1");
   }
+  if (options.qos.enabled && !options.admission.enabled) {
+    // Class-aware admission piggybacks on the saturation tracker; with
+    // admission off there is no watermark signal and every class would
+    // behave identically - a silently inert tenant table.
+    reject("qos requires admission.enabled");
+  }
+  qos::validate_qos_options(options.qos);
 }
 
 LiveRunResult run_queue_live(const std::vector<workload::AppSpec>& queue,
@@ -188,6 +196,9 @@ LiveRunResult run_queue_live(const std::vector<workload::AppSpec>& queue,
         cc.backoff = options.client_backoff;
         cc.breaker = options.breaker;
         cc.retry_seed = id;  // per-job jitter streams
+        if (auto* qos = service.qos()) {
+          cc.tenant = qos->tenant_of(jspec.label);
+        }
         fwd::Client client(cc, service);
 
         fwd::ReplayOptions ro = options.replay;

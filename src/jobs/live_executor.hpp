@@ -15,6 +15,7 @@
 #include "fwd/replayer.hpp"
 #include "fwd/service.hpp"
 #include "platform/profile.hpp"
+#include "qos/tenant.hpp"
 #include "workload/kernels.hpp"
 
 namespace iofa::jobs {
@@ -66,6 +67,16 @@ struct LiveExecutorOptions {
   /// HealthMonitor debounce: consecutive missed heartbeats before an
   /// ION is declared failed.
   int health_fail_threshold = 1;
+
+  // --- multi-tenant QoS (PR 6) -----------------------------------------
+  /// Tenant table: priority classes, reservations and per-job SLOs.
+  /// Jobs are matched to tenants by app label (unknown labels account
+  /// under the default best-effort tenant). Requires admission.enabled:
+  /// class-aware admission replaces the plain watermark rejection, so
+  /// without a saturation signal the classes would never differ.
+  /// Validated by validate_live_options(), same contract as the
+  /// overload knobs.
+  qos::QosOptions qos;
 };
 
 struct LiveJobResult {

@@ -1,0 +1,161 @@
+#pragma once
+// QoS enforcement and accounting.
+//
+// QosMetrics - the per-tenant counter/histogram table (qos.tenant.*,
+//     labelled by tenant name). It mirrors every bucket of the PR 5
+//     overload identity per tenant, so
+//
+//       qos.tenant.submitted == qos.tenant.admitted
+//                             + qos.tenant.rejected
+//                             + qos.tenant.expired
+//                             + qos.tenant.direct_fallback
+//                             + qos.tenant.failed
+//
+//     holds for EVERY tenant (asserted by qos_test and
+//     `iofa_queue_sim --check-accounting`), plus the token-flow view:
+//     reserved/reclaimed/borrowed/lent bytes and SLO violation beats.
+//
+// QosEnforcer - one per ION. Owns that ION's HierarchicalTokenBucket
+//     and answers class-aware admission for IonDaemon::try_submit:
+//     below the saturation watermark everyone is admitted (tokens are
+//     still charged, which is what keeps the lending ledger honest);
+//     at or past it, best-effort is rejected first, burst traffic is
+//     admitted only when the hierarchy covers it, and guaranteed
+//     traffic is exempt while its reservation still has tokens.
+//
+// QosRuntime - one per ForwardingService: the validated TenantRegistry,
+//     the shared QosMetrics, one enforcer per ION, and the SLO beat
+//     (delivered bandwidth vs floor, p99 queue wait vs ceiling).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
+#include "common/units.hpp"
+#include "qos/hierarchical_bucket.hpp"
+#include "qos/tenant.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace iofa::qos {
+
+/// Per-tenant accounting surface (all find-or-created at construction;
+/// the hot path only touches lock-free cells).
+struct TenantCounters {
+  // The per-tenant overload identity, mirrored at the same sites as the
+  // global fwd.overload.* counters.
+  telemetry::Counter* submitted = nullptr;
+  telemetry::Counter* admitted = nullptr;
+  telemetry::Counter* rejected = nullptr;
+  telemetry::Counter* expired = nullptr;
+  telemetry::Counter* direct_fallback = nullptr;
+  telemetry::Counter* failed = nullptr;
+  // Byte-flow views.
+  telemetry::Counter* submitted_bytes = nullptr;
+  telemetry::Counter* admitted_bytes = nullptr;
+  telemetry::Counter* reserved_bytes = nullptr;   ///< granted from own leaf
+  telemetry::Counter* reclaimed_bytes = nullptr;  ///< own slack pulled back
+  telemetry::Counter* borrowed_bytes = nullptr;   ///< granted from others
+  telemetry::Counter* lent_bytes = nullptr;       ///< own slack taken by others
+  telemetry::Counter* slo_violations = nullptr;   ///< SLO beat misses
+  telemetry::Histogram* queue_wait_us = nullptr;
+};
+
+class QosMetrics {
+ public:
+  QosMetrics(const TenantRegistry& registry, telemetry::Registry& reg);
+
+  TenantCounters& tenant(TenantId t) {
+    return tenants_[t < tenants_.size() ? t : kDefaultTenant];
+  }
+  std::size_t size() const { return tenants_.size(); }
+
+ private:
+  std::vector<TenantCounters> tenants_;
+};
+
+class QosEnforcer {
+ public:
+  QosEnforcer(const TenantRegistry& registry, QosMetrics& metrics);
+
+  /// Class-aware admission for one data request of `bytes` payload at
+  /// saturation `score` (the daemon's SaturationTracker output; >= 1.0
+  /// means past the high watermark). Consumes tokens on admit; a
+  /// rejected request consumes none.
+  bool admit(TenantId t, Bytes bytes, double score, Seconds now);
+
+  // Accounting hooks for the daemon's terminal outcomes (the identity's
+  // right-hand side). All tolerate out-of-range ids (-> tenant 0).
+  void on_admitted(TenantId t, Bytes bytes);
+  void on_expired(TenantId t);
+  void on_failed(TenantId t);
+  void observe_wait(TenantId t, double wait_us);
+
+  /// Fraction of everything this ION granted that was borrowed slack -
+  /// load that vanishes the moment lenders reclaim, which is why the
+  /// arbiter's load hint discounts it (IonDaemon::load_hint_score).
+  double sheddable_fraction() const;
+
+  /// Move the HTB's lender-side ledger into qos.tenant.lent_bytes
+  /// (delta since the last publish; called from the SLO beat).
+  void publish_lending();
+
+  HierarchicalTokenBucket& htb() { return htb_; }
+  const TenantRegistry& registry() const { return registry_; }
+
+ private:
+  void record_grant(TenantId t, const HierarchicalTokenBucket::Grant& g);
+
+  const TenantRegistry& registry_;
+  QosMetrics& metrics_;
+  HierarchicalTokenBucket htb_;
+  std::atomic<double> granted_total_{0.0};
+  std::atomic<double> granted_borrowed_{0.0};
+  std::vector<double> lent_published_;  ///< per tenant, beat-serialised
+};
+
+class QosRuntime {
+ public:
+  /// `ion_capacity`: one ION's ingest bandwidth (every enforcer's HTB
+  /// root). Throws std::invalid_argument on invalid options.
+  QosRuntime(QosOptions options, double ion_capacity, int ion_count,
+             telemetry::Registry& reg);
+
+  QosEnforcer* enforcer(int ion) {
+    return enforcers_[static_cast<std::size_t>(ion)].get();
+  }
+  const TenantRegistry& registry() const { return registry_; }
+  QosMetrics& metrics() { return metrics_; }
+
+  /// Tenant a job maps onto (by app label); kDefaultTenant if unnamed.
+  TenantId tenant_of(const std::string& app_label) const {
+    return registry_.find(app_label);
+  }
+
+  /// One SLO scoring pass at time `now` (seconds on any monotonic
+  /// timeline; only deltas matter). For each tenant with a bandwidth
+  /// floor: a violation beat when offered load met the floor but
+  /// delivered bandwidth did not. For each tenant with a wait ceiling:
+  /// a violation beat when the p99 ingest wait exceeds it. Also
+  /// publishes the lending ledger.
+  void slo_beat(Seconds now) IOFA_EXCLUDES(beat_mu_);
+
+ private:
+  struct BeatState {
+    Seconds at = 0.0;
+    std::vector<std::uint64_t> submitted_bytes;
+    std::vector<std::uint64_t> admitted_bytes;
+    bool primed = false;
+  };
+
+  TenantRegistry registry_;
+  QosMetrics metrics_;
+  std::vector<std::unique_ptr<QosEnforcer>> enforcers_;
+  Mutex beat_mu_;
+  BeatState beat_ IOFA_GUARDED_BY(beat_mu_);
+};
+
+}  // namespace iofa::qos

@@ -1,0 +1,138 @@
+#include "qos/hierarchical_bucket.hpp"
+
+#include <algorithm>
+
+namespace iofa::qos {
+
+TokenBucket::Clock::time_point HierarchicalTokenBucket::to_tp(Seconds now) {
+  return TokenBucket::Clock::time_point(
+      std::chrono::duration_cast<TokenBucket::Clock::duration>(
+          std::chrono::duration<double>(now)));
+}
+
+HierarchicalTokenBucket::HierarchicalTokenBucket(
+    const TenantRegistry& registry)
+    : registry_(registry), capacity_(registry.root_capacity()) {
+  contribution_cap_ = registry_.options().pool_horizon * capacity_;
+  double reserved_sum = 0.0;
+  nodes_.resize(registry_.size());
+  for (TenantId t = 0; t < registry_.size(); ++t) {
+    const TenantSpec& spec = registry_.spec(t);
+    if (spec.reserved_bandwidth > 0.0) {
+      // Leaves are anchored at t = 0 on the caller's timeline, never at
+      // Clock::now(): replay determinism. The hierarchy is the blessed
+      // owner of raw buckets. iofa-lint: allow(raw-token-bucket)
+      nodes_[t].leaf = std::make_unique<TokenBucket>(
+          spec.reserved_bandwidth, spec.effective_burst(), to_tp(0.0));
+      reserved_sum += spec.reserved_bandwidth;
+      initial_tokens_ += spec.effective_burst();
+    }
+  }
+  const double unreserved_rate = capacity_ - reserved_sum;
+  if (unreserved_rate > 0.0) {
+    // iofa-lint: allow(raw-token-bucket) - the hierarchy's own node
+    unreserved_ = std::make_unique<TokenBucket>(
+        unreserved_rate, contribution_cap_, to_tp(0.0));
+    initial_tokens_ += contribution_cap_;
+  }
+}
+
+void HierarchicalTokenBucket::advance_locked(Seconds now) {
+  if (now < last_now_) now = last_now_;  // monotonic clamp
+  last_now_ = now;
+  const auto tp = to_tp(now);
+  for (auto& node : nodes_) {
+    if (!node.leaf) continue;
+    // Sweep the refill an idle (full) leaf shed past its burst cap into
+    // the pool; anything past the contributor ceiling evaporates, which
+    // is what bounds a lender's outstanding loans.
+    node.contributed = std::min(
+        contribution_cap_, node.contributed + node.leaf->drain_overflow(tp));
+  }
+  // The unreserved bucket's own overflow has nowhere lower to go.
+  if (unreserved_) unreserved_->drain_overflow(tp);
+}
+
+HierarchicalTokenBucket::Grant HierarchicalTokenBucket::acquire(
+    TenantId t, double n, Seconds now, bool require_full) {
+  MutexLock lk(mu_);
+  advance_locked(now);
+  if (t >= nodes_.size()) t = kDefaultTenant;
+  const auto tp = to_tp(last_now_);
+  Node& self = nodes_[t];
+
+  if (require_full) {
+    double avail = self.contributed +
+                   (self.leaf ? std::max(0.0, self.leaf->available(tp)) : 0.0);
+    if (unreserved_) avail += std::max(0.0, unreserved_->available(tp));
+    for (std::size_t j = 0; j < nodes_.size() && avail < n; ++j) {
+      if (j != t) avail += nodes_[j].contributed;
+    }
+    if (avail < n) return Grant{};  // nothing consumed
+  }
+
+  Grant g;
+  g.ok = true;
+  double rem = n;
+  if (self.leaf && rem > 0.0) {
+    g.reserved = self.leaf->take(rem, tp);
+    rem -= g.reserved;
+  }
+  if (rem > 0.0 && self.contributed > 0.0) {
+    g.reclaimed = std::min(rem, self.contributed);
+    self.contributed -= g.reclaimed;
+    rem -= g.reclaimed;
+  }
+  if (rem > 0.0 && unreserved_) {
+    const double got = unreserved_->take(rem, tp);
+    g.borrowed += got;
+    rem -= got;
+  }
+  for (std::size_t j = 0; j < nodes_.size() && rem > 0.0; ++j) {
+    if (j == t || nodes_[j].contributed <= 0.0) continue;
+    const double got = std::min(rem, nodes_[j].contributed);
+    nodes_[j].contributed -= got;
+    nodes_[j].lent_total += got;
+    g.borrowed += got;
+    rem -= got;
+  }
+  g.shortfall = std::max(0.0, rem);
+  total_granted_ += g.granted();
+  return g;
+}
+
+double HierarchicalTokenBucket::reserve_level(TenantId t, Seconds now) {
+  MutexLock lk(mu_);
+  advance_locked(now);
+  if (t >= nodes_.size()) t = kDefaultTenant;
+  const Node& self = nodes_[t];
+  const double leaf_level =
+      self.leaf ? std::max(0.0, self.leaf->available(to_tp(last_now_))) : 0.0;
+  return leaf_level + self.contributed;
+}
+
+double HierarchicalTokenBucket::pool_level(Seconds now) {
+  MutexLock lk(mu_);
+  advance_locked(now);
+  double pool =
+      unreserved_ ? std::max(0.0, unreserved_->available(to_tp(last_now_)))
+                  : 0.0;
+  for (const auto& node : nodes_) pool += node.contributed;
+  return pool;
+}
+
+double HierarchicalTokenBucket::lent(TenantId t) const {
+  MutexLock lk(mu_);
+  return t < nodes_.size() ? nodes_[t].lent_total : 0.0;
+}
+
+double HierarchicalTokenBucket::total_granted() const {
+  MutexLock lk(mu_);
+  return total_granted_;
+}
+
+double HierarchicalTokenBucket::accrual_bound(Seconds elapsed) const {
+  return initial_tokens_ + std::max(0.0, elapsed) * capacity_;
+}
+
+}  // namespace iofa::qos

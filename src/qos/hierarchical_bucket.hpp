@@ -1,0 +1,118 @@
+#pragma once
+// Hierarchical token bucket: root = one ION's ingest capacity, children
+// = tenants (the AdapTBF adaptive-borrowing scheme mapped onto the
+// existing TokenBucket).
+//
+// Topology. Every tenant with a reservation owns a leaf TokenBucket
+// refilled at its reserved rate; the registry guarantees the leaf rates
+// sum to at most the root capacity. The unreserved remainder refills a
+// shared "unreserved" bucket. Between them sits the slack pool: when a
+// leaf is full (its tenant idle), further refill overflows the burst
+// cap - instead of evaporating, that overflow is swept into the pool,
+// tagged with its contributor.
+//
+// Borrowing. acquire(t, n) draws, in order:
+//   1. the tenant's own leaf            -> Grant::reserved
+//   2. its own slack still in the pool  -> Grant::reclaimed
+//   3. the unreserved bucket, then other
+//      tenants' pool slack (ascending
+//      tenant id)                       -> Grant::borrowed
+//
+// Reclaim latency is bounded two ways: an idle lender's leaf itself is
+// never lent (only the overflow past a FULL burst is), so on
+// reactivation a lender instantly holds its full burst; and the pool
+// caps each contributor at pool_horizon seconds of root capacity, so at
+// most that much of a lender's refill can ever be outstanding as loans.
+//
+// Conservation. Tokens are only moved, never minted: everything granted
+// traces back to leaf refill, unreserved refill, or the initial bursts,
+// so  total_granted() <= sum(bursts) + elapsed * root_capacity  holds
+// for every interleaving (the qos_test fuzz asserts exactly this).
+//
+// Determinism. No wall-clock reads: callers pass `Seconds now` (the
+// daemon's own monotonic timeline, or a simulated one) and every leaf
+// is anchored at t = 0, so same-seed replays are byte-identical - the
+// same discipline as the PR 5 circuit breakers.
+
+#include <memory>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
+#include "common/token_bucket.hpp"
+#include "common/units.hpp"
+#include "qos/tenant.hpp"
+
+namespace iofa::qos {
+
+class HierarchicalTokenBucket {
+ public:
+  /// Outcome of one acquire: how the granted tokens decompose.
+  struct Grant {
+    bool ok = false;        ///< tokens were consumed (admit-side answer)
+    double reserved = 0.0;  ///< from the tenant's own leaf
+    double reclaimed = 0.0; ///< own slack pulled back from the pool
+    double borrowed = 0.0;  ///< unreserved capacity or siblings' slack
+    /// Portion of `n` not covered by tokens (only non-zero when the
+    /// caller allowed a shortfall; the admission layer forgives it for
+    /// sub-watermark traffic and in-reservation guaranteed traffic).
+    double shortfall = 0.0;
+
+    double granted() const { return reserved + reclaimed + borrowed; }
+  };
+
+  explicit HierarchicalTokenBucket(const TenantRegistry& registry);
+
+  /// Consume tokens for `n` bytes of tenant `t` at time `now`.
+  /// require_full: all-or-nothing - when the hierarchy cannot cover `n`
+  /// completely, nothing is consumed and Grant::ok is false. Otherwise
+  /// whatever is available is consumed and the rest reported as
+  /// shortfall (ok stays true).
+  Grant acquire(TenantId t, double n, Seconds now, bool require_full)
+      IOFA_EXCLUDES(mu_);
+
+  /// Tokens tenant `t` could draw without borrowing: its leaf level
+  /// plus its own slack still in the pool. The admission layer uses
+  /// "> 0" as the guaranteed-class exemption test ("within its
+  /// reservation").
+  double reserve_level(TenantId t, Seconds now) IOFA_EXCLUDES(mu_);
+
+  /// Total lendable slack (unreserved bucket + all contributions).
+  double pool_level(Seconds now) IOFA_EXCLUDES(mu_);
+
+  /// Cumulative tokens of tenant `t` handed to OTHER tenants (the
+  /// lender-side view of Grant::borrowed).
+  double lent(TenantId t) const IOFA_EXCLUDES(mu_);
+
+  /// Cumulative tokens granted across all tenants (conservation fuzz).
+  double total_granted() const IOFA_EXCLUDES(mu_);
+
+  double capacity() const { return capacity_; }
+  /// Conservation ceiling at `elapsed` seconds: the initial bursts plus
+  /// everything the refill rates can have produced.
+  double accrual_bound(Seconds elapsed) const;
+
+ private:
+  struct Node {
+    std::unique_ptr<TokenBucket> leaf;  ///< null for zero reservations
+    double contributed = 0.0;  ///< this tenant's slack now in the pool
+    double lent_total = 0.0;   ///< cumulative slack taken by siblings
+  };
+
+  static TokenBucket::Clock::time_point to_tp(Seconds now);
+  void advance_locked(Seconds now) IOFA_REQUIRES(mu_);
+
+  const TenantRegistry& registry_;
+  double capacity_ = 0.0;
+  double initial_tokens_ = 0.0;   ///< sum of bursts at t = 0
+  double contribution_cap_ = 0.0; ///< per-contributor pool ceiling
+
+  mutable Mutex mu_;
+  std::vector<Node> nodes_ IOFA_GUARDED_BY(mu_);
+  /// Refills at capacity - sum(reservations); null when fully reserved.
+  std::unique_ptr<TokenBucket> unreserved_ IOFA_GUARDED_BY(mu_);
+  Seconds last_now_ IOFA_GUARDED_BY(mu_) = 0.0;
+  double total_granted_ IOFA_GUARDED_BY(mu_) = 0.0;
+};
+
+}  // namespace iofa::qos

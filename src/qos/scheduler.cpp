@@ -1,0 +1,102 @@
+#include "qos/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace iofa::qos {
+
+namespace {
+
+constexpr std::size_t kGuaranteed = 0;
+constexpr std::size_t kBurst = 1;
+constexpr std::size_t kBestEffort = 2;
+
+std::size_t slot_of(PriorityClass c) {
+  switch (c) {
+    case PriorityClass::Guaranteed: return kGuaranteed;
+    case PriorityClass::Burst: return kBurst;
+    case PriorityClass::BestEffort: return kBestEffort;
+  }
+  return kBestEffort;
+}
+
+}  // namespace
+
+TenantWeightedScheduler::TenantWeightedScheduler(
+    const TenantRegistry& registry, const agios::SchedulerConfig& config)
+    : registry_(registry) {
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    inner_[c] = agios::make_scheduler(config);
+  }
+  weight_[kGuaranteed] = registry.class_weight(PriorityClass::Guaranteed);
+  weight_[kBurst] = registry.class_weight(PriorityClass::Burst);
+  weight_[kBestEffort] = registry.class_weight(PriorityClass::BestEffort);
+}
+
+std::size_t TenantWeightedScheduler::class_of(TenantId t) const {
+  return slot_of(registry_.spec(t).klass);
+}
+
+std::string TenantWeightedScheduler::name() const {
+  return "tenant-weighted(" + inner_[0]->name() + ")";
+}
+
+void TenantWeightedScheduler::add(agios::SchedRequest req) {
+  const std::size_t c = class_of(req.tenant);
+  if (inner_[c]->empty()) {
+    // Returning from idle: forfeit banked credit so an idle class
+    // cannot later monopolise the dispatcher.
+    double vmin = std::numeric_limits<double>::max();
+    for (std::size_t j = 0; j < kClasses; ++j) {
+      if (!inner_[j]->empty()) vmin = std::min(vmin, vtime_[j]);
+    }
+    if (vmin != std::numeric_limits<double>::max()) {
+      vtime_[c] = std::max(vtime_[c], vmin);
+    }
+  }
+  inner_[c]->add(std::move(req));
+}
+
+std::optional<agios::Dispatch> TenantWeightedScheduler::pop(Seconds now) {
+  // Try classes in ascending virtual time (ties broken toward the
+  // higher class, i.e. the lower slot). A class may decline (inner
+  // aggregation window still open), in which case the next one gets a
+  // chance - priority never blocks progress.
+  std::array<std::size_t, kClasses> order{0, 1, 2};
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (vtime_[a] != vtime_[b]) return vtime_[a] < vtime_[b];
+    return a < b;
+  });
+  for (std::size_t c : order) {
+    if (inner_[c]->empty()) continue;
+    if (auto d = inner_[c]->pop(now)) {
+      vtime_[c] += static_cast<double>(d->size) / weight_[c];
+      return d;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Seconds> TenantWeightedScheduler::next_ready_time(
+    Seconds now) const {
+  std::optional<Seconds> earliest;
+  for (const auto& sched : inner_) {
+    if (auto t = sched->next_ready_time(now)) {
+      if (!earliest || *t < *earliest) earliest = t;
+    }
+  }
+  return earliest;
+}
+
+std::size_t TenantWeightedScheduler::queued() const {
+  std::size_t n = 0;
+  for (const auto& sched : inner_) n += sched->queued();
+  return n;
+}
+
+std::unique_ptr<agios::Scheduler> make_tenant_scheduler(
+    const TenantRegistry& registry, const agios::SchedulerConfig& config) {
+  return std::make_unique<TenantWeightedScheduler>(registry, config);
+}
+
+}  // namespace iofa::qos

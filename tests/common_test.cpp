@@ -5,6 +5,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <limits>
+#include <stdexcept>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -351,6 +353,107 @@ TEST(TokenBucketTest, AcquireAndRefillRaceKeepsBucketConsistent) {
   stop.store(true);
   writer.join();
   EXPECT_TRUE(saw_tokens);
+}
+
+TEST(TokenBucketTest, RejectsNonPositiveRateAtConstruction) {
+  // A zero rate used to slip past (assert-only) and make acquire()
+  // sleep forever; now the contract is enforced for every caller.
+  EXPECT_THROW(TokenBucket(0.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(TokenBucket(-5.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(TokenBucket(std::numeric_limits<double>::quiet_NaN(), 100.0),
+               std::invalid_argument);
+  EXPECT_THROW(TokenBucket(std::numeric_limits<double>::infinity(), 100.0),
+               std::invalid_argument);
+}
+
+TEST(TokenBucketTest, RejectsNonPositiveBurstAtConstruction) {
+  EXPECT_THROW(TokenBucket(100.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(TokenBucket(100.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(TokenBucket(100.0, std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+}
+
+TEST(TokenBucketTest, SetRateRejectsNonPositiveRate) {
+  TokenBucket tb(100.0, 10.0);
+  EXPECT_THROW(tb.set_rate(0.0), std::invalid_argument);
+  EXPECT_THROW(tb.set_rate(-1.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(tb.rate(), 100.0);  // rejected change left no trace
+}
+
+TEST(TokenBucketTest, TryAcquireBeyondBurstThrows) {
+  // Such a request can never be satisfied; callers used to spin on the
+  // false return forever.
+  TokenBucket tb(1000.0, 500.0);
+  EXPECT_THROW(tb.try_acquire(500.1), std::invalid_argument);
+  EXPECT_THROW((void)tb.try_acquire(501.0, TokenBucket::Clock::now()),
+               std::invalid_argument);
+  EXPECT_TRUE(tb.try_acquire(500.0));  // exactly the burst is fine
+}
+
+TEST(TokenBucketTest, NegativeAmountsThrow) {
+  TokenBucket tb(1000.0, 500.0);
+  EXPECT_THROW(tb.acquire(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)tb.try_acquire(-1.0), std::invalid_argument);
+  EXPECT_THROW(
+      (void)tb.take(-1.0, TokenBucket::Clock::now()),
+      std::invalid_argument);
+}
+
+TEST(TokenBucketTest, ExplicitTimelineIsDeterministic) {
+  // Two buckets driven with the same explicit instants make identical
+  // decisions - no wall clock involved.
+  const auto t0 = TokenBucket::Clock::time_point{};
+  auto at = [&](double s) {
+    return t0 + std::chrono::duration_cast<TokenBucket::Clock::duration>(
+                    std::chrono::duration<double>(s));
+  };
+  for (int round = 0; round < 2; ++round) {
+    TokenBucket tb(100.0, 50.0, t0);
+    EXPECT_TRUE(tb.try_acquire(50.0, at(0.0)));
+    EXPECT_FALSE(tb.try_acquire(50.0, at(0.2)));  // only 20 refilled
+    EXPECT_DOUBLE_EQ(tb.take(100.0, at(0.5)), 50.0);
+    EXPECT_DOUBLE_EQ(tb.available(at(0.5)), 0.0);
+  }
+}
+
+TEST(TokenBucketTest, TakeConsumesAtMostAvailable) {
+  const auto t0 = TokenBucket::Clock::time_point{};
+  TokenBucket tb(1000.0, 100.0, t0);
+  EXPECT_DOUBLE_EQ(tb.take(30.0, t0), 30.0);   // partial draw
+  EXPECT_DOUBLE_EQ(tb.take(200.0, t0), 70.0);  // clipped to the level
+  EXPECT_DOUBLE_EQ(tb.take(10.0, t0), 0.0);    // empty, no debt
+  EXPECT_DOUBLE_EQ(tb.available(t0), 0.0);
+}
+
+TEST(TokenBucketTest, DrainOverflowSurfacesShedRefill) {
+  const auto t0 = TokenBucket::Clock::time_point{};
+  auto at = [&](double s) {
+    return t0 + std::chrono::duration_cast<TokenBucket::Clock::duration>(
+                    std::chrono::duration<double>(s));
+  };
+  TokenBucket tb(100.0, 50.0, t0);
+  // Full from the start: one second of refill (100 tokens) has nowhere
+  // to go and is shed past the cap.
+  EXPECT_DOUBLE_EQ(tb.drain_overflow(at(1.0)), 100.0);
+  EXPECT_DOUBLE_EQ(tb.drain_overflow(at(1.0)), 0.0);  // drained once
+  // After a draw the refill lands in the bucket first; only the excess
+  // past the cap is shed.
+  EXPECT_TRUE(tb.try_acquire(50.0, at(1.0)));
+  EXPECT_DOUBLE_EQ(tb.drain_overflow(at(2.0)), 50.0);  // 100 - 50 refill
+  EXPECT_DOUBLE_EQ(tb.available(at(2.0)), 50.0);       // back at the cap
+}
+
+TEST(TokenBucketTest, BackwardsTimeIsClampedNotCredited) {
+  const auto t0 = TokenBucket::Clock::time_point{};
+  auto at = [&](double s) {
+    return t0 + std::chrono::duration_cast<TokenBucket::Clock::duration>(
+                    std::chrono::duration<double>(s));
+  };
+  TokenBucket tb(100.0, 50.0, t0);
+  EXPECT_TRUE(tb.try_acquire(50.0, at(1.0)));
+  // An earlier instant neither refills nor rewinds the level.
+  EXPECT_DOUBLE_EQ(tb.available(at(0.5)), 0.0);
+  EXPECT_DOUBLE_EQ(tb.available(at(1.5)), 50.0);
 }
 
 // ----------------------------------------------------------- queue

@@ -398,6 +398,94 @@ TEST_F(LintTest, PoolSubmitNotFlagged) {
   EXPECT_EQ(r.output.find("swallowed-error"), std::string::npos) << r.output;
 }
 
+// ------------------------------------------------------- raw-token-bucket
+
+TEST_F(LintTest, HierarchicalBucketUsePasses) {
+  // Drawing tokens through the hierarchy is the blessed path.
+  const auto p = write_fixture(
+      "tenant_draw.cpp",
+      "bool admit(qos::HierarchicalTokenBucket& htb, double n) {\n"
+      "  return htb.acquire(0, n, 0.0, true).ok;\n"
+      "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("raw-token-bucket"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, RawTokenBucketMemberFlagged) {
+  const auto p = write_fixture("tenant_limit.hpp",
+                               "class TenantLimiter {\n"
+                               "  TokenBucket bucket_;\n"
+                               "};\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("raw-token-bucket"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("tenant_limit.hpp:2"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(LintTest, RawTokenBucketMakeUniqueFlagged) {
+  const auto p = write_fixture(
+      "tenant_make.cpp",
+      "void build(std::unique_ptr<TokenBucket>& out) {\n"
+      "  out = std::make_unique<TokenBucket>(1.0e6, 2.0e6);\n"
+      "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("raw-token-bucket"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, RawTokenBucketHolderNotFlagged) {
+  // A unique_ptr member holds a bucket someone else constructed; only
+  // the construction site is the hierarchy bypass.
+  const auto p = write_fixture("tenant_hold.hpp",
+                               "class Service {\n"
+                               "  std::unique_ptr<TokenBucket> limiter_;\n"
+                               "  TokenBucket* view() { return nullptr; }\n"
+                               "};\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("raw-token-bucket"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, RawTokenBucketSuppressionHonoured) {
+  const auto p = write_fixture(
+      "tenant_root.hpp",
+      "class Relay {\n"
+      "  // the shared root, not a tenant limiter\n"
+      "  TokenBucket root_;  // iofa-lint: allow(raw-token-bucket)\n"
+      "};\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("raw-token-bucket"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, RawTokenBucketPrecedingLineSuppressionHonoured) {
+  // Wrapped construction calls carry the tag on the line above.
+  const auto p = write_fixture(
+      "tenant_wrap.cpp",
+      "void build(std::unique_ptr<TokenBucket>& out, double bw) {\n"
+      "  // fallback limiter. iofa-lint: allow(raw-token-bucket)\n"
+      "  out = std::make_unique<TokenBucket>(\n"
+      "      bw, bw * 0.05);\n"
+      "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("raw-token-bucket"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, RawTokenBucketOutOfScopeNotFlagged) {
+  // The rule covers src/fwd and src/qos only; common/ owns the type.
+  const auto common =
+      dir_.parent_path() / "common";  // .../src/common, outside fwd
+  fs::create_directories(common);
+  const fs::path p = common / "bucket_owner.cpp";
+  std::ofstream(p) << "TokenBucket make() { return TokenBucket(1.0, 2.0); }\n";
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("raw-token-bucket"), std::string::npos) << r.output;
+}
+
 // ---------------------------------------------------------------- driver
 
 TEST_F(LintTest, DirectoryScanAggregatesFindings) {

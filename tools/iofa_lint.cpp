@@ -24,6 +24,14 @@
 //                long-lived threads belong to components whose
 //                join-on-shutdown discipline is TSan-covered; everything
 //                else composes those.
+//   raw-token-bucket
+//                direct TokenBucket construction in src/fwd or src/qos:
+//                per-tenant rate limiting goes through the
+//                HierarchicalTokenBucket so reservations, borrowing and
+//                the lending ledger stay in one place; the blessed raw
+//                buckets (the hierarchy's own nodes, the ION ingest
+//                root, the PFS bandwidth model, the deployment-wide
+//                fallback limiter) justify themselves inline.
 //   swallowed-error
 //                in src/fwd: a `catch (...)` handler, or a failable
 //                forwarding call (submit/try_submit/try_push/
@@ -303,6 +311,38 @@ void check_bare_units(const std::string& file,
   }
 }
 
+// --- rule: raw-token-bucket -----------------------------------------------
+
+// Construction sites only: declarations of TokenBucket values, new
+// expressions and make_unique/make_shared. Pointer/reference types and
+// unique_ptr<TokenBucket> members (holders, not makers) do not match.
+const std::regex kRawTokenBucket(
+    R"(\bnew\s+TokenBucket\b|make_(?:unique|shared)\s*<\s*TokenBucket\s*>|\bTokenBucket\s+\w+\s*[;({=])");
+
+void check_raw_token_bucket(const std::string& file,
+                            const std::vector<CleanLine>& lines) {
+  // Scope: the forwarding data path and the QoS layer itself, where a
+  // stray raw bucket silently bypasses the tenant hierarchy's
+  // reserved/borrowed/lent accounting.
+  if (!(path_contains(file, "src/fwd") || path_contains(file, "src/qos"))) {
+    return;
+  }
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    if (!std::regex_search(lines[li].text, kRawTokenBucket)) continue;
+    // Construction calls usually wrap across lines, so the tag is also
+    // honoured on the comment line directly above the match.
+    if (suppressed(lines[li].raw, "raw-token-bucket") ||
+        (li > 0 && suppressed(lines[li - 1].raw, "raw-token-bucket"))) {
+      continue;
+    }
+    report(file, li + 1, "raw-token-bucket",
+           "direct TokenBucket construction in the forwarding/QoS layer; "
+           "rate-limit tenants through the HierarchicalTokenBucket "
+           "(qos/hierarchical_bucket.hpp) or justify the raw bucket "
+           "inline");
+  }
+}
+
 // --- rule: swallowed-error ------------------------------------------------
 
 // Failable forwarding-path calls whose result is discarded at statement
@@ -377,6 +417,7 @@ void lint_file(const fs::path& path) {
   check_raw_cout(file, lines);
   check_raw_thread(file, lines);
   check_bare_units(file, lines);
+  check_raw_token_bucket(file, lines);
   check_swallowed_error(file, lines);
 }
 

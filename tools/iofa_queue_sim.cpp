@@ -19,6 +19,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
@@ -31,6 +32,8 @@
 #include "jobs/live_executor.hpp"
 #include "jobs/sim_executor.hpp"
 #include "platform/profile.hpp"
+#include "qos/drill.hpp"
+#include "qos/tenant.hpp"
 #include "telemetry/telemetry.hpp"
 #include "workload/queuegen.hpp"
 
@@ -62,6 +65,9 @@ struct OverloadFlags {
   int breaker_threshold = 0;         ///< > 0 enables circuit breakers
   double fallback_mbps = 0.0;        ///< direct-PFS bandwidth cap
   bool check_accounting = false;     ///< assert the overload identity
+  /// --qos-tenant specs; non-empty enables the QoS subsystem for the
+  /// live drill (tenants matched to jobs by app label).
+  std::vector<qos::TenantSpec> tenants;
 };
 
 /// Verify the overload accounting identity (overload.hpp) against the
@@ -84,6 +90,114 @@ bool overload_accounting_ok() {
   std::cout << "overload accounting: submitted " << submitted
             << " vs accounted " << accounted << "\n";
   return submitted == accounted;
+}
+
+/// Per-tenant edition of the identity (PR 6): for every tenant label,
+/// qos.tenant.submitted == admitted + rejected + expired +
+/// direct_fallback + failed. Vacuously true when QoS is off (no
+/// qos.tenant.* counters registered).
+bool tenant_accounting_ok() {
+  const auto snap = telemetry::Registry::global().snapshot();
+  std::map<std::string, double> submitted, accounted;
+  for (const auto& s : snap.samples) {
+    if (s.name.rfind("qos.tenant.", 0) != 0) continue;
+    std::string tenant;
+    for (const auto& [k, v] : s.labels) {
+      if (k == "tenant") tenant = v;
+    }
+    if (s.name == "qos.tenant.submitted") {
+      submitted[tenant] += s.value;
+    } else if (s.name == "qos.tenant.admitted" ||
+               s.name == "qos.tenant.rejected" ||
+               s.name == "qos.tenant.expired" ||
+               s.name == "qos.tenant.direct_fallback" ||
+               s.name == "qos.tenant.failed") {
+      accounted[tenant] += s.value;
+    }
+  }
+  bool ok = true;
+  for (const auto& [tenant, sub] : submitted) {
+    const double acc = accounted[tenant];
+    std::cout << "tenant '" << tenant << "' accounting: submitted " << sub
+              << " vs accounted " << acc << "\n";
+    ok = ok && sub == acc;
+  }
+  return ok;
+}
+
+/// Parse one --qos-tenant spec:
+///   name:class:reserved_mbps[:burst_mbps[:floor_mbps[:max_wait_ms]]]
+/// where class is guaranteed | burst | best-effort.
+qos::TenantSpec parse_tenant_spec(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::stringstream ss(spec);
+  std::string part;
+  while (std::getline(ss, part, ':')) parts.push_back(part);
+  if (parts.size() < 3) {
+    throw std::invalid_argument(
+        "--qos-tenant wants name:class:reserved_mbps[:burst_mbps"
+        "[:floor_mbps[:max_wait_ms]]], got '" + spec + "'");
+  }
+  qos::TenantSpec t;
+  t.name = parts[0];
+  if (parts[1] == "guaranteed") {
+    t.klass = qos::PriorityClass::Guaranteed;
+  } else if (parts[1] == "burst") {
+    t.klass = qos::PriorityClass::Burst;
+  } else if (parts[1] == "best-effort") {
+    t.klass = qos::PriorityClass::BestEffort;
+  } else {
+    throw std::invalid_argument("--qos-tenant class '" + parts[1] +
+                                "' is not guaranteed|burst|best-effort");
+  }
+  t.reserved_bandwidth = std::stod(parts[2]) * 1.0e6;
+  if (parts.size() > 3) t.burst = std::stod(parts[3]) * 1.0e6;
+  if (parts.size() > 4) t.min_bandwidth = std::stod(parts[4]);
+  if (parts.size() > 5) t.max_queue_wait = std::stod(parts[5]) * 1.0e-3;
+  return t;
+}
+
+/// Run the canonical 3-tenant contention drill (qos/drill.hpp) and
+/// report per-tenant outcomes from the qos.tenant.* counters. Exit 1
+/// when the guaranteed tenant misses its SLO, 3 when --check-accounting
+/// finds a tenant whose buckets do not sum to its submissions.
+int run_qos_drill(std::uint64_t seed, bool check_accounting) {
+  qos::DrillConfig cfg;
+  cfg.seed = seed;
+  const auto r =
+      qos::run_contention_drill(cfg, telemetry::Registry::global());
+
+  Table table({"tenant", "class", "offered_MB/s", "delivered_MB/s",
+               "admitted", "rejected", "borrowed_MB", "lent_MB",
+               "slo_viol"});
+  for (const auto& t : r.tenants) {
+    table.add_row(
+        {t.name, std::string(t.klass == qos::PriorityClass::Guaranteed
+                                 ? "guaranteed"
+                                 : "best-effort"),
+         fmt(t.offered_mbps, 1), fmt(t.delivered_mbps, 1),
+         std::to_string(t.admitted), std::to_string(t.rejected),
+         fmt(static_cast<double>(t.borrowed_bytes) / 1.0e6, 1),
+         fmt(static_cast<double>(t.lent_bytes) / 1.0e6, 1),
+         std::to_string(t.slo_violations)});
+  }
+  table.print(std::cout);
+  std::cout << "\nqos drill (seed " << seed << "): gold floor "
+            << fmt(cfg.gold_floor_mbps, 0) << " MB/s, delivered "
+            << fmt(r.gold().delivered_mbps, 1) << " MB/s under "
+            << fmt(cfg.best_effort_multiplier, 0)
+            << "x best-effort load -> SLO "
+            << (r.gold_slo_met ? "met" : "MISSED") << "\n";
+
+  if (check_accounting) {
+    if (!tenant_accounting_ok()) {
+      std::cerr << "iofa_queue_sim: per-tenant accounting identity "
+                   "violated (see qos/enforcer.hpp)\n";
+      return 3;
+    }
+    std::cout << "per-tenant accounting ok\n";
+  }
+  return r.gold_slo_met ? 0 : 1;
 }
 
 /// Rehearse `plan` against the live runtime (drills use real daemons:
@@ -139,6 +253,10 @@ int run_fault_drill(const std::string& plan_path,
     opts.breaker.failure_threshold = overload.breaker_threshold;
   }
   opts.fallback_bandwidth = overload.fallback_mbps * MiB;
+  if (!overload.tenants.empty()) {
+    opts.qos.enabled = true;
+    opts.qos.tenants = overload.tenants;
+  }
 
   try {
     jobs::validate_live_options(opts);
@@ -193,6 +311,14 @@ int run_fault_drill(const std::string& plan_path,
       return 3;
     }
     std::cout << "overload accounting ok\n";
+    if (!tenant_accounting_ok()) {
+      std::cerr << "iofa_queue_sim: per-tenant accounting identity "
+                   "violated (see qos/enforcer.hpp)\n";
+      return 3;
+    }
+    if (!overload.tenants.empty()) {
+      std::cout << "per-tenant accounting ok\n";
+    }
   }
   return 0;
 }
@@ -203,6 +329,8 @@ int main(int argc, char** argv) {
   std::string policy_name = "mckp";
   std::string queue_spec = "paper";
   std::string fault_plan;
+  bool qos_drill = false;
+  std::uint64_t qos_seed = 1;
   int workers_per_ion = 1;
   OverloadFlags overload;
   jobs::SimExecutorOptions opts;
@@ -244,6 +372,17 @@ int main(int argc, char** argv) {
       overload.fallback_mbps = std::stod(argv[++i]);
     } else if (arg == "--check-accounting") {
       overload.check_accounting = true;
+    } else if (arg == "--qos-tenant" && i + 1 < argc) {
+      try {
+        overload.tenants.push_back(parse_tenant_spec(argv[++i]));
+      } catch (const std::exception& bad) {
+        std::cerr << "iofa_queue_sim: " << bad.what() << "\n";
+        return 2;
+      }
+    } else if (arg == "--qos-drill") {
+      qos_drill = true;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      qos_seed = std::stoull(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: iofa_queue_sim [--policy P] [--nodes N] "
                    "[--pool K] [--ratio R] [--delay S] "
@@ -270,11 +409,31 @@ int main(int argc, char** argv) {
                    "  --fallback-mbps M        cap the direct-PFS "
                    "degradation path at M MiB/s (0 = uncapped)\n"
                    "  --check-accounting       exit 3 unless the "
-                   "fwd.overload.* identity holds after the run\n";
+                   "fwd.overload.* identity (and, with QoS on, the\n"
+                   "                           per-tenant qos.tenant.* "
+                   "identity) holds after the run\n"
+                   "qos flags:\n"
+                   "  --qos-tenant SPEC        add a tenant to the live "
+                   "drill; SPEC = name:class:reserved_mbps\n"
+                   "                           [:burst_mbps[:floor_mbps"
+                   "[:max_wait_ms]]], class = guaranteed|\n"
+                   "                           burst|best-effort; jobs "
+                   "match tenants by app label; requires\n"
+                   "                           --admission-watermark\n"
+                   "  --qos-drill              run the canonical 3-tenant "
+                   "contention drill (1 guaranteed vs 2\n"
+                   "                           best-effort at 10x load) "
+                   "and exit 1 unless the SLO held\n"
+                   "  --seed N                 seed for --qos-drill "
+                   "(default 1)\n";
       return 0;
     }
   }
   opts.reallocate_running = policy_name != "static";
+
+  if (qos_drill) {
+    return run_qos_drill(qos_seed, overload.check_accounting);
+  }
 
   std::vector<workload::AppSpec> queue;
   if (queue_spec.rfind("random:", 0) == 0) {

@@ -15,6 +15,10 @@ std::chrono::steady_clock::time_point process_epoch() {
 const auto g_epoch_pin = process_epoch();
 }  // namespace
 
+MonotonicClock::time_point monotonic_now() {
+  return std::chrono::steady_clock::now();
+}
+
 std::uint64_t monotonic_micros() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(

@@ -3,9 +3,21 @@
 // telemetry tracer, so log lines and trace events sit on the same
 // timeline and interleave readably.
 
+#include <chrono>
 #include <cstdint>
 
 namespace iofa {
+
+/// The project's clock type for deadline/time_point arithmetic. Code
+/// that needs a std::chrono time_point (condition-variable waits,
+/// deadline bookkeeping) names this alias and obtains the value from
+/// monotonic_now(); the clock-hygiene lint rule rejects direct
+/// std::chrono::steady_clock / system_clock reads elsewhere, so every
+/// timing decision in the process flows through this one read site.
+using MonotonicClock = std::chrono::steady_clock;
+
+/// The current instant on the process-wide monotonic timeline.
+MonotonicClock::time_point monotonic_now();
 
 /// Microseconds since the process clock epoch (first use), monotonic.
 std::uint64_t monotonic_micros();

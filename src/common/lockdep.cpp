@@ -1,0 +1,85 @@
+#include "common/lockdep.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+namespace iofa::lockdep {
+
+namespace {
+
+// The order graph uses a raw std::mutex on purpose: the checker sits
+// underneath iofa::Mutex and must not recurse into itself.
+std::mutex g_mu;
+std::map<const void*, std::set<const void*>>& graph() {
+  static auto* g = new std::map<const void*, std::set<const void*>>();
+  return *g;
+}
+
+thread_local std::vector<const void*> t_held;
+
+/// True when a path from -> ... -> to exists in the order graph.
+/// Caller holds g_mu.
+bool reachable(const void* from, const void* to) {
+  if (from == to) return true;
+  std::vector<const void*> work = {from};
+  std::set<const void*> seen = {from};
+  while (!work.empty()) {
+    const void* cur = work.back();
+    work.pop_back();
+    auto it = graph().find(cur);
+    if (it == graph().end()) continue;
+    for (const void* next : it->second) {
+      if (next == to) return true;
+      if (seen.insert(next).second) work.push_back(next);
+    }
+  }
+  return false;
+}
+
+[[noreturn]] void die(const char* what, const void* a, const void* b) {
+  std::fprintf(stderr,
+               "iofa lockdep: %s: lock %p vs lock %p (held stack depth %zu); "
+               "aborting before the deadlock happens\n",
+               what, a, b, t_held.size());
+  std::abort();
+}
+
+}  // namespace
+
+void on_acquire(const void* mu) {
+  if (std::find(t_held.begin(), t_held.end(), mu) != t_held.end()) {
+    die("recursive acquisition", mu, mu);
+  }
+  if (!t_held.empty()) {
+    std::lock_guard<std::mutex> g(g_mu);
+    for (const void* held : t_held) {
+      // Existing order held -> mu is fine; a path mu ~> held means
+      // another thread somewhere takes these in the opposite order.
+      if (reachable(mu, held)) die("lock-order inversion", held, mu);
+    }
+    for (const void* held : t_held) graph()[held].insert(mu);
+  }
+  t_held.push_back(mu);
+}
+
+void on_try_acquire(const void* mu) { t_held.push_back(mu); }
+
+void on_release(const void* mu) {
+  // Locks are usually released LIFO; search from the back so the
+  // common case is O(1).
+  auto it = std::find(t_held.rbegin(), t_held.rend(), mu);
+  if (it != t_held.rend()) t_held.erase(std::next(it).base());
+}
+
+void on_destroy(const void* mu) {
+  std::lock_guard<std::mutex> g(g_mu);
+  graph().erase(mu);
+  for (auto& [node, succ] : graph()) succ.erase(mu);
+}
+
+}  // namespace iofa::lockdep

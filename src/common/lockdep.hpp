@@ -1,0 +1,49 @@
+#pragma once
+// Runtime lock-order checker: the dynamic cross-check for the static
+// `lock-order` lint rule (src/lint/rules_concurrency.cpp).
+//
+// Each thread keeps a stack of locks it currently holds; every
+// blocking acquisition records "held -> acquired" edges into one
+// process-wide order graph. Before blocking, the checker walks the
+// graph: if a path acquired ~> held already exists, some other code
+// path takes these locks in the opposite order — a latent deadlock —
+// and the process aborts immediately with both witnesses printed,
+// instead of deadlocking some day under the right interleaving.
+// Recursive acquisition of the same lock aborts too.
+//
+// The hooks are wired into iofa::Mutex / MutexLock / UniqueLock only
+// when the build sets -DIOFA_LOCKDEP=1 (CMake option IOFA_LOCKDEP; CI
+// runs the full test suite under it). The checker itself is always
+// compiled, so tests can drive it directly in any build.
+//
+// Lock identity is the address of the underlying std::mutex; nodes are
+// unregistered on destruction so a reused address cannot inherit stale
+// edges. try_lock pushes the held stack but records no edges: a
+// non-blocking acquisition cannot deadlock at its own site.
+
+namespace iofa::lockdep {
+
+/// True when this build wires the hooks into iofa::Mutex.
+constexpr bool enabled() {
+#ifdef IOFA_LOCKDEP
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Called before a blocking acquisition of `mu`. Aborts on recursive
+/// acquisition or on a lock-order inversion.
+void on_acquire(const void* mu);
+
+/// Called after a successful try_lock: order-neutral, records only
+/// that the lock is held.
+void on_try_acquire(const void* mu);
+
+/// Called on release.
+void on_release(const void* mu);
+
+/// Called from the mutex destructor: drops the node and its edges.
+void on_destroy(const void* mu);
+
+}  // namespace iofa::lockdep

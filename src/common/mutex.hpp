@@ -21,6 +21,17 @@
 #include <mutex>
 
 #include "common/annotations.hpp"
+#include "common/lockdep.hpp"
+
+// The IOFA_LOCKDEP build (CMake option of the same name) additionally
+// records every acquisition order at runtime and aborts on inversion —
+// the dynamic cross-check for the static `lock-order` lint rule. The
+// hooks compile away entirely in normal builds.
+#ifdef IOFA_LOCKDEP
+#define IOFA_LOCKDEP_HOOK(call) ::iofa::lockdep::call
+#else
+#define IOFA_LOCKDEP_HOOK(call) ((void)0)
+#endif
 
 namespace iofa {
 
@@ -28,12 +39,23 @@ namespace iofa {
 class IOFA_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  ~Mutex() { IOFA_LOCKDEP_HOOK(on_destroy(&mu_)); }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() IOFA_ACQUIRE() { mu_.lock(); }
-  void unlock() IOFA_RELEASE() { mu_.unlock(); }
-  bool try_lock() IOFA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() IOFA_ACQUIRE() {
+    IOFA_LOCKDEP_HOOK(on_acquire(&mu_));  // checks before we can block
+    mu_.lock();
+  }
+  void unlock() IOFA_RELEASE() {
+    IOFA_LOCKDEP_HOOK(on_release(&mu_));
+    mu_.unlock();
+  }
+  bool try_lock() IOFA_TRY_ACQUIRE(true) {
+    const bool got = mu_.try_lock();
+    if (got) IOFA_LOCKDEP_HOOK(on_try_acquire(&mu_));
+    return got;
+  }
 
  private:
   friend class UniqueLock;
@@ -60,8 +82,14 @@ class IOFA_SCOPED_CAPABILITY MutexLock {
 /// lock is genuinely held).
 class IOFA_SCOPED_CAPABILITY UniqueLock {
  public:
-  explicit UniqueLock(Mutex& mu) IOFA_ACQUIRE(mu) : lk_(mu.mu_) {}
-  ~UniqueLock() IOFA_RELEASE() {}
+  // Bypasses Mutex::lock (std::unique_lock needs the raw mutex for
+  // CondVar), so the lockdep hooks are wired here explicitly.
+  explicit UniqueLock(Mutex& mu) IOFA_ACQUIRE(mu)
+      : lk_(mu.mu_, std::defer_lock) {
+    IOFA_LOCKDEP_HOOK(on_acquire(lk_.mutex()));
+    lk_.lock();
+  }
+  ~UniqueLock() IOFA_RELEASE() { IOFA_LOCKDEP_HOOK(on_release(lk_.mutex())); }
 
   UniqueLock(const UniqueLock&) = delete;
   UniqueLock& operator=(const UniqueLock&) = delete;

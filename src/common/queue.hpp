@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstddef>
 #include <deque>
+#include "common/clock.hpp"
 #include <optional>
 #include <utility>
 
@@ -80,7 +81,7 @@ class BoundedQueue {
   template <typename Rep, typename Period>
   PopResult try_pop_for(std::chrono::duration<Rep, Period> timeout, T& out)
       IOFA_EXCLUDES(mu_) {
-    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    const auto deadline = iofa::monotonic_now() + timeout;
     {
       UniqueLock lk(mu_);
       while (!closed_ && items_.empty()) {

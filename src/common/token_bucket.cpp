@@ -31,7 +31,7 @@ void check_amount(double n) {
 }  // namespace
 
 TokenBucket::TokenBucket(double rate_per_sec, double burst)
-    : TokenBucket(rate_per_sec, burst, Clock::now()) {}
+    : TokenBucket(rate_per_sec, burst, monotonic_now()) {}
 
 TokenBucket::TokenBucket(double rate_per_sec, double burst,
                          Clock::time_point start)
@@ -63,7 +63,7 @@ void TokenBucket::acquire(double n) {
   double rate;
   {
     MutexLock lk(mu_);
-    refill_locked(Clock::now());
+    refill_locked(monotonic_now());
     deficit = n - tokens_;
     tokens_ -= n;
     rate = rate_;
@@ -73,7 +73,7 @@ void TokenBucket::acquire(double n) {
 }
 
 bool TokenBucket::try_acquire(double n) {
-  return try_acquire(n, Clock::now());
+  return try_acquire(n, monotonic_now());
 }
 
 bool TokenBucket::try_acquire(double n, Clock::time_point now) {
@@ -102,7 +102,7 @@ double TokenBucket::take(double n, Clock::time_point now) {
   return got;
 }
 
-double TokenBucket::available() { return available(Clock::now()); }
+double TokenBucket::available() { return available(monotonic_now()); }
 
 double TokenBucket::available(Clock::time_point now) {
   MutexLock lk(mu_);
@@ -121,7 +121,7 @@ double TokenBucket::drain_overflow(Clock::time_point now) {
 void TokenBucket::set_rate(double rate_per_sec) {
   check_positive(rate_per_sec, "refill rate");
   MutexLock lk(mu_);
-  refill_locked(Clock::now());
+  refill_locked(monotonic_now());
   rate_ = rate_per_sec;
 }
 

@@ -16,13 +16,14 @@
 #include <cstdint>
 
 #include "common/annotations.hpp"
+#include "common/clock.hpp"
 #include "common/mutex.hpp"
 
 namespace iofa {
 
 class TokenBucket {
  public:
-  using Clock = std::chrono::steady_clock;
+  using Clock = iofa::MonotonicClock;
 
   /// rate: tokens (bytes) replenished per second; burst: bucket capacity.
   /// Throws std::invalid_argument when either is non-positive or
@@ -31,7 +32,7 @@ class TokenBucket {
   TokenBucket(double rate_per_sec, double burst);
 
   /// Deterministic variant: the first refill measures from `start`
-  /// instead of Clock::now(). Callers that pass explicit time to every
+  /// instead of monotonic_now(). Callers that pass explicit time to every
   /// later call (the QoS hierarchy) get byte-identical replay.
   TokenBucket(double rate_per_sec, double burst, Clock::time_point start);
 

@@ -1,4 +1,5 @@
 #include "core/arbiter.hpp"
+#include "common/clock.hpp"
 
 #include <algorithm>
 #include <cassert>
@@ -183,9 +184,9 @@ void Arbiter::arbitrate() {
     problem.apps.push_back(app);
   }
 
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = iofa::monotonic_now();
   const Allocation alloc = policy_->allocate(problem);
-  const auto t1 = std::chrono::steady_clock::now();
+  const auto t1 = iofa::monotonic_now();
   const Seconds solve_seconds =
       std::chrono::duration<double>(t1 - t0).count();
   last_solve_seconds_.store(solve_seconds, std::memory_order_relaxed);

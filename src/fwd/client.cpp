@@ -17,7 +17,7 @@ Client::Client(ClientConfig config, ForwardingService& service)
       service_(service),
       view_(service.mapping_store(), config_.job, config_.poll_period,
             config_.registry),
-      epoch_(std::chrono::steady_clock::now()) {
+      epoch_(iofa::monotonic_now()) {
   auto& reg = config_.registry ? *config_.registry
                                : telemetry::Registry::global();
   const telemetry::Labels labels{{"job", std::to_string(config_.job)},
@@ -88,7 +88,7 @@ void Client::direct_write_pfs(const std::string& path, std::uint64_t offset,
 }
 
 Seconds Client::now() const {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+  return std::chrono::duration<double>(iofa::monotonic_now() -
                                        epoch_)
       .count();
 }

@@ -12,6 +12,8 @@
 #include <span>
 #include <string>
 
+#include "common/clock.hpp"
+
 #include "common/units.hpp"
 #include "fault/backoff.hpp"
 #include "fwd/mapping.hpp"
@@ -135,7 +137,7 @@ class Client {
   ForwardingService& service_;
   ClientMappingView view_;
   std::shared_ptr<trace::TraceLog> trace_;
-  std::chrono::steady_clock::time_point epoch_;
+  iofa::MonotonicClock::time_point epoch_;
   std::atomic<std::uint64_t> forwarded_ops_{0};
   std::atomic<std::uint64_t> direct_ops_{0};
   telemetry::Counter* forwarded_ctr_ = nullptr;

@@ -21,7 +21,7 @@ IonDaemon::IonDaemon(int id, IonParams params, EmulatedPfs& pfs)
       ingest_bucket_(params.ingest_bandwidth,
                      std::max(params.ingest_bandwidth * 0.02,
                               static_cast<double>(4 * MiB))),
-      epoch_(std::chrono::steady_clock::now()) {
+      epoch_(iofa::monotonic_now()) {
   auto& reg = params_.registry ? *params_.registry
                                : telemetry::Registry::global();
   const telemetry::Labels labels{{"ion", std::to_string(id_)}};
@@ -93,7 +93,7 @@ IonDaemon::IonDaemon(int id, IonParams params, EmulatedPfs& pfs)
 IonDaemon::~IonDaemon() { shutdown(); }
 
 Seconds IonDaemon::now() const {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+  return std::chrono::duration<double>(iofa::monotonic_now() -
                                        epoch_)
       .count();
 }

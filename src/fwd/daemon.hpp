@@ -36,6 +36,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "agios/scheduler.hpp"
 #include "common/annotations.hpp"
 #include "common/mutex.hpp"
@@ -303,7 +304,7 @@ class IonDaemon {
   std::unordered_map<std::uint64_t, std::map<std::uint64_t, std::uint64_t>>
       dirty_ IOFA_GUARDED_BY(dirty_mu_);
 
-  std::chrono::steady_clock::time_point epoch_;
+  iofa::MonotonicClock::time_point epoch_;
 
   // Drain accounting: counters are atomic (hot path is lock-free); the
   // mutex+cv pair only serialises the zero-crossing notification that

@@ -1,4 +1,5 @@
 #include "fwd/mapping.hpp"
+#include "common/clock.hpp"
 
 #include "telemetry/trace.hpp"
 
@@ -46,7 +47,7 @@ ClientMappingView::ClientMappingView(const MappingStore& store,
     : store_(store),
       job_(job),
       poll_period_(poll_period),
-      last_poll_(std::chrono::steady_clock::now() - std::chrono::hours(1)) {
+      last_poll_(iofa::monotonic_now() - std::chrono::hours(1)) {
   auto& reg = registry ? *registry : telemetry::Registry::global();
   const telemetry::Labels labels{{"job", std::to_string(job_)}};
   poll_counter_ = &reg.counter("fwd.client.polls", labels);
@@ -73,7 +74,7 @@ void ClientMappingView::poll_locked() {
 
 std::vector<int> ClientMappingView::ions() {
   MutexLock lk(mu_);
-  const auto now = std::chrono::steady_clock::now();
+  const auto now = iofa::monotonic_now();
   const double since =
       std::chrono::duration<double>(now - last_poll_).count();
   if (since >= poll_period_) {
@@ -85,7 +86,7 @@ std::vector<int> ClientMappingView::ions() {
 
 void ClientMappingView::refresh_now() {
   MutexLock lk(mu_);
-  last_poll_ = std::chrono::steady_clock::now();
+  last_poll_ = iofa::monotonic_now();
   poll_locked();
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/annotations.hpp"
+#include "common/clock.hpp"
 #include "common/mutex.hpp"
 #include "core/arbiter.hpp"
 #include "fault/injector.hpp"
@@ -77,7 +78,7 @@ class ClientMappingView {
   core::JobId job_;
   Seconds poll_period_;
   mutable Mutex mu_;
-  std::chrono::steady_clock::time_point last_poll_ IOFA_GUARDED_BY(mu_);
+  iofa::MonotonicClock::time_point last_poll_ IOFA_GUARDED_BY(mu_);
   std::vector<int> cached_ IOFA_GUARDED_BY(mu_);
   std::uint64_t observed_epoch_ IOFA_GUARDED_BY(mu_) = 0;
   std::uint64_t polls_ IOFA_GUARDED_BY(mu_) = 0;

@@ -67,7 +67,7 @@ ReplayResult replay_app(Client& client, const workload::AppSpec& app,
   ReplayResult result;
   result.app_label = app.label;
 
-  const auto t_begin = std::chrono::steady_clock::now();
+  const auto t_begin = iofa::monotonic_now();
 
   for (std::size_t pi = 0; pi < app.phases.size(); ++pi) {
     const auto& ph = app.phases[pi];
@@ -102,7 +102,7 @@ ReplayResult replay_app(Client& client, const workload::AppSpec& app,
         std::max(1, std::min(options.threads, plan.writers));
 
     std::atomic<Bytes> phase_bytes{0};
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = iofa::monotonic_now();
 
     // Per-phase replay ranks, joined at phase end; their count is part
     // of the workload shape, not a tunable pool width.
@@ -155,7 +155,7 @@ ReplayResult replay_app(Client& client, const workload::AppSpec& app,
       for (const auto& f : files) client.fsync(f);
     }
 
-    const auto t1 = std::chrono::steady_clock::now();
+    const auto t1 = iofa::monotonic_now();
     PhaseResult pr;
     pr.operation = ph.operation;
     pr.bytes = phase_bytes.load();
@@ -170,7 +170,7 @@ ReplayResult replay_app(Client& client, const workload::AppSpec& app,
   }
 
   result.makespan = std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - t_begin)
+                        iofa::monotonic_now() - t_begin)
                         .count();
   return result;
 }

@@ -1,4 +1,5 @@
 #include "jobs/live_executor.hpp"
+#include "common/clock.hpp"
 
 #include <stdexcept>
 #include <chrono>
@@ -148,9 +149,9 @@ LiveRunResult run_queue_live(const std::vector<workload::AppSpec>& queue,
     health->start();
   }
 
-  const auto t_begin = std::chrono::steady_clock::now();
+  const auto t_begin = iofa::monotonic_now();
   auto now = [&] {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+    return std::chrono::duration<double>(iofa::monotonic_now() -
                                          t_begin)
         .count();
   };

@@ -1,0 +1,57 @@
+#pragma once
+// Analyzer: owns the file models and the rule set, drives the
+// scan/finalize passes, and collects the sorted findings. The CLI in
+// tools/iofa_lint.cpp is a thin wrapper around this class; tests link
+// it directly.
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lint/model.hpp"
+#include "lint/rule.hpp"
+
+namespace iofa::lint {
+
+struct AnalyzerOptions {
+  /// Explicit metric manifest path (--manifest); empty auto-discovers
+  /// `<root>/src/telemetry/metrics_manifest.inc` per analyzed file.
+  std::string manifest_path;
+  /// Run only these rules (empty = all). Names must exist.
+  std::vector<std::string> rules;
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerOptions opts = {});
+  ~Analyzer();
+
+  /// Lint a file, or recurse into a directory picking up .hpp/.cpp/.h/.cc.
+  /// Returns false when the path cannot be read.
+  bool add_path(const std::filesystem::path& path);
+
+  /// Run whole-program finalization; findings() is valid afterwards.
+  void finish();
+
+  const std::vector<Finding>& findings() const { return findings_; }
+  std::size_t file_count() const { return files_.size(); }
+
+  /// Graphviz dump of the static lock-acquisition graph (valid after
+  /// finish(); empty when the lock-order rule was filtered out).
+  std::string lock_graph_dot() const;
+
+  /// (name, description) for every known rule, registration order.
+  static std::vector<std::pair<std::string, std::string>> rule_list();
+
+ private:
+  void add_file(const std::filesystem::path& path);
+
+  std::vector<std::unique_ptr<Rule>> rules_;
+  class LockOrderRule* lock_order_ = nullptr;  // borrowed from rules_
+  std::vector<std::unique_ptr<FileModel>> files_;
+  std::vector<Finding> findings_;
+  bool finished_ = false;
+};
+
+}  // namespace iofa::lint

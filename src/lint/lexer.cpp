@@ -1,0 +1,299 @@
+#include "lint/lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace iofa::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_cont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators, longest first within each leading char.
+constexpr std::array<std::string_view, 27> kMultiPunct = {
+    "<<=", ">>=", "...", "->*", "<=>",                     // 3-char
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==",  // 2-char
+    "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=", "^=", ".*", "##"};  // 1-char fallthrough handled by the caller
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  TokenStream run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        col_ = 1;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        advance(1);
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        lex_directive();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        continue;
+      }
+      if (c == '"') {
+        lex_string();
+        continue;
+      }
+      if (c == '\'') {
+        lex_char();
+        continue;
+      }
+      if (c == 'R' && peek(1) == '"') {
+        lex_raw_string();
+        continue;
+      }
+      if (ident_start(c)) {
+        lex_identifier();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+        lex_number();
+        continue;
+      }
+      lex_punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void advance(std::size_t n) {
+    for (std::size_t i = 0; i < n && pos_ < src_.size(); ++i) {
+      if (src_[pos_] == '\n') {
+        ++line_;
+        col_ = 1;
+      } else {
+        ++col_;
+      }
+      ++pos_;
+    }
+  }
+
+  void emit(TokenKind kind, std::string text, std::size_t line,
+            std::size_t col) {
+    out_.push_back({kind, std::move(text), line, col});
+  }
+
+  void lex_directive() {
+    const std::size_t line = line_, col = col_;
+    std::string text;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        // Line continuation: a backslash (optionally followed by \r)
+        // immediately before the newline keeps the directive going.
+        std::size_t back = text.size();
+        while (back > 0 && text[back - 1] == '\r') --back;
+        if (back > 0 && text[back - 1] == '\\') {
+          text.push_back(c);
+          advance(1);
+          continue;
+        }
+        break;
+      }
+      // A comment ends the directive's interesting part but we keep
+      // scanning to the newline so the comment still becomes a token.
+      if (c == '/' && (peek(1) == '/' || peek(1) == '*')) break;
+      text.push_back(c);
+      advance(1);
+    }
+    emit(TokenKind::kDirective, std::move(text), line, col);
+    at_line_start_ = false;
+  }
+
+  void lex_line_comment() {
+    const std::size_t line = line_, col = col_;
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != '\n') {
+      text.push_back(src_[pos_]);
+      advance(1);
+    }
+    emit(TokenKind::kComment, std::move(text), line, col);
+  }
+
+  void lex_block_comment() {
+    const std::size_t line = line_, col = col_;
+    std::string text = "/*";
+    advance(2);
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && peek(1) == '/') {
+        text += "*/";
+        advance(2);
+        break;
+      }
+      text.push_back(src_[pos_]);
+      advance(1);
+    }
+    emit(TokenKind::kComment, std::move(text), line, col);
+  }
+
+  void lex_string() {
+    const std::size_t line = line_, col = col_;
+    std::string text;
+    advance(1);  // opening quote
+    while (pos_ < src_.size() && src_[pos_] != '"' && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        // Keep escapes decoded only for the common cases rules care
+        // about (metric names are plain ASCII); others pass through.
+        const char e = src_[pos_ + 1];
+        if (e == '"' || e == '\\') {
+          text.push_back(e);
+        } else if (e == 'n') {
+          text.push_back('\n');
+        } else if (e == 't') {
+          text.push_back('\t');
+        } else {
+          text.push_back('\\');
+          text.push_back(e);
+        }
+        advance(2);
+        continue;
+      }
+      text.push_back(src_[pos_]);
+      advance(1);
+    }
+    if (pos_ < src_.size() && src_[pos_] == '"') advance(1);
+    emit(TokenKind::kString, std::move(text), line, col);
+  }
+
+  void lex_raw_string() {
+    const std::size_t line = line_, col = col_;
+    advance(2);  // R"
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(' && delim.size() < 16) {
+      delim.push_back(src_[pos_]);
+      advance(1);
+    }
+    if (pos_ < src_.size()) advance(1);  // (
+    const std::string closer = ")" + delim + "\"";
+    std::string text;
+    while (pos_ < src_.size()) {
+      if (src_.compare(pos_, closer.size(), closer) == 0) {
+        advance(closer.size());
+        break;
+      }
+      text.push_back(src_[pos_]);
+      advance(1);
+    }
+    emit(TokenKind::kString, std::move(text), line, col);
+  }
+
+  void lex_char() {
+    const std::size_t line = line_, col = col_;
+    std::string text = "'";
+    advance(1);
+    while (pos_ < src_.size() && src_[pos_] != '\'' && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\') {
+        text.push_back(src_[pos_]);
+        advance(1);
+        if (pos_ >= src_.size()) break;
+      }
+      text.push_back(src_[pos_]);
+      advance(1);
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'') {
+      text.push_back('\'');
+      advance(1);
+    }
+    emit(TokenKind::kCharLit, std::move(text), line, col);
+  }
+
+  void lex_identifier() {
+    const std::size_t line = line_, col = col_;
+    std::string text;
+    while (pos_ < src_.size() && ident_cont(src_[pos_])) {
+      text.push_back(src_[pos_]);
+      advance(1);
+    }
+    // String-literal prefixes (u8"...", L"...", uR"(...)", ...) — treat
+    // the whole thing as the literal, not an identifier + string.
+    if (pos_ < src_.size() && src_[pos_] == '"' &&
+        (text == "u8" || text == "u" || text == "U" || text == "L")) {
+      lex_string();
+      out_.back().line = line;
+      out_.back().col = col;
+      return;
+    }
+    if (pos_ + 1 < src_.size() && src_[pos_] == '"' && !text.empty() &&
+        text.back() == 'R' && text.size() <= 3) {
+      lex_raw_string();
+      out_.back().line = line;
+      out_.back().col = col;
+      return;
+    }
+    emit(TokenKind::kIdentifier, std::move(text), line, col);
+  }
+
+  void lex_number() {
+    const std::size_t line = line_, col = col_;
+    std::string text;
+    // pp-number: digits, idents, dots, and sign chars after e/E/p/P.
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (ident_cont(c) || c == '.' || c == '\'') {
+        text.push_back(c);
+        advance(1);
+      } else if ((c == '+' || c == '-') && !text.empty() &&
+                 (text.back() == 'e' || text.back() == 'E' ||
+                  text.back() == 'p' || text.back() == 'P')) {
+        text.push_back(c);
+        advance(1);
+      } else {
+        break;
+      }
+    }
+    emit(TokenKind::kNumber, std::move(text), line, col);
+  }
+
+  void lex_punct() {
+    const std::size_t line = line_, col = col_;
+    for (std::string_view op : kMultiPunct) {
+      if (!op.empty() && src_.compare(pos_, op.size(), op) == 0) {
+        advance(op.size());
+        emit(TokenKind::kPunct, std::string(op), line, col);
+        return;
+      }
+    }
+    std::string text(1, src_[pos_]);
+    advance(1);
+    emit(TokenKind::kPunct, std::move(text), line, col);
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t col_ = 1;
+  bool at_line_start_ = true;
+  TokenStream out_;
+};
+
+}  // namespace
+
+TokenStream lex(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace iofa::lint

@@ -1,0 +1,27 @@
+#pragma once
+// C++ lexer for the lint library. Handles the lexical constructs that
+// broke the v1 regex scanner exactly once, for every rule:
+//   * // and /* */ comments (kept as Comment tokens for suppressions),
+//   * "..." string literals with escapes, adjacent literals NOT fused
+//     (rules that need concatenation join neighbouring String tokens),
+//   * R"delim(...)delim" raw strings,
+//   * '...' character literals,
+//   * preprocessor lines (one Directive token, \-continuations joined),
+//   * multi-character operators (::, ->, ..., <<, &&, ...).
+//
+// This is a lexer, not a parser: no preprocessing, no templates, no
+// semantics. The scope/statement model (model.hpp) layers structure on
+// top of the stream.
+
+#include <string_view>
+
+#include "lint/token.hpp"
+
+namespace iofa::lint {
+
+/// Tokenize one translation unit. Never throws on malformed input:
+/// unterminated comments/literals produce a final token covering the
+/// rest of the file (best effort — lint must not crash on odd code).
+TokenStream lex(std::string_view source);
+
+}  // namespace iofa::lint

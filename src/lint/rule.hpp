@@ -1,0 +1,111 @@
+#pragma once
+// Rule-plugin interface for the lint library.
+//
+// A Rule sees every file once through scan() (per-file checks, and
+// accumulation of whole-program facts), then finalize() runs after all
+// files are in (lock-order cycles, anything cross-TU). Findings go
+// through the Reporter, which applies the `iofa-lint: allow(<rule>)`
+// suppression index of the owning file — rules never re-implement
+// suppression.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/model.hpp"
+
+namespace iofa::lint {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+class Reporter {
+ public:
+  explicit Reporter(std::vector<Finding>& out) : out_(out) {}
+
+  /// Report unless suppressed at `line` in `file`.
+  void report(const FileModel& file, std::size_t line,
+              const std::string& rule, std::string message) {
+    if (file.suppressed(line, rule)) return;
+    out_.push_back({file.path(), line, rule, std::move(message)});
+  }
+
+ private:
+  std::vector<Finding>& out_;
+};
+
+/// All files of the run, for finalize()-time whole-program rules.
+class Program {
+ public:
+  explicit Program(const std::vector<std::unique_ptr<FileModel>>& files)
+      : files_(files) {}
+  const std::vector<std::unique_ptr<FileModel>>& files() const {
+    return files_;
+  }
+
+ private:
+  const std::vector<std::unique_ptr<FileModel>>& files_;
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual std::string_view name() const = 0;
+  /// One-line description for --list-rules.
+  virtual std::string_view description() const = 0;
+  virtual void scan(const FileModel& file, Reporter& rep) = 0;
+  virtual void finalize(const Program& prog, Reporter& rep) {
+    (void)prog;
+    (void)rep;
+  }
+};
+
+// ---- token helpers shared by rule implementations ------------------------
+
+/// True when the code tokens at file.code()[ci...] spell the given
+/// texts in order (kind-insensitive, text match).
+inline bool match_code_seq(const FileModel& f, std::size_t ci,
+                           std::initializer_list<const char*> texts) {
+  const auto& code = f.code();
+  if (ci + texts.size() > code.size()) return false;
+  std::size_t k = ci;
+  for (const char* t : texts) {
+    if (f.tokens()[code[k]].text != t) return false;
+    ++k;
+  }
+  return true;
+}
+
+/// The code token at index ci (by code() position), or nullptr.
+inline const Token* code_tok(const FileModel& f, std::size_t ci) {
+  if (ci >= f.code().size()) return nullptr;
+  return &f.tokens()[f.code()[ci]];
+}
+
+/// True when the identifier at code index ci reads like a free call:
+/// not member/qualified (`.` `->` `::` before it) and not a declaration
+/// (a preceding identifier that is not a statement keyword — `int
+/// time(...)` is a declaration, `return time(...)` is a call).
+inline bool free_call_position(const FileModel& f, std::size_t ci) {
+  if (ci == 0) return true;
+  const Token& prev = f.tokens()[f.code()[ci - 1]];
+  if (prev.is_punct(".") || prev.is_punct("->") || prev.is_punct("::")) {
+    return false;
+  }
+  if (prev.kind != TokenKind::kIdentifier) return true;
+  static const char* const kStmtKeywords[] = {
+      "return", "co_return", "co_yield", "co_await", "throw",
+      "else",   "do",        "case",     "goto"};
+  for (const char* k : kStmtKeywords) {
+    if (prev.text == k) return true;
+  }
+  return false;
+}
+
+}  // namespace iofa::lint

@@ -1,0 +1,69 @@
+#pragma once
+// Concurrency rules: naked-mutex (per-class), swallowed-error
+// (statement-level, src/fwd), and the whole-program lock-order rule.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/rule.hpp"
+
+namespace iofa::lint {
+
+class NakedMutexRule : public Rule {
+ public:
+  std::string_view name() const override { return "naked-mutex"; }
+  std::string_view description() const override {
+    return "classes with mutex members must annotate IOFA_GUARDED_BY";
+  }
+  void scan(const FileModel& file, Reporter& rep) override;
+};
+
+class SwallowedErrorRule : public Rule {
+ public:
+  std::string_view name() const override { return "swallowed-error"; }
+  std::string_view description() const override {
+    return "fwd data path must not discard submit/acquire results";
+  }
+  void scan(const FileModel& file, Reporter& rep) override;
+};
+
+/// Whole-program static lock-order analysis. Edges come from
+///   - lexically nested RAII acquisitions (held -> newly acquired),
+///   - IOFA_REQUIRES-annotated functions (annotation locks are held on
+///     entry, so they order before every acquisition in the body),
+///   - IOFA_ACQUIRED_BEFORE / IOFA_ACQUIRED_AFTER member annotations,
+///   - calls made while holding a lock, when the callee name resolves
+///     unambiguously to exactly one function in the program.
+/// A cycle in the resulting graph is a potential deadlock; each cyclic
+/// strongly-connected component is reported exactly once.
+class LockOrderRule : public Rule {
+ public:
+  std::string_view name() const override { return "lock-order"; }
+  std::string_view description() const override {
+    return "static lock-acquisition graph must stay acyclic";
+  }
+  void scan(const FileModel& file, Reporter& rep) override;
+  void finalize(const Program& prog, Reporter& rep) override;
+
+  /// Graphviz dump of the acquisition graph built by finalize();
+  /// edges participating in a cycle are drawn red.
+  std::string dot() const;
+
+ private:
+  struct Edge {
+    std::string file;    ///< witness: where the edge was first seen
+    std::size_t line = 0;
+    std::string why;     ///< "nested" | "requires" | "annotation" | "call"
+    bool cyclic = false;
+  };
+
+  void add_edge(const std::string& from, const std::string& to,
+                const std::string& file, std::size_t line,
+                const std::string& why);
+
+  // from -> (to -> first witness)
+  std::map<std::string, std::map<std::string, Edge>> graph_;
+};
+
+}  // namespace iofa::lint

@@ -1,0 +1,51 @@
+#pragma once
+// Token model for the iofa_lint static-analysis library (src/lint).
+//
+// The lexer (lexer.hpp) turns a C++ translation unit into this flat
+// token stream ONCE; every rule then works on tokens instead of
+// re-deriving "is this inside a comment / string literal?" per rule
+// with regex heuristics, which is how the v1 line-scanner produced
+// both false positives (matches inside literals) and false negatives
+// (multi-line statements).
+//
+// Comments are kept as tokens: the `iofa-lint: allow(<rule>)`
+// suppression syntax is only honoured inside Comment tokens, so a
+// string literal that happens to contain the tag no longer silences a
+// finding (that was a real v1 bug).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace iofa::lint {
+
+enum class TokenKind {
+  kIdentifier,   ///< identifiers and keywords (rules match by text)
+  kNumber,       ///< numeric literal (integer or floating, any base)
+  kString,       ///< string literal; text holds the DECODED body (no quotes)
+  kCharLit,      ///< character literal; text holds the raw spelling
+  kPunct,        ///< operators and punctuation, multi-char ops fused
+  kComment,      ///< // or /* */ comment; text holds the raw spelling
+  kDirective,    ///< whole preprocessor line(s), continuations joined
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  std::size_t line = 0;  ///< 1-based line of the token's first character
+  std::size_t col = 0;   ///< 1-based column of the token's first character
+
+  bool is(TokenKind k, const char* t) const {
+    return kind == k && text == t;
+  }
+  bool is_ident(const char* t) const {
+    return kind == TokenKind::kIdentifier && text == t;
+  }
+  bool is_punct(const char* t) const {
+    return kind == TokenKind::kPunct && text == t;
+  }
+};
+
+using TokenStream = std::vector<Token>;
+
+}  // namespace iofa::lint

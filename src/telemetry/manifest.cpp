@@ -1,0 +1,35 @@
+#include "telemetry/manifest.hpp"
+
+namespace iofa::telemetry {
+
+namespace {
+
+constexpr ManifestEntry kManifest[] = {
+#define IOFA_METRIC(kind, name, help) {#kind, name, help},
+#include "telemetry/metrics_manifest.inc"
+#undef IOFA_METRIC
+};
+
+}  // namespace
+
+const ManifestEntry* metric_manifest() { return kManifest; }
+
+std::size_t metric_manifest_size() {
+  return sizeof(kManifest) / sizeof(kManifest[0]);
+}
+
+bool metric_declared(std::string_view name) {
+  for (const auto& e : kManifest) {
+    if (e.name == name) return true;
+  }
+  return false;
+}
+
+std::string_view metric_help(std::string_view name) {
+  for (const auto& e : kManifest) {
+    if (e.name == name) return e.help;
+  }
+  return {};
+}
+
+}  // namespace iofa::telemetry

@@ -1,0 +1,30 @@
+#pragma once
+// Compiled view of src/telemetry/metrics_manifest.inc — the checked-in
+// registry of every series the runtime may emit. The `metric-manifest`
+// lint rule keeps the .inc complete (every counter/gauge/histogram
+// name used in src/ must be declared); this header exposes the same
+// list to the runtime so exporters and tests can validate names
+// without re-parsing source.
+
+#include <cstddef>
+#include <string_view>
+
+namespace iofa::telemetry {
+
+struct ManifestEntry {
+  std::string_view kind;  ///< "counter" | "gauge" | "histogram"
+  std::string_view name;
+  std::string_view help;
+};
+
+/// All declared series, in manifest (sorted-by-name) order.
+const ManifestEntry* metric_manifest();
+std::size_t metric_manifest_size();
+
+/// True when `name` is a declared series name.
+bool metric_declared(std::string_view name);
+
+/// Help text for a declared series ("" when unknown).
+std::string_view metric_help(std::string_view name);
+
+}  // namespace iofa::telemetry

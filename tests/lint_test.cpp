@@ -22,9 +22,8 @@ struct LintRun {
   std::string output;
 };
 
-LintRun run_lint(const fs::path& target) {
-  const std::string cmd =
-      std::string(IOFA_LINT_BIN) + " " + target.string() + " 2>&1";
+LintRun run_lint_cmd(const std::string& args) {
+  const std::string cmd = std::string(IOFA_LINT_BIN) + " " + args + " 2>&1";
   LintRun r;
   FILE* pipe = popen(cmd.c_str(), "r");
   if (!pipe) return r;
@@ -33,6 +32,19 @@ LintRun run_lint(const fs::path& target) {
   const int status = pclose(pipe);
   if (WIFEXITED(status)) r.exit_code = WEXITSTATUS(status);
   return r;
+}
+
+LintRun run_lint(const fs::path& target) {
+  return run_lint_cmd(target.string());
+}
+
+std::size_t count_of(const std::string& hay, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t at = hay.find(needle); at != std::string::npos;
+       at = hay.find(needle, at + needle.size())) {
+    ++n;
+  }
+  return n;
 }
 
 class LintTest : public ::testing::Test {
@@ -507,6 +519,290 @@ TEST_F(LintTest, MissingPathIsUsageError) {
   EXPECT_EQ(r.exit_code, 2) << r.output;
 }
 
+// ------------------------------------------------- swallowed-error (v2)
+
+TEST_F(LintTest, MultiLineDiscardedSubmitFlagged) {
+  // The v1 line-scanner only saw single-line statements; a call wrapped
+  // across lines slipped through. The token-stream matcher must not.
+  const auto p = write_fixture("wrapped.cpp",
+                               "void f(Daemon& d, Request r) {\n"
+                               "  d.try_submit(\n"
+                               "      std::move(r),\n"
+                               "      kDefaultPriority);\n"
+                               "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("swallowed-error"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("wrapped.cpp:2"), std::string::npos) << r.output;
+}
+
+// -------------------------------------------- suppression exactness (v2)
+
+TEST_F(LintTest, SuppressionTagInStringLiteralDoesNotSuppress) {
+  const auto p = write_fixture(
+      "strtag.cpp",
+      "void f() {\n"
+      "  log(\"iofa-lint: allow(raw-sleep)\"); usleep(1);\n"
+      "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("raw-sleep"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, SuppressionRequiresExactRuleName) {
+  // allow(raw) is a prefix of raw-sleep, allow(raw-sleep-forever) a
+  // superstring; neither names the rule, so neither suppresses it.
+  const auto p = write_fixture("prefix.cpp",
+                               "void f() {\n"
+                               "  usleep(1);  // iofa-lint: allow(raw)\n"
+                               "  usleep(2);  // iofa-lint: allow(raw-sleep-forever)\n"
+                               "  usleep(3);  // iofa-lint: allow(raw-rand)\n"
+                               "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_of(r.output, "raw-sleep"), 3u) << r.output;
+}
+
+// ------------------------------------------------------------ lock-order
+
+TEST_F(LintTest, LockOrderCycleAcrossFilesFlaggedOnce) {
+  write_fixture("ab.cpp",
+                "void first() {\n"
+                "  std::lock_guard<std::mutex> la(a_mu);\n"
+                "  std::lock_guard<std::mutex> lb(b_mu);\n"
+                "}\n");
+  write_fixture("ba.cpp",
+                "void second() {\n"
+                "  std::lock_guard<std::mutex> lb(b_mu);\n"
+                "  std::lock_guard<std::mutex> la(a_mu);\n"
+                "}\n");
+  const auto r = run_lint(dir_);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // One cycle is ONE finding, not one per edge or per file.
+  EXPECT_EQ(count_of(r.output, "[lock-order]"), 1u) << r.output;
+  EXPECT_NE(r.output.find("lock-order cycle"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("a_mu -> b_mu"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, ConsistentLockOrderPasses) {
+  write_fixture("ab.cpp",
+                "void first() {\n"
+                "  std::lock_guard<std::mutex> la(a_mu);\n"
+                "  std::lock_guard<std::mutex> lb(b_mu);\n"
+                "}\n");
+  write_fixture("ab2.cpp",
+                "void second() {\n"
+                "  std::lock_guard<std::mutex> la(a_mu);\n"
+                "  std::lock_guard<std::mutex> lb(b_mu);\n"
+                "}\n");
+  const auto r = run_lint(dir_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, LockOrderSuppressionHonoured) {
+  // The finding lands on the first witness edge (the b_mu acquisition
+  // in ab.cpp); the allow tag on that line owns the whole cycle.
+  write_fixture(
+      "ab.cpp",
+      "void first() {\n"
+      "  std::lock_guard<std::mutex> la(a_mu);\n"
+      "  std::lock_guard<std::mutex> lb(b_mu);  // iofa-lint: allow(lock-order)\n"
+      "}\n");
+  write_fixture("ba.cpp",
+                "void second() {\n"
+                "  std::lock_guard<std::mutex> lb(b_mu);\n"
+                "  std::lock_guard<std::mutex> la(a_mu);\n"
+                "}\n");
+  const auto r = run_lint(dir_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, DeclaredOrderViaAnnotationIsItselfChecked) {
+  // IOFA_ACQUIRED_AFTER contradicting the code's nesting order is a
+  // cycle between the declared and the observed edge.
+  write_fixture("decl.hpp",
+                "class Owner {\n"
+                "  iofa::Mutex a_mu_ IOFA_ACQUIRED_AFTER(b_mu_);\n"
+                "  iofa::Mutex b_mu_;\n"
+                "  int x_ IOFA_GUARDED_BY(a_mu_);\n"
+                "  void step();\n"
+                "};\n");
+  write_fixture("decl.cpp",
+                "void Owner::step() {\n"
+                "  iofa::MutexLock la(a_mu_);\n"
+                "  iofa::MutexLock lb(b_mu_);\n"
+                "}\n");
+  const auto r = run_lint(dir_);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_of(r.output, "[lock-order]"), 1u) << r.output;
+}
+
+TEST_F(LintTest, DotDumpShowsLockGraph) {
+  write_fixture("ab.cpp",
+                "void first() {\n"
+                "  std::lock_guard<std::mutex> la(a_mu);\n"
+                "  std::lock_guard<std::mutex> lb(b_mu);\n"
+                "}\n");
+  const auto r = run_lint_cmd("--dot - " + dir_.string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("digraph lock_order"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"a_mu\" -> \"b_mu\""), std::string::npos)
+      << r.output;
+}
+
+// --------------------------------------------------------- clock-hygiene
+
+TEST_F(LintTest, DirectSteadyClockReadFlagged) {
+  const auto p = write_fixture(
+      "tick.cpp", "auto t() { return std::chrono::steady_clock::now(); }\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("clock-hygiene"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, CTimeCallFlagged) {
+  const auto p = write_fixture("epoch.cpp",
+                               "long now() { return time(nullptr); }\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("clock-hygiene"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, MonotonicNowPasses) {
+  const auto p = write_fixture(
+      "tick.cpp",
+      "iofa::MonotonicClock::time_point t() { return iofa::monotonic_now(); }\n"
+      "void wait_until(iofa::MonotonicClock::time_point tp);\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, ClockHygieneSuppressionHonoured) {
+  const auto p = write_fixture(
+      "boot.cpp",
+      "// iofa-lint: allow(clock-hygiene) -- process start stamp\n"
+      "auto t0 = std::chrono::system_clock::now();\n");
+  const auto r = run_lint(p);
+  // system_clock also trips raw-sleep; only checking clock-hygiene here.
+  EXPECT_EQ(r.output.find("clock-hygiene"), std::string::npos) << r.output;
+}
+
+// ------------------------------------------------------- metric-manifest
+
+class MetricManifestTest : public LintTest {
+ protected:
+  // dir_ is <root>/src/fwd; the rule discovers the manifest at
+  // <root>/src/telemetry/metrics_manifest.inc.
+  void write_manifest(const std::string& body) {
+    const fs::path tel = dir_.parent_path() / "telemetry";
+    fs::create_directories(tel);
+    std::ofstream(tel / "metrics_manifest.inc") << body;
+  }
+};
+
+TEST_F(MetricManifestTest, UnregisteredMetricFlaggedOnce) {
+  write_manifest(
+      "IOFA_METRIC(counter, \"fwd.good\", \"a declared series\")\n");
+  write_fixture("emit.cpp",
+                "void f(Registry& r) {\n"
+                "  r.counter(\"fwd.good\")->add(1);\n"
+                "  r.counter(\"fwd.bad\")->add(1);\n"
+                "}\n");
+  const auto r = run_lint(dir_);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_of(r.output, "[metric-manifest]"), 1u) << r.output;
+  EXPECT_NE(r.output.find("'fwd.bad'"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST_F(MetricManifestTest, AdjacentStringLiteralsFuse) {
+  write_manifest("IOFA_METRIC(gauge, \"fwd.queue.depth\", \"whole name\")\n");
+  write_fixture("emit.cpp",
+                "void f(Registry& r) {\n"
+                "  r.gauge(\"fwd.queue.\" \"depth\")->set(0);\n"
+                "  r.gauge(\"fwd.queue.\"\n"
+                "          \"lag\")->set(0);\n"
+                "}\n");
+  const auto r = run_lint(dir_);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_of(r.output, "[metric-manifest]"), 1u) << r.output;
+  EXPECT_NE(r.output.find("'fwd.queue.lag'"), std::string::npos) << r.output;
+}
+
+TEST_F(MetricManifestTest, NoManifestMeansRuleInactive) {
+  write_fixture("emit.cpp",
+                "void f(Registry& r) { r.counter(\"fwd.any\")->add(1); }\n");
+  const auto r = run_lint(dir_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(MetricManifestTest, DynamicNamesSkipped) {
+  write_manifest("IOFA_METRIC(counter, \"fwd.good\", \"declared\")\n");
+  write_fixture("emit.cpp",
+                "void f(Registry& r, const std::string& n) {\n"
+                "  r.counter(n)->add(1);\n"
+                "}\n");
+  const auto r = run_lint(dir_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(MetricManifestTest, MetricManifestSuppressionHonoured) {
+  write_manifest("IOFA_METRIC(counter, \"fwd.good\", \"declared\")\n");
+  write_fixture(
+      "emit.cpp",
+      "void f(Registry& r) {\n"
+      "  r.counter(\"fwd.tmp\")->add(1);  // iofa-lint: allow(metric-manifest)\n"
+      "}\n");
+  const auto r = run_lint(dir_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+// --------------------------------------------------------- driver (v2)
+
+TEST_F(LintTest, ListRulesShowsAllEleven) {
+  const auto r = run_lint_cmd("--list-rules");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  for (const char* rule :
+       {"naked-mutex", "raw-sleep", "raw-rand", "raw-cout", "raw-thread",
+        "bare-units", "raw-token-bucket", "swallowed-error", "lock-order",
+        "clock-hygiene", "metric-manifest"}) {
+    EXPECT_NE(r.output.find(rule), std::string::npos) << rule << "\n"
+                                                      << r.output;
+  }
+}
+
+TEST_F(LintTest, RuleFilterRunsOnlySelectedRules) {
+  write_fixture("mixed.hpp",
+                "class A {\n"
+                "  std::mutex mu_;\n"
+                "};\n");
+  write_fixture("mixed.cpp", "void f() { usleep(100); }\n");
+  const auto r = run_lint_cmd("--rules raw-sleep " + dir_.string());
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("raw-sleep"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("naked-mutex"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, UnknownRuleIsUsageError) {
+  const auto r = run_lint_cmd("--rules no-such-rule " + dir_.string());
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST_F(LintTest, CatalogRendersManifest) {
+  const fs::path tel = dir_.parent_path() / "telemetry";
+  fs::create_directories(tel);
+  std::ofstream(tel / "m.inc")
+      << "IOFA_METRIC(counter, \"fwd.demo.total\", \"demo series\")\n";
+  const auto r = run_lint_cmd("--manifest " + (tel / "m.inc").string() +
+                              " --catalog -");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("fwd.demo.total"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("demo series"), std::string::npos) << r.output;
+}
+
 // The repository's own library tree must stay clean; this is the same
 // gate CI runs, kept here so a plain `ctest` catches regressions too.
 TEST(LintRepoTest, SrcTreeIsClean) {
@@ -515,6 +811,27 @@ TEST(LintRepoTest, SrcTreeIsClean) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
 #else
   GTEST_SKIP() << "IOFA_REPO_SRC not defined";
+#endif
+}
+
+TEST(LintRepoTest, ToolsTreeIsClean) {
+#ifdef IOFA_REPO_TOOLS
+  const auto r = run_lint(IOFA_REPO_TOOLS);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+#else
+  GTEST_SKIP() << "IOFA_REPO_TOOLS not defined";
+#endif
+}
+
+// Every series the code can emit must be declared: linting src/ with
+// the checked-in manifest is the acceptance gate for the catalog.
+TEST(LintRepoTest, ManifestCoversEmittedSeries) {
+#if defined(IOFA_REPO_SRC) && defined(IOFA_REPO_MANIFEST)
+  const auto r = run_lint_cmd(std::string("--manifest ") + IOFA_REPO_MANIFEST +
+                              " --rules metric-manifest " + IOFA_REPO_SRC);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+#else
+  GTEST_SKIP() << "repo paths not defined";
 #endif
 }
 

@@ -1,0 +1,167 @@
+// Runtime lockdep checker (common/lockdep.hpp): the dynamic
+// cross-check for the static `lock-order` lint rule. The checker
+// itself is always compiled, so most of these tests drive
+// iofa::lockdep::on_acquire directly and work in any build; the
+// through-the-Mutex-wrapper tests only run when the hooks are wired
+// in (-DIOFA_LOCKDEP=ON).
+
+#include "common/lockdep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/mutex.hpp"
+
+namespace {
+
+// Each death test runs the statement in a fresh child process, so the
+// order graph and held stack it builds up die with the child and
+// never pollute other tests. In the parent we only touch distinct
+// addresses per test for the same reason.
+
+TEST(LockdepDeathTest, InversionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  int a = 0, b = 0;
+  EXPECT_DEATH(
+      {
+        // Thread 1 order: a -> b.
+        iofa::lockdep::on_acquire(&a);
+        iofa::lockdep::on_acquire(&b);
+        iofa::lockdep::on_release(&b);
+        iofa::lockdep::on_release(&a);
+        // Same thread, opposite order: b -> a. A second thread doing
+        // this concurrently is the classic ABBA deadlock; the checker
+        // flags the inverted order no matter which thread exhibits it.
+        iofa::lockdep::on_acquire(&b);
+        iofa::lockdep::on_acquire(&a);
+      },
+      "lock-order inversion");
+}
+
+TEST(LockdepDeathTest, RecursiveAcquisitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  int a = 0;
+  EXPECT_DEATH(
+      {
+        iofa::lockdep::on_acquire(&a);
+        iofa::lockdep::on_acquire(&a);
+      },
+      "recursive acquisition");
+}
+
+TEST(LockdepDeathTest, InversionAcrossThreadsAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  int a = 0, b = 0;
+  EXPECT_DEATH(
+      {
+        // The a -> b edge is recorded by another thread; the inverted
+        // b -> a acquisition in this thread must still abort (the
+        // order graph is global, only the held stack is per-thread).
+        std::thread t([&] {
+          iofa::lockdep::on_acquire(&a);
+          iofa::lockdep::on_acquire(&b);
+          iofa::lockdep::on_release(&b);
+          iofa::lockdep::on_release(&a);
+        });
+        t.join();
+        iofa::lockdep::on_acquire(&b);
+        iofa::lockdep::on_acquire(&a);
+      },
+      "lock-order inversion");
+}
+
+TEST(LockdepTest, ConsistentOrderIsFine) {
+  int a = 0, b = 0, c = 0;
+  for (int i = 0; i < 3; ++i) {
+    iofa::lockdep::on_acquire(&a);
+    iofa::lockdep::on_acquire(&b);
+    iofa::lockdep::on_acquire(&c);
+    iofa::lockdep::on_release(&c);
+    iofa::lockdep::on_release(&b);
+    iofa::lockdep::on_release(&a);
+  }
+  iofa::lockdep::on_destroy(&a);
+  iofa::lockdep::on_destroy(&b);
+  iofa::lockdep::on_destroy(&c);
+}
+
+TEST(LockdepTest, DestroyForgetsTheLock) {
+  int b = 0;
+  {
+    int a = 0;
+    iofa::lockdep::on_acquire(&a);
+    iofa::lockdep::on_acquire(&b);
+    iofa::lockdep::on_release(&b);
+    iofa::lockdep::on_release(&a);
+    iofa::lockdep::on_destroy(&a);
+  }
+  // A new lock reusing the dead lock's address must start with a clean
+  // slate: taking it after b is an inversion only if the old a -> b
+  // edge survived destruction.
+  int a2 = 0;
+  iofa::lockdep::on_acquire(&b);
+  iofa::lockdep::on_acquire(&a2);
+  iofa::lockdep::on_release(&a2);
+  iofa::lockdep::on_release(&b);
+  iofa::lockdep::on_destroy(&a2);
+  iofa::lockdep::on_destroy(&b);
+}
+
+TEST(LockdepTest, TryAcquireRecordsNoEdges) {
+  int a = 0, b = 0;
+  // try_lock can't deadlock (it never blocks), so it joins the held
+  // stack without asserting an order...
+  iofa::lockdep::on_acquire(&a);
+  iofa::lockdep::on_try_acquire(&b);
+  iofa::lockdep::on_release(&b);
+  iofa::lockdep::on_release(&a);
+  // ...and the opposite blocking order later is therefore legal.
+  iofa::lockdep::on_acquire(&b);
+  iofa::lockdep::on_acquire(&a);
+  iofa::lockdep::on_release(&a);
+  iofa::lockdep::on_release(&b);
+  iofa::lockdep::on_destroy(&a);
+  iofa::lockdep::on_destroy(&b);
+}
+
+// --- through the iofa::Mutex wrappers (IOFA_LOCKDEP builds only) ----------
+
+TEST(LockdepMutexDeathTest, WrapperInversionAborts) {
+  if (!iofa::lockdep::enabled()) {
+    GTEST_SKIP() << "hooks not wired; configure with -DIOFA_LOCKDEP=ON";
+  }
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        iofa::Mutex a;
+        iofa::Mutex b;
+        {
+          iofa::MutexLock la(a);
+          // iofa-lint: allow(lock-order) -- the inversion under test
+          iofa::MutexLock lb(b);
+        }
+        {
+          iofa::MutexLock lb(b);
+          iofa::MutexLock la(a);
+        }
+      },
+      "lock-order inversion");
+}
+
+TEST(LockdepMutexTest, WrapperConsistentOrderIsFine) {
+  if (!iofa::lockdep::enabled()) {
+    GTEST_SKIP() << "hooks not wired; configure with -DIOFA_LOCKDEP=ON";
+  }
+  iofa::Mutex a;
+  iofa::Mutex b;
+  std::thread t([&] {
+    iofa::MutexLock la(a);
+    iofa::MutexLock lb(b);
+  });
+  t.join();
+  iofa::MutexLock la(a);
+  iofa::UniqueLock lb(b);
+}
+
+}  // namespace

@@ -1,462 +1,177 @@
 // iofa_lint: project-specific source rules the compiler cannot check.
 //
-// Complements the IOFA_STRICT clang -Wthread-safety build (which proves
-// lock/field contracts once they are declared) by enforcing that the
-// contracts are declared at all, and a few hygiene rules:
+// This is a thin CLI over the static-analysis library in src/lint/
+// (tokenizer, per-file scope model, rule plugins). It complements the
+// IOFA_STRICT clang -Wthread-safety build (which proves lock/field
+// contracts once they are declared) by enforcing that the contracts
+// are declared at all, plus hygiene and whole-program rules:
 //
-//   naked-mutex  a std::mutex / iofa::Mutex member in a class that
-//                declares no IOFA_GUARDED_BY field: either annotate
-//                what the mutex protects or justify it inline.
-//   raw-sleep    sleep/usleep/nanosleep/system_clock outside
-//                common/clock: pacing goes through
-//                iofa::sleep_for_seconds so it stays greppable and the
-//                process stays on one monotonic timeline.
-//   raw-cout     std::cout/std::cerr logging in src/ outside
-//                common/log and the telemetry exporters.
-//   raw-rand     <random> engines / rand() / random_device outside
-//                common/rng: randomness goes through iofa::Rng so every
-//                run is seedable and fault drills replay byte-for-byte.
-//   bare-units   `double <name>bytes/seconds<...>` declarations in
-//                public headers of src/core and src/fwd: use the
-//                Bytes / Seconds / MBps typedefs (common/units.hpp).
-//   raw-thread   std::thread / std::jthread outside the approved
-//                owners (common/thread_pool, fwd/daemon, fwd/health):
-//                long-lived threads belong to components whose
-//                join-on-shutdown discipline is TSan-covered; everything
-//                else composes those.
-//   raw-token-bucket
-//                direct TokenBucket construction in src/fwd or src/qos:
-//                per-tenant rate limiting goes through the
-//                HierarchicalTokenBucket so reservations, borrowing and
-//                the lending ledger stay in one place; the blessed raw
-//                buckets (the hierarchy's own nodes, the ION ingest
-//                root, the PFS bandwidth model, the deployment-wide
-//                fallback limiter) justify themselves inline.
-//   swallowed-error
-//                in src/fwd: a `catch (...)` handler, or a failable
-//                forwarding call (submit/try_submit/try_push/
-//                try_acquire, pfs .write) whose result is discarded at
-//                statement position. A dropped error code on the
-//                forwarding path is silently lost bytes; check it,
-//                or suppress with a justification.
+//   naked-mutex      mutex member in a class with no IOFA_GUARDED_BY.
+//   raw-sleep        sleeps / wall-clock calls outside common/clock.
+//   raw-cout         std::cout/cerr in library code.
+//   raw-rand         randomness outside the seeded iofa::Rng.
+//   bare-units       bare `double ...bytes/seconds` in public headers.
+//   raw-thread       std::thread outside the approved owners.
+//   raw-token-bucket direct TokenBucket construction in fwd/qos.
+//   swallowed-error  discarded failable calls / catch(...) in src/fwd.
+//   lock-order       whole-program: the static lock-acquisition graph
+//                    (nested RAII scopes, IOFA_REQUIRES entry locks,
+//                    IOFA_ACQUIRED_BEFORE/AFTER, calls made under a
+//                    lock) must stay acyclic; a cycle is a potential
+//                    deadlock. Dump the graph with --dot.
+//   clock-hygiene    direct std::chrono clock reads / time() /
+//                    gettimeofday outside common/clock and fault/clock.
+//   metric-manifest  every counter/gauge/histogram series name used in
+//                    src/ must be declared in
+//                    src/telemetry/metrics_manifest.inc.
 //
 // A finding is suppressed by putting `iofa-lint: allow(<rule>)` in a
-// comment on the same line; the expectation is that the comment also
-// says why (reviewed in code review like any other escape hatch).
+// comment on the same line (or a comment-only line directly above);
+// the expectation is that the comment also says why. The rule name
+// must match exactly, and tags only count inside comments.
 //
-// Usage: iofa_lint <file-or-directory>...   (exit 0 clean, 1 findings)
+// Exit codes: 0 clean, 1 findings, 2 usage/IO error.
 
-#include <cctype>
-#include <cstdio>
-#include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <regex>
 #include <sstream>
 #include <string>
 #include <vector>
 
-namespace fs = std::filesystem;
+#include "lint/analyzer.hpp"
+#include "lint/manifest.hpp"
 
 namespace {
 
-struct Finding {
-  std::string file;
-  std::size_t line = 0;
-  std::string rule;
-  std::string message;
-};
-
-std::vector<Finding> g_findings;
-
-void report(const std::string& file, std::size_t line, const std::string& rule,
-            const std::string& message) {
-  g_findings.push_back({file, line, rule, message});
+int usage() {
+  std::cerr
+      << "usage: iofa_lint [options] <file-or-directory>...\n"
+         "  --manifest <path>  metric manifest to check against (default:\n"
+         "                     <root>/src/telemetry/metrics_manifest.inc,\n"
+         "                     discovered per analyzed tree)\n"
+         "  --dot <path>       write the static lock-acquisition graph as\n"
+         "                     Graphviz DOT ('-' for stdout)\n"
+         "  --catalog <path>   render the metric catalog markdown from the\n"
+         "                     --manifest file ('-' for stdout)\n"
+         "  --rules <a,b,...>  run only the named rules\n"
+         "  --list-rules       list rules and exit\n";
+  return 2;
 }
 
-bool path_contains(const std::string& path, const std::string& needle) {
-  return path.find(needle) != std::string::npos;
-}
-
-bool suppressed(const std::string& raw_line, const std::string& rule) {
-  const std::string tag = "iofa-lint: allow(" + rule + ")";
-  return raw_line.find(tag) != std::string::npos;
-}
-
-/// One source line with comments blanked out (string literals kept:
-/// none of the rules trigger inside plausible literals, and keeping
-/// them avoids a lexer).
-struct CleanLine {
-  std::string text;  ///< comment-stripped
-  std::string raw;   ///< original (for suppression tags)
-};
-
-std::vector<CleanLine> read_and_strip(const fs::path& path) {
-  std::ifstream in(path);
-  std::vector<CleanLine> lines;
-  std::string line;
-  bool in_block_comment = false;
-  while (std::getline(in, line)) {
-    std::string out;
-    out.reserve(line.size());
-    for (std::size_t i = 0; i < line.size();) {
-      if (in_block_comment) {
-        if (line.compare(i, 2, "*/") == 0) {
-          in_block_comment = false;
-          i += 2;
-        } else {
-          ++i;
-        }
-        continue;
-      }
-      if (line.compare(i, 2, "/*") == 0) {
-        in_block_comment = true;
-        i += 2;
-        continue;
-      }
-      if (line.compare(i, 2, "//") == 0) break;
-      out.push_back(line[i]);
-      ++i;
-    }
-    lines.push_back({std::move(out), line});
+bool write_output(const std::string& path, const std::string& content) {
+  if (path == "-") {
+    std::cout << content;
+    return true;
   }
-  return lines;
-}
-
-// --- rule: naked-mutex ----------------------------------------------------
-
-struct Scope {
-  bool is_class = false;
-  std::string name;
-  bool has_guarded = false;
-  std::vector<std::pair<std::size_t, std::string>> mutex_members;
-};
-
-const std::regex kClassHeader(R"((?:class|struct)\s+(?:\w+\s+)*?(\w+)\s*(?:final)?\s*(?::[^{]*)?$)");
-const std::regex kMutexMember(
-    R"(^\s*(?:mutable\s+)?(?:(?:std|iofa)\s*::\s*)?[Mm]utex\s+(\w+)\s*(?:;|=))");
-
-void check_naked_mutex(const std::string& file,
-                       const std::vector<CleanLine>& lines) {
-  if (path_contains(file, "common/mutex.hpp") ||
-      path_contains(file, "common/annotations.hpp")) {
-    return;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "iofa_lint: cannot write '" << path << "'\n";
+    return false;
   }
-  std::vector<Scope> stack;
-  std::string header;  // text accumulated since the last ; { or }
-  auto close_scope = [&](Scope& sc) {
-    if (!sc.is_class || sc.has_guarded) return;
-    for (const auto& [line_no, name] : sc.mutex_members) {
-      report(file, line_no, "naked-mutex",
-             "class '" + sc.name + "' declares mutex member '" + name +
-                 "' but no IOFA_GUARDED_BY field; annotate what it "
-                 "protects (common/annotations.hpp)");
-    }
-  };
-  for (std::size_t li = 0; li < lines.size(); ++li) {
-    const std::string& text = lines[li].text;
-    if (!stack.empty()) {
-      if (text.find("IOFA_GUARDED_BY") != std::string::npos ||
-          text.find("IOFA_PT_GUARDED_BY") != std::string::npos) {
-        stack.back().has_guarded = true;
-      }
-      std::smatch m;
-      if (std::regex_search(text, m, kMutexMember) && stack.back().is_class &&
-          !suppressed(lines[li].raw, "naked-mutex")) {
-        stack.back().mutex_members.emplace_back(li + 1, m[1].str());
-      }
-    }
-    for (char c : text) {
-      if (c == '{') {
-        Scope sc;
-        // Trim the accumulated header and match it against a class or
-        // struct introduction (enum class is excluded by the regex's
-        // trailing-name anchor never matching "enum").
-        std::smatch m;
-        std::string h = header;
-        if (h.find("enum") == std::string::npos &&
-            std::regex_search(h, m, kClassHeader)) {
-          sc.is_class = true;
-          sc.name = m[1].str();
-        }
-        stack.push_back(std::move(sc));
-        header.clear();
-      } else if (c == '}') {
-        if (!stack.empty()) {
-          close_scope(stack.back());
-          stack.pop_back();
-        }
-        header.clear();
-      } else if (c == ';') {
-        header.clear();
-      } else {
-        header.push_back(c);
-      }
-    }
-  }
-  for (auto& sc : stack) close_scope(sc);  // unbalanced file: best effort
-}
-
-// --- rule: raw-sleep ------------------------------------------------------
-
-const std::regex kRawSleep(
-    R"(std\s*::\s*this_thread\s*::\s*sleep_(for|until)|\busleep\s*\(|\bnanosleep\s*\(|std\s*::\s*chrono\s*::\s*system_clock|\bgettimeofday\s*\()");
-
-void check_raw_sleep(const std::string& file,
-                     const std::vector<CleanLine>& lines) {
-  if (path_contains(file, "common/clock.")) return;
-  for (std::size_t li = 0; li < lines.size(); ++li) {
-    if (std::regex_search(lines[li].text, kRawSleep) &&
-        !suppressed(lines[li].raw, "raw-sleep")) {
-      report(file, li + 1, "raw-sleep",
-             "raw sleep / wall-clock call; use iofa::sleep_for_seconds "
-             "or the monotonic clock (common/clock.hpp)");
-    }
-  }
-}
-
-// --- rule: raw-rand -------------------------------------------------------
-
-// The escaped `\s*` separators keep these patterns from matching their
-// own source line (the literal text contains a backslash, not a space).
-const std::regex kRawRand(
-    R"(std\s*::\s*(mt19937(_64)?|minstd_rand0?|default_random_engine|random_device|(uniform_int|uniform_real|normal|bernoulli|poisson|exponential|discrete)_distribution)\b|\b[sd]?rand\s*(48)?\s*\(|\brandom\s*\()");
-
-void check_raw_rand(const std::string& file,
-                    const std::vector<CleanLine>& lines) {
-  // Determinism discipline covers the library AND the tools (fault
-  // drills replay from a seed end to end); the one blessed source of
-  // randomness is iofa::Rng itself.
-  if (!(path_contains(file, "src/") || path_contains(file, "tools/"))) return;
-  if (path_contains(file, "common/rng.")) return;
-  for (std::size_t li = 0; li < lines.size(); ++li) {
-    if (std::regex_search(lines[li].text, kRawRand) &&
-        !suppressed(lines[li].raw, "raw-rand")) {
-      report(file, li + 1, "raw-rand",
-             "unseeded/raw randomness; use iofa::Rng (common/rng.hpp) "
-             "so runs replay from a seed");
-    }
-  }
-}
-
-// --- rule: raw-cout -------------------------------------------------------
-
-const std::regex kRawCout(R"(std\s*::\s*(cout|cerr)\b)");
-
-void check_raw_cout(const std::string& file,
-                    const std::vector<CleanLine>& lines) {
-  // Logging discipline applies to the library tree; tools/benches and
-  // the exporters write their actual output to streams by design.
-  if (!path_contains(file, "src/")) return;
-  if (path_contains(file, "common/log.") ||
-      path_contains(file, "telemetry/export")) {
-    return;
-  }
-  for (std::size_t li = 0; li < lines.size(); ++li) {
-    if (std::regex_search(lines[li].text, kRawCout) &&
-        !suppressed(lines[li].raw, "raw-cout")) {
-      report(file, li + 1, "raw-cout",
-             "direct std::cout/std::cerr in library code; use "
-             "iofa::log_* (common/log.hpp) or take a std::ostream&");
-    }
-  }
-}
-
-// --- rule: raw-thread -----------------------------------------------------
-
-// `(?!\s*::)` keeps static member calls legal
-// (std::thread::hardware_concurrency); the `\s*::\s*` separator keeps
-// the pattern from matching its own source line.
-const std::regex kRawThread(R"(std\s*::\s*j?thread\b(?!\s*::))");
-
-void check_raw_thread(const std::string& file,
-                      const std::vector<CleanLine>& lines) {
-  // Thread-ownership discipline for the library and the tools: spawning
-  // is confined to the pool and the daemon-style owners, where the
-  // join-on-shutdown lifecycle is centralised and TSan-exercised.
-  if (!(path_contains(file, "src/") || path_contains(file, "tools/"))) return;
-  if (path_contains(file, "common/thread_pool.") ||
-      path_contains(file, "fwd/daemon.") ||
-      path_contains(file, "fwd/health.")) {
-    return;
-  }
-  for (std::size_t li = 0; li < lines.size(); ++li) {
-    if (std::regex_search(lines[li].text, kRawThread) &&
-        !suppressed(lines[li].raw, "raw-thread")) {
-      report(file, li + 1, "raw-thread",
-             "raw std::thread outside the approved owners; use "
-             "iofa::ThreadPool (common/thread_pool.hpp) or justify the "
-             "ownership inline");
-    }
-  }
-}
-
-// --- rule: bare-units -----------------------------------------------------
-
-const std::regex kBareUnits(
-    R"(\bdouble\s+\w*(bytes|byte|seconds|second|secs)\w*)");
-
-void check_bare_units(const std::string& file,
-                      const std::vector<CleanLine>& lines) {
-  if (!(path_contains(file, "core/") || path_contains(file, "fwd/"))) return;
-  if (file.size() < 4 || file.compare(file.size() - 4, 4, ".hpp") != 0) return;
-  for (std::size_t li = 0; li < lines.size(); ++li) {
-    std::smatch m;
-    if (std::regex_search(lines[li].text, m, kBareUnits) &&
-        !suppressed(lines[li].raw, "bare-units")) {
-      report(file, li + 1, "bare-units",
-             "bare 'double' carrying bytes/seconds in a public header; "
-             "use the Bytes / Seconds typedefs (common/units.hpp)");
-    }
-  }
-}
-
-// --- rule: raw-token-bucket -----------------------------------------------
-
-// Construction sites only: declarations of TokenBucket values, new
-// expressions and make_unique/make_shared. Pointer/reference types and
-// unique_ptr<TokenBucket> members (holders, not makers) do not match.
-const std::regex kRawTokenBucket(
-    R"(\bnew\s+TokenBucket\b|make_(?:unique|shared)\s*<\s*TokenBucket\s*>|\bTokenBucket\s+\w+\s*[;({=])");
-
-void check_raw_token_bucket(const std::string& file,
-                            const std::vector<CleanLine>& lines) {
-  // Scope: the forwarding data path and the QoS layer itself, where a
-  // stray raw bucket silently bypasses the tenant hierarchy's
-  // reserved/borrowed/lent accounting.
-  if (!(path_contains(file, "src/fwd") || path_contains(file, "src/qos"))) {
-    return;
-  }
-  for (std::size_t li = 0; li < lines.size(); ++li) {
-    if (!std::regex_search(lines[li].text, kRawTokenBucket)) continue;
-    // Construction calls usually wrap across lines, so the tag is also
-    // honoured on the comment line directly above the match.
-    if (suppressed(lines[li].raw, "raw-token-bucket") ||
-        (li > 0 && suppressed(lines[li - 1].raw, "raw-token-bucket"))) {
-      continue;
-    }
-    report(file, li + 1, "raw-token-bucket",
-           "direct TokenBucket construction in the forwarding/QoS layer; "
-           "rate-limit tenants through the HierarchicalTokenBucket "
-           "(qos/hierarchical_bucket.hpp) or justify the raw bucket "
-           "inline");
-  }
-}
-
-// --- rule: swallowed-error ------------------------------------------------
-
-// Failable forwarding-path calls whose result is discarded at statement
-// position. The chain prefix admits only simple receivers
-// (obj. / obj-> / ns:: / obj(arg).), so guarded uses - `if (...)`,
-// `ok = ...`, `return ...` - do not start the statement with the call
-// and never match.
-const std::regex kSwallowedCall(
-    R"(^\s*((?:[A-Za-z_]\w*(?:\([^()]*\))?\s*(?:\.|->|::)\s*)*)(?:try_submit|try_push|try_acquire|submit)\s*\()");
-const std::regex kSwallowedPfsWrite(
-    R"(^\s*(?:[A-Za-z_]\w*(?:\([^()]*\))?\s*(?:\.|->|::)\s*)*pfs(?:_|\(\))\s*\.\s*write\s*\()");
-const std::regex kCatchAll(R"(\bcatch\s*\(\s*\.\.\.\s*\))");
-// ThreadPool::submit returns a future, not an error code; a pool-named
-// receiver is task fan-out, not a forwarding offer.
-const std::regex kPoolReceiver(R"(\w*pool_?\s*(?:\.|->)\s*$)");
-
-/// A call chain at the start of a PHYSICAL line is only a statement if
-/// the previous code line completed one; otherwise it is the wrapped
-/// tail of `ok = ...` / `return ...` / an argument list.
-bool continuation_line(const std::vector<CleanLine>& lines, std::size_t li) {
-  for (std::size_t j = li; j-- > 0;) {
-    const std::string& prev = lines[j].text;
-    const auto last = prev.find_last_not_of(" \t");
-    if (last == std::string::npos) continue;  // blank line: keep looking
-    const char c = prev[last];
-    return !(c == ';' || c == '{' || c == '}' || c == ')' || c == ':');
-  }
-  return false;
-}
-
-void check_swallowed_error(const std::string& file,
-                           const std::vector<CleanLine>& lines) {
-  // Scope: the forwarding data path, where every refused or failed
-  // request must land in an accounting bucket (fwd/overload.hpp).
-  if (!path_contains(file, "src/fwd")) return;
-  for (std::size_t li = 0; li < lines.size(); ++li) {
-    const std::string& text = lines[li].text;
-    if (suppressed(lines[li].raw, "swallowed-error")) continue;
-    if (std::regex_search(text, kCatchAll)) {
-      report(file, li + 1, "swallowed-error",
-             "catch (...) swallows errors on the forwarding path; catch "
-             "the concrete exception types and account the failure");
-      continue;
-    }
-    std::smatch m;
-    const bool call = std::regex_search(text, m, kSwallowedCall) &&
-                      !std::regex_search(m[1].first, m[1].second,
-                                         kPoolReceiver);
-    if ((call || std::regex_search(text, kSwallowedPfsWrite)) &&
-        !continuation_line(lines, li)) {
-      report(file, li + 1, "swallowed-error",
-             "failable call with its result discarded; check the "
-             "submit/acquire/write outcome so refused work is retried "
-             "or accounted, not dropped");
-    }
-  }
-}
-
-// --- driver ---------------------------------------------------------------
-
-bool lintable(const fs::path& p) {
-  const auto ext = p.extension().string();
-  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
-}
-
-void lint_file(const fs::path& path) {
-  const std::string file = path.generic_string();
-  const auto lines = read_and_strip(path);
-  check_naked_mutex(file, lines);
-  check_raw_sleep(file, lines);
-  check_raw_rand(file, lines);
-  check_raw_cout(file, lines);
-  check_raw_thread(file, lines);
-  check_bare_units(file, lines);
-  check_raw_token_bucket(file, lines);
-  check_swallowed_error(file, lines);
+  out << content;
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<fs::path> roots;
+  iofa::lint::AnalyzerOptions opts;
+  std::string dot_path;
+  std::string catalog_path;
+  std::vector<std::string> roots;
+
   for (int i = 1; i < argc; ++i) {
-    roots.emplace_back(argv[i]);
-  }
-  if (roots.empty()) {
-    std::cerr << "usage: iofa_lint <file-or-directory>...\n";
-    return 2;
-  }
-  std::size_t files = 0;
-  for (const auto& root : roots) {
-    std::error_code ec;
-    if (fs::is_directory(root, ec)) {
-      for (fs::recursive_directory_iterator it(root, ec), end;
-           it != end && !ec; it.increment(ec)) {
-        if (it->is_regular_file() && lintable(it->path())) {
-          lint_file(it->path());
-          ++files;
-        }
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "iofa_lint: " << flag << " needs a value\n";
+        return nullptr;
       }
-    } else if (fs::is_regular_file(root, ec) && lintable(root)) {
-      lint_file(root);
-      ++files;
+      return argv[++i];
+    };
+    if (arg == "--list-rules") {
+      for (const auto& [name, desc] : iofa::lint::Analyzer::rule_list()) {
+        std::cout << name << ": " << desc << "\n";
+      }
+      return 0;
+    } else if (arg == "--manifest") {
+      const char* v = value("--manifest");
+      if (!v) return 2;
+      opts.manifest_path = v;
+    } else if (arg == "--dot") {
+      const char* v = value("--dot");
+      if (!v) return 2;
+      dot_path = v;
+    } else if (arg == "--catalog") {
+      const char* v = value("--catalog");
+      if (!v) return 2;
+      catalog_path = v;
+    } else if (arg == "--rules") {
+      const char* v = value("--rules");
+      if (!v) return 2;
+      std::stringstream ss(v);
+      std::string name;
+      while (std::getline(ss, name, ',')) {
+        if (!name.empty()) opts.rules.push_back(name);
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
     } else {
-      std::cerr << "iofa_lint: cannot read '" << root.generic_string()
+      roots.push_back(arg);
+    }
+  }
+
+  if (!opts.rules.empty()) {
+    const auto known = iofa::lint::Analyzer::rule_list();
+    for (const auto& r : opts.rules) {
+      bool ok = false;
+      for (const auto& [name, desc] : known) ok = ok || name == r;
+      if (!ok) {
+        std::cerr << "iofa_lint: unknown rule '" << r << "'\n";
+        return 2;
+      }
+    }
+  }
+
+  if (!catalog_path.empty()) {
+    if (opts.manifest_path.empty()) {
+      std::cerr << "iofa_lint: --catalog requires --manifest\n";
+      return 2;
+    }
+    const auto m = iofa::lint::load_manifest(opts.manifest_path);
+    if (!m) {
+      std::cerr << "iofa_lint: cannot read manifest '" << opts.manifest_path
                 << "'\n";
       return 2;
     }
+    if (!write_output(catalog_path,
+                      iofa::lint::manifest_catalog_markdown(*m))) {
+      return 2;
+    }
+    if (roots.empty()) return 0;  // catalog-only invocation
   }
-  for (const auto& f : g_findings) {
+
+  if (roots.empty()) return usage();
+
+  iofa::lint::Analyzer analyzer(opts);
+  for (const auto& root : roots) {
+    if (!analyzer.add_path(root)) {
+      std::cerr << "iofa_lint: cannot read '" << root << "'\n";
+      return 2;
+    }
+  }
+  analyzer.finish();
+
+  if (!dot_path.empty() &&
+      !write_output(dot_path, analyzer.lock_graph_dot())) {
+    return 2;
+  }
+
+  for (const auto& f : analyzer.findings()) {
     std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
               << f.message << "\n";
   }
-  std::cout << "iofa_lint: " << files << " files, " << g_findings.size()
-            << " finding(s)\n";
-  return g_findings.empty() ? 0 : 1;
+  std::cout << "iofa_lint: " << analyzer.file_count() << " files, "
+            << analyzer.findings().size() << " finding(s)\n";
+  return analyzer.findings().empty() ? 0 : 1;
 }

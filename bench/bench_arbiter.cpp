@@ -1,0 +1,262 @@
+// Arbitration-latency bench for the warm-start MCKP path: sweeps the
+// number of concurrent jobs (100 -> 10k) under job churn and compares
+// three arbiter configurations over the SAME fixed-seed event stream:
+//
+//   full   - incremental off: every event rebuilds the allocation
+//            problem and runs the policy DP from scratch
+//   inc    - warm-start on, epoch = 1 event: every event re-solves, but
+//            only the affected DP suffix is recomputed
+//   epoch  - warm-start on, epoch = 16 events: deltas batch into one
+//            suffix recompute + one mapping republish per epoch
+//
+// Time is synthetic (t += 1 per event, fed to Arbiter::tick), so the
+// epoch cadence is exact and independent of host speed; only the churn
+// loop's wall time is measured. Every job's curve includes a 0-ION
+// direct option, so the problem is always feasible and the shared
+// fallback never distorts the comparison.
+//
+// Acceptance gate (ISSUE 8 / CI arbiter-bench-smoke): the epoch
+// configuration must be >= 5x faster than full at 10k jobs.
+//
+// Usage: bench_arbiter [--quick] [--out FILE]
+//   --quick   48 churn events per run instead of 192 (CI smoke)
+//   --out     JSON results path (default BENCH_arbiter.json)
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/arbiter.hpp"
+#include "core/policies.hpp"
+
+namespace {
+
+using namespace iofa;
+
+constexpr std::uint64_t kSeed = 1337;
+constexpr int kPool = 64;
+
+struct ModeSpec {
+  std::string name;
+  bool incremental = false;
+  Seconds epoch_period = 1.0;  ///< events per solve (t += 1 per event)
+};
+
+const std::vector<ModeSpec> kModes = {
+    {"full", false, 1.0},
+    {"inc", true, 1.0},
+    {"epoch", true, 16.0},
+};
+
+struct RunResult {
+  std::string mode;
+  int jobs = 0;
+  int events = 0;
+  Seconds elapsed = 0.0;
+  double events_per_sec = 0.0;
+  double solves = 0.0;
+  double incremental_solves = 0.0;
+  double full_fallbacks = 0.0;
+  double epoch_batched_deltas = 0.0;
+};
+
+/// Random concave-ish curve over the standard options {0,1,2,4,8}. The
+/// 0-ION direct option keeps every instance feasible at any capacity.
+platform::BandwidthCurve make_curve(Rng& rng) {
+  const double direct = rng.uniform(1.0, 10.0);
+  const double b1 = rng.uniform(50.0, 150.0);
+  const double b2 = b1 * rng.uniform(1.4, 1.8);
+  const double b4 = b2 * rng.uniform(1.3, 1.7);
+  const double b8 = b4 * rng.uniform(1.2, 1.6);
+  return platform::BandwidthCurve(
+      {{0, direct}, {1, b1}, {2, b2}, {4, b4}, {8, b8}});
+}
+
+core::AppEntry make_app(Rng& rng, core::JobId id) {
+  core::AppEntry app;
+  app.label = "job" + std::to_string(id);
+  app.compute_nodes = rng.uniform_int(16, 512);
+  app.processes = app.compute_nodes * rng.uniform_int(8, 24);
+  app.curve = make_curve(rng);
+  return app;
+}
+
+double counter_value(const telemetry::Snapshot& snap,
+                     const std::string& name) {
+  const auto* s = snap.find(name, {{"policy", "MCKP"}});
+  return s ? s->value : 0.0;
+}
+
+RunResult run_once(const ModeSpec& mode, int jobs, int events) {
+  telemetry::Registry reg;
+
+  core::ArbiterOptions opts;
+  opts.pool = kPool;
+  opts.registry = &reg;
+  opts.incremental = mode.incremental;
+  opts.epoch_period = mode.epoch_period;
+  core::Arbiter arb(std::make_shared<core::MckpPolicy>(), opts);
+
+  // Same seed in every mode: identical jobs, identical event stream.
+  Rng rng(kSeed);
+  Seconds t = 0.0;
+  arb.tick(t);  // anchor the epoch clock before any deltas
+
+  std::vector<core::JobId> running;
+  running.reserve(static_cast<std::size_t>(jobs) + 8);
+  core::JobId next_id = 1;
+  for (int i = 0; i < jobs; ++i) {
+    arb.job_started(next_id, make_app(rng, next_id));
+    running.push_back(next_id++);
+  }
+  // One batched setup solve in every mode, so the measured loop is pure
+  // churn, not the initial population of the table.
+  t += mode.epoch_period;
+  arb.tick(t);
+
+  const Seconds t0 = monotonic_seconds();
+  for (int e = 0; e < events; ++e) {
+    if (e % 2 == 0 && !running.empty()) {
+      const std::size_t k = rng.index(running.size());
+      arb.job_finished(running[k]);
+      running[k] = running.back();
+      running.pop_back();
+    } else {
+      arb.job_started(next_id, make_app(rng, next_id));
+      running.push_back(next_id++);
+    }
+    t += 1.0;
+    arb.tick(t);
+  }
+  // Drain any epoch remainder inside the timed region: deferred work is
+  // still work.
+  t += mode.epoch_period;
+  arb.tick(t);
+  const Seconds elapsed = monotonic_seconds() - t0;
+
+  if (arb.mapping().jobs.size() != running.size() ||
+      arb.pending_events() != 0) {
+    std::cerr << "bench_arbiter: mapping out of sync after drain (mode "
+              << mode.name << ", jobs " << jobs << ")\n";
+    std::exit(2);
+  }
+
+  RunResult r;
+  r.mode = mode.name;
+  r.jobs = jobs;
+  r.events = events;
+  r.elapsed = elapsed;
+  r.events_per_sec = static_cast<double>(events) / elapsed;
+  const auto snap = reg.snapshot();
+  r.solves = counter_value(snap, "core.arbiter.solves");
+  r.incremental_solves =
+      counter_value(snap, "core.arbiter.incremental_solves");
+  r.full_fallbacks = counter_value(snap, "core.arbiter.full_fallbacks");
+  r.epoch_batched_deltas =
+      counter_value(snap, "core.arbiter.epoch_batched_deltas");
+  return r;
+}
+
+std::string json_number(double v) {
+  // JSON has no Inf/NaN; keep the output well-formed even if a clock
+  // hiccup produces one.
+  if (!(v == v) || v > 1e300 || v < -1e300) return "0";
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_arbiter.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: bench_arbiter [--quick] [--out FILE]\n";
+      return 0;
+    }
+  }
+  const int events = quick ? 48 : 192;
+
+  bench::banner("Incremental warm-start arbitration",
+                "DESIGN.md: incremental arbitration",
+                "Full re-solve vs warm-start vs 16-event epochs, fixed seed " +
+                    std::to_string(kSeed) + ", pool " + std::to_string(kPool));
+
+  Table table({"jobs", "mode", "events", "elapsed_s", "events/s", "solves",
+               "speedup"});
+  std::vector<RunResult> results;
+  double speedup_epoch_10k = 0.0;
+  for (int jobs : {100, 1000, 10000}) {
+    Seconds full_elapsed = 0.0;
+    for (const auto& mode : kModes) {
+      results.push_back(run_once(mode, jobs, events));
+      const auto& r = results.back();
+      if (mode.name == "full") full_elapsed = r.elapsed;
+      const double speedup = full_elapsed / r.elapsed;
+      if (jobs == 10000 && mode.name == "epoch") speedup_epoch_10k = speedup;
+      table.add_row({std::to_string(r.jobs), r.mode,
+                     std::to_string(r.events), fmt(r.elapsed, 4),
+                     fmt(r.events_per_sec, 0), fmt(r.solves, 0),
+                     fmt(speedup, 2)});
+    }
+  }
+  table.print(std::cout);
+
+  constexpr double kGateFloor = 5.0;
+  const bool gate_pass = speedup_epoch_10k >= kGateFloor;
+  std::cout << "\nepoch-vs-full speedup at 10k jobs: "
+            << fmt(speedup_epoch_10k, 2) << "x (acceptance floor: "
+            << fmt(kGateFloor, 1) << "x) " << (gate_pass ? "PASS" : "FAIL")
+            << "\n";
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"arbiter\",\n"
+       << "  \"seed\": " << kSeed << ",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"pool\": " << kPool << ",\n"
+       << "  \"events_per_run\": " << events << ",\n"
+       << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    json << "    {\"jobs\": " << r.jobs << ", \"mode\": \"" << r.mode
+         << "\", \"events\": " << r.events << ", \"elapsed_s\": "
+         << json_number(r.elapsed) << ", \"events_per_sec\": "
+         << json_number(r.events_per_sec) << ", \"solves\": "
+         << json_number(r.solves) << ", \"incremental_solves\": "
+         << json_number(r.incremental_solves) << ", \"full_fallbacks\": "
+         << json_number(r.full_fallbacks) << ", \"epoch_batched_deltas\": "
+         << json_number(r.epoch_batched_deltas) << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"speedup_epoch_vs_full_10k\": " << json_number(speedup_epoch_10k)
+       << ",\n"
+       << "  \"gate_floor\": " << json_number(kGateFloor) << ",\n"
+       << "  \"gate_pass\": " << (gate_pass ? "true" : "false") << "\n"
+       << "}\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "bench_arbiter: cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << json.str();
+  std::cout << "results written: " << out_path << "\n";
+  return gate_pass ? 0 : 1;
+}

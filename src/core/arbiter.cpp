@@ -99,6 +99,7 @@ Arbiter::Arbiter(std::shared_ptr<ArbitrationPolicy> policy,
                  ArbiterOptions options)
     : policy_(std::move(policy)), options_(options) {
   mapping_.pool = options_.pool;
+  warm_enabled_ = options_.incremental && policy_->supports_warm_start();
 
   auto& reg = options_.registry ? *options_.registry
                                 : telemetry::Registry::global();
@@ -107,6 +108,10 @@ Arbiter::Arbiter(std::shared_ptr<ArbitrationPolicy> policy,
   ctr_failure_resolves_ = &reg.counter("arbiter.resolves_on_failure", labels);
   ctr_load_hints_ = &reg.counter("core.arbiter.load_hints", labels);
   ctr_items_ = &reg.counter("core.arbiter.items", labels);
+  ctr_incremental_ = &reg.counter("core.arbiter.incremental_solves", labels);
+  ctr_fallbacks_ = &reg.counter("core.arbiter.full_fallbacks", labels);
+  ctr_epoch_deltas_ =
+      &reg.counter("core.arbiter.epoch_batched_deltas", labels);
   hist_solve_us_ = &reg.histogram("core.arbiter.solve_us",
                                   telemetry::BucketSpec::latency_us(), labels);
   hist_classes_ = &reg.histogram("core.arbiter.classes",
@@ -115,16 +120,39 @@ Arbiter::Arbiter(std::shared_ptr<ArbitrationPolicy> policy,
   gauge_pool_ = &reg.gauge("core.arbiter.pool", labels);
 }
 
+bool Arbiter::epoch_defer() {
+  if (options_.epoch_period <= 0.0) return false;
+  ++pending_events_;
+  return true;
+}
+
 const Mapping& Arbiter::job_started(JobId id, AppEntry app) {
+  if (warm_enabled_) {
+    pending_deltas_.push_back({id, build_class(app)});
+  }
   running_.emplace(id, std::move(app));
-  arbitrate();
+  if (!epoch_defer()) arbitrate();
   return mapping_;
 }
 
 const Mapping& Arbiter::job_finished(JobId id) {
   running_.erase(id);
+  if (warm_enabled_) pending_deltas_.push_back({id, std::nullopt});
+  if (epoch_defer()) return mapping_;
   counts_.erase(id);
   mapping_.jobs.erase(id);
+  arbitrate();
+  return mapping_;
+}
+
+const Mapping& Arbiter::job_updated(JobId id, AppEntry app) {
+  auto it = running_.find(id);
+  if (it == running_.end()) return mapping_;
+  it->second = std::move(app);
+  // Curve change: structural, so the persisted DP suffix math no
+  // longer applies — rebuild and republish now even in epoch mode.
+  warm_valid_ = false;
+  pending_deltas_.clear();
   arbitrate();
   return mapping_;
 }
@@ -133,11 +161,17 @@ const Mapping& Arbiter::set_pool(int pool) {
   options_.pool = pool;
   // Recovered-beyond-pool ids would otherwise linger in failed_.
   failed_.erase(failed_.lower_bound(pool), failed_.end());
+  // The warm table is sized by the physical pool: resize is structural.
+  warm_valid_ = false;
+  pending_deltas_.clear();
   arbitrate();
   return mapping_;
 }
 
 const Mapping& Arbiter::ion_failed(int ion) {
+  // Always immediate, even in epoch mode: failover must not wait for
+  // the next epoch (PR 3 semantics). Pending deltas are flushed into
+  // the warm table by the solve itself.
   if (ion >= 0 && ion < options_.pool && failed_.insert(ion).second) {
     ctr_failure_resolves_->add();
     arbitrate();
@@ -146,8 +180,24 @@ const Mapping& Arbiter::ion_failed(int ion) {
 }
 
 const Mapping& Arbiter::ion_recovered(int ion) {
-  if (failed_.erase(ion) != 0) arbitrate();
+  if (failed_.erase(ion) == 0) return mapping_;
+  // Recovery only grows capacity; it can wait for the epoch.
+  if (!epoch_defer()) arbitrate();
   return mapping_;
+}
+
+bool Arbiter::tick(Seconds now) {
+  if (options_.epoch_period <= 0.0) return false;
+  if (!epoch_anchored_) {
+    epoch_anchored_ = true;
+    last_epoch_time_ = now;
+  }
+  if (pending_events_ == 0) return false;
+  if (now - last_epoch_time_ < options_.epoch_period) return false;
+  ctr_epoch_deltas_->add(pending_events_);
+  last_epoch_time_ = now;
+  arbitrate();
+  return true;
 }
 
 void Arbiter::set_load_hint(int ion, double load) {
@@ -168,33 +218,102 @@ double Arbiter::load_hint(int ion) const {
   return it == load_hints_.end() ? 0.0 : it->second;
 }
 
+MckpClass Arbiter::build_class(const AppEntry& app) {
+  // Unfiltered: options heavier than the table's max weight are
+  // skipped inside IncrementalMckp, which is exactly what the policy's
+  // capacity filter achieves (see the identity note in mckp.hpp).
+  MckpClass cls;
+  const auto& opts = app.curve.options();
+  cls.reserve(opts.size());
+  for (int opt : opts) cls.push_back(MckpItem{opt, app.curve.at(opt)});
+  return cls;
+}
+
+bool Arbiter::warm_sync() {
+  if (!warm_valid_) {
+    std::vector<std::pair<std::uint64_t, MckpClass>> classes;
+    classes.reserve(running_.size());
+    for (const auto& [id, app] : running_) {
+      classes.emplace_back(id, build_class(app));
+    }
+    warm_.assign(options_.pool, std::move(classes));
+    pending_deltas_.clear();
+    warm_valid_ = true;
+    return true;
+  }
+  if (!pending_deltas_.empty()) {
+    warm_.apply(std::move(pending_deltas_));
+    pending_deltas_.clear();
+  }
+  return false;
+}
+
 void Arbiter::arbitrate() {
   telemetry::ScopedSpan span("arbitrate", "core.arbiter", "jobs",
                              static_cast<std::int64_t>(running_.size()));
-  AllocationProblem problem;
+  pending_events_ = 0;
   // The policy solves over the SURVIVING pool: dead IONs contribute no
   // capacity (Eq. 2 recomputed on survivors).
-  problem.pool = options_.pool - static_cast<int>(failed_.size());
-  problem.static_ratio = options_.static_ratio;
+  const int capacity = options_.pool - static_cast<int>(failed_.size());
   std::vector<JobId> order;
   std::size_t items = 0;  ///< MCKP items: feasible options across classes
+  order.reserve(running_.size());
   for (const auto& [id, app] : running_) {
     order.push_back(id);
     items += app.curve.options().size();
-    problem.apps.push_back(app);
   }
 
-  const auto t0 = iofa::monotonic_now();
-  const Allocation alloc = policy_->allocate(problem);
-  const auto t1 = iofa::monotonic_now();
-  const Seconds solve_seconds =
-      std::chrono::duration<double>(t1 - t0).count();
+  // Warm path first: flush deltas into the persisted table (suffix
+  // recompute only) and read the solution off the final layer. The
+  // full policy solve remains for rebuilds after structural changes
+  // and for infeasible primaries, where the policy owns the shared-ION
+  // fallback of Section 3.1.
+  Seconds solve_seconds = 0.0;
+  Allocation alloc;
+  bool warm_used = false;
+  if (warm_enabled_) {
+    const auto t0 = iofa::monotonic_now();
+    const bool rebuilt = warm_sync();
+    const auto sol = warm_.solve(capacity);
+    solve_seconds +=
+        std::chrono::duration<double>(iofa::monotonic_now() - t0).count();
+    if (sol) {
+      warm_used = true;
+      (rebuilt ? ctr_fallbacks_ : ctr_incremental_)->add();
+      alloc.ions.resize(order.size());
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        alloc.ions[i] = warm_.class_at(i)[sol->choice[i]].weight;
+      }
+    } else {
+      // Primary infeasible (possible only with classes present):
+      // delegate to the policy, which owns the shared fallback.
+      ctr_fallbacks_->add();
+    }
+  } else {
+    // Keep the delta buffer from growing under policies that never
+    // consume it (greedy ablation, non-MCKP policies).
+    pending_deltas_.clear();
+    warm_valid_ = false;
+  }
+
+  if (!warm_used) {
+    AllocationProblem problem;
+    problem.pool = capacity;
+    problem.static_ratio = options_.static_ratio;
+    problem.apps.reserve(running_.size());
+    for (const auto& [id, app] : running_) problem.apps.push_back(app);
+
+    const auto t0 = iofa::monotonic_now();
+    alloc = policy_->allocate(problem);
+    solve_seconds +=
+        std::chrono::duration<double>(iofa::monotonic_now() - t0).count();
+  }
   last_solve_seconds_.store(solve_seconds, std::memory_order_relaxed);
 
   ctr_solves_->add();
   ctr_items_->add(items);
   hist_solve_us_->observe(solve_seconds * 1e6);
-  hist_classes_->observe(static_cast<double>(problem.apps.size()));
+  hist_classes_->observe(static_cast<double>(order.size()));
   gauge_running_->set(static_cast<double>(running_.size()));
   gauge_pool_->set(static_cast<double>(options_.pool));
 

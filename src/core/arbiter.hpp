@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "core/mckp.hpp"
 #include "core/policies.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -50,16 +51,43 @@ struct ArbiterOptions {
   bool reallocate_running = true;
   /// Metrics destination; nullptr means telemetry::Registry::global().
   telemetry::Registry* registry = nullptr;
+  /// Reuse a warm-start MCKP table across solves when the policy
+  /// supports it: single-job deltas recompute only a suffix of the DP,
+  /// ION failure/recovery only rescans the final layer. Structural
+  /// changes (pool resize, curve change) fall back to a full rebuild.
+  bool incremental = true;
+  /// When > 0, job start/finish and ION-recovery deltas batch into
+  /// scheduled re-solve epochs driven by tick() with caller-passed
+  /// time (clock-hygiene: the arbiter never reads a clock). ION death
+  /// still re-solves immediately, out of band. 0 keeps the legacy
+  /// behaviour: every event re-arbitrates immediately.
+  Seconds epoch_period = 0.0;
 };
 
 class Arbiter {
  public:
   Arbiter(std::shared_ptr<ArbitrationPolicy> policy, ArbiterOptions options);
 
-  /// Register a job and re-arbitrate. Returns the new mapping.
+  /// Register a job and re-arbitrate. Returns the new mapping. In
+  /// epoch mode the delta is batched and the PREVIOUS mapping is
+  /// returned until the next tick() republishes.
   const Mapping& job_started(JobId id, AppEntry app);
-  /// Remove a job and re-arbitrate.
+  /// Remove a job and re-arbitrate (epoch mode: batched, as above).
   const Mapping& job_finished(JobId id);
+  /// Replace a running job's profile. A curve change is structural:
+  /// the warm table is dropped and a full solve runs immediately, even
+  /// in epoch mode. Unknown ids are ignored.
+  const Mapping& job_updated(JobId id, AppEntry app);
+
+  /// Epoch scheduler. Call with monotonic time (the HealthMonitor
+  /// passes iofa::monotonic_seconds()); epochs are measured from the
+  /// first observed tick. Fires — one batched solve plus one mapping
+  /// republish — when deltas are pending and a full epoch_period has
+  /// elapsed since the last epoch. Returns true when it fired; always
+  /// false when epoch_period == 0.
+  bool tick(Seconds now);
+  /// Deltas recorded since the last solve (epoch mode).
+  std::size_t pending_events() const { return pending_events_; }
 
   /// Resize the forwarding pool (elastic recruitment of idle compute
   /// nodes - recruited IONs take ids >= the old pool size) and
@@ -102,6 +130,14 @@ class Arbiter {
   void arbitrate();
   void materialize(const std::map<JobId, int>& counts,
                    const std::map<JobId, bool>& shared);
+  /// Bring the warm table in line with running_: replay pending deltas
+  /// (suffix recompute) or rebuild from scratch after a structural
+  /// change. Returns true when it rebuilt.
+  bool warm_sync();
+  static MckpClass build_class(const AppEntry& app);
+  /// Epoch mode: record the event for the next tick instead of solving
+  /// now. Returns false (solve immediately) when epoch_period == 0.
+  bool epoch_defer();
 
   std::shared_ptr<ArbitrationPolicy> policy_;
   ArbiterOptions options_;
@@ -112,12 +148,26 @@ class Arbiter {
   Mapping mapping_;
   std::atomic<Seconds> last_solve_seconds_{0.0};
 
+  // Warm-start state. Invariant between solves: applying
+  // pending_deltas_ to warm_ reproduces the classes of running_ in key
+  // order (warm_valid_ == false means "rebuild instead").
+  bool warm_enabled_ = false;  ///< options_.incremental && policy supports it
+  bool warm_valid_ = false;
+  IncrementalMckp warm_;
+  std::vector<IncrementalMckp::Delta> pending_deltas_;
+  std::size_t pending_events_ = 0;  ///< events awaiting the next epoch
+  bool epoch_anchored_ = false;     ///< first tick() seen
+  Seconds last_epoch_time_ = 0.0;
+
   // Telemetry ("core.arbiter.*", labelled with the policy name): the
   // live analogue of the Sec. 5.3 solve-timing numbers.
   telemetry::Counter* ctr_solves_ = nullptr;
   telemetry::Counter* ctr_failure_resolves_ = nullptr;
   telemetry::Counter* ctr_load_hints_ = nullptr;
   telemetry::Counter* ctr_items_ = nullptr;
+  telemetry::Counter* ctr_incremental_ = nullptr;
+  telemetry::Counter* ctr_fallbacks_ = nullptr;
+  telemetry::Counter* ctr_epoch_deltas_ = nullptr;
   telemetry::Histogram* hist_solve_us_ = nullptr;
   telemetry::Histogram* hist_classes_ = nullptr;
   telemetry::Gauge* gauge_running_ = nullptr;

@@ -172,4 +172,150 @@ std::optional<MckpSolution> solve_mckp_bruteforce(
   return best;
 }
 
+void IncrementalMckp::reset(int max_weight) {
+  assert(max_weight >= 0);
+  max_weight_ = max_weight;
+  entries_.clear();
+  const std::size_t w_dim = static_cast<std::size_t>(max_weight_) + 1;
+  layers_.assign(1, Layer{});
+  layers_[0].dp.assign(w_dim, 0.0);
+  layers_[0].reach.assign(w_dim, 0);
+  layers_[0].reach[0] = 1;
+}
+
+void IncrementalMckp::assign(
+    int max_weight, std::vector<std::pair<std::uint64_t, MckpClass>> classes) {
+  reset(max_weight);
+  entries_.reserve(classes.size());
+  for (auto& [key, cls] : classes) {
+    assert(entries_.empty() || entries_.back().key < key);
+    entries_.push_back(Entry{key, std::move(cls), {}});
+  }
+  layers_.resize(entries_.size() + 1);
+  recompute_from(0);
+}
+
+std::size_t IncrementalMckp::slot_of(std::uint64_t key) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, std::uint64_t k) { return e.key < k; });
+  return static_cast<std::size_t>(it - entries_.begin());
+}
+
+void IncrementalMckp::upsert(std::uint64_t key, MckpClass cls) {
+  const std::size_t pos = slot_of(key);
+  if (pos < entries_.size() && entries_[pos].key == key) {
+    entries_[pos].cls = std::move(cls);
+  } else {
+    entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(pos),
+                    Entry{key, std::move(cls), {}});
+    layers_.emplace_back();
+  }
+  recompute_from(pos);
+}
+
+bool IncrementalMckp::erase(std::uint64_t key) {
+  const std::size_t pos = slot_of(key);
+  if (pos == entries_.size() || entries_[pos].key != key) return false;
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(pos));
+  layers_.pop_back();
+  recompute_from(pos);
+  return true;
+}
+
+void IncrementalMckp::apply(std::vector<Delta> deltas) {
+  // Mutate all slots first, then recompute the suffix once from the
+  // lowest touched position. Tracking min(pos-at-edit-time) is sound
+  // under index shifts: an edit at pos only shifts slots >= pos, so a
+  // previously recorded smaller minimum still names the same entry.
+  std::size_t first = entries_.size();
+  for (auto& d : deltas) {
+    const std::size_t pos = slot_of(d.key);
+    if (d.cls) {
+      if (pos < entries_.size() && entries_[pos].key == d.key) {
+        entries_[pos].cls = std::move(*d.cls);
+      } else {
+        entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(pos),
+                        Entry{d.key, std::move(*d.cls), {}});
+      }
+    } else {
+      if (pos == entries_.size() || entries_[pos].key != d.key) continue;
+      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(pos));
+    }
+    first = std::min(first, pos);
+  }
+  layers_.resize(entries_.size() + 1);
+  recompute_from(std::min(first, entries_.size()));
+}
+
+void IncrementalMckp::recompute_from(std::size_t pos) {
+  assert(layers_.size() == entries_.size() + 1);
+  const std::size_t w_dim = static_cast<std::size_t>(max_weight_) + 1;
+  for (std::size_t i = pos; i < entries_.size(); ++i) {
+    const Layer& prev = layers_[i];
+    Layer& next = layers_[i + 1];
+    next.dp.assign(w_dim, 0.0);
+    next.reach.assign(w_dim, 0);
+    Entry& entry = entries_[i];
+    entry.choice.assign(w_dim, 0);
+    // Mirrors the solve_mckp_dp transition exactly — same candidate
+    // order, same strict-improvement tie-break — so any capacity
+    // C <= max_weight reads bit-identical states at weights <= C.
+    for (std::size_t j = 0; j < entry.cls.size(); ++j) {
+      const int w = entry.cls[j].weight;
+      if (w < 0 || w > max_weight_) continue;
+      const double v = entry.cls[j].value;
+      for (std::size_t prev_w = 0;
+           prev_w + static_cast<std::size_t>(w) < w_dim; ++prev_w) {
+        if (!prev.reach[prev_w]) continue;
+        const std::size_t new_w = prev_w + static_cast<std::size_t>(w);
+        const double cand = prev.dp[prev_w] + v;
+        if (!next.reach[new_w] || cand > next.dp[new_w]) {
+          next.dp[new_w] = cand;
+          next.reach[new_w] = 1;
+          entry.choice[new_w] = static_cast<std::uint16_t>(j);
+        }
+      }
+    }
+    ++layers_recomputed_;
+  }
+}
+
+std::optional<MckpSolution> IncrementalMckp::solve(int capacity) const {
+  assert(capacity >= 0);
+  const std::size_t k = entries_.size();
+  if (k == 0) return MckpSolution{{}, 0.0, 0};
+  for (const auto& e : entries_) {
+    if (e.cls.empty()) return std::nullopt;
+  }
+
+  const std::size_t cap_w =
+      static_cast<std::size_t>(std::min(capacity, max_weight_));
+  const Layer& last = layers_[k];
+  std::size_t best_w = 0;
+  double best_v = 0.0;
+  bool found = false;
+  for (std::size_t w = 0; w <= cap_w; ++w) {
+    if (last.reach[w] && (!found || last.dp[w] > best_v)) {
+      best_v = last.dp[w];
+      best_w = w;
+      found = true;
+    }
+  }
+  if (!found) return std::nullopt;
+
+  MckpSolution sol;
+  sol.choice.resize(k);
+  sol.value = best_v;
+  sol.weight = static_cast<int>(best_w);
+  std::size_t w = best_w;
+  for (std::size_t i = k; i-- > 0;) {
+    const std::size_t j = entries_[i].choice[w];
+    sol.choice[i] = j;
+    w -= static_cast<std::size_t>(entries_[i].cls[j].weight);
+  }
+  assert(w == 0);
+  return sol;
+}
+
 }  // namespace iofa::core

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 namespace iofa::core {
@@ -49,5 +50,81 @@ std::optional<MckpSolution> solve_mckp_greedy(
 /// Exhaustive search; only for small instances (tests).
 std::optional<MckpSolution> solve_mckp_bruteforce(
     const std::vector<MckpClass>& classes, int capacity);
+
+/// Warm-start MCKP: persists the per-class DP layers across solves so a
+/// single-class delta (job added / finished) only recomputes the suffix
+/// of classes at or after the edit point instead of the whole table.
+///
+/// Classes are addressed by an ascending caller key (the Arbiter uses
+/// the JobId) and the table is sized once for a maximum weight — the
+/// physical pool. Any capacity <= max_weight can then be queried from
+/// the same layers: states with weight <= C are bit-identical to what
+/// solve_mckp_dp computes at capacity C, because transitions into them
+/// use the same candidates in the same order with the same tie-breaks,
+/// and heavier items only ever reach states beyond C. That makes
+/// capacity changes (ION failed / recovered) a final-scan-only
+/// operation, and lets callers assert exact value equality against the
+/// from-scratch oracle.
+class IncrementalMckp {
+ public:
+  /// One class edit: cls == nullopt erases the key, otherwise the class
+  /// is inserted or replaced.
+  struct Delta {
+    std::uint64_t key = 0;
+    std::optional<MckpClass> cls;
+  };
+
+  /// Drop all classes and size the table for weights 0..max_weight.
+  void reset(int max_weight);
+
+  /// Bulk load (classes sorted by key ascending) with one recompute
+  /// pass over all layers — the "full solve" a structural change pays.
+  void assign(int max_weight,
+              std::vector<std::pair<std::uint64_t, MckpClass>> classes);
+
+  /// Insert or replace one class; recomputes the suffix from its slot.
+  void upsert(std::uint64_t key, MckpClass cls);
+
+  /// Remove one class; returns false when the key is absent.
+  bool erase(std::uint64_t key);
+
+  /// Apply a batch of edits with a single suffix recompute from the
+  /// lowest touched slot (the epoch-mode batching primitive).
+  void apply(std::vector<Delta> deltas);
+
+  /// Query the persisted layers at any capacity in [0, max_weight]
+  /// (larger capacities are clamped: items heavier than max_weight are
+  /// not in the table). Value- and choice-identical to solve_mckp_dp
+  /// over the same classes in key order. Choices index class_at(i).
+  std::optional<MckpSolution> solve(int capacity) const;
+
+  int max_weight() const { return max_weight_; }
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t key_at(std::size_t i) const { return entries_[i].key; }
+  const MckpClass& class_at(std::size_t i) const { return entries_[i].cls; }
+
+  /// Cumulative count of DP layers recomputed since construction — the
+  /// work measure tests and benches pin suffix reuse against.
+  std::uint64_t layers_recomputed() const { return layers_recomputed_; }
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    MckpClass cls;
+    std::vector<std::uint16_t> choice;  ///< item picked at state weight w
+  };
+  struct Layer {
+    std::vector<double> dp;
+    std::vector<char> reach;
+  };
+
+  std::size_t slot_of(std::uint64_t key) const;
+  void recompute_from(std::size_t pos);
+
+  int max_weight_ = 0;
+  std::vector<Entry> entries_;  ///< ascending by key
+  std::vector<Layer> layers_;   ///< layers_[i]: state after first i classes
+  std::uint64_t layers_recomputed_ = 0;
+};
 
 }  // namespace iofa::core

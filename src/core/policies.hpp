@@ -55,6 +55,11 @@ class ArbitrationPolicy {
   virtual ~ArbitrationPolicy() = default;
   virtual std::string name() const = 0;
   virtual Allocation allocate(const AllocationProblem& problem) const = 0;
+  /// True when allocate()'s primary decision is an exact MCKP DP over
+  /// the app curves, letting the Arbiter keep a warm-start DP table
+  /// (core/mckp.hpp IncrementalMckp) and re-solve incrementally with
+  /// results identical to a from-scratch allocate().
+  virtual bool supports_warm_start() const { return false; }
 };
 
 /// Every application accesses the PFS directly (0 IONs). Requires the
@@ -124,6 +129,9 @@ class MckpPolicy final : public ArbitrationPolicy {
     return opts_.greedy ? "MCKP-GREEDY" : "MCKP";
   }
   Allocation allocate(const AllocationProblem& problem) const override;
+  /// Only the exact DP is warm-startable; the greedy ablation is not
+  /// reproduced by the incremental table.
+  bool supports_warm_start() const override { return !opts_.greedy; }
 
  private:
   Options opts_;

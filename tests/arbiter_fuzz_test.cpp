@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <map>
 #include <memory>
@@ -343,6 +344,292 @@ TEST_P(PolicyFuzz, AllPoliciesProduceFeasibleOptionsOnRandomProblems) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PolicyFuzz,
                          ::testing::Values(1u, 2u, 3u, 4u));
+
+// ===================================================================
+// Warm-start differential fuzzers (PR 8): the incremental table must
+// be VALUE-IDENTICAL - exact ==, not NEAR - to a fresh solve_mckp_dp
+// after every delta, because it replays the very same DP transitions.
+
+std::uint64_t fault_seed() {
+  if (const char* env = std::getenv("IOFA_FAULT_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 42;
+}
+
+#define IOFA_TRACE_SEED(seed) \
+  SCOPED_TRACE("reproduce with IOFA_FAULT_SEED=" + std::to_string(seed))
+
+/// Seeded random streams of add / replace / finish / batch / capacity
+/// events against the solver-level table, >= 10k events per seed, each
+/// followed by the full differential check plus feasibility of the
+/// reconstructed choices. Canonical CI seeds: 1 / 7 / 1337 (the
+/// fault-suite convention; IOFA_FAULT_SEED shifts the whole stream).
+class IncrementalDeltaFuzz : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(IncrementalDeltaFuzz, TenThousandDeltasStayIdenticalToFreshOracle) {
+  const std::uint64_t seed = GetParam() * 0x9E3779B97F4A7C15ULL + fault_seed();
+  IOFA_TRACE_SEED(fault_seed());
+  Rng rng(seed);
+
+  const int max_weight = 8 + static_cast<int>(rng.index(9));  // 8..16
+  IncrementalMckp inc;
+  inc.reset(max_weight);
+  std::map<std::uint64_t, MckpClass> model;  // oracle mirror
+  int capacity = max_weight;
+  std::uint64_t next_key = 1;
+
+  auto random_class = [&] {
+    MckpClass c;
+    const std::size_t n = 1 + rng.index(5);
+    for (std::size_t j = 0; j < n; ++j) {
+      // Weights deliberately overshoot max_weight sometimes: items the
+      // table must ignore exactly like the fresh DP does.
+      c.push_back(MckpItem{rng.uniform_int(0, max_weight + 2),
+                           rng.uniform(0.0, 1000.0)});
+    }
+    return c;
+  };
+
+  int events = 0;
+  for (int step = 0; events < 10'000; ++step) {
+    const double dice = rng.uniform01();
+    if (model.empty() || dice < 0.40) {
+      const std::uint64_t key = next_key++;
+      auto c = random_class();
+      model[key] = c;
+      inc.upsert(key, std::move(c));
+      ++events;
+    } else if (dice < 0.55) {
+      // Replace an existing class in place (same key, new items).
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.index(model.size())));
+      auto c = random_class();
+      it->second = c;
+      inc.upsert(it->first, std::move(c));
+      ++events;
+    } else if (dice < 0.80) {
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.index(model.size())));
+      EXPECT_TRUE(inc.erase(it->first));
+      model.erase(it);
+      ++events;
+    } else if (dice < 0.92) {
+      // Capacity move (ION failed / recovered): no table mutation at
+      // all, only the final scan shifts.
+      capacity = rng.uniform_int(0, max_weight);
+      ++events;
+    } else {
+      // Batched epoch: several deltas, one suffix recompute.
+      std::vector<IncrementalMckp::Delta> batch;
+      const std::size_t n = 2 + rng.index(4);
+      for (std::size_t b = 0; b < n; ++b) {
+        if (!model.empty() && rng.uniform01() < 0.4) {
+          auto it = model.begin();
+          std::advance(it, static_cast<long>(rng.index(model.size())));
+          batch.push_back({it->first, std::nullopt});
+          model.erase(it);
+        } else {
+          const std::uint64_t key = next_key++;
+          auto c = random_class();
+          model[key] = c;
+          batch.push_back({key, std::move(c)});
+        }
+        ++events;
+      }
+      inc.apply(std::move(batch));
+    }
+
+    // Differential check after EVERY event (batches check once, after
+    // the batch lands, like the arbiter's epoch solve does).
+    std::vector<MckpClass> classes;
+    classes.reserve(model.size());
+    for (const auto& [key, c] : model) classes.push_back(c);
+    const auto fresh = solve_mckp_dp(classes, capacity);
+    const auto warm = inc.solve(capacity);
+    ASSERT_EQ(warm.has_value(), fresh.has_value())
+        << "step " << step << " capacity " << capacity;
+    if (!warm) continue;
+    ASSERT_EQ(warm->value, fresh->value)
+        << "step " << step << " capacity " << capacity;
+    ASSERT_EQ(warm->weight, fresh->weight) << "step " << step;
+
+    // Feasibility of the reconstructed choices.
+    ASSERT_EQ(warm->choice.size(), model.size());
+    double value = 0.0;
+    int weight = 0;
+    for (std::size_t i = 0; i < warm->choice.size(); ++i) {
+      ASSERT_LT(warm->choice[i], inc.class_at(i).size());
+      value += inc.class_at(i)[warm->choice[i]].value;
+      weight += inc.class_at(i)[warm->choice[i]].weight;
+    }
+    ASSERT_EQ(weight, warm->weight);
+    ASSERT_LE(weight, capacity);
+    ASSERT_NEAR(value, warm->value, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalDeltaFuzz,
+                         ::testing::Values(1u, 7u, 1337u));
+
+/// Arbiter-level delta streams: job add/finish, ION fail/recover AND
+/// pool resizes (the structural trigger), with the warm path on. After
+/// every event the published counts must match a fresh MckpPolicy
+/// solve over the surviving pool - the same oracle IonDeathFuzz uses,
+/// now exercised across warm rebuilds.
+class ArbiterDeltaFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArbiterDeltaFuzz, DeltaStreamsWithResizesMatchFreshSolve) {
+  const std::uint64_t seed = GetParam() * 2654435761u + fault_seed();
+  IOFA_TRACE_SEED(fault_seed());
+  Rng rng(seed);
+  platform::PerfModel model(platform::mn4_params());
+  const auto grid = workload::mn4_scenario_grid();
+  const auto options = platform::default_ion_options();
+
+  int pool = 4 + static_cast<int>(rng.index(12));
+  Arbiter arb(std::make_shared<MckpPolicy>(),
+              ArbiterOptions{pool, std::nullopt, true});
+
+  std::map<JobId, AppEntry> running;
+  std::set<int> failed;
+  JobId next_id = 1;
+
+  for (int step = 0; step < 400; ++step) {
+    const double dice = rng.uniform01();
+    if (running.empty() || dice < 0.35) {
+      const auto& pattern = grid[rng.index(grid.size())];
+      const JobId id = next_id++;
+      AppEntry app{"S", pattern.compute_nodes, pattern.processes(),
+                   platform::curve_from_model(model, pattern, options)};
+      running.emplace(id, app);
+      arb.job_started(id, app);
+    } else if (dice < 0.55) {
+      auto it = running.begin();
+      std::advance(it, static_cast<long>(rng.index(running.size())));
+      arb.job_finished(it->first);
+      running.erase(it);
+    } else if (dice < 0.70) {
+      const int ion =
+          static_cast<int>(rng.index(static_cast<std::size_t>(pool)));
+      if (failed.insert(ion).second) arb.ion_failed(ion);
+    } else if (dice < 0.85) {
+      const int ion =
+          static_cast<int>(rng.index(static_cast<std::size_t>(pool)));
+      if (failed.erase(ion)) arb.ion_recovered(ion);
+    } else {
+      // Structural: grow or shrink the physical pool.
+      pool = 4 + static_cast<int>(rng.index(12));
+      failed.erase(failed.lower_bound(pool), failed.end());
+      arb.set_pool(pool);
+    }
+
+    check_mapping(arb.mapping(), pool);
+    EXPECT_EQ(arb.failed_ions(), failed);
+
+    AllocationProblem prob;
+    prob.pool = pool - static_cast<int>(failed.size());
+    for (const auto& [id, app] : running) prob.apps.push_back(app);
+    const auto fresh = MckpPolicy().allocate(prob);
+    ASSERT_EQ(fresh.ions.size(), running.size());
+    std::size_t i = 0;
+    for (const auto& [id, app] : running) {
+      const bool is_shared = i < fresh.shared.size() && fresh.shared[i];
+      ASSERT_TRUE(arb.last_counts().count(id));
+      EXPECT_EQ(arb.last_counts().at(id), is_shared ? 0 : fresh.ions[i])
+          << "job " << id << " diverged at step " << step << " (pool "
+          << pool << ", " << failed.size() << " failed)";
+      ++i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArbiterDeltaFuzz,
+                         ::testing::Values(1u, 7u, 1337u));
+
+/// Epoch-mode streams: random events and random clock advances. The
+/// oracle is checked at every epoch boundary (where a batched solve
+/// just ran) and after every out-of-band ION death.
+class EpochModeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EpochModeFuzz, BatchedEpochSolvesMatchFreshSolveAtEveryBoundary) {
+  const std::uint64_t seed = GetParam() * 40503u + fault_seed();
+  IOFA_TRACE_SEED(fault_seed());
+  Rng rng(seed);
+  platform::PerfModel model(platform::mn4_params());
+  const auto grid = workload::mn4_scenario_grid();
+  const auto options = platform::default_ion_options();
+
+  const int pool = 4 + static_cast<int>(rng.index(12));
+  ArbiterOptions o{pool, std::nullopt, true};
+  o.epoch_period = 1.0;
+  Arbiter arb(std::make_shared<MckpPolicy>(), o);
+
+  std::map<JobId, AppEntry> running;
+  std::set<int> failed;
+  JobId next_id = 1;
+  Seconds now = 0.0;
+  arb.tick(now);
+
+  auto check_against_fresh = [&] {
+    check_mapping(arb.mapping(), pool);
+    AllocationProblem prob;
+    prob.pool = pool - static_cast<int>(failed.size());
+    for (const auto& [id, app] : running) prob.apps.push_back(app);
+    const auto fresh = MckpPolicy().allocate(prob);
+    ASSERT_EQ(fresh.ions.size(), running.size());
+    std::size_t i = 0;
+    for (const auto& [id, app] : running) {
+      const bool is_shared = i < fresh.shared.size() && fresh.shared[i];
+      ASSERT_TRUE(arb.last_counts().count(id));
+      EXPECT_EQ(arb.last_counts().at(id), is_shared ? 0 : fresh.ions[i])
+          << "job " << id << " diverged at t=" << now;
+      ++i;
+    }
+  };
+
+  for (int step = 0; step < 300; ++step) {
+    const double dice = rng.uniform01();
+    if (running.empty() || dice < 0.40) {
+      const auto& pattern = grid[rng.index(grid.size())];
+      const JobId id = next_id++;
+      AppEntry app{"S", pattern.compute_nodes, pattern.processes(),
+                   platform::curve_from_model(model, pattern, options)};
+      running.emplace(id, app);
+      arb.job_started(id, app);
+    } else if (dice < 0.65) {
+      auto it = running.begin();
+      std::advance(it, static_cast<long>(rng.index(running.size())));
+      arb.job_finished(it->first);
+      running.erase(it);
+    } else if (dice < 0.75) {
+      const int ion =
+          static_cast<int>(rng.index(static_cast<std::size_t>(pool)));
+      if (failed.insert(ion).second) {
+        arb.ion_failed(ion);
+        // Out-of-band failover: solved immediately, pending flushed.
+        EXPECT_EQ(arb.pending_events(), 0u);
+        check_against_fresh();
+      }
+    } else if (dice < 0.85) {
+      const int ion =
+          static_cast<int>(rng.index(static_cast<std::size_t>(pool)));
+      if (failed.erase(ion)) arb.ion_recovered(ion);
+    }
+
+    now += rng.uniform(0.0, 0.5);
+    if (arb.tick(now)) check_against_fresh();
+  }
+
+  // Drain whatever is still pending and check the final state.
+  now += 2.0;
+  arb.tick(now);
+  check_against_fresh();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EpochModeFuzz,
+                         ::testing::Values(1u, 7u, 1337u));
 
 }  // namespace
 }  // namespace iofa::core

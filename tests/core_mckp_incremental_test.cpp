@@ -1,0 +1,408 @@
+// Unit tests for the warm-start MCKP table (IncrementalMckp) and the
+// Arbiter's use of it: suffix-only recomputation on single-class
+// deltas, full-rebuild triggers on structural changes, edge cases
+// (empty problem, single job, empty class), and a same-seed
+// byte-identical counter-dump determinism check in the fault-suite
+// house style.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/arbiter.hpp"
+#include "core/mckp.hpp"
+#include "platform/profile.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace iofa::core {
+namespace {
+
+std::uint64_t base_seed() {
+  if (const char* env = std::getenv("IOFA_FAULT_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 42;
+}
+
+#define IOFA_TRACE_SEED(seed) \
+  SCOPED_TRACE("reproduce with IOFA_FAULT_SEED=" + std::to_string(seed))
+
+MckpClass cls(std::initializer_list<std::pair<int, double>> items) {
+  MckpClass out;
+  for (auto [w, v] : items) out.push_back(MckpItem{w, v});
+  return out;
+}
+
+/// Key-ordered oracle view of a class map, for fresh solve_mckp_dp runs.
+std::vector<MckpClass> ordered(const std::map<std::uint64_t, MckpClass>& m) {
+  std::vector<MckpClass> out;
+  out.reserve(m.size());
+  for (const auto& [key, c] : m) out.push_back(c);
+  return out;
+}
+
+/// The bit-identity contract: same feasibility, same value (exact ==,
+/// not NEAR - the incremental path replays the very same transitions),
+/// same weight.
+void expect_identical(const IncrementalMckp& inc, int capacity,
+                      const std::map<std::uint64_t, MckpClass>& model) {
+  const auto warm = inc.solve(capacity);
+  const auto fresh = solve_mckp_dp(ordered(model), capacity);
+  ASSERT_EQ(warm.has_value(), fresh.has_value()) << "capacity " << capacity;
+  if (!warm) return;
+  EXPECT_EQ(warm->value, fresh->value) << "capacity " << capacity;
+  EXPECT_EQ(warm->weight, fresh->weight) << "capacity " << capacity;
+  ASSERT_EQ(warm->choice.size(), model.size());
+}
+
+// --------------------------------------------------- table mechanics
+TEST(IncrementalMckp, EmptyProblemSolvesToZero) {
+  IncrementalMckp inc;
+  inc.reset(8);
+  const auto sol = inc.solve(8);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->value, 0.0);
+  EXPECT_EQ(sol->weight, 0);
+  EXPECT_TRUE(sol->choice.empty());
+  EXPECT_EQ(inc.layers_recomputed(), 0u);
+}
+
+TEST(IncrementalMckp, SingleJobMatchesFreshDp) {
+  IncrementalMckp inc;
+  inc.reset(12);
+  std::map<std::uint64_t, MckpClass> model;
+  model[5] = cls({{0, 1.0}, {2, 5.0}, {4, 9.0}});
+  inc.upsert(5, model[5]);
+  for (int cap : {0, 1, 2, 3, 4, 12}) expect_identical(inc, cap, model);
+}
+
+TEST(IncrementalMckp, AppendOnlyRecomputesOneLayer) {
+  IncrementalMckp inc;
+  std::vector<std::pair<std::uint64_t, MckpClass>> classes;
+  for (std::uint64_t k = 1; k <= 4; ++k) {
+    classes.emplace_back(k, cls({{0, 1.0}, {1, 5.0 + double(k)}}));
+  }
+  inc.assign(6, classes);
+  EXPECT_EQ(inc.layers_recomputed(), 4u);
+
+  // A job arriving with a higher id lands at the end: exactly one new
+  // DP layer, everything before it reused verbatim.
+  inc.upsert(9, cls({{0, 2.0}, {2, 8.0}}));
+  EXPECT_EQ(inc.layers_recomputed(), 5u);
+
+  std::map<std::uint64_t, MckpClass> model;
+  for (auto& [k, c] : classes) model[k] = c;
+  model[9] = cls({{0, 2.0}, {2, 8.0}});
+  expect_identical(inc, 6, model);
+}
+
+TEST(IncrementalMckp, MiddleDeltaRecomputesOnlyTheSuffix) {
+  IncrementalMckp inc;
+  std::vector<std::pair<std::uint64_t, MckpClass>> classes;
+  for (std::uint64_t k = 1; k <= 6; ++k) {
+    classes.emplace_back(k, cls({{0, 0.5}, {1, double(k)}}));
+  }
+  inc.assign(4, classes);
+  EXPECT_EQ(inc.layers_recomputed(), 6u);
+
+  // Replacing the class in slot 2 (key 3) recomputes slots 2..5: 4
+  // layers, not 6.
+  inc.upsert(3, cls({{0, 0.1}, {2, 9.0}}));
+  EXPECT_EQ(inc.layers_recomputed(), 10u);
+
+  // Erasing slot 0 recomputes the remaining 5.
+  EXPECT_TRUE(inc.erase(1));
+  EXPECT_EQ(inc.layers_recomputed(), 15u);
+  EXPECT_FALSE(inc.erase(1));  // absent key: no-op, no recompute
+  EXPECT_EQ(inc.layers_recomputed(), 15u);
+
+  std::map<std::uint64_t, MckpClass> model;
+  for (auto& [k, c] : classes) model[k] = c;
+  model[3] = cls({{0, 0.1}, {2, 9.0}});
+  model.erase(1);
+  expect_identical(inc, 4, model);
+}
+
+TEST(IncrementalMckp, BatchApplyRecomputesOnceFromLowestSlot) {
+  IncrementalMckp inc;
+  std::vector<std::pair<std::uint64_t, MckpClass>> classes;
+  for (std::uint64_t k = 1; k <= 5; ++k) {
+    classes.emplace_back(k, cls({{0, 1.0}, {1, 2.0 * double(k)}}));
+  }
+  inc.assign(5, classes);
+  EXPECT_EQ(inc.layers_recomputed(), 5u);
+
+  // Erase key 4 (slot 3), add key 7 (last), replace key 2 (slot 1):
+  // one suffix pass from slot 1 over the resulting 5 entries = 4
+  // layers. Three sequential calls would have paid 2 + 1 + 4.
+  std::vector<IncrementalMckp::Delta> deltas;
+  deltas.push_back({4, std::nullopt});
+  deltas.push_back({7, cls({{1, 3.0}})});
+  deltas.push_back({2, cls({{0, 0.2}, {2, 4.4}})});
+  inc.apply(std::move(deltas));
+  EXPECT_EQ(inc.layers_recomputed(), 9u);
+
+  std::map<std::uint64_t, MckpClass> model;
+  for (auto& [k, c] : classes) model[k] = c;
+  model.erase(4);
+  model[7] = cls({{1, 3.0}});
+  model[2] = cls({{0, 0.2}, {2, 4.4}});
+  for (int cap : {0, 2, 5}) expect_identical(inc, cap, model);
+}
+
+TEST(IncrementalMckp, CapacityIsAQueryNotAStructure) {
+  // The same persisted layers answer every capacity <= max_weight -
+  // this is what makes ION fail/recover a final-scan-only operation.
+  IncrementalMckp inc;
+  std::map<std::uint64_t, MckpClass> model;
+  model[1] = cls({{0, 195.7}, {1, 77.6}, {2, 150.0}, {4, 390.0}});
+  model[2] = cls({{0, 150.0}, {1, 597.2}, {2, 594.2}, {4, 610.0}});
+  model[3] = cls({{0, 780.0}, {1, 268.4}, {2, 900.0}, {4, 2600.0}});
+  std::vector<std::pair<std::uint64_t, MckpClass>> classes(model.begin(),
+                                                           model.end());
+  inc.assign(12, classes);
+  const auto before = inc.layers_recomputed();
+  for (int cap = 0; cap <= 12; ++cap) expect_identical(inc, cap, model);
+  EXPECT_EQ(inc.layers_recomputed(), before);  // solves recompute nothing
+}
+
+TEST(IncrementalMckp, EmptyClassMakesProblemInfeasible) {
+  IncrementalMckp inc;
+  inc.reset(4);
+  inc.upsert(1, cls({{1, 5.0}}));
+  inc.upsert(2, MckpClass{});
+  EXPECT_FALSE(inc.solve(4).has_value());
+  // Removing the empty class restores feasibility.
+  EXPECT_TRUE(inc.erase(2));
+  const auto sol = inc.solve(4);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->value, 5.0);
+}
+
+TEST(IncrementalMckp, ItemsHeavierThanMaxWeightNeverChosen) {
+  IncrementalMckp inc;
+  inc.reset(4);
+  inc.upsert(1, cls({{1, 3.0}, {100, 999.0}}));
+  const auto sol = inc.solve(4);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->value, 3.0);
+  // ...and the table matches the fresh DP, which skips them too.
+  std::map<std::uint64_t, MckpClass> model;
+  model[1] = cls({{1, 3.0}, {100, 999.0}});
+  for (int cap : {0, 1, 4}) expect_identical(inc, cap, model);
+}
+
+TEST(IncrementalMckp, MinWeightsExceedingCapacityInfeasible) {
+  IncrementalMckp inc;
+  inc.reset(8);
+  inc.upsert(1, cls({{2, 1.0}}));
+  inc.upsert(2, cls({{2, 1.0}}));
+  EXPECT_FALSE(inc.solve(3).has_value());
+  EXPECT_TRUE(inc.solve(4).has_value());
+}
+
+// ----------------------------------------- arbiter structural triggers
+platform::BandwidthCurve ramp_curve(double scale) {
+  return platform::BandwidthCurve({{0, 1.0 * scale},
+                                   {1, 100.0 * scale},
+                                   {2, 190.0 * scale},
+                                   {4, 350.0 * scale}});
+}
+
+AppEntry job(const std::string& label, double scale = 1.0) {
+  return AppEntry{label, 16, 256, ramp_curve(scale)};
+}
+
+double counter_sum(telemetry::Registry& reg, const std::string& name) {
+  double total = 0.0;
+  for (const auto& s : reg.snapshot().samples) {
+    if (s.name == name) total += s.value;
+  }
+  return total;
+}
+
+TEST(ArbiterWarmStart, FirstSolveRebuildsThenDeltasGoIncremental) {
+  telemetry::Registry reg;
+  ArbiterOptions o;
+  o.pool = 8;
+  o.registry = &reg;
+  Arbiter arb(std::make_shared<MckpPolicy>(), o);
+
+  arb.job_started(1, job("A"));  // cold table: full rebuild
+  EXPECT_EQ(counter_sum(reg, "core.arbiter.full_fallbacks"), 1.0);
+  EXPECT_EQ(counter_sum(reg, "core.arbiter.incremental_solves"), 0.0);
+
+  arb.job_started(2, job("B"));  // single-class delta
+  arb.job_finished(1);           // single-class delta
+  EXPECT_EQ(counter_sum(reg, "core.arbiter.full_fallbacks"), 1.0);
+  EXPECT_EQ(counter_sum(reg, "core.arbiter.incremental_solves"), 2.0);
+  EXPECT_EQ(counter_sum(reg, "core.arbiter.solves"), 3.0);
+}
+
+TEST(ArbiterWarmStart, PoolResizeIsStructural) {
+  telemetry::Registry reg;
+  ArbiterOptions o;
+  o.pool = 8;
+  o.registry = &reg;
+  Arbiter arb(std::make_shared<MckpPolicy>(), o);
+  arb.job_started(1, job("A"));
+  arb.job_started(2, job("B"));
+  const double before = counter_sum(reg, "core.arbiter.full_fallbacks");
+  arb.set_pool(6);
+  EXPECT_EQ(counter_sum(reg, "core.arbiter.full_fallbacks"), before + 1.0);
+  // The shrunken pool still allocates correctly afterwards.
+  int total = 0;
+  for (const auto& [id, e] : arb.mapping().jobs) {
+    total += static_cast<int>(e.ions.size());
+  }
+  EXPECT_LE(total, 6);
+}
+
+TEST(ArbiterWarmStart, CurveChangeIsStructural) {
+  telemetry::Registry reg;
+  ArbiterOptions o;
+  o.pool = 8;
+  o.registry = &reg;
+  Arbiter arb(std::make_shared<MckpPolicy>(), o);
+  arb.job_started(1, job("A"));
+  arb.job_started(2, job("B"));
+  const double before = counter_sum(reg, "core.arbiter.full_fallbacks");
+  const auto epoch_before = arb.mapping().epoch;
+
+  // Job 1's profile steepens dramatically: it must win more IONs, and
+  // the warm table must be declared stale rather than patched.
+  const auto& m = arb.job_updated(1, job("A", 50.0));
+  EXPECT_EQ(counter_sum(reg, "core.arbiter.full_fallbacks"), before + 1.0);
+  EXPECT_GT(m.epoch, epoch_before);
+  ASSERT_TRUE(m.jobs.count(1));
+  EXPECT_EQ(m.jobs.at(1).ions.size(), 4u);  // the curve's peak option
+
+  // Updating an unknown job is a no-op, not a solve.
+  const double solves = counter_sum(reg, "core.arbiter.solves");
+  arb.job_updated(99, job("C"));
+  EXPECT_EQ(counter_sum(reg, "core.arbiter.solves"), solves);
+}
+
+TEST(ArbiterWarmStart, DisabledIncrementalNeverTouchesWarmCounters) {
+  telemetry::Registry reg;
+  ArbiterOptions o;
+  o.pool = 8;
+  o.registry = &reg;
+  o.incremental = false;
+  Arbiter arb(std::make_shared<MckpPolicy>(), o);
+  arb.job_started(1, job("A"));
+  arb.job_started(2, job("B"));
+  arb.job_finished(1);
+  EXPECT_EQ(counter_sum(reg, "core.arbiter.incremental_solves"), 0.0);
+  EXPECT_EQ(counter_sum(reg, "core.arbiter.full_fallbacks"), 0.0);
+  EXPECT_EQ(counter_sum(reg, "core.arbiter.solves"), 3.0);
+}
+
+TEST(ArbiterWarmStart, GreedyPolicyHasNoWarmPath) {
+  telemetry::Registry reg;
+  ArbiterOptions o;
+  o.pool = 8;
+  o.registry = &reg;
+  MckpPolicy::Options popts;
+  popts.greedy = true;
+  Arbiter arb(std::make_shared<MckpPolicy>(popts), o);
+  EXPECT_FALSE(MckpPolicy(popts).supports_warm_start());
+  arb.job_started(1, job("A"));
+  arb.job_started(2, job("B"));
+  EXPECT_EQ(counter_sum(reg, "core.arbiter.incremental_solves"), 0.0);
+  EXPECT_EQ(counter_sum(reg, "core.arbiter.full_fallbacks"), 0.0);
+}
+
+TEST(ArbiterWarmStart, SharedFallbackStillWorksThroughThePolicy) {
+  // Pool too small for every job's minimum: the warm primary solve is
+  // infeasible and the policy's Section 3.1 shared fallback must kick
+  // in, counted as a full fallback.
+  telemetry::Registry reg;
+  ArbiterOptions o;
+  o.pool = 2;
+  o.registry = &reg;
+  Arbiter arb(std::make_shared<MckpPolicy>(), o);
+  // Curves with no 0/1-ION option: each job needs >= 2 IONs.
+  const platform::BandwidthCurve steep({{2, 100.0}, {4, 180.0}});
+  arb.job_started(1, AppEntry{"A", 16, 256, steep});
+  const auto& m = arb.job_started(2, AppEntry{"B", 16, 256, steep});
+  bool any_shared = false;
+  for (const auto& [id, e] : m.jobs) any_shared |= e.shared;
+  EXPECT_TRUE(any_shared);
+  EXPECT_GE(counter_sum(reg, "core.arbiter.full_fallbacks"), 1.0);
+}
+
+// ----------------------------------------------- determinism (dumps)
+/// Deterministic warm-path counters only: solve_us and the wall-time
+/// gauges vary run to run, the decision counters must not.
+std::string warm_counter_dump(telemetry::Registry& reg) {
+  static constexpr const char* kAllow[] = {
+      "core.arbiter.solves",
+      "core.arbiter.incremental_solves",
+      "core.arbiter.full_fallbacks",
+      "core.arbiter.epoch_batched_deltas",
+      "core.arbiter.items",
+      "arbiter.resolves_on_failure"};
+  std::ostringstream out;
+  for (const auto& s : reg.snapshot().samples) {
+    bool keep = false;
+    for (const char* name : kAllow) keep = keep || s.name == name;
+    if (!keep) continue;
+    out << s.name;
+    for (const auto& [k, v] : s.labels) out << ' ' << k << '=' << v;
+    out << " = " << s.value << '\n';
+  }
+  return out.str();
+}
+
+std::string run_seeded_churn(std::uint64_t seed, telemetry::Registry& reg) {
+  ArbiterOptions o;
+  o.pool = 10;
+  o.registry = &reg;
+  o.epoch_period = 1.0;
+  Arbiter arb(std::make_shared<MckpPolicy>(), o);
+  Rng rng(seed);
+  JobId next_id = 1;
+  std::vector<JobId> running;
+  Seconds now = 0.0;
+  arb.tick(now);  // anchor the epoch clock
+  for (int step = 0; step < 120; ++step) {
+    const double dice = rng.uniform01();
+    if (running.empty() || dice < 0.5) {
+      const JobId id = next_id++;
+      arb.job_started(id, job("J", 1.0 + rng.uniform01()));
+      running.push_back(id);
+    } else if (dice < 0.8) {
+      const std::size_t at = rng.index(running.size());
+      arb.job_finished(running[at]);
+      running.erase(running.begin() + static_cast<std::ptrdiff_t>(at));
+    } else if (dice < 0.9) {
+      arb.ion_failed(static_cast<int>(rng.index(10)));
+    } else {
+      arb.ion_recovered(static_cast<int>(rng.index(10)));
+    }
+    now += rng.uniform(0.0, 0.6);
+    arb.tick(now);
+  }
+  return warm_counter_dump(reg);
+}
+
+TEST(ArbiterWarmStart, SameSeedProducesByteIdenticalCounterDump) {
+  const std::uint64_t seed = base_seed();
+  IOFA_TRACE_SEED(seed);
+  telemetry::Registry reg_a;
+  telemetry::Registry reg_b;
+  const std::string a = run_seeded_churn(seed, reg_a);
+  const std::string b = run_seeded_churn(seed, reg_b);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "warm-path decisions must be deterministic";
+}
+
+}  // namespace
+}  // namespace iofa::core

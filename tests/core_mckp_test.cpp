@@ -262,6 +262,96 @@ TEST(MckpProperty, MoreCapacityNeverHurts) {
   }
 }
 
+// --------------------------------------- degenerate-input properties
+// Greedy and DP used to be cross-checked only on benign instances;
+// these cover the degenerate corners: classes where every heavier item
+// is dominated (no upgrade ever pays) and zero-capacity pools (only
+// zero-weight items are usable).
+
+TEST(MckpProperty, DominatedOnlyClassesGreedyEqualsDp) {
+  Rng rng(60493);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<MckpClass> classes;
+    const std::size_t k = 1 + rng.index(5);
+    for (std::size_t i = 0; i < k; ++i) {
+      // Ascending weights with non-increasing values: every item after
+      // the first is dominated, so no upgrade has dv > 0 and both
+      // solvers must settle on the per-class best-at-min-weight. Exact
+      // value ties are sprinkled in to exercise the tie-breaks.
+      MckpClass c;
+      int w = rng.uniform_int(0, 2);
+      double v = rng.uniform(10.0, 100.0);
+      const std::size_t n = 1 + rng.index(4);
+      for (std::size_t j = 0; j < n; ++j) {
+        c.push_back(MckpItem{w, v});
+        w += rng.uniform_int(1, 3);
+        if (rng.uniform01() > 0.3) v -= rng.uniform(0.0, 5.0);
+      }
+      classes.push_back(std::move(c));
+    }
+    const int capacity = rng.uniform_int(0, 14);
+
+    const auto dp = solve_mckp_dp(classes, capacity);
+    const auto greedy = solve_mckp_greedy(classes, capacity);
+    const auto brute = solve_mckp_bruteforce(classes, capacity);
+    ASSERT_EQ(dp.has_value(), brute.has_value()) << "trial " << trial;
+    ASSERT_EQ(dp.has_value(), greedy.has_value()) << "trial " << trial;
+    if (!dp) continue;
+    EXPECT_NEAR(dp->value, brute->value, 1e-9) << "trial " << trial;
+    // With dominated-only classes the greedy start IS the optimum.
+    EXPECT_NEAR(greedy->value, dp->value, 1e-9) << "trial " << trial;
+    EXPECT_LE(greedy->weight, capacity);
+  }
+}
+
+TEST(MckpProperty, ZeroCapacityPoolGreedyEqualsDp) {
+  Rng rng(104651);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<MckpClass> classes;
+    const std::size_t k = 1 + rng.index(5);
+    for (std::size_t i = 0; i < k; ++i) {
+      MckpClass c;
+      const std::size_t n = 1 + rng.index(4);
+      for (std::size_t j = 0; j < n; ++j) {
+        // Mostly zero-weight items, sometimes none at all in a class
+        // (which must make BOTH solvers report infeasible at cap 0).
+        const int w = rng.uniform01() < 0.7 ? 0 : rng.uniform_int(1, 4);
+        c.push_back(MckpItem{w, rng.uniform(0.0, 50.0)});
+      }
+      classes.push_back(std::move(c));
+    }
+
+    const auto dp = solve_mckp_dp(classes, 0);
+    const auto greedy = solve_mckp_greedy(classes, 0);
+    const auto brute = solve_mckp_bruteforce(classes, 0);
+    ASSERT_EQ(dp.has_value(), brute.has_value()) << "trial " << trial;
+    ASSERT_EQ(dp.has_value(), greedy.has_value()) << "trial " << trial;
+    if (!dp) continue;
+    // At capacity 0 both pick the best zero-weight item per class:
+    // the values must agree exactly.
+    EXPECT_NEAR(dp->value, brute->value, 1e-9) << "trial " << trial;
+    EXPECT_NEAR(greedy->value, dp->value, 1e-9) << "trial " << trial;
+    EXPECT_EQ(dp->weight, 0);
+    EXPECT_EQ(greedy->weight, 0);
+  }
+}
+
+TEST(MckpProperty, ZeroCapacityWithTiedZeroWeightItems) {
+  // Exact ties among zero-weight items: greedy's min-weight rule keeps
+  // the best value among ties, the DP's strict-improvement rule keeps
+  // the first; the VALUES must still agree.
+  const std::vector<MckpClass> classes{
+      cls({{0, 5.0}, {0, 5.0}, {1, 9.0}}),
+      cls({{0, 3.0}, {0, 7.0}}),
+  };
+  const auto dp = solve_mckp_dp(classes, 0);
+  const auto greedy = solve_mckp_greedy(classes, 0);
+  ASSERT_TRUE(dp.has_value());
+  ASSERT_TRUE(greedy.has_value());
+  EXPECT_DOUBLE_EQ(dp->value, 12.0);
+  EXPECT_DOUBLE_EQ(greedy->value, 12.0);
+}
+
 TEST(MckpProperty, LargeInstanceSolvesExactly) {
   // 512 classes x 5 items, capacity 256: the Section 5.3 sizing. Verify
   // structural invariants (optimality vs greedy and capacity).

@@ -121,6 +121,24 @@ class BoundedQueue {
     return try_pop_for(timeout);
   }
 
+  /// Non-blocking conditional pop: takes the front item only when
+  /// `pred(front)` holds (work-stealing peers use this to skip queues
+  /// whose head they must not take, e.g. fsync markers).
+  template <typename Pred>
+  std::optional<T> try_pop_if(Pred&& pred) IOFA_EXCLUDES(mu_) {
+    std::optional<T> out;
+    {
+      MutexLock lk(mu_);
+      if (items_.empty() || !pred(static_cast<const T&>(items_.front()))) {
+        return std::nullopt;
+      }
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
   /// Non-blocking pop.
   std::optional<T> try_pop() IOFA_EXCLUDES(mu_) {
     std::optional<T> out;

@@ -1,0 +1,177 @@
+#pragma once
+// Slab buffer pool for the zero-copy request path.
+//
+// Request payloads used to be std::vector<std::byte> heap allocations,
+// one per request per hop: client fill, dispatcher move, flusher move,
+// PFS write. The pool replaces all of that with fixed-size-class slab
+// arenas: a client acquires a slab once, fills it once, and from then
+// on only a small refcounted handle (Payload) travels the pipeline.
+// The bytes are written exactly once and read exactly once (by the PFS
+// backend's scatter-gather write); nothing in between copies them.
+//
+// Exhaustion is backpressure, not failure: try_acquire() returns an
+// empty Payload when the needed size class is dry, the caller falls
+// back to a (counted) heap payload, and used_fraction() feeds the
+// daemon's SaturationTracker so admission control starts shedding
+// before the pool runs dry.
+//
+// Concurrency: one mutex per size class around its freelist; slot
+// refcounts are atomics so Payload handles can be copied/released from
+// any pipeline thread without touching the freelist until the last
+// reference drops.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
+#include "common/units.hpp"
+
+namespace iofa {
+
+class SlabPool;
+
+/// Process-wide count of payloads that fell back to a heap allocation
+/// (Payload::heap). The zero-copy proof in the bench and tests: this
+/// stays flat while every payload rides a slab.
+std::uint64_t payload_heap_allocs();
+
+/// Refcounted handle to payload bytes. Either slab-backed (the
+/// zero-copy path: copies of the handle bump a per-slot atomic
+/// refcount, the slab returns to its freelist when the last handle
+/// drops) or heap-backed (the counted fallback for pool exhaustion and
+/// legacy callers). Default-constructed handles are empty; an empty
+/// payload means "accounting-only", exactly like the old null
+/// shared_ptr<vector> convention.
+class Payload {
+ public:
+  Payload() = default;
+  ~Payload() { reset(); }
+
+  Payload(const Payload& other);
+  Payload& operator=(const Payload& other);
+  Payload(Payload&& other) noexcept;
+  Payload& operator=(Payload&& other) noexcept;
+
+  /// Heap-backed payload of `size` bytes (zero-initialised). Counted in
+  /// payload_heap_allocs(); use SlabPool::try_acquire on the hot path.
+  static Payload heap(std::size_t size);
+
+  /// Wrap an existing buffer (tests / replay tooling). Not counted as a
+  /// heap fallback: the allocation happened at the caller.
+  static Payload wrap(std::shared_ptr<std::vector<std::byte>> buf);
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::span<std::byte> span() { return {data_, size_}; }
+  std::span<const std::byte> span() const { return {data_, size_}; }
+  /// True when the bytes live in a pool arena (the zero-copy path).
+  bool slab_backed() const { return pool_ != nullptr; }
+
+  /// Drop this handle's reference (slab returns to the freelist when it
+  /// was the last one); the handle becomes empty.
+  void reset();
+
+ private:
+  friend class SlabPool;
+  Payload(SlabPool* pool, std::uint32_t slot, std::byte* data,
+          std::size_t size)
+      : pool_(pool), slot_(slot), data_(data), size_(size) {}
+
+  SlabPool* pool_ = nullptr;   ///< non-null iff slab-backed
+  std::uint32_t slot_ = 0;     ///< (class << 20) | slab index
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;       ///< logical payload length (<= slab size)
+  std::shared_ptr<std::vector<std::byte>> owned_;  ///< heap fallback
+};
+
+/// One size class: `count` slabs of `slab_bytes` each.
+struct SlabClassConfig {
+  Bytes slab_bytes = 64 * KiB;
+  std::size_t count = 256;
+};
+
+struct SlabPoolConfig {
+  /// Must be sorted ascending by slab_bytes; an acquire takes the
+  /// smallest class that fits. The defaults cover metadata-sized,
+  /// chunk-request-sized and full-chunk payloads.
+  std::vector<SlabClassConfig> classes = {
+      {4 * KiB, 256}, {64 * KiB, 512}, {512 * KiB, 64}};
+};
+
+/// Fixed-size-class slab allocator. Arenas are allocated lazily (first
+/// acquire of a class), so configuring a large pool costs nothing until
+/// traffic actually needs it.
+class SlabPool {
+ public:
+  /// Event hooks, called outside any pool lock — the fwd layer points
+  /// these at its telemetry counters (fwd.ion.slab.*) so common/ stays
+  /// free of a telemetry dependency.
+  struct Hooks {
+    std::function<void()> on_acquire;
+    std::function<void()> on_release;
+    std::function<void()> on_exhausted;
+  };
+
+  explicit SlabPool(SlabPoolConfig config = {});
+  ~SlabPool() = default;
+
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  /// Acquire a slab of the smallest class with slab_bytes >= size.
+  /// Returns an empty Payload when that class (and every larger one) is
+  /// exhausted, or when size exceeds the largest class — the caller
+  /// falls back to Payload::heap and admission control sees the
+  /// pressure through used_fraction().
+  Payload try_acquire(std::size_t size);
+
+  /// Install the event hooks. Call before the pool is shared across
+  /// threads (the hooks themselves are invoked concurrently).
+  void set_hooks(Hooks hooks) { hooks_ = std::move(hooks); }
+
+  /// Occupancy of the fullest size class, in [0, 1] — the admission
+  /// backpressure signal: one dry class is enough to start shedding.
+  double used_fraction() const;
+
+  std::size_t slab_count() const;      ///< total slabs across classes
+  std::size_t in_use() const;          ///< slabs currently held
+  std::uint64_t acquired() const { return acquired_.load(); }
+  std::uint64_t released() const { return released_.load(); }
+  std::uint64_t exhausted() const { return exhausted_.load(); }
+
+ private:
+  friend class Payload;
+
+  struct SizeClass {
+    Bytes slab_bytes = 0;
+    std::size_t count = 0;
+    mutable Mutex mu;
+    /// Arena + freelist, built on first acquire.
+    std::unique_ptr<std::byte[]> arena IOFA_GUARDED_BY(mu);
+    std::vector<std::uint32_t> free_slots IOFA_GUARDED_BY(mu);
+    bool built IOFA_GUARDED_BY(mu) = false;
+    /// One refcount per slab; indexed by slab index within the class.
+    std::unique_ptr<std::atomic<std::uint32_t>[]> refs;
+    std::atomic<std::size_t> used{0};
+  };
+
+  void add_ref(std::uint32_t slot);
+  void release(std::uint32_t slot);
+  static std::uint32_t make_slot(std::size_t cls, std::uint32_t index) {
+    return static_cast<std::uint32_t>(cls << 20) | index;
+  }
+
+  std::vector<std::unique_ptr<SizeClass>> classes_;
+  Hooks hooks_;
+  std::atomic<std::uint64_t> acquired_{0};
+  std::atomic<std::uint64_t> released_{0};
+  std::atomic<std::uint64_t> exhausted_{0};
+};
+
+}  // namespace iofa

@@ -28,6 +28,7 @@ Client::Client(ClientConfig config, ForwardingService& service)
   retries_ctr_ = &reg.counter("fwd.retries", labels);
   failover_ctr_ = &reg.counter("fwd.failovers", labels);
   fallback_ctr_ = &reg.counter("fwd.client.direct_fallback", labels);
+  payload_allocs_ctr_ = &reg.counter("fwd.client.payload_allocs", labels);
   submitted_ctr_ = &reg.counter("fwd.overload.submitted", labels);
   rejected_ctr_ = &reg.counter("fwd.overload.rejected", labels);
   ovl_fallback_ctr_ = &reg.counter("fwd.overload.direct_fallback", labels);
@@ -127,7 +128,9 @@ std::size_t Client::scatter(std::uint32_t rank, FwdOp op,
   const auto daemons = targets.size();
   struct Pending {
     std::future<std::size_t> fut;
-    std::shared_ptr<std::vector<std::byte>> buf;
+    /// Handle on the attempt's payload slab (kept so a read completion
+    /// can be copied out; dropping it recycles the slab).
+    Payload buf;
     std::uint64_t file_offset = 0;
     std::uint64_t sub_size = 0;
     std::uint64_t rel = 0;
@@ -146,14 +149,19 @@ std::size_t Client::scatter(std::uint32_t rank, FwdOp op,
     req.stream_weight = config_.stream_weight;
     req.tenant = config_.tenant;
     if (op == FwdOp::Write && config_.store_data && !wdata.empty()) {
+      // The ONE fill of the payload bytes: user buffer -> slab. From
+      // here the slab is referenced (never copied) through the daemon
+      // pipeline until the PFS scatter-gather write reads it.
+      req.payload = service_.acquire_payload(p.sub_size);
+      if (!req.payload.slab_backed()) payload_allocs_ctr_->add();
       auto sub = wdata.subspan(p.rel, p.sub_size);
-      req.data = std::make_shared<std::vector<std::byte>>(sub.begin(),
-                                                          sub.end());
+      std::memcpy(req.payload.span().data(), sub.data(), sub.size());
     } else if (op == FwdOp::Read && config_.store_data &&
                !rdata.empty()) {
       // Fresh buffer per attempt: an abandoned (timed-out) request may
       // still complete into ITS buffer later without racing ours.
-      req.data = std::make_shared<std::vector<std::byte>>(p.sub_size);
+      req.payload = service_.acquire_payload(p.sub_size);
+      if (!req.payload.slab_backed()) payload_allocs_ctr_->add();
     }
     if (config_.request_timeout > 0.0) {
       // Absolute deadline: once the client would have given up anyway,
@@ -181,7 +189,7 @@ std::size_t Client::scatter(std::uint32_t rank, FwdOp op,
       if (!breaker_allow(ion)) continue;
       FwdRequest req = make_request(p);
       auto fut = req.done->get_future();
-      auto buf = req.data;
+      Payload buf = req.payload;  // add_ref, not a byte copy
       submitted_ctr_->add();
       if (qos_) {
         qos_->submitted->add();
@@ -284,9 +292,9 @@ std::size_t Client::scatter(std::uint32_t rank, FwdOp op,
       std::size_t got = 0;
       if (wait_done(p, got)) {
         breaker_success(targets[p.slot]);
-        if (op == FwdOp::Read && p.buf && !rdata.empty()) {
-          std::memcpy(rdata.data() + p.rel, p.buf->data(),
-                      std::min<std::size_t>(got, p.buf->size()));
+        if (op == FwdOp::Read && !p.buf.empty() && !rdata.empty()) {
+          std::memcpy(rdata.data() + p.rel, p.buf.span().data(),
+                      std::min<std::size_t>(got, p.buf.size()));
         }
         n += got;
         break;

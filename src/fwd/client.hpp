@@ -146,6 +146,9 @@ class Client {
   telemetry::Counter* retries_ctr_ = nullptr;    ///< "fwd.retries"
   telemetry::Counter* failover_ctr_ = nullptr;   ///< "fwd.failovers"
   telemetry::Counter* fallback_ctr_ = nullptr;   ///< direct-PFS rescues
+  /// Heap payload fallbacks (slab pool dry). The zero-copy proof: this
+  /// stays at 0 while the pool is sized to the workload.
+  telemetry::Counter* payload_allocs_ctr_ = nullptr;
   // Overload accounting (see overload.hpp for the identity).
   telemetry::Counter* submitted_ctr_ = nullptr;  ///< offers + fallbacks
   telemetry::Counter* rejected_ctr_ = nullptr;   ///< busy/down answers

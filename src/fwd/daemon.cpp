@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 
 #include "common/clock.hpp"
 #include "common/rng.hpp"
@@ -14,6 +15,27 @@ namespace iofa::fwd {
 
 using namespace std::chrono_literals;
 
+bool PathTable::intern(std::uint64_t id, std::string&& path) {
+  MutexLock lk(mu_);
+  auto [it, inserted] = map_.try_emplace(id);
+  if (inserted) {
+    it->second = std::make_unique<const std::string>(std::move(path));
+  }
+  return inserted;
+}
+
+const std::string& PathTable::lookup(std::uint64_t id) const {
+  static const std::string kUnknown;
+  MutexLock lk(mu_);
+  auto it = map_.find(id);
+  return it == map_.end() ? kUnknown : *it->second;
+}
+
+std::size_t PathTable::size() const {
+  MutexLock lk(mu_);
+  return map_.size();
+}
+
 IonDaemon::IonDaemon(int id, IonParams params, EmulatedPfs& pfs)
     : id_(id),
       params_(params),
@@ -21,7 +43,8 @@ IonDaemon::IonDaemon(int id, IonParams params, EmulatedPfs& pfs)
       ingest_bucket_(params.ingest_bandwidth,
                      std::max(params.ingest_bandwidth * 0.02,
                               static_cast<double>(4 * MiB))),
-      epoch_(iofa::monotonic_now()) {
+      epoch_(iofa::monotonic_now()),
+      ring_(params.completion_ring_capacity) {
   auto& reg = params_.registry ? *params_.registry
                                : telemetry::Registry::global();
   const telemetry::Labels labels{{"ion", std::to_string(id_)}};
@@ -47,6 +70,14 @@ IonDaemon::IonDaemon(int id, IonParams params, EmulatedPfs& pfs)
   metrics_.retries = &reg.counter("fwd.retries", labels);
   metrics_.flush_abandoned = &reg.counter("fwd.ion.flush_abandoned", labels);
   metrics_.failed_requests = &reg.counter("fwd.ion.failed_requests", labels);
+  metrics_.flush_coalesced_extents =
+      &reg.counter("fwd.ion.flush_coalesced_extents", labels);
+  metrics_.flush_steals = &reg.counter("fwd.ion.flush_steals", labels);
+  metrics_.completions_drained =
+      &reg.counter("fwd.ion.completions_drained", labels);
+  metrics_.completion_ring_full =
+      &reg.counter("fwd.ion.completion_ring_full", labels);
+  metrics_.path_interned = &reg.counter("fwd.ion.path_interned", labels);
   metrics_.admitted = &reg.counter("fwd.overload.admitted", labels);
   metrics_.expired = &reg.counter("fwd.overload.expired", labels);
   metrics_.busy = &reg.counter("fwd.overload.busy", labels);
@@ -88,6 +119,7 @@ IonDaemon::IonDaemon(int id, IonParams params, EmulatedPfs& pfs)
   for (std::size_t f = 0; f < flush_shards_.size(); ++f) {
     flush_shards_[f]->worker = std::thread([this, f] { flusher_loop(f); });
   }
+  drainer_ = std::thread([this] { drainer_loop(); });
 }
 
 IonDaemon::~IonDaemon() { shutdown(); }
@@ -122,16 +154,20 @@ std::size_t IonDaemon::flush_shard_of(std::uint64_t file_id) const {
                                   flush_shards_.size());
 }
 
-std::size_t IonDaemon::queue_depth() const {
-  std::size_t depth = 0;
-  for (const auto& shard : shards_) depth += shard->ingest.size();
-  return depth;
-}
-
 double IonDaemon::saturation() const {
+  const double slab =
+      params_.slab_pool ? params_.slab_pool->used_fraction() : 0.0;
   return admission_->score(queue_depth(),
                            shards_.size() * params_.queue_capacity,
-                           inflight_bytes_.load());
+                           inflight_bytes_.load(), slab);
+}
+
+void IonDaemon::raise_restamp_floor() {
+  const std::uint64_t now_us = monotonic_micros();
+  std::uint64_t cur = restamp_floor_us_.load(std::memory_order_relaxed);
+  while (cur < now_us && !restamp_floor_us_.compare_exchange_weak(
+                             cur, now_us, std::memory_order_acq_rel)) {
+  }
 }
 
 SubmitResult IonDaemon::try_submit(FwdRequest req) {
@@ -167,17 +203,29 @@ SubmitResult IonDaemon::try_submit(FwdRequest req) {
       return SubmitResult::kBusy;
     }
   }
+  // Intern the path once at the boundary: every later hop carries only
+  // the 64-bit id, so queue moves stop shuffling heap strings around.
+  if (!req.path.empty()) {
+    if (paths_.intern(req.file_id, std::move(req.path))) {
+      metrics_.path_interned->add();
+    }
+    req.path.clear();
+  }
   const Bytes size = req.size;
+  // Stamped on EVERY enqueue (including failover re-submissions), so
+  // the queue-wait histogram measures this attempt's wait only.
   req.queued_us = monotonic_micros();
   pending_requests_.fetch_add(1);
   inflight_bytes_.fetch_add(size);
+  queue_depth_.fetch_add(1);
   auto& shard = *shards_[shard_of(req.file_id, req.op)];
   if (!shard.ingest.push(std::move(req))) {
+    queue_depth_.fetch_sub(1);
     inflight_bytes_.fetch_sub(size);
     finish_pending(pending_requests_);
     return SubmitResult::kDown;
   }
-  metrics_.queue_depth->set(static_cast<double>(queue_depth()));
+  metrics_.queue_depth->set(static_cast<double>(queue_depth_.load()));
   return SubmitResult::kAccepted;
 }
 
@@ -198,6 +246,10 @@ void IonDaemon::shutdown() {
   for (auto& fs : flush_shards_) {
     if (fs->worker.joinable()) fs->worker.join();
   }
+  // All producers are parked before the ring closes, so the drainer's
+  // closed-and-empty exit condition cannot race a late push.
+  ring_.close();
+  if (drainer_.joinable()) drainer_.join();
 }
 
 void IonDaemon::finish_pending(std::atomic<std::uint64_t>& counter) {
@@ -209,14 +261,59 @@ void IonDaemon::finish_pending(std::atomic<std::uint64_t>& counter) {
   }
 }
 
-void IonDaemon::fail_request(FwdRequest& req) {
-  if (req.done) {
-    req.done->set_exception(std::make_exception_ptr(IonDownError(id_)));
+void IonDaemon::complete(CompletionRecord rec) {
+  if (!rec.done) {
+    finish_pending(rec.flush_side ? pending_flushes_ : pending_requests_);
+    return;
   }
+  if (ring_.try_push(rec)) return;
+  // Full ring: fulfil inline (counted). Never blocks the pipeline.
+  metrics_.completion_ring_full->add();
+  if (rec.error) {
+    rec.done->set_exception(rec.error);
+  } else {
+    rec.done->set_value(rec.value);
+  }
+  finish_pending(rec.flush_side ? pending_flushes_ : pending_requests_);
+}
+
+void IonDaemon::drainer_loop() {
+  auto& tracer = telemetry::Tracer::global();
+  bool named = false;
+  std::vector<CompletionRecord> batch;
+  batch.reserve(256);
+  for (;;) {
+    if (!named && tracer.enabled()) {
+      tracer.set_thread_name("ion" + std::to_string(id_) + ".drainer");
+      named = true;
+    }
+    batch.clear();
+    ring_.drain(batch, 256);
+    if (batch.empty()) {
+      if (ring_.is_closed()) return;
+      ring_.wait_nonempty(1e-3);
+      continue;
+    }
+    for (auto& rec : batch) {
+      if (rec.error) {
+        rec.done->set_exception(rec.error);
+      } else {
+        rec.done->set_value(rec.value);
+      }
+      finish_pending(rec.flush_side ? pending_flushes_ : pending_requests_);
+    }
+    metrics_.completions_drained->add(batch.size());
+  }
+}
+
+void IonDaemon::fail_request(FwdRequest& req) {
   inflight_bytes_.fetch_sub(req.size);
   metrics_.failed_requests->add();
   if (params_.qos) params_.qos->on_failed(req.tenant);
-  finish_pending(pending_requests_);
+  CompletionRecord rec;
+  rec.done = std::move(req.done);
+  rec.error = std::make_exception_ptr(IonDownError(id_));
+  complete(std::move(rec));
 }
 
 void IonDaemon::fail_in_flight(Shard& shard) {
@@ -240,7 +337,13 @@ void IonDaemon::enqueue_flush(FlushItem item, std::uint64_t file_id) {
     if (item.fsync_done) {
       item.barrier = flush_enqueued_;
     } else {
-      ++flush_enqueued_;
+      // Data items register their extent in the gate NOW, not at write
+      // time: a thief that later steals any item of this file is
+      // guaranteed to see every earlier overlapping extent and wait its
+      // turn, which is what preserves last-writer-wins across flushers.
+      item.seq = ++flush_enqueued_;
+      flush_extents_[item.file_id].emplace(
+          item.seq, std::make_pair(item.offset, item.offset + item.size));
     }
   }
   pending_flushes_.fetch_add(1);
@@ -250,6 +353,7 @@ void IonDaemon::enqueue_flush(FlushItem item, std::uint64_t file_id) {
 void IonDaemon::worker_loop(std::size_t si) {
   auto& tracer = telemetry::Tracer::global();
   bool named = false;
+  bool was_down = false;
   Shard& shard = *shards_[si];
   // At workers == 1 the legacy site name keeps fault-seed replay
   // byte-identical with the serial daemon; sharded pipelines get one
@@ -261,15 +365,21 @@ void IonDaemon::worker_loop(std::size_t si) {
 
   auto ingest_one = [&](FwdRequest&& req) {
     if (req.queued_us != 0) {
+      // Crash-restart restamping: a request that sat out an outage in
+      // the queue is billed from the restart, not from its enqueue -
+      // the histogram (and the admission p99 derived from it) must
+      // never learn the length of a down window as "queue wait".
+      const std::uint64_t floor =
+          restamp_floor_us_.load(std::memory_order_relaxed);
+      const std::uint64_t stamped = std::max(req.queued_us, floor);
       const std::uint64_t now_us = monotonic_micros();
-      const std::uint64_t wait_us =
-          now_us > req.queued_us ? now_us - req.queued_us : 0;
+      const std::uint64_t wait_us = now_us > stamped ? now_us - stamped : 0;
       metrics_.queue_wait_us->observe(static_cast<double>(wait_us));
       if (params_.qos) {
         params_.qos->observe_wait(req.tenant, static_cast<double>(wait_us));
       }
       if (tracer.enabled()) {
-        tracer.complete("queue_wait", "fwd.ion", req.queued_us, wait_us,
+        tracer.complete("queue_wait", "fwd.ion", stamped, wait_us,
                         "bytes", static_cast<std::int64_t>(req.size));
       }
     }
@@ -282,11 +392,10 @@ void IonDaemon::worker_loop(std::size_t si) {
       metrics_.expired->add();
       if (params_.qos) params_.qos->on_expired(req.tenant);
       inflight_bytes_.fetch_sub(req.size);
-      if (req.done) {
-        req.done->set_exception(
-            std::make_exception_ptr(RequestExpiredError(id_)));
-      }
-      finish_pending(pending_requests_);
+      CompletionRecord rec;
+      rec.done = std::move(req.done);
+      rec.error = std::make_exception_ptr(RequestExpiredError(id_));
+      complete(std::move(rec));
       return;
     }
     if (params_.injector) {
@@ -304,7 +413,7 @@ void IonDaemon::worker_loop(std::size_t si) {
       // Order the marker after everything staged so far (its barrier
       // covers every data item enqueued daemon-wide before it).
       FlushItem marker;
-      marker.path = req.path;
+      marker.file_id = req.file_id;
       marker.fsync_done = req.done;
       marker.tenant = req.tenant;
       enqueue_flush(std::move(marker), req.file_id);
@@ -325,6 +434,12 @@ void IonDaemon::worker_loop(std::size_t si) {
     shard.scheduler->add(sr);
   };
 
+  auto pop_counted = [&]() -> std::optional<FwdRequest> {
+    auto req = shard.ingest.try_pop();
+    if (req) queue_depth_.fetch_sub(1);
+    return req;
+  };
+
   while (true) {
     if (!named && tracer.enabled()) {
       tracer.set_thread_name(
@@ -338,15 +453,23 @@ void IonDaemon::worker_loop(std::size_t si) {
       // (clients fail over). The staging store and the flushers survive
       // - they model node-local storage, which a daemon restart
       // reattaches to.
+      was_down = true;
       fail_in_flight(shard);
-      while (auto req = shard.ingest.try_pop()) fail_request(*req);
+      while (auto req = pop_counted()) fail_request(*req);
       if (shard.ingest.closed() && shard.ingest.empty()) break;
       sleep_for_seconds(200e-6);
       continue;
     }
+    if (was_down) {
+      // Injector-scheduled windows end without restart() being called;
+      // the worker observing the down -> alive edge raises the floor so
+      // survivors are restamped exactly like the manual-restart path.
+      raise_restamp_floor();
+      was_down = false;
+    }
     // Pull everything immediately available into the scheduler.
-    while (auto req = shard.ingest.try_pop()) ingest_one(std::move(*req));
-    metrics_.queue_depth->set(static_cast<double>(queue_depth()));
+    while (auto req = pop_counted()) ingest_one(std::move(*req));
+    metrics_.queue_depth->set(static_cast<double>(queue_depth_.load()));
 
     if (auto dispatch = shard.scheduler->pop(now())) {
       process(shard, *dispatch, request_fault_site);
@@ -363,6 +486,7 @@ void IonDaemon::worker_loop(std::size_t si) {
     FwdRequest req;
     switch (shard.ingest.try_pop_for(wait, req)) {
       case PopResult::kItem:
+        queue_depth_.fetch_sub(1);
         ingest_one(std::move(req));
         continue;
       case PopResult::kTimeout:
@@ -427,158 +551,263 @@ void IonDaemon::process(Shard& shard, const agios::Dispatch& dispatch,
     inflight_bytes_.fetch_sub(req.size);
 
     if (req.op == FwdOp::Write) {
-      if (params_.store_data && req.data && !req.data->empty()) {
+      if (params_.store_data && !req.payload.empty()) {
+        // The staging store references the slab bytes for the copy-in;
+        // the SAME slab then rides the flush item to the PFS - the
+        // payload is written once by the client and never duplicated.
+        const std::span<const std::byte> src = req.payload.span();
         for (const auto& slice : gkfs::split_range(req.offset, req.size)) {
           staging_.write(
               req.file_id, slice.chunk, slice.offset_in_chunk,
-              std::span<const std::byte>(*req.data)
-                  .subspan(slice.file_offset - req.offset, slice.size));
+              src.subspan(slice.file_offset - req.offset, slice.size));
         }
       }
       mark_dirty(req.file_id, req.offset, req.size);
       FlushItem item;
-      item.path = req.path;
+      item.file_id = req.file_id;
       item.offset = req.offset;
       item.size = req.size;
-      item.data = req.data;
+      item.payload = std::move(req.payload);
       item.tenant = req.tenant;
       if (params_.write_through) {
         // Ack from the flusher, after the PFS write; the overload
         // accounting (admitted vs failed) moves there with it.
-        item.write_done = req.done;
+        item.write_done = std::move(req.done);
         item.write_through = true;
+        enqueue_flush(std::move(item), req.file_id);
+        finish_pending(pending_requests_);
       } else {
-        if (req.done) req.done->set_value(req.size);
         metrics_.admitted->add();
         if (params_.qos) params_.qos->on_admitted(req.tenant, req.size);
+        enqueue_flush(std::move(item), req.file_id);
+        CompletionRecord rec;
+        rec.done = std::move(req.done);
+        rec.value = req.size;
+        complete(std::move(rec));
       }
-      enqueue_flush(std::move(item), req.file_id);
     } else {
       // Read: prefer the staging store while the range is dirty here.
       std::size_t n = req.size;
       if (is_dirty(req.file_id, req.offset, req.size)) {
-        if (params_.store_data && req.data && !req.data->empty()) {
+        if (params_.store_data && !req.payload.empty()) {
+          const std::span<std::byte> dst = req.payload.span();
           for (const auto& slice :
                gkfs::split_range(req.offset, req.size)) {
             staging_.read(
                 req.file_id, slice.chunk, slice.offset_in_chunk,
-                std::span<std::byte>(*req.data)
-                    .subspan(slice.file_offset - req.offset, slice.size));
+                dst.subspan(slice.file_offset - req.offset, slice.size));
           }
         }
         metrics_.reads_local->add();
       } else {
         std::span<std::byte> out =
-            (req.data && !req.data->empty())
-                ? std::span<std::byte>(*req.data).first(req.size)
+            !req.payload.empty()
+                ? req.payload.span().first(
+                      std::min<std::size_t>(req.payload.size(), req.size))
                 : std::span<std::byte>();
         // The ION is ONE reader at the PFS no matter how many client
         // processes it stands for - that is the flow-reshaping benefit.
-        n = pfs_.read(req.path, req.offset, req.size, out,
+        n = pfs_.read(paths_.lookup(req.file_id), req.offset, req.size, out,
                       /*stream_weight=*/1.0);
         metrics_.reads_pfs->add();
       }
-      if (req.done) req.done->set_value(n);
       metrics_.admitted->add();
       if (params_.qos) params_.qos->on_admitted(req.tenant, req.size);
+      CompletionRecord rec;
+      rec.done = std::move(req.done);
+      rec.value = n;
+      complete(std::move(rec));
     }
-    finish_pending(pending_requests_);
   }
 }
 
-void IonDaemon::flush_one(const FlushItem& item) {
-  if (item.fsync_done) {
-    // The barrier counts data items enqueued daemon-wide before this
-    // marker; durability means all of them drained (flushed or
-    // abandoned). Waiting here cannot deadlock: the oldest undrained
-    // data item is always at some flusher's queue head, and that
-    // flusher is not blocked on a barrier (its marker would be newer).
-    {
-      UniqueLock lk(flush_mu_);
-      while (flush_completed_ < item.barrier) flush_cv_.wait(lk);
-    }
-    item.fsync_done->set_value(0);
-    metrics_.admitted->add();
-    if (params_.qos) params_.qos->on_admitted(item.tenant, 0);
-    finish_pending(pending_flushes_);
-    return;
+void IonDaemon::flush_marker(const FlushItem& item) {
+  // The barrier counts data items enqueued daemon-wide before this
+  // marker; durability means all of them drained (flushed or
+  // abandoned). Waiting here cannot deadlock: the oldest undrained
+  // data item is always at some flusher's queue head (or already
+  // stolen), and whoever writes it waits only on strictly older
+  // extents, never on a barrier.
+  {
+    UniqueLock lk(flush_mu_);
+    while (flush_completed_ < item.barrier) flush_cv_.wait(lk);
   }
+  metrics_.admitted->add();
+  if (params_.qos) params_.qos->on_admitted(item.tenant, 0);
+  CompletionRecord rec;
+  rec.done = item.fsync_done;
+  rec.value = 0;
+  rec.flush_side = true;
+  complete(std::move(rec));
+}
 
+void IonDaemon::await_extent_turn(std::uint64_t file_id, std::uint64_t seq,
+                                  std::uint64_t lo, std::uint64_t hi) {
+  // Wait until no registered extent of this file with a SMALLER enqueue
+  // seq overlaps [lo, hi). Waits only ever point at strictly older
+  // extents, so the wait graph is acyclic and gate chains terminate.
+  UniqueLock lk(flush_mu_);
+  for (;;) {
+    bool blocked = false;
+    auto fit = flush_extents_.find(file_id);
+    if (fit != flush_extents_.end()) {
+      for (const auto& [s, range] : fit->second) {
+        if (s >= seq) break;  // map is ordered by seq
+        if (range.first < hi && range.second > lo) {
+          blocked = true;
+          break;
+        }
+      }
+    }
+    if (!blocked) return;
+    flush_cv_.wait(lk);
+  }
+}
+
+void IonDaemon::flush_run(std::vector<FlushItem>& run) {
+  assert(!run.empty());
+  const std::uint64_t file_id = run.front().file_id;
+  Bytes total = 0;
+  for (const auto& item : run) total += item.size;
   telemetry::ScopedSpan span("flush", "fwd.ion", "bytes",
-                             static_cast<std::int64_t>(item.size));
+                             static_cast<std::int64_t>(total));
+  if (run.size() > 1) {
+    metrics_.flush_coalesced_extents->add(run.size() - 1);
+  }
+  // Last-writer-wins gate BEFORE the budget: a writer holding in-flight
+  // budget never waits on the gate, so the two wait domains cannot form
+  // a hold-and-wait cycle. Run seqs are FIFO-increasing, so awaiting
+  // them in order only ever blocks on strictly older extents.
+  for (const auto& item : run) {
+    await_extent_turn(file_id, item.seq, item.offset,
+                      item.offset + item.size);
+  }
   const Bytes budget = params_.flush_inflight_budget;
   if (budget > 0) {
     // In-flight byte budget: cap what the pool pushes at the PFS
-    // concurrently. An over-budget item is admitted once the pool is
+    // concurrently. An over-budget run is admitted once the pool is
     // otherwise idle, so progress is never blocked.
     UniqueLock lk(flush_mu_);
-    while (flush_inflight_ > 0 && flush_inflight_ + item.size > budget) {
+    while (flush_inflight_ > 0 && flush_inflight_ + total > budget) {
       flush_cv_.wait(lk);
     }
-    flush_inflight_ += item.size;
+    flush_inflight_ += total;
   }
 
-  std::span<const std::byte> data =
-      (item.data && !item.data->empty())
-          ? std::span<const std::byte>(*item.data).first(item.size)
-          : std::span<const std::byte>();
+  const std::string& path = paths_.lookup(file_id);
+  std::vector<EmulatedPfs::GatherExtent> extents(run.size());
+  for (std::size_t i = 0; i < run.size(); ++i) {
+    extents[i].offset = run[i].offset;
+    extents[i].size = run[i].size;
+    if (run[i].payload.size() >= run[i].size) {
+      extents[i].data =
+          std::span<const std::byte>(run[i].payload.span())
+              .first(run[i].size);
+    }
+  }
+
+  // Settle one item's accounting after its extent reached the PFS (or
+  // was abandoned): dirty map, extent gate, barrier counter, budget,
+  // and the completion record. The slab reference is dropped here -
+  // payload lifetime ends exactly when the PFS has the bytes.
+  auto settle = [&](FlushItem& item, bool flushed) {
+    if (flushed) mark_clean(item.file_id, item.offset, item.size);
+    {
+      MutexLock lk(flush_mu_);
+      ++flush_completed_;
+      if (budget > 0) flush_inflight_ -= item.size;
+      auto fit = flush_extents_.find(item.file_id);
+      if (fit != flush_extents_.end()) {
+        fit->second.erase(item.seq);
+        if (fit->second.empty()) flush_extents_.erase(fit);
+      }
+      flush_cv_.notify_all();
+    }
+    CompletionRecord rec;
+    rec.flush_side = true;
+    if (flushed) {
+      metrics_.bytes_flushed->add(item.size);
+      rec.done = std::move(item.write_done);
+      rec.value = item.size;
+      if (item.write_through) {
+        metrics_.admitted->add();
+        if (params_.qos) params_.qos->on_admitted(item.tenant, item.size);
+      }
+    } else {
+      // Retry budget exhausted: the range stays dirty (reads keep
+      // hitting the staging copy) and write-through callers see the
+      // failure; an accepted-but-never-completed write-through request
+      // lands in the failed bucket, keeping the overload identity exact.
+      metrics_.flush_abandoned->add();
+      rec.done = std::move(item.write_done);
+      rec.error = std::make_exception_ptr(IonDownError(id_));
+      if (item.write_through) {
+        metrics_.failed_requests->add();
+        if (params_.qos) params_.qos->on_failed(item.tenant);
+      }
+    }
+    item.payload.reset();
+    complete(std::move(rec));
+  };
+
   // Positional writes are idempotent, so the retry loop is safe to
   // re-dispatch: at-least-once at the PFS is exactly-once on disk.
-  bool flushed = false;
-  for (int attempt = 0;; ++attempt) {
-    if (pfs_.write(item.path, item.offset, item.size, data,
-                   /*stream_weight=*/1.0)) {
-      flushed = true;
-      break;
+  // write_gather consumes ONE fault decision per extent and stops at
+  // the first failure (prefix-stop), so the (site, outcome) stream is
+  // exactly what per-item writes would have produced - the retry then
+  // resumes from the failed extent with that item's own backoff seed.
+  std::size_t done = 0;
+  std::vector<int> failures(run.size(), 0);
+  while (done < run.size()) {
+    const std::size_t applied = pfs_.write_gather(
+        path,
+        std::span<const EmulatedPfs::GatherExtent>(extents).subspan(done),
+        /*stream_weight=*/1.0);
+    for (std::size_t i = 0; i < applied; ++i) {
+      settle(run[done + i], /*flushed=*/true);
     }
+    done += applied;
+    if (done >= run.size()) break;
+    FlushItem& item = run[done];
+    ++failures[done];
     if (params_.max_flush_attempts > 0 &&
-        attempt + 1 >= params_.max_flush_attempts) {
-      break;
+        failures[done] >= params_.max_flush_attempts) {
+      settle(item, /*flushed=*/false);
+      ++done;
+      continue;
     }
     metrics_.retries->add();
     sleep_for_seconds(fault::backoff_delay(
-        params_.flush_backoff, attempt + 1,
+        params_.flush_backoff, failures[done],
         flush_seed_ ^ item.offset ^ (item.size << 20)));
   }
-  if (flushed) {
-    mark_clean(gkfs::hash_path(item.path), item.offset, item.size);
-    if (item.write_done) item.write_done->set_value(item.size);
-    if (item.write_through) {
-      metrics_.admitted->add();
-      if (params_.qos) params_.qos->on_admitted(item.tenant, item.size);
-    }
-    metrics_.bytes_flushed->add(item.size);
-  } else {
-    // Retry budget exhausted: the range stays dirty (reads keep
-    // hitting the staging copy) and write-through callers see the
-    // failure.
-    metrics_.flush_abandoned->add();
-    if (item.write_done) {
-      item.write_done->set_exception(
-          std::make_exception_ptr(IonDownError(id_)));
-    }
-    // A write-through request that was accepted but never completed
-    // toward the client lands in the failed bucket, keeping the
-    // overload accounting identity exact.
-    if (item.write_through) {
-      metrics_.failed_requests->add();
-      if (params_.qos) params_.qos->on_failed(item.tenant);
+}
+
+std::optional<IonDaemon::FlushItem> IonDaemon::try_steal_flush(
+    std::size_t thief) {
+  // Steal the oldest DATA item of a busy sibling: head-of-line relief
+  // when one hot file monopolises its flusher. Markers are never stolen
+  // (their barrier must settle on their own queue's cadence), and only
+  // queue fronts are taken, so per-queue seqs seen by thieves stay the
+  // smallest remaining - the extent gate orders everything else.
+  const std::size_t n = flush_shards_.size();
+  for (std::size_t k = 1; k < n; ++k) {
+    auto& victim = flush_shards_[(thief + k) % n]->queue;
+    auto item = victim.try_pop_if(
+        [](const FlushItem& front) { return front.fsync_done == nullptr; });
+    if (item) {
+      metrics_.flush_steals->add();
+      return item;
     }
   }
-  {
-    MutexLock lk(flush_mu_);
-    ++flush_completed_;
-    if (budget > 0) flush_inflight_ -= item.size;
-    flush_cv_.notify_all();
-  }
-  finish_pending(pending_flushes_);
+  return std::nullopt;
 }
 
 void IonDaemon::flusher_loop(std::size_t fi) {
   auto& tracer = telemetry::Tracer::global();
   bool named = false;
   FlushShard& fs = *flush_shards_[fi];
-  while (auto item = fs.queue.pop()) {
+  for (;;) {
     if (!named && tracer.enabled()) {
       tracer.set_thread_name(
           "ion" + std::to_string(id_) +
@@ -586,12 +815,33 @@ void IonDaemon::flusher_loop(std::size_t fi) {
                                      : ".flusher" + std::to_string(fi)));
       named = true;
     }
+    std::optional<FlushItem> first = fs.queue.try_pop();
+    if (!first && params_.flush_work_stealing && flush_shards_.size() > 1) {
+      if (auto stolen = try_steal_flush(fi)) {
+        std::vector<FlushItem> run;
+        run.push_back(std::move(*stolen));
+        flush_run(run);
+        continue;
+      }
+    }
+    if (!first) {
+      FlushItem item;
+      switch (fs.queue.try_pop_for(1ms, item)) {
+        case PopResult::kItem:
+          first.emplace(std::move(item));
+          break;
+        case PopResult::kTimeout:
+          continue;
+        case PopResult::kClosed:
+          return;
+      }
+    }
     // Drain a batch: everything immediately available up to
     // flush_batch_max, in FIFO order (grouping amortises queue wakeups;
     // processing order is unchanged, so replay determinism holds).
     std::vector<FlushItem> batch;
-    Bytes batch_bytes = item->fsync_done ? 0 : item->size;
-    batch.push_back(std::move(*item));
+    Bytes batch_bytes = first->fsync_done ? 0 : first->size;
+    batch.push_back(std::move(*first));
     while (batch_bytes < params_.flush_batch_max) {
       auto more = fs.queue.try_pop();
       if (!more) break;
@@ -599,7 +849,30 @@ void IonDaemon::flusher_loop(std::size_t fi) {
       batch.push_back(std::move(*more));
     }
     metrics_.flush_batch_bytes->observe(static_cast<double>(batch_bytes));
-    for (const auto& entry : batch) flush_one(entry);
+    // Walk the batch grouping contiguous same-file extents into runs;
+    // each run becomes one scatter-gather PFS write. Markers cut the
+    // current run (they must observe everything before them settled).
+    std::vector<FlushItem> run;
+    for (auto& entry : batch) {
+      if (entry.fsync_done) {
+        if (!run.empty()) {
+          flush_run(run);
+          run.clear();
+        }
+        flush_marker(entry);
+        continue;
+      }
+      const bool contiguous =
+          !run.empty() && params_.coalesce_flushes &&
+          run.back().file_id == entry.file_id &&
+          run.back().offset + run.back().size == entry.offset;
+      if (!run.empty() && !contiguous) {
+        flush_run(run);
+        run.clear();
+      }
+      run.push_back(std::move(entry));
+    }
+    if (!run.empty()) flush_run(run);
   }
 }
 

@@ -14,26 +14,40 @@
 //   submit() --(file_id, op) shard--> ingest[0..N) --> worker[0..N)
 //       worker: AGIOS schedule + aggregate, stage, ack, enqueue flush
 //   flush items --(file_id) shard--> flush[0..M) --> flusher[0..M)
-//       flusher: batched PFS drain under the in-flight byte budget
+//       flusher: coalesced scatter-gather PFS drain under the
+//       in-flight byte budget (idle flushers steal the oldest item of
+//       a busy sibling; the extent gate keeps last-writer-wins order)
+//   completions --> MPSC ring --> drainer thread (batched promise
+//       fulfilment, so workers never pay the futex wake per request)
 //
 // Requests for one (file_id, op) stream always land on the same
-// dispatch shard and all flush traffic of a file on the same flusher,
-// so per-file FIFO ordering is preserved end-to-end while independent
-// streams proceed in parallel. Fsync markers carry a sequence barrier:
-// they complete only after every flush item enqueued before them
-// (across all flush shards) has been drained or abandoned. With
-// workers == 1 and flushers == 1 the pipeline degenerates to the
+// dispatch shard and all flush traffic of a file on the same flusher
+// queue, so per-file FIFO ordering is preserved end-to-end while
+// independent streams proceed in parallel. Fsync markers carry a
+// sequence barrier: they complete only after every flush item enqueued
+// before them (across all flush shards) has been drained or abandoned.
+// With workers == 1 and flushers == 1 the pipeline degenerates to the
 // original serial dispatcher/flusher pair and is byte-identical under
-// fault-seed replay.
+// fault-seed replay (coalescing keeps one fault decision per extent,
+// so the injector's per-site streams advance exactly as they would for
+// per-item writes).
+//
+// Zero-copy: payloads arrive as slab handles (common/slab_pool.hpp)
+// and are referenced — never copied — through ingest, scheduling,
+// staging bookkeeping, flush queues and the PFS scatter-gather write.
+// Paths are interned into an id ↔ path table at the submit boundary,
+// so queue hops carry a 64-bit id instead of a heap string.
 
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -41,10 +55,12 @@
 #include "common/annotations.hpp"
 #include "common/mutex.hpp"
 #include "common/queue.hpp"
+#include "common/slab_pool.hpp"
 #include "common/token_bucket.hpp"
 #include "common/units.hpp"
 #include "fault/backoff.hpp"
 #include "fault/injector.hpp"
+#include "fwd/completion_ring.hpp"
 #include "fwd/overload.hpp"
 #include "fwd/pfs_backend.hpp"
 #include "fwd/request.hpp"
@@ -80,9 +96,28 @@ struct IonParams {
   /// alone, so progress is never blocked.
   Bytes flush_inflight_budget = 0;
   /// A flusher drains up to this many bytes from its queue in one
-  /// batched run before writing (amortises queue wakeups; the drain
-  /// order stays FIFO so replay determinism is unaffected).
+  /// batched run before writing (amortises queue wakeups) and merges
+  /// contiguous same-file extents of the batch into one scatter-gather
+  /// PFS write.
   Bytes flush_batch_max = 8 * MiB;
+  /// Merge contiguous same-file extents of a flush batch into a single
+  /// EmulatedPfs::write_gather call. Fault decisions stay per-extent,
+  /// so seeded replay is unaffected by how the batch happened to group.
+  bool coalesce_flushes = true;
+  /// Let an idle flusher steal the oldest data item of a sibling's
+  /// queue (head-of-line relief when one hot file monopolises its
+  /// flusher). The extent gate serialises overlapping same-file writes
+  /// by enqueue order, so last-writer-wins is preserved.
+  bool flush_work_stealing = true;
+  /// Completion-ring capacity (rounded up to a power of two). When the
+  /// ring is momentarily full the pusher fulfils the promise inline
+  /// (counted in fwd.ion.completion_ring_full), never blocking.
+  std::size_t completion_ring_capacity = 4096;
+  /// Shared payload slab pool (owned by the ForwardingService or the
+  /// bench); may be null. The daemon does not allocate payloads itself
+  /// — the pointer feeds pool occupancy into the admission saturation
+  /// score so exhaustion becomes backpressure instead of heap traffic.
+  SlabPool* slab_pool = nullptr;
   /// Metrics destination; nullptr means telemetry::Registry::global().
   telemetry::Registry* registry = nullptr;
   /// Fault-injection hook (sites ion.<id> / ion.<id>.request, or
@@ -131,6 +166,27 @@ enum class SubmitResult {
   kDown       ///< daemon crashed or shut down
 };
 
+/// Daemon-side id ↔ path intern table. Paths enter once at the submit
+/// boundary; every later pipeline hop (shard queues, scheduler tags,
+/// flush items) carries only the 64-bit file id. Entries are never
+/// erased, so lookup() may hand out references without holding the
+/// lock past the call.
+class PathTable {
+ public:
+  /// Intern `path` under `id`. Returns true when the id was new.
+  bool intern(std::uint64_t id, std::string&& path) IOFA_EXCLUDES(mu_);
+  /// Resolve an interned id; an empty string for unknown ids.
+  const std::string& lookup(std::uint64_t id) const IOFA_EXCLUDES(mu_);
+  std::size_t size() const IOFA_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  // unique_ptr targets are stable across rehash, which is what makes
+  // the lock-free reference handout of lookup() sound.
+  std::unordered_map<std::uint64_t, std::unique_ptr<const std::string>>
+      map_ IOFA_GUARDED_BY(mu_);
+};
+
 class IonDaemon {
  public:
   IonDaemon(int id, IonParams params, EmulatedPfs& pfs);
@@ -171,7 +227,12 @@ class IonDaemon {
   /// which is what makes restart() meaningful.
   void crash() { crashed_manual_.store(true); }
   /// Undo crash(); an injector-scheduled crash window still applies.
-  void restart() { crashed_manual_.store(false); }
+  /// Requests that survived the outage in ingest queues are restamped
+  /// from here, so fwd.ion.queue_wait_us never bills the down window.
+  void restart() {
+    raise_restamp_floor();
+    crashed_manual_.store(false);
+  }
   /// Heartbeat the HealthMonitor samples: accepting and serving work.
   bool alive() const { return running_.load() && !is_crashed(); }
 
@@ -210,14 +271,16 @@ class IonDaemon {
     std::uint64_t reads_pfs = 0;
   };
   Stats stats() const;
-  std::size_t queue_depth() const;
+  std::size_t queue_depth() const { return queue_depth_.load(); }
+  /// The intern table (tests assert interned == distinct files).
+  const PathTable& paths() const { return paths_; }
 
  private:
   struct FlushItem {
-    std::string path;
+    std::uint64_t file_id = 0;
     std::uint64_t offset = 0;
     std::uint64_t size = 0;
-    std::shared_ptr<std::vector<std::byte>> data;
+    Payload payload;  ///< slab handle; released after the PFS write
     std::shared_ptr<std::promise<std::size_t>> fsync_done;  ///< marker
     /// Fsync barrier: data items enqueued (daemon-wide) before this
     /// marker; the marker completes once that many items have drained.
@@ -230,6 +293,9 @@ class IonDaemon {
     /// Originating tenant, carried to the flush-time accounting sites
     /// (fsync admits, write-through admits/fails).
     std::uint32_t tenant = 0;
+    /// Daemon-wide enqueue sequence (data items only): the extent
+    /// gate's ordering key for cross-flusher last-writer-wins.
+    std::uint64_t seq = 0;
   };
 
   /// One dispatch shard: a bounded ingest queue plus scheduler state
@@ -252,12 +318,21 @@ class IonDaemon {
 
   void worker_loop(std::size_t si);
   void flusher_loop(std::size_t fi);
+  void drainer_loop();
   /// Per-shard scheduler factory: the configured AGIOS scheduler,
   /// wrapped in the tenant-weighted decorator when QoS is active.
   std::unique_ptr<agios::Scheduler> make_shard_scheduler() const;
   void process(Shard& shard, const agios::Dispatch& dispatch,
                const std::string& request_fault_site);
-  void flush_one(const FlushItem& item) IOFA_EXCLUDES(flush_mu_);
+  /// Complete a fsync marker (barrier wait + ack).
+  void flush_marker(const FlushItem& item) IOFA_EXCLUDES(flush_mu_);
+  /// Write one coalesced run of same-file, offset-contiguous items
+  /// (run.size() == 1 for uncoalesced traffic) as a scatter-gather PFS
+  /// dispatch, then settle each item's accounting.
+  void flush_run(std::vector<FlushItem>& run) IOFA_EXCLUDES(flush_mu_);
+  /// Steal the oldest data item of a sibling flush queue; nullopt when
+  /// every queue is empty or holds only markers at its head.
+  std::optional<FlushItem> try_steal_flush(std::size_t thief);
   Seconds now() const;
 
   std::size_t shard_of(std::uint64_t file_id, FwdOp op) const;
@@ -265,14 +340,31 @@ class IonDaemon {
 
   /// Enqueue a data item / fsync marker. Serialised by
   /// flush_enqueue_mu_ so a marker's barrier count can never be
-  /// overtaken in its own queue by a later data item.
+  /// overtaken in its own queue by a later data item. Data items are
+  /// also registered in the extent gate here (enqueue time), which is
+  /// what makes work-stealing safe: a thief always sees every earlier
+  /// overlapping extent, drained or not.
   void enqueue_flush(FlushItem item, std::uint64_t file_id)
       IOFA_EXCLUDES(flush_enqueue_mu_);
+
+  /// Block until no registered same-file extent with seq < `seq`
+  /// overlaps [lo, hi) (the last-writer-wins order gate). Waits only on
+  /// strictly smaller sequence numbers, so gate chains terminate.
+  void await_extent_turn(std::uint64_t file_id, std::uint64_t seq,
+                         std::uint64_t lo, std::uint64_t hi)
+      IOFA_EXCLUDES(flush_mu_);
+
+  /// Route a completion through the MPSC ring (inline fallback when the
+  /// ring is full; records without a promise settle immediately).
+  void complete(CompletionRecord rec);
 
   bool is_crashed() const {
     return crashed_manual_.load() ||
            (params_.injector && !params_.injector->ion_alive(id_));
   }
+  /// Bump the queue-wait restamp floor to "now": waits observed by
+  /// ingest after a crash-restart only count time since the restart.
+  void raise_restamp_floor();
   /// Fail one accepted-but-unserved request (crash path).
   void fail_request(FwdRequest& req);
   /// Fail everything one shard's worker holds (in-flight + scheduler).
@@ -299,6 +391,7 @@ class IonDaemon {
   std::vector<std::unique_ptr<FlushShard>> flush_shards_;
 
   gkfs::ChunkStore staging_;
+  PathTable paths_;
   mutable Mutex dirty_mu_;
   // file_id -> (offset -> end), disjoint merged intervals.
   std::unordered_map<std::uint64_t, std::map<std::uint64_t, std::uint64_t>>
@@ -322,15 +415,33 @@ class IonDaemon {
   Mutex flush_enqueue_mu_;
   mutable Mutex flush_mu_;
   CondVar flush_cv_;
-  /// data items enqueued towards the flushers (markers excluded)
+  /// data items enqueued towards the flushers (markers excluded); also
+  /// the source of FlushItem::seq
   std::uint64_t flush_enqueued_ IOFA_GUARDED_BY(flush_mu_) = 0;
   /// data items drained (flushed or abandoned)
   std::uint64_t flush_completed_ IOFA_GUARDED_BY(flush_mu_) = 0;
   /// bytes currently being written to the PFS by the pool
   Bytes flush_inflight_ IOFA_GUARDED_BY(flush_mu_) = 0;
+  /// Extent gate: every enqueued-but-unwritten data extent, per file,
+  /// keyed by enqueue seq. A writer (owner or thief) waits until no
+  /// overlapping extent with a smaller seq remains registered.
+  std::unordered_map<std::uint64_t,
+                     std::map<std::uint64_t,
+                              std::pair<std::uint64_t, std::uint64_t>>>
+      flush_extents_ IOFA_GUARDED_BY(flush_mu_);
+
+  /// Batched completion path: pipeline threads push, drainer_ fulfils.
+  CompletionRing ring_;
+  std::thread drainer_;
 
   std::atomic<bool> running_{true};
   std::atomic<bool> crashed_manual_{false};
+  /// Requests queued before this monotonic stamp have their queue-wait
+  /// measured from the stamp instead (crash-restart restamping).
+  std::atomic<std::uint64_t> restamp_floor_us_{0};
+  /// Requests currently sitting in ingest queues (O(1) admission
+  /// criterion; the old implementation summed every shard per submit).
+  std::atomic<std::size_t> queue_depth_{0};
   /// Seed for the flushers' deterministic retry jitter.
   std::uint64_t flush_seed_ = 0;
 
@@ -359,6 +470,12 @@ class IonDaemon {
     telemetry::Counter* retries = nullptr;          ///< flush retries
     telemetry::Counter* flush_abandoned = nullptr;  ///< retry budget hit
     telemetry::Counter* failed_requests = nullptr;  ///< crash casualties
+    // Zero-copy pipeline instrumentation.
+    telemetry::Counter* flush_coalesced_extents = nullptr;
+    telemetry::Counter* flush_steals = nullptr;
+    telemetry::Counter* completions_drained = nullptr;
+    telemetry::Counter* completion_ring_full = nullptr;
+    telemetry::Counter* path_interned = nullptr;
     // Overload accounting (see overload.hpp for the invariant).
     telemetry::Counter* admitted = nullptr;  ///< completed toward client
     telemetry::Counter* expired = nullptr;   ///< deadline-dropped at dequeue

@@ -34,7 +34,8 @@ double SaturationTracker::wait_p99_us() const {
 
 double SaturationTracker::score(std::size_t queue_depth,
                                 std::size_t queue_capacity,
-                                Bytes inflight_bytes) const {
+                                Bytes inflight_bytes,
+                                double slab_used_fraction) const {
   if (!options_.enabled) return 0.0;
   double s = 0.0;
   if (queue_capacity > 0 && options_.queue_high_watermark > 0.0) {
@@ -48,6 +49,9 @@ double SaturationTracker::score(std::size_t queue_depth,
   }
   if (options_.queue_wait_limit > 0.0) {
     s = std::max(s, wait_p99_us() / (options_.queue_wait_limit * 1e6));
+  }
+  if (options_.slab_high_watermark > 0.0 && slab_used_fraction > 0.0) {
+    s = std::max(s, slab_used_fraction / options_.slab_high_watermark);
   }
   return s;
 }

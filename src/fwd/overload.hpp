@@ -62,6 +62,12 @@ struct AdmissionOptions {
   Bytes inflight_bytes_limit = 0;
   /// p99 ingest-queue wait ceiling; 0 disables the criterion.
   Seconds queue_wait_limit = 0.0;
+  /// Payload slab-pool occupancy (fullest size class, 0..1) at which
+  /// the saturation score reaches 1.0 — pool exhaustion becomes
+  /// backpressure before clients start paying heap fallbacks. 0
+  /// disables the criterion; it is also inert while the daemon has no
+  /// slab pool attached (slab_used_fraction stays 0).
+  double slab_high_watermark = 0.95;
 };
 
 /// Folds queue depth, in-flight bytes and p99 queue wait into one
@@ -78,13 +84,17 @@ class SaturationTracker {
   const AdmissionOptions& options() const { return options_; }
 
   /// Saturation in [0, inf); >= 1.0 means past the high watermark.
+  /// `slab_used_fraction` is the payload pool's fullest-class occupancy
+  /// (0 when the daemon has no pool attached).
   double score(std::size_t queue_depth, std::size_t queue_capacity,
-               Bytes inflight_bytes) const;
+               Bytes inflight_bytes, double slab_used_fraction = 0.0) const;
 
   bool should_reject(std::size_t queue_depth, std::size_t queue_capacity,
-                     Bytes inflight_bytes) const {
+                     Bytes inflight_bytes,
+                     double slab_used_fraction = 0.0) const {
     return options_.enabled &&
-           score(queue_depth, queue_capacity, inflight_bytes) >= 1.0;
+           score(queue_depth, queue_capacity, inflight_bytes,
+                 slab_used_fraction) >= 1.0;
   }
 
  private:

@@ -94,6 +94,63 @@ bool EmulatedPfs::write(const std::string& path, std::uint64_t offset,
   return true;
 }
 
+std::size_t EmulatedPfs::write_gather(const std::string& path,
+                                      std::span<const GatherExtent> extents,
+                                      double stream_weight) {
+  if (extents.empty()) return 0;
+  // Per-extent fault decisions, taken before any charge — exactly the
+  // stream consumption N individual write() calls would produce, so
+  // seeded replay is independent of how a flusher happened to batch.
+  std::size_t admitted = extents.size();
+  if (params_.injector) {
+    for (std::size_t i = 0; i < extents.size(); ++i) {
+      const auto d = params_.injector->decide(fault::kPfsWriteSite);
+      if (d.stall > 0.0) sleep_for_seconds(d.stall);
+      if (d.fail) {
+        admitted = i;
+        break;
+      }
+    }
+  }
+  if (admitted == 0) return 0;
+  Bytes total = 0;
+  for (std::size_t i = 0; i < admitted; ++i) total += extents[i].size;
+  std::uint64_t max_end = 0;
+  auto lock = lock_for(path);
+  lock->waiters.fetch_add(1);
+  {
+    MutexLock file_lk(lock->mu);
+    const int queued = lock->waiters.load();
+    const double extra =
+        queued > 1 ? 1.0 + params_.shared_lock_overhead : 1.0;
+    if (queued > 1) ctr_lock_contention_->add();
+    // ONE op_overhead surcharge for the whole gather: amortising the
+    // per-operation cost is the point of coalescing (the same recovery
+    // aggregation gives small forwarded requests).
+    charge(total, stream_weight, /*is_read=*/false, extra);
+    const std::uint64_t id = gkfs::hash_path(path);
+    for (std::size_t i = 0; i < admitted; ++i) {
+      const auto& e = extents[i];
+      max_end = std::max(max_end, e.offset + e.size);
+      if (params_.store_data && !e.data.empty()) {
+        assert(e.data.size() >= e.size);
+        for (const auto& slice : gkfs::split_range(e.offset, e.size)) {
+          store_.write(
+              id, slice.chunk, slice.offset_in_chunk,
+              e.data.subspan(slice.file_offset - e.offset, slice.size));
+        }
+      }
+    }
+    metadata_.extend(path, max_end);
+  }
+  lock->waiters.fetch_sub(1);
+  bytes_written_.fetch_add(total);
+  write_ops_.fetch_add(1);
+  ctr_bytes_written_->add(total);
+  ctr_write_ops_->add();
+  return admitted;
+}
+
 std::size_t EmulatedPfs::read(const std::string& path, std::uint64_t offset,
                               std::uint64_t size, std::span<std::byte> out,
                               double stream_weight) {

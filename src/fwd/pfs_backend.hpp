@@ -67,6 +67,27 @@ class EmulatedPfs {
              std::uint64_t size, std::span<const std::byte> data,
              double stream_weight = 1.0);
 
+  /// One extent of a scatter-gather write (write_gather). `data` may be
+  /// empty in accounting-only mode.
+  struct GatherExtent {
+    std::uint64_t offset = 0;
+    std::uint64_t size = 0;
+    std::span<const std::byte> data;
+  };
+
+  /// Scatter-gather positional write: several extents of one file
+  /// dispatched as ONE device operation — a single file-lock
+  /// acquisition and a single op_overhead token surcharge for the whole
+  /// batch (the coalescing win). Fault decisions stay per-extent so
+  /// seeded replay consumes the pfs.write site stream exactly as the
+  /// same extents written one by one would; extents are applied in
+  /// order and the call stops at the first injected failure. Returns
+  /// the number of extents durably applied (== extents.size() on full
+  /// success); callers owning durability retry the remaining suffix.
+  std::size_t write_gather(const std::string& path,
+                           std::span<const GatherExtent> extents,
+                           double stream_weight = 1.0);
+
   /// Blocking positional read; returns bytes read (clamped at EOF when
   /// data is stored; `size` otherwise).
   std::size_t read(const std::string& path, std::uint64_t offset,

@@ -112,7 +112,9 @@ ReplayResult replay_app(Client& client, const workload::AppSpec& app,
       workers.emplace_back([&, t] {
         Rng rng(options.seed + static_cast<std::uint64_t>(t) * 7919 +
                 pi * 104729);
-        std::vector<std::byte> payload;
+        // Fill pattern handed to pwrite, which copies it into a slab
+        // payload at the submit boundary; never enters a FwdRequest.
+        std::vector<std::byte> payload;  // iofa-lint: allow(raw-payload)
         if (options.store_data) {
           payload.resize(plan.request_size);
           for (auto& b : payload) {

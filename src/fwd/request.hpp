@@ -6,8 +6,8 @@
 #include <future>
 #include <memory>
 #include <string>
-#include <vector>
 
+#include "common/slab_pool.hpp"
 #include "common/units.hpp"
 
 namespace iofa::fwd {
@@ -16,6 +16,10 @@ enum class FwdOp : std::uint8_t { Write, Read, Fsync };
 
 struct FwdRequest {
   FwdOp op = FwdOp::Write;
+  /// File path, consumed at the submit boundary: the daemon interns it
+  /// into its id ↔ path table and clears this field, so queue hops and
+  /// flush items carry only file_id (no per-hop string allocation). May
+  /// be empty when the daemon is known to have the id interned already.
   std::string path;
   std::uint64_t file_id = 0;
   std::uint64_t offset = 0;
@@ -23,15 +27,17 @@ struct FwdRequest {
   /// Number of logical client processes this request's issuing thread
   /// stands for (threads are scaled down from the app's process count).
   double stream_weight = 1.0;
-  /// Write payload / read destination. Null in accounting-only mode:
-  /// the bytes are charged and tracked but never materialised.
-  std::shared_ptr<std::vector<std::byte>> data;
+  /// Write payload / read destination: a refcounted slab handle (or the
+  /// counted heap fallback). Empty in accounting-only mode: the bytes
+  /// are charged and tracked but never materialised.
+  Payload payload;
   /// Fulfilled with the bytes transferred once the daemon finishes the
   /// request (for writes: once staged; durability comes from Fsync).
   std::shared_ptr<std::promise<std::size_t>> done;
   std::uint64_t tag = 0;  ///< daemon-local scheduler handle
-  /// Stamped by IonDaemon::submit (monotonic_micros) so the ingest
-  /// queue wait is observable per request; 0 = not stamped.
+  /// Stamped by IonDaemon::try_submit (monotonic_micros) on EVERY
+  /// enqueue — including re-submissions after failover — so the ingest
+  /// queue wait is observable per attempt; 0 = not stamped.
   std::uint64_t queued_us = 0;
   /// Absolute deadline (monotonic_micros) derived from the client's
   /// request timeout; the daemon drops the request at dequeue once it

@@ -9,6 +9,21 @@ ForwardingService::ForwardingService(ServiceConfig config) : config_(config) {
     config_.pfs.injector = config_.injector;
   }
   pfs_ = std::make_unique<EmulatedPfs>(config_.pfs);
+  slab_pool_ = std::make_unique<SlabPool>(config_.slab);
+  {
+    // Pool events land in telemetry through hooks: common/ stays free
+    // of a telemetry dependency, the counters still tick lock-free.
+    auto& reg = config_.ion.registry ? *config_.ion.registry
+                                     : telemetry::Registry::global();
+    auto* acquired = &reg.counter("fwd.ion.slab.acquired");
+    auto* released = &reg.counter("fwd.ion.slab.released");
+    auto* exhausted = &reg.counter("fwd.ion.slab.exhausted");
+    SlabPool::Hooks hooks;
+    hooks.on_acquire = [acquired] { acquired->add(); };
+    hooks.on_release = [released] { released->add(); };
+    hooks.on_exhausted = [exhausted] { exhausted->add(); };
+    slab_pool_->set_hooks(std::move(hooks));
+  }
   if (config_.qos.enabled) {
     auto& reg = config_.ion.registry ? *config_.ion.registry
                                      : telemetry::Registry::global();
@@ -23,6 +38,7 @@ ForwardingService::ForwardingService(ServiceConfig config) : config_(config) {
       params.injector = config_.injector;
     }
     if (qos_) params.qos = qos_->enforcer(i);
+    if (!params.slab_pool) params.slab_pool = slab_pool_.get();
     daemons_.push_back(std::make_unique<IonDaemon>(i, params, *pfs_));
   }
   mapping_store_.set_injector(config_.injector);

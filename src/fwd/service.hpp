@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/slab_pool.hpp"
 #include "common/token_bucket.hpp"
 #include "core/arbiter.hpp"
 #include "fwd/daemon.hpp"
@@ -33,6 +34,11 @@ struct ServiceConfig {
   /// (throws std::invalid_argument, same contract as the overload
   /// knobs). Each ION gets its own enforcer rooted at ingest_bandwidth.
   qos::QosOptions qos;
+  /// Payload slab pool shared by every client and daemon of this
+  /// deployment (the zero-copy request path). The pool is always built;
+  /// sizing it to the workload is what keeps payload_heap_allocs() at
+  /// zero under the bench.
+  SlabPoolConfig slab;
 };
 
 class ForwardingService {
@@ -59,6 +65,19 @@ class ForwardingService {
   /// null while config.qos.enabled is false.
   qos::QosRuntime* qos() { return qos_.get(); }
 
+  /// The deployment's payload slab pool (occupancy feeds each daemon's
+  /// admission score; tests assert its acquire/release balance).
+  SlabPool& slab_pool() { return *slab_pool_; }
+
+  /// Acquire a payload buffer for a request: a slab when the pool has
+  /// one, else the counted heap fallback (fwd.client.payload_allocs at
+  /// the caller). Never fails.
+  Payload acquire_payload(std::size_t size) {
+    Payload p = slab_pool_->try_acquire(size);
+    if (!p.empty() || size == 0) return p;
+    return Payload::heap(size);
+  }
+
   /// Publish a new arbitration result to the clients.
   void apply_mapping(const core::Mapping& mapping);
 
@@ -73,6 +92,9 @@ class ForwardingService {
  private:
   ServiceConfig config_;
   std::unique_ptr<EmulatedPfs> pfs_;
+  /// Built before the daemons: each IonParams carries a pointer to the
+  /// pool so occupancy can back-pressure admission.
+  std::unique_ptr<SlabPool> slab_pool_;
   /// Built before the daemons: each IonParams carries a pointer to its
   /// enforcer, so the runtime must outlive (and pre-date) them.
   std::unique_ptr<qos::QosRuntime> qos_;

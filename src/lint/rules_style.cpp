@@ -197,4 +197,28 @@ void RawTokenBucketRule::scan(const FileModel& f, Reporter& rep) {
   }
 }
 
+// --- raw-payload ----------------------------------------------------------
+
+void RawPayloadRule::scan(const FileModel& f, Reporter& rep) {
+  // Scope: the forwarding data path, where every request payload is
+  // supposed to come from the deployment slab pool (iofa::Payload) so
+  // bytes travel client -> dispatcher -> flusher -> PFS without a copy.
+  // A std::vector<std::byte> constructed here is a heap payload that
+  // silently reintroduces the per-request allocation the zero-copy path
+  // removed, invisible to the fwd.ion.slab.* gauges and the bench's
+  // allocation gate. Fill/scratch buffers that never enter a FwdRequest
+  // justify themselves with an inline allow(raw-payload).
+  if (!f.in_path("src/fwd")) return;
+  const auto& code = f.code();
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Token& t = f.tokens()[code[i]];
+    if (!t.is_ident("vector")) continue;
+    if (!match_code_seq(f, i + 1, {"<", "std", "::", "byte", ">"})) continue;
+    rep.report(f, t.line, "raw-payload",
+               "std::vector<std::byte> payload buffer in the forwarding "
+               "path; acquire an iofa::Payload from the slab pool "
+               "(common/slab_pool.hpp) or justify the raw buffer inline");
+  }
+}
+
 }  // namespace iofa::lint

@@ -60,4 +60,13 @@ class RawTokenBucketRule : public Rule {
   void scan(const FileModel& file, Reporter& rep) override;
 };
 
+class RawPayloadRule : public Rule {
+ public:
+  std::string_view name() const override { return "raw-payload"; }
+  std::string_view description() const override {
+    return "fwd payload buffers ride the slab pool, not vector<byte>";
+  }
+  void scan(const FileModel& file, Reporter& rep) override;
+};
+
 }  // namespace iofa::lint

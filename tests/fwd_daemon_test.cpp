@@ -54,7 +54,8 @@ FwdRequest write_req(const std::string& path, std::uint64_t offset,
   req.file_id = gkfs::hash_path(path);
   req.offset = offset;
   req.size = data.size();
-  req.data = std::make_shared<std::vector<std::byte>>(std::move(data));
+  req.payload = iofa::Payload::wrap(
+      std::make_shared<std::vector<std::byte>>(std::move(data)));
   req.done = std::make_shared<std::promise<std::size_t>>();
   return req;
 }
@@ -67,7 +68,8 @@ FwdRequest read_req(const std::string& path, std::uint64_t offset,
   req.file_id = gkfs::hash_path(path);
   req.offset = offset;
   req.size = size;
-  req.data = std::make_shared<std::vector<std::byte>>(size);
+  req.payload =
+      iofa::Payload::wrap(std::make_shared<std::vector<std::byte>>(size));
   req.done = std::make_shared<std::promise<std::size_t>>();
   return req;
 }
@@ -131,11 +133,11 @@ TEST(IonDaemon, ReadServedFromStagingBeforeFlush) {
   wfut.get();
 
   auto rreq = read_req("/f", 0, 65536);
-  auto buf = rreq.data;
+  iofa::Payload buf = rreq.payload;
   auto rfut = rreq.done->get_future();
   ASSERT_TRUE(daemon.submit(std::move(rreq)));
   EXPECT_EQ(rfut.get(), 65536u);
-  EXPECT_EQ(*buf, data);
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), buf.span().begin()));
   EXPECT_GE(daemon.stats().reads_local, 1u);
 }
 
@@ -146,11 +148,11 @@ TEST(IonDaemon, ReadFallsThroughToPfsWhenClean) {
 
   IonDaemon daemon(0, fast_ion(), pfs);
   auto rreq = read_req("/direct", 0, 4096);
-  auto buf = rreq.data;
+  iofa::Payload buf = rreq.payload;
   auto rfut = rreq.done->get_future();
   ASSERT_TRUE(daemon.submit(std::move(rreq)));
   EXPECT_EQ(rfut.get(), 4096u);
-  EXPECT_EQ(*buf, data);
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), buf.span().begin()));
   EXPECT_GE(daemon.stats().reads_pfs, 1u);
 }
 
@@ -588,13 +590,149 @@ TEST(IonDaemon, PipelineAccountsAbandonedFlushes) {
   for (int i = 0; i < kWrites; ++i) {
     auto rreq = read_req("/ab" + std::to_string(i % 4),
                          static_cast<std::uint64_t>(i / 4) * 4096, 4096);
-    auto buf = rreq.data;
+    iofa::Payload buf = rreq.payload;
     auto rfut = rreq.done->get_future();
     ASSERT_TRUE(daemon.submit(std::move(rreq)));
     EXPECT_EQ(rfut.get(), 4096u);
-    EXPECT_EQ(*buf, pattern_data(4096, static_cast<std::uint64_t>(i)));
+    const auto want = pattern_data(4096, static_cast<std::uint64_t>(i));
+    EXPECT_TRUE(std::equal(want.begin(), want.end(), buf.span().begin()));
   }
   EXPECT_GE(daemon.stats().reads_local, 1u);  // the dirty range
+}
+
+TEST(IonDaemon, QueueWaitRestampedAcrossCrashRestart) {
+  // Regression: a request that sits in an ingest queue through a
+  // crash-restart used to bill the whole down window to
+  // fwd.ion.queue_wait_us, poisoning the admission saturation score
+  // for minutes after recovery. The restamp floor raised by restart()
+  // means the histogram only sees the post-restart wait.
+  telemetry::Registry reg;
+  EmulatedPfs pfs(fast_pfs());
+  IonParams params = fast_ion();
+  params.workers = 1;
+  params.registry = &reg;
+  // Long modelled dispatch service time: the single worker is busy in
+  // process() for the whole crash window, so the queued request is
+  // never drained-and-failed — it survives into the restarted daemon.
+  params.dispatch_latency = 0.6;
+  IonDaemon daemon(0, params, pfs);
+
+  auto first = write_req("/rs", 0, pattern_data(4096, 1));
+  auto first_fut = first.done->get_future();
+  ASSERT_TRUE(daemon.submit(std::move(first)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // The worker is mid-dispatch; this one queues behind it.
+  auto second = write_req("/rs", 4096, pattern_data(4096, 2));
+  auto second_fut = second.done->get_future();
+  ASSERT_TRUE(daemon.submit(std::move(second)));
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  daemon.crash();
+  std::this_thread::sleep_for(std::chrono::milliseconds(350));
+  daemon.restart();  // raises the restamp floor to "now"
+
+  EXPECT_EQ(first_fut.get(), 4096u);
+  EXPECT_EQ(second_fut.get(), 4096u);
+  daemon.drain();
+
+  const auto& hist = reg.histogram(
+      "fwd.ion.queue_wait_us", telemetry::BucketSpec::latency_us(),
+      {{"ion", "0"}});
+  ASSERT_EQ(hist.count(), 2u);
+  // The second request was queued for the full ~600ms dispatch sleep;
+  // restamped it may only be billed the ~200ms since the restart (plus
+  // scheduling jitter). Without restamping the sum is >= 550000us.
+  EXPECT_LT(hist.sum(), 400000.0)
+      << "queue wait billed across the down window";
+}
+
+TEST(IonDaemon, TwoHotFilesKeepOrderUnderWorkStealing) {
+  // Regression for flusher head-of-line blocking: with 8 flushers and
+  // only two hot files, six flushers are permanently idle and steal
+  // from the two owners. Stolen extents overlap the owners' queued
+  // rewrites of the same offsets, so only the enqueue-seq extent gate
+  // keeps last-writer-wins; a steal that bypassed it would let an older
+  // version land last.
+  telemetry::Registry reg;
+  PfsParams pp = fast_pfs();
+  pp.write_bandwidth = 80.0e6;  // slow enough that flush queues back up
+  EmulatedPfs pfs(pp);
+  IonParams params = fast_ion();
+  params.workers = 8;
+  params.registry = &reg;
+  params.flush_work_stealing = true;
+  params.flush_batch_max = 4 * KiB;  // one extent per run: maximal overlap
+  IonDaemon daemon(0, params, pfs);
+  ASSERT_EQ(daemon.flushers(), 8);
+
+  constexpr int kVersions = 64;
+  std::vector<std::future<std::size_t>> futs;
+  for (int v = 0; v < kVersions; ++v) {
+    for (int f = 0; f < 2; ++f) {
+      auto req = write_req(
+          "/hot" + std::to_string(f), static_cast<std::uint64_t>(v % 4) * 4096,
+          pattern_data(4096, static_cast<std::uint64_t>(1000 * f + v)));
+      futs.push_back(req.done->get_future());
+      ASSERT_TRUE(daemon.submit(std::move(req)));
+    }
+  }
+  for (auto& fut : futs) EXPECT_EQ(fut.get(), 4096u);
+  daemon.drain();
+
+  for (int f = 0; f < 2; ++f) {
+    for (int slot = 0; slot < 4; ++slot) {
+      // Offset slot*4096 was last rewritten by version kVersions-4+slot.
+      const int last = kVersions - 4 + slot;
+      std::vector<std::byte> out(4096);
+      ASSERT_EQ(pfs.read("/hot" + std::to_string(f),
+                         static_cast<std::uint64_t>(slot) * 4096, 4096, out),
+                4096u);
+      EXPECT_EQ(out, pattern_data(
+                         4096, static_cast<std::uint64_t>(1000 * f + last)))
+          << "file " << f << " slot " << slot << " lost last-writer-wins";
+    }
+  }
+  // The six idle flushers must actually have relieved the two owners.
+  EXPECT_GT(reg.counter("fwd.ion.flush_steals", {{"ion", "0"}}).value(), 0u);
+}
+
+TEST(IonDaemon, PathsInternedOncePerFile) {
+  // Zero-allocation hot path: the submit boundary interns each distinct
+  // path exactly once; every later hop (shard queues, flush items,
+  // PFS writes, staged reads) carries only the 64-bit file id.
+  telemetry::Registry reg;
+  EmulatedPfs pfs(fast_pfs());
+  IonParams params = fast_ion();
+  params.workers = 4;
+  params.registry = &reg;
+  IonDaemon daemon(0, params, pfs);
+
+  constexpr int kFiles = 5;
+  constexpr int kRounds = 8;
+  std::vector<std::future<std::size_t>> futs;
+  for (int r = 0; r < kRounds; ++r) {
+    for (int f = 0; f < kFiles; ++f) {
+      auto req = write_req("/in" + std::to_string(f),
+                           static_cast<std::uint64_t>(r) * 4096,
+                           pattern_data(4096, static_cast<std::uint64_t>(f)));
+      futs.push_back(req.done->get_future());
+      ASSERT_TRUE(daemon.submit(std::move(req)));
+    }
+  }
+  for (auto& fut : futs) EXPECT_EQ(fut.get(), 4096u);
+  daemon.drain();
+
+  EXPECT_EQ(daemon.paths().size(), static_cast<std::size_t>(kFiles));
+  EXPECT_EQ(reg.counter("fwd.ion.path_interned", {{"ion", "0"}}).value(),
+            static_cast<std::uint64_t>(kFiles));
+  // Read-back resolves the interned path, no re-intern.
+  auto rreq = read_req("/in0", 0, 4096);
+  iofa::Payload buf = rreq.payload;
+  auto rfut = rreq.done->get_future();
+  ASSERT_TRUE(daemon.submit(std::move(rreq)));
+  EXPECT_EQ(rfut.get(), 4096u);
+  EXPECT_EQ(daemon.paths().size(), static_cast<std::size_t>(kFiles));
 }
 
 }  // namespace

@@ -234,7 +234,8 @@ FwdRequest write_req(const std::string& path, std::uint64_t offset,
   req.file_id = gkfs::hash_path(path);
   req.offset = offset;
   req.size = data.size();
-  req.data = std::make_shared<std::vector<std::byte>>(std::move(data));
+  req.payload = iofa::Payload::wrap(
+      std::make_shared<std::vector<std::byte>>(std::move(data)));
   req.done = std::make_shared<std::promise<std::size_t>>();
   return req;
 }

@@ -498,6 +498,59 @@ TEST_F(LintTest, RawTokenBucketOutOfScopeNotFlagged) {
   EXPECT_EQ(r.output.find("raw-token-bucket"), std::string::npos) << r.output;
 }
 
+// ------------------------------------------------------------ raw-payload
+
+TEST_F(LintTest, RawPayloadVectorByteFlagged) {
+  const auto p = write_fixture(
+      "hot_path.cpp",
+      "void stage(FwdRequest& req, std::size_t n) {\n"
+      "  std::vector<std::byte> buf(n);\n"
+      "  req.payload = iofa::Payload::wrap(\n"
+      "      std::make_shared<std::vector<std::byte>>(buf));\n"
+      "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("raw-payload"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("hot_path.cpp:2"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, RawPayloadSlabAcquirePasses) {
+  const auto p = write_fixture(
+      "slab_path.cpp",
+      "void stage(FwdRequest& req, Service& svc, std::size_t n) {\n"
+      "  req.payload = svc.acquire_payload(n);\n"
+      "  std::vector<char> scratch(n);\n"
+      "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("raw-payload"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, RawPayloadSuppressionHonoured) {
+  const auto p = write_fixture(
+      "fill_buf.cpp",
+      "void fill(std::size_t n) {\n"
+      "  // scratch fill pattern, never enters a FwdRequest\n"
+      "  std::vector<std::byte> pattern(n);  // iofa-lint: allow(raw-payload)\n"
+      "  (void)pattern;\n"
+      "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("raw-payload"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, RawPayloadOutOfScopeNotFlagged) {
+  // The rule covers src/fwd only; common/slab_pool itself and the gkfs
+  // chunk store construct vector<std::byte> by design.
+  const auto common = dir_.parent_path() / "common";
+  fs::create_directories(common);
+  const fs::path p = common / "slab_impl.cpp";
+  std::ofstream(p) << "std::vector<std::byte> backing(kSlabBytes);\n";
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("raw-payload"), std::string::npos) << r.output;
+}
+
 // ---------------------------------------------------------------- driver
 
 TEST_F(LintTest, DirectoryScanAggregatesFindings) {
@@ -762,13 +815,13 @@ TEST_F(MetricManifestTest, MetricManifestSuppressionHonoured) {
 
 // --------------------------------------------------------- driver (v2)
 
-TEST_F(LintTest, ListRulesShowsAllEleven) {
+TEST_F(LintTest, ListRulesShowsAllTwelve) {
   const auto r = run_lint_cmd("--list-rules");
   EXPECT_EQ(r.exit_code, 0) << r.output;
   for (const char* rule :
        {"naked-mutex", "raw-sleep", "raw-rand", "raw-cout", "raw-thread",
-        "bare-units", "raw-token-bucket", "swallowed-error", "lock-order",
-        "clock-hygiene", "metric-manifest"}) {
+        "bare-units", "raw-token-bucket", "raw-payload", "swallowed-error",
+        "lock-order", "clock-hygiene", "metric-manifest"}) {
     EXPECT_NE(r.output.find(rule), std::string::npos) << rule << "\n"
                                                       << r.output;
   }

@@ -1,0 +1,199 @@
+// SlabPool / Payload unit + fuzz tests: exhaustion backpressure,
+// freelist recycling, size-class boundary selection, refcounted handle
+// semantics and a multi-threaded acquire/copy/release fuzz (seeds 1, 7,
+// 1337) that the thread-sanitize CI job runs under TSan.
+
+#include "common/slab_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace {
+
+using iofa::Payload;
+using iofa::SlabPool;
+using iofa::SlabPoolConfig;
+
+SlabPoolConfig tiny_config() {
+  SlabPoolConfig cfg;
+  cfg.classes = {{256, 4}, {1024, 2}};
+  return cfg;
+}
+
+TEST(SlabPoolTest, AcquireFillReleaseRoundTrip) {
+  SlabPool pool(tiny_config());
+  Payload p = pool.try_acquire(100);
+  ASSERT_FALSE(p.empty());
+  EXPECT_TRUE(p.slab_backed());
+  EXPECT_EQ(p.size(), 100u);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p.span()[i] = static_cast<std::byte>(i & 0xFF);
+  }
+  EXPECT_EQ(pool.in_use(), 1u);
+  EXPECT_EQ(pool.acquired(), 1u);
+  p.reset();
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_EQ(pool.released(), 1u);
+}
+
+TEST(SlabPoolTest, ExhaustionReturnsEmptyAndCounts) {
+  SlabPool pool(tiny_config());
+  std::vector<Payload> held;
+  // Drain the 256B class (4 slabs) AND the 1024B spill class (2 slabs):
+  // an acquire takes the smallest fitting class, so after the small
+  // class dries up the next two acquires land in the large one.
+  for (int i = 0; i < 6; ++i) {
+    Payload p = pool.try_acquire(64);
+    ASSERT_FALSE(p.empty()) << "slab " << i;
+    held.push_back(std::move(p));
+  }
+  EXPECT_EQ(pool.in_use(), 6u);
+  EXPECT_DOUBLE_EQ(pool.used_fraction(), 1.0);
+  Payload dry = pool.try_acquire(64);
+  EXPECT_TRUE(dry.empty());
+  EXPECT_FALSE(dry.slab_backed());
+  EXPECT_EQ(pool.exhausted(), 1u);
+  // Releasing one slab makes the very next acquire succeed again.
+  held.pop_back();
+  Payload again = pool.try_acquire(64);
+  EXPECT_FALSE(again.empty());
+}
+
+TEST(SlabPoolTest, ExhaustionHookFires) {
+  SlabPool pool({{{128, 1}}});
+  std::atomic<int> acquired{0}, released{0}, exhausted{0};
+  SlabPool::Hooks hooks;
+  hooks.on_acquire = [&] { acquired.fetch_add(1); };
+  hooks.on_release = [&] { released.fetch_add(1); };
+  hooks.on_exhausted = [&] { exhausted.fetch_add(1); };
+  pool.set_hooks(std::move(hooks));
+  Payload p = pool.try_acquire(128);
+  ASSERT_FALSE(p.empty());
+  EXPECT_TRUE(pool.try_acquire(128).empty());
+  p.reset();
+  EXPECT_EQ(acquired.load(), 1);
+  EXPECT_EQ(released.load(), 1);
+  EXPECT_EQ(exhausted.load(), 1);
+}
+
+TEST(SlabPoolTest, SizeClassBoundarySelection) {
+  SlabPool pool(tiny_config());
+  // Exactly the class size still fits that class.
+  Payload exact = pool.try_acquire(256);
+  ASSERT_FALSE(exact.empty());
+  EXPECT_EQ(exact.size(), 256u);
+  // One byte over spills into the next class up.
+  Payload over = pool.try_acquire(257);
+  ASSERT_FALSE(over.empty());
+  EXPECT_EQ(over.size(), 257u);
+  // The 256B class had 4 slabs; `over` must not have consumed one.
+  std::vector<Payload> rest;
+  for (int i = 0; i < 3; ++i) {
+    Payload p = pool.try_acquire(256);
+    ASSERT_FALSE(p.empty()) << "small-class slab " << i;
+    rest.push_back(std::move(p));
+  }
+  // Larger than the largest class: never slab-backed.
+  EXPECT_TRUE(pool.try_acquire(4096).empty());
+  EXPECT_EQ(pool.exhausted(), 1u);
+}
+
+TEST(SlabPoolTest, HandleCopiesShareOneSlab) {
+  SlabPool pool(tiny_config());
+  Payload a = pool.try_acquire(32);
+  ASSERT_FALSE(a.empty());
+  a.span()[0] = std::byte{0xAB};
+  Payload b = a;           // refcount bump, same bytes
+  Payload c = std::move(a);  // transfer, no refcount change
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(b.span().data(), c.span().data());
+  EXPECT_EQ(pool.in_use(), 1u);
+  b.reset();
+  EXPECT_EQ(pool.in_use(), 1u) << "slab freed while a handle lives";
+  EXPECT_EQ(c.span()[0], std::byte{0xAB});
+  c.reset();
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_EQ(pool.released(), 1u) << "one release for the last handle only";
+}
+
+TEST(SlabPoolTest, UsedFractionTracksFullestClass) {
+  SlabPool pool(tiny_config());
+  EXPECT_DOUBLE_EQ(pool.used_fraction(), 0.0);
+  Payload big = pool.try_acquire(1000);  // 1 of 2 large slabs
+  ASSERT_FALSE(big.empty());
+  EXPECT_DOUBLE_EQ(pool.used_fraction(), 0.5);
+  Payload small = pool.try_acquire(10);  // 1 of 4 small slabs
+  ASSERT_FALSE(small.empty());
+  EXPECT_DOUBLE_EQ(pool.used_fraction(), 0.5) << "fullest class wins";
+}
+
+TEST(SlabPoolTest, HeapFallbackIsCountedWrapIsNot) {
+  const std::uint64_t before = iofa::payload_heap_allocs();
+  Payload h = Payload::heap(64);
+  EXPECT_FALSE(h.empty());
+  EXPECT_FALSE(h.slab_backed());
+  EXPECT_EQ(iofa::payload_heap_allocs(), before + 1);
+  Payload w = Payload::wrap(
+      std::make_shared<std::vector<std::byte>>(64));  // caller's alloc
+  EXPECT_FALSE(w.empty());
+  EXPECT_EQ(iofa::payload_heap_allocs(), before + 1);
+}
+
+// Concurrent fuzz: threads acquire, fill with a thread-unique pattern,
+// copy handles across a shared exchange slot, verify bytes, release.
+// Run under TSan by the thread-sanitize CI job; any freelist race or
+// refcount tear shows up as a data race or a pattern mismatch.
+void fuzz_run(std::uint64_t seed) {
+  SlabPoolConfig cfg;
+  cfg.classes = {{64, 8}, {256, 8}};
+  SlabPool pool(cfg);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  std::atomic<std::uint64_t> slab_hits{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      iofa::Rng rng(seed * 1000003 + static_cast<std::uint64_t>(t));
+      std::vector<Payload> held;
+      for (int i = 0; i < kIters; ++i) {
+        const std::size_t size = 1 + rng.index(256);
+        Payload p = pool.try_acquire(size);
+        if (p.empty()) {
+          held.clear();  // backpressure: drop everything, try again
+          continue;
+        }
+        slab_hits.fetch_add(1, std::memory_order_relaxed);
+        const auto tag = static_cast<std::byte>((t << 6) | (i & 0x3F));
+        std::fill(p.span().begin(), p.span().end(), tag);
+        Payload copy = p;  // handle copy is a refcount bump
+        held.push_back(std::move(p));
+        ASSERT_EQ(copy.span()[copy.size() - 1], tag);
+        if (held.size() > 4 || rng.uniform01() < 0.3) {
+          // Verify the oldest held payload was not recycled under us.
+          ASSERT_EQ(held.front().span()[0],
+                    held.front().span()[held.front().size() - 1]);
+          held.erase(held.begin());
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_EQ(pool.acquired(), pool.released());
+  EXPECT_EQ(pool.acquired(), slab_hits.load());
+  EXPECT_GT(slab_hits.load(), 0u);
+}
+
+TEST(SlabPoolFuzzTest, ConcurrentSeed1) { fuzz_run(1); }
+TEST(SlabPoolFuzzTest, ConcurrentSeed7) { fuzz_run(7); }
+TEST(SlabPoolFuzzTest, ConcurrentSeed1337) { fuzz_run(1337); }
+
+}  // namespace

@@ -414,7 +414,8 @@ fwd::FwdRequest make_write(const std::string& path, std::uint64_t offset,
   req.file_id = gkfs::hash_path(path);
   req.offset = offset;
   req.size = n;
-  req.data = std::make_shared<std::vector<std::byte>>(n);
+  req.payload =
+      iofa::Payload::wrap(std::make_shared<std::vector<std::byte>>(n));
   req.done = std::make_shared<std::promise<std::size_t>>();
   return req;
 }

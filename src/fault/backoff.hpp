@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <stdexcept>
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
@@ -18,10 +19,37 @@ struct BackoffPolicy {
   Seconds base = 1.0e-3;     ///< first retry delay
   Seconds cap = 20.0e-3;     ///< ceiling for any single delay
   double multiplier = 2.0;   ///< growth per attempt
+  double jitter = 0.5;       ///< randomised fraction of each delay, [0, 1]
+
+  /// The defaults above, no validation needed.
+  BackoffPolicy() = default;
+
+  /// Positional construction validates: a zero or negative base or
+  /// multiplier silently degenerates every retry chain into a busy
+  /// spin, and jitter outside [0, 1] produces negative delays - all
+  /// three are configuration bugs, rejected here instead of surfacing
+  /// as mystery latency.
+  BackoffPolicy(Seconds base_s, Seconds cap_s, double mult,
+                double jitter_frac = 0.5)
+      : base(base_s), cap(cap_s), multiplier(mult), jitter(jitter_frac) {
+    if (!(base > 0.0)) {
+      throw std::invalid_argument("backoff: base must be > 0");
+    }
+    if (!(cap >= base)) {
+      throw std::invalid_argument("backoff: cap must be >= base");
+    }
+    if (!(multiplier > 0.0)) {
+      throw std::invalid_argument("backoff: multiplier must be > 0");
+    }
+    if (!(jitter >= 0.0 && jitter <= 1.0)) {
+      throw std::invalid_argument("backoff: jitter must be in [0, 1]");
+    }
+  }
 };
 
-/// Delay before retry `attempt` (1-based), jittered uniformly into
-/// [delay/2, delay) from the caller's RNG stream.
+/// Delay before retry `attempt` (1-based): the geometric delay with its
+/// `jitter` fraction drawn uniformly from the caller's RNG stream
+/// (jitter 0.5 - the default - lands in [delay/2, delay)).
 inline Seconds backoff_delay(const BackoffPolicy& policy, int attempt,
                              Rng& rng) {
   Seconds delay = policy.base;
@@ -29,7 +57,7 @@ inline Seconds backoff_delay(const BackoffPolicy& policy, int attempt,
     delay = std::min(policy.cap, delay * policy.multiplier);
   }
   delay = std::min(policy.cap, delay);
-  return delay * (0.5 + 0.5 * rng.uniform01());
+  return delay * ((1.0 - policy.jitter) + policy.jitter * rng.uniform01());
 }
 
 /// Stateless flavour: the jitter stream is derived on the spot from a

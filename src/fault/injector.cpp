@@ -104,8 +104,44 @@ FaultDecision FaultInjector::decide(const std::string& site) {
       case EventKind::Restart:
       case EventKind::Drop:
       case EventKind::Corrupt:
-        break;  // handled by ion_alive() / the publish hooks
+      case EventKind::Dup:
+      case EventKind::Reorder:
+      case EventKind::Truncate:
+      case EventKind::Delay:
+        break;  // handled by ion_alive() / publish / message hooks
     }
+  }
+  return d;
+}
+
+MessageDecision FaultInjector::message_decision(const std::string& site) {
+  MessageDecision d;
+  if (!enabled_) return d;
+  MutexLock lk(mu_);
+  const std::uint64_t k = ++checks_[site];
+  for (const FaultEvent& e : plan_.events) {
+    if (e.site != site) continue;
+    bool fire = false;
+    if (e.trigger == TriggerKind::After) {
+      fire = k == e.after;
+    } else if (e.trigger == TriggerKind::Prob) {
+      // Draw unconditionally so the stream index stays locked to the
+      // frame count regardless of other events on the site.
+      fire = site_rng(site).uniform01() < e.probability;
+    }
+    if (!fire) continue;
+    switch (e.kind) {
+      case EventKind::Drop: d.drop = true; break;
+      case EventKind::Dup: d.dup = true; break;
+      case EventKind::Reorder: d.reorder = true; break;
+      case EventKind::Truncate: d.truncate = true; break;
+      case EventKind::Delay:
+        d.delay = std::max(d.delay, e.duration);
+        break;
+      default:
+        continue;  // validate() keeps other kinds off rpc sites
+    }
+    count_injected(site, e.kind);
   }
   return d;
 }
@@ -143,7 +179,10 @@ bool FaultInjector::consume_mapping_event(EventKind kind) {
   const Seconds t = clock_ ? clock_->now() : 0.0;
   for (std::size_t i = 0; i < plan_.events.size(); ++i) {
     const FaultEvent& e = plan_.events[i];
-    if (e.kind != kind || fired_[i]) continue;
+    // Site filter matters now that Drop also lives on rpc frame sites.
+    if (e.kind != kind || e.site != kMappingPublishSite || fired_[i]) {
+      continue;
+    }
     if (t >= e.at) {
       fired_[i] = true;
       count_injected(e.site, kind);

@@ -42,6 +42,21 @@ struct FaultDecision {
   Seconds stall = 0.0;
 };
 
+/// What the chaos layer should do to one frame about to cross a
+/// message link. Several can apply to the same frame (e.g. dup +
+/// delay); drop wins over everything else.
+struct MessageDecision {
+  bool drop = false;
+  bool dup = false;
+  bool reorder = false;
+  bool truncate = false;
+  Seconds delay = 0.0;
+
+  bool any() const {
+    return drop || dup || reorder || truncate || delay > 0.0;
+  }
+};
+
 class FaultInjector {
  public:
   /// Inert injector: all queries succeed, nothing is counted.
@@ -67,6 +82,13 @@ class FaultInjector {
 
   /// decide() + sleep through the stall. True when the check fails.
   bool should_fail(const std::string& site) IOFA_EXCLUDES(mu_);
+
+  /// Evaluate one frame send at an rpc.* site: advances the site's
+  /// check count and fires message events (drop/dup/reorder/truncate/
+  /// delay). Same determinism contract as decide() - the k-th frame on
+  /// a link sees the same decision in every run.
+  MessageDecision message_decision(const std::string& site)
+      IOFA_EXCLUDES(mu_);
 
   /// Liveness of ION `ion` under the plan's crash/restart schedule:
   /// events for site ion.<N> are replayed in plan order, last

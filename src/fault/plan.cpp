@@ -61,7 +61,17 @@ std::optional<EventKind> kind_of_verb(const std::string& verb) {
   if (verb == "stall") return EventKind::Stall;
   if (verb == "drop") return EventKind::Drop;
   if (verb == "corrupt") return EventKind::Corrupt;
+  if (verb == "dup") return EventKind::Dup;
+  if (verb == "reorder") return EventKind::Reorder;
+  if (verb == "truncate") return EventKind::Truncate;
+  if (verb == "delay") return EventKind::Delay;
   return std::nullopt;
+}
+
+/// Kinds that act on one frame of a message link (rpc.* sites only).
+bool is_message_kind(EventKind kind) {
+  return kind == EventKind::Dup || kind == EventKind::Reorder ||
+         kind == EventKind::Truncate || kind == EventKind::Delay;
 }
 
 }  // namespace
@@ -74,6 +84,10 @@ const char* to_string(EventKind kind) {
     case EventKind::Stall: return "stall";
     case EventKind::Drop: return "drop";
     case EventKind::Corrupt: return "corrupt";
+    case EventKind::Dup: return "dup";
+    case EventKind::Reorder: return "reorder";
+    case EventKind::Truncate: return "truncate";
+    case EventKind::Delay: return "delay";
   }
   return "?";
 }
@@ -101,11 +115,32 @@ std::string busy_site(int ion) {
   return "ion." + std::to_string(ion) + ".busy";
 }
 
+std::string rpc_req_site(int ion) {
+  return "rpc.ion." + std::to_string(ion) + ".req";
+}
+
+std::string rpc_rsp_site(int ion) {
+  return "rpc.ion." + std::to_string(ion) + ".rsp";
+}
+
+bool site_is_rpc(const std::string& site) {
+  if (site == kRpcMappingReqSite || site == kRpcMappingRspSite) return true;
+  if (site.rfind("rpc.ion.", 0) != 0) return false;
+  std::string rest = site.substr(8);
+  const auto dot = rest.find('.');
+  if (dot == std::string::npos) return false;
+  const std::string dir = rest.substr(dot + 1);
+  if (dir != "req" && dir != "rsp") return false;
+  std::uint64_t n = 0;
+  return parse_u64(rest.substr(0, dot), &n) && n <= 1'000'000;
+}
+
 bool site_is_valid(const std::string& site) {
   if (site == kPfsWriteSite || site == kPfsReadSite ||
       site == kMappingPublishSite) {
     return true;
   }
+  if (site_is_rpc(site)) return true;
   return ion_of_site(site).has_value();
 }
 
@@ -151,10 +186,12 @@ std::string FaultPlan::to_string() const {
       case TriggerKind::After:
         os << "after " << e.after << " " << fault::to_string(e.kind) << " "
            << e.site;
+        if (e.kind == EventKind::Delay) os << " " << fmt_double(e.duration);
         break;
       case TriggerKind::Prob:
         os << "prob " << fmt_double(e.probability) << " "
            << fault::to_string(e.kind) << " " << e.site;
+        if (e.kind == EventKind::Delay) os << " " << fmt_double(e.duration);
         break;
     }
     os << "\n";
@@ -213,10 +250,11 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string& text,
       if (!kind) return fail(line_no, "unknown event '" + verb + "'");
       e.kind = *kind;
       if (!(ls >> e.site)) return fail(line_no, "missing site");
-      if (e.kind == EventKind::Stall) {
+      if (e.kind == EventKind::Stall || e.kind == EventKind::Delay) {
         std::string dur;
         if (!(ls >> dur) || !parse_double(dur, &e.duration)) {
-          return fail(line_no, "stall wants a duration");
+          return fail(line_no, std::string(fault::to_string(e.kind)) +
+                                   " wants a duration");
         }
       }
       plan.events.push_back(std::move(e));
@@ -248,6 +286,24 @@ std::optional<std::string> FaultPlan::validate() const {
         std::string(fault::to_string(e.kind)) + " " + e.site;
     if (!site_is_valid(e.site)) {
       return "bad site name '" + e.site + "'";
+    }
+    // Message kinds live on the rpc.* frame sites and nowhere else;
+    // conversely no legacy kind may target a frame site (crash a
+    // daemon, not its link).
+    if (is_message_kind(e.kind) && !site_is_rpc(e.site)) {
+      return what + ": " + fault::to_string(e.kind) +
+             " wants an rpc.* frame site";
+    }
+    if (site_is_rpc(e.site) && !is_message_kind(e.kind) &&
+        e.kind != EventKind::Drop) {
+      return what + ": rpc sites take drop/dup/reorder/truncate/delay";
+    }
+    if (is_message_kind(e.kind) && e.trigger == TriggerKind::At) {
+      return what + ": message events are 'after' or 'prob', per frame, "
+                    "not time-triggered";
+    }
+    if (e.kind == EventKind::Delay && e.duration <= 0.0) {
+      return what + ": delay duration must be positive";
     }
     switch (e.kind) {
       case EventKind::Crash:
@@ -290,15 +346,36 @@ std::optional<std::string> FaultPlan::validate() const {
         }
         break;
       case EventKind::Drop:
-      case EventKind::Corrupt:
-        if (e.trigger != TriggerKind::At) {
-          return what + ": " + fault::to_string(e.kind) +
-                 " is time-triggered only";
-        }
-        if (e.site != kMappingPublishSite) {
-          return what + ": only mapping.publish can be dropped/corrupted";
+        // Two homes: the one-shot mapping-file drop (time-triggered)
+        // and the per-frame message drop (after/prob on rpc sites).
+        if (site_is_rpc(e.site)) {
+          if (e.trigger == TriggerKind::At) {
+            return what + ": frame drops are 'after' or 'prob', per "
+                          "frame, not time-triggered";
+          }
+        } else {
+          if (e.trigger != TriggerKind::At) {
+            return what + ": drop is time-triggered only";
+          }
+          if (e.site != kMappingPublishSite) {
+            return what + ": only mapping.publish or an rpc.* frame site "
+                          "can be dropped";
+          }
         }
         break;
+      case EventKind::Corrupt:
+        if (e.trigger != TriggerKind::At) {
+          return what + ": corrupt is time-triggered only";
+        }
+        if (e.site != kMappingPublishSite) {
+          return what + ": only mapping.publish can be corrupted";
+        }
+        break;
+      case EventKind::Dup:
+      case EventKind::Reorder:
+      case EventKind::Truncate:
+      case EventKind::Delay:
+        break;  // the message-kind gate above already constrained these
     }
     switch (e.trigger) {
       case TriggerKind::At: {
@@ -398,6 +475,79 @@ FaultPlan& FaultPlan::drop_mapping(Seconds at) {
 FaultPlan& FaultPlan::corrupt_mapping(Seconds at) {
   events.push_back(
       {EventKind::Corrupt, TriggerKind::At, kMappingPublishSite, at});
+  return *this;
+}
+
+namespace {
+
+FaultEvent msg_after(EventKind kind, const std::string& site,
+                     std::uint64_t checks) {
+  FaultEvent e;
+  e.kind = kind;
+  e.trigger = TriggerKind::After;
+  e.site = site;
+  e.after = checks;
+  return e;
+}
+
+FaultEvent msg_prob(EventKind kind, const std::string& site,
+                    double probability) {
+  FaultEvent e;
+  e.kind = kind;
+  e.trigger = TriggerKind::Prob;
+  e.site = site;
+  e.probability = probability;
+  return e;
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::drop_msg(const std::string& site,
+                               std::uint64_t checks) {
+  events.push_back(msg_after(EventKind::Drop, site, checks));
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop_msg_prob(const std::string& site,
+                                    double probability) {
+  events.push_back(msg_prob(EventKind::Drop, site, probability));
+  return *this;
+}
+
+FaultPlan& FaultPlan::dup_msg(const std::string& site, std::uint64_t checks) {
+  events.push_back(msg_after(EventKind::Dup, site, checks));
+  return *this;
+}
+
+FaultPlan& FaultPlan::dup_msg_prob(const std::string& site,
+                                   double probability) {
+  events.push_back(msg_prob(EventKind::Dup, site, probability));
+  return *this;
+}
+
+FaultPlan& FaultPlan::reorder_msg(const std::string& site,
+                                  std::uint64_t checks) {
+  events.push_back(msg_after(EventKind::Reorder, site, checks));
+  return *this;
+}
+
+FaultPlan& FaultPlan::truncate_msg(const std::string& site,
+                                   std::uint64_t checks) {
+  events.push_back(msg_after(EventKind::Truncate, site, checks));
+  return *this;
+}
+
+FaultPlan& FaultPlan::truncate_msg_prob(const std::string& site,
+                                        double probability) {
+  events.push_back(msg_prob(EventKind::Truncate, site, probability));
+  return *this;
+}
+
+FaultPlan& FaultPlan::delay_msg(const std::string& site,
+                                std::uint64_t checks, Seconds duration) {
+  FaultEvent e = msg_after(EventKind::Delay, site, checks);
+  e.duration = duration;
+  events.push_back(std::move(e));
   return *this;
 }
 

@@ -18,6 +18,12 @@
 //   pfs.read         - PFS read dispatch (stall only; reads are retried
 //                      by the client, not the PFS model)
 //   mapping.publish  - the arbiter's mapping-file publish
+//   rpc.ion.<N>.req  - frames client -> ION daemon N (message faults:
+//                      drop/dup/reorder/truncate/delay, `after`/`prob`
+//                      triggered; checked once per frame sent)
+//   rpc.ion.<N>.rsp  - frames ION daemon N -> client
+//   rpc.mapping.req  - frames toward the MappingStore endpoint
+//   rpc.mapping.rsp  - frames from the MappingStore endpoint
 //
 // Events come in three trigger flavours: `at <seconds>` (fault-clock
 // time), `after <count>` (the N-th check at the site), and
@@ -38,7 +44,19 @@
 
 namespace iofa::fault {
 
-enum class EventKind { Crash, Restart, Error, Stall, Drop, Corrupt };
+enum class EventKind {
+  Crash,
+  Restart,
+  Error,
+  Stall,
+  Drop,     ///< mapping.publish (at) or an rpc frame site (after/prob)
+  Corrupt,  ///< mapping.publish only
+  // Message-layer kinds, valid only on rpc.* sites (after/prob):
+  Dup,      ///< deliver the frame twice
+  Reorder,  ///< hold the frame and swap it with the next one on the link
+  Truncate, ///< cut the frame to a prefix (the codec must reject it)
+  Delay     ///< park the frame for `duration` before delivery
+};
 enum class TriggerKind { At, After, Prob };
 
 const char* to_string(EventKind kind);
@@ -54,7 +72,7 @@ struct FaultEvent {
   Seconds at = 0.0;            ///< fault-clock time (At)
   std::uint64_t after = 0;     ///< 1-based check count (After)
   double probability = 0.0;    ///< per-check failure probability (Prob)
-  Seconds duration = 0.0;      ///< stall window length (Stall only)
+  Seconds duration = 0.0;      ///< stall window / delay length
 
   bool operator==(const FaultEvent&) const = default;
 };
@@ -87,6 +105,16 @@ struct FaultPlan {
   FaultPlan& error_prob(const std::string& site, double probability);
   FaultPlan& drop_mapping(Seconds at);
   FaultPlan& corrupt_mapping(Seconds at);
+  // Message-layer builders (site must be an rpc.* frame site).
+  FaultPlan& drop_msg(const std::string& site, std::uint64_t checks);
+  FaultPlan& drop_msg_prob(const std::string& site, double probability);
+  FaultPlan& dup_msg(const std::string& site, std::uint64_t checks);
+  FaultPlan& dup_msg_prob(const std::string& site, double probability);
+  FaultPlan& reorder_msg(const std::string& site, std::uint64_t checks);
+  FaultPlan& truncate_msg(const std::string& site, std::uint64_t checks);
+  FaultPlan& truncate_msg_prob(const std::string& site, double probability);
+  FaultPlan& delay_msg(const std::string& site, std::uint64_t checks,
+                       Seconds duration);
 
   bool operator==(const FaultPlan&) const = default;
 };
@@ -106,6 +134,18 @@ std::string busy_site(int ion);
 inline constexpr const char* kPfsWriteSite = "pfs.write";
 inline constexpr const char* kPfsReadSite = "pfs.read";
 inline constexpr const char* kMappingPublishSite = "mapping.publish";
+
+/// Frame sites on the client <-> ION daemon N link ("rpc.ion.3.req" /
+/// "rpc.ion.3.rsp"). Message events are checked once per frame SENT in
+/// that direction, before any transport concurrency - so the k-th frame
+/// on a link sees the same decision in every run.
+std::string rpc_req_site(int ion);
+std::string rpc_rsp_site(int ion);
+inline constexpr const char* kRpcMappingReqSite = "rpc.mapping.req";
+inline constexpr const char* kRpcMappingRspSite = "rpc.mapping.rsp";
+
+/// True for the rpc.* frame sites (the only homes of message kinds).
+bool site_is_rpc(const std::string& site);
 
 /// True for syntactically valid site names (see header comment).
 bool site_is_valid(const std::string& site);

@@ -15,7 +15,7 @@ namespace iofa::fwd {
 Client::Client(ClientConfig config, ForwardingService& service)
     : config_(std::move(config)),
       service_(service),
-      view_(service.mapping_store(), config_.job, config_.poll_period,
+      view_(service.mapping_port(), config_.job, config_.poll_period,
             config_.registry),
       epoch_(iofa::monotonic_now()) {
   auto& reg = config_.registry ? *config_.registry
@@ -196,7 +196,7 @@ std::size_t Client::scatter(std::uint32_t rank, FwdOp op,
         qos_->submitted_bytes->add(p.sub_size);
       }
       const SubmitResult res =
-          service_.daemon(ion).try_submit(std::move(req));
+          service_.ion_port(ion).try_submit(std::move(req));
       if (res == SubmitResult::kAccepted) {
         if (p.submitted ? slot != p.slot : slot != start) {
           failover_ctr_->add();
@@ -381,7 +381,7 @@ void Client::fsync(const std::string& path) {
     // exempts markers from admission control for the same reason.
     submitted_ctr_->add();
     if (qos_) qos_->submitted->add();
-    if (service_.daemon(ion).try_submit(std::move(req)) ==
+    if (service_.ion_port(ion).try_submit(std::move(req)) ==
         SubmitResult::kAccepted) {
       try {
         fut.get();

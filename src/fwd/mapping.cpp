@@ -41,10 +41,10 @@ std::optional<core::Mapping::Entry> MappingStore::lookup(
   return it->second;
 }
 
-ClientMappingView::ClientMappingView(const MappingStore& store,
-                                     core::JobId job, Seconds poll_period,
+ClientMappingView::ClientMappingView(MappingPort& port, core::JobId job,
+                                     Seconds poll_period,
                                      telemetry::Registry* registry)
-    : store_(store),
+    : port_(&port),
       job_(job),
       poll_period_(poll_period),
       last_poll_(iofa::monotonic_now() - std::chrono::hours(1)) {
@@ -54,22 +54,39 @@ ClientMappingView::ClientMappingView(const MappingStore& store,
   remap_counter_ = &reg.counter("fwd.client.remaps", labels);
 }
 
+ClientMappingView::ClientMappingView(const MappingStore& store,
+                                     core::JobId job, Seconds poll_period,
+                                     telemetry::Registry* registry)
+    : port_(nullptr),
+      owned_(std::make_unique<DirectMappingPort>(store)),
+      job_(job),
+      poll_period_(poll_period),
+      last_poll_(iofa::monotonic_now() - std::chrono::hours(1)) {
+  port_ = owned_.get();
+  auto& reg = registry ? *registry : telemetry::Registry::global();
+  const telemetry::Labels labels{{"job", std::to_string(job_)}};
+  poll_counter_ = &reg.counter("fwd.client.polls", labels);
+  remap_counter_ = &reg.counter("fwd.client.remaps", labels);
+}
+
 void ClientMappingView::poll_locked() {
   ++polls_;
   poll_counter_->add();
-  if (auto entry = store_.lookup(job_)) {
-    cached_ = entry->ions;
+  const auto snap = port_->fetch(job_);
+  if (!snap) return;  // store unreachable: keep the cached view as-is
+  if (snap->found) {
+    cached_ = snap->ions;
   } else {
     cached_.clear();
   }
-  const std::uint64_t epoch = store_.epoch();
-  if (epoch != observed_epoch_) {
+  if (snap->epoch != observed_epoch_) {
     ++remaps_;
     remap_counter_->add();
-    telemetry::Tracer::global().instant("remap", "fwd.client", "epoch",
-                                        static_cast<std::int64_t>(epoch));
+    telemetry::Tracer::global().instant(
+        "remap", "fwd.client", "epoch",
+        static_cast<std::int64_t>(snap->epoch));
   }
-  observed_epoch_ = epoch;
+  observed_epoch_ = snap->epoch;
 }
 
 std::vector<int> ClientMappingView::ions() {

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "common/mutex.hpp"
 #include "core/arbiter.hpp"
 #include "fault/injector.hpp"
+#include "fwd/ports.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace iofa::fwd {
@@ -56,7 +58,15 @@ class MappingStore {
 /// list are read under the same lock the poller writes them under.
 class ClientMappingView {
  public:
-  /// `registry` defaults to telemetry::Registry::global().
+  /// View over any MappingPort (direct or an RPC stub); `port` must
+  /// outlive the view. `registry` defaults to
+  /// telemetry::Registry::global().
+  ClientMappingView(MappingPort& port, core::JobId job,
+                    Seconds poll_period,
+                    telemetry::Registry* registry = nullptr);
+
+  /// Convenience: a view straight over a store (builds its own direct
+  /// port) - the pre-RPC constructor tests still use.
   ClientMappingView(const MappingStore& store, core::JobId job,
                     Seconds poll_period,
                     telemetry::Registry* registry = nullptr);
@@ -74,7 +84,8 @@ class ClientMappingView {
  private:
   void poll_locked() IOFA_REQUIRES(mu_);
 
-  const MappingStore& store_;
+  MappingPort* port_;
+  std::unique_ptr<MappingPort> owned_;  ///< compat ctor's direct port
   core::JobId job_;
   Seconds poll_period_;
   mutable Mutex mu_;

@@ -1,0 +1,23 @@
+#include "fwd/ports.hpp"
+
+#include "fwd/mapping.hpp"
+
+namespace iofa::fwd {
+
+std::optional<MappingSnapshot> DirectMappingPort::fetch(core::JobId job) {
+  MappingSnapshot snap;
+  if (auto entry = store_->lookup(job)) {
+    snap.found = true;
+    snap.ions = entry->ions;
+  }
+  snap.epoch = store_->epoch();
+  return snap;
+}
+
+bool DirectMappingPort::publish(const core::Mapping& mapping) {
+  if (!writable_) return false;
+  writable_->publish(mapping);
+  return true;
+}
+
+}  // namespace iofa::fwd

@@ -1,10 +1,77 @@
 #include "fwd/service.hpp"
 
 #include <algorithm>
+#include <utility>
+
+#include "fault/plan.hpp"
+#include "fwd/rpc_endpoints.hpp"
+#include "rpc/chaos.hpp"
+#include "rpc/transport.hpp"
 
 namespace iofa::fwd {
 
+/// Framed-transport state: one transport + server pair per ION link
+/// plus one for the mapping link. Null while the deployment runs
+/// in-proc (the ports are then direct and no frame ever exists).
+struct ForwardingService::RpcLinks {
+  struct IonLink {
+    std::unique_ptr<rpc::Transport> transport;  ///< chaos-wrapped
+    std::unique_ptr<RpcIonServer> server;
+  };
+  std::vector<IonLink> ions;
+  std::unique_ptr<rpc::Transport> mapping_transport;
+  std::unique_ptr<RpcMappingServer> mapping_server;
+};
+
+void ForwardingService::build_ports() {
+  if (transport_ == rpc::TransportKind::kInProc) {
+    // Today's wiring: one virtual call per submit, zero frames, the
+    // rpc.* fault sites are never checked - replays byte-identical.
+    for (auto& d : daemons_) {
+      ion_ports_.push_back(std::make_unique<DirectIonPort>(*d));
+    }
+    mapping_port_ = std::make_unique<DirectMappingPort>(mapping_store_);
+    return;
+  }
+  rpc_ = std::make_unique<RpcLinks>();
+  auto framed = [&](const std::string& req_site,
+                    const std::string& rsp_site) {
+    std::unique_ptr<rpc::Transport> t =
+        rpc::make_transport(transport_, config_.rpc);
+    if (config_.injector) {
+      // The chaos decorator is where rpc.<link>.drop/dup/reorder/
+      // truncate/delay land; without an injector frames fly untouched.
+      t = std::make_unique<rpc::ChaosTransport>(
+          std::move(t), config_.injector, req_site, rsp_site);
+    }
+    return t;
+  };
+  for (int i = 0; i < ion_count(); ++i) {
+    RpcLinks::IonLink link;
+    link.transport =
+        framed(fault::rpc_req_site(i), fault::rpc_rsp_site(i));
+    // Server before stub: the server-side handler must be installed
+    // before the first frame can be sent.
+    link.server = std::make_unique<RpcIonServer>(
+        *link.transport, *this, i, config_.rpc, config_.ion.registry);
+    ion_ports_.push_back(std::make_unique<RpcIonClient>(
+        *link.transport, i, config_.rpc,
+        config_.rpc_seed ^ static_cast<std::uint64_t>(i),
+        config_.ion.registry));
+    rpc_->ions.push_back(std::move(link));
+  }
+  rpc_->mapping_transport =
+      framed(fault::kRpcMappingReqSite, fault::kRpcMappingRspSite);
+  rpc_->mapping_server = std::make_unique<RpcMappingServer>(
+      *rpc_->mapping_transport, mapping_store_, config_.rpc,
+      config_.ion.registry);
+  mapping_port_ = std::make_unique<RpcMappingClient>(
+      *rpc_->mapping_transport, config_.rpc, config_.ion.registry);
+}
+
 ForwardingService::ForwardingService(ServiceConfig config) : config_(config) {
+  rpc::validate_rpc_options(config_.rpc);
+  transport_ = rpc::resolve_transport(config_.transport);
   if (config_.injector && !config_.pfs.injector) {
     config_.pfs.injector = config_.injector;
   }
@@ -42,6 +109,7 @@ ForwardingService::ForwardingService(ServiceConfig config) : config_(config) {
     daemons_.push_back(std::make_unique<IonDaemon>(i, params, *pfs_));
   }
   mapping_store_.set_injector(config_.injector);
+  build_ports();
   if (config_.fallback_bandwidth > 0.0) {
     // Deployment-wide degradation limiter, deliberately outside the
     // per-tenant hierarchy.  iofa-lint: allow(raw-token-bucket)
@@ -55,7 +123,11 @@ ForwardingService::ForwardingService(ServiceConfig config) : config_(config) {
 ForwardingService::~ForwardingService() { shutdown(); }
 
 void ForwardingService::apply_mapping(const core::Mapping& mapping) {
-  mapping_store_.publish(mapping);
+  // Through the port: in-proc this IS mapping_store_.publish; over a
+  // framed transport the publish can now be lost at the message layer
+  // (bounded attempts) - the dropped-mapping scenario the
+  // HealthMonitor already self-heals.
+  mapping_port_->publish(mapping);
 }
 
 void ForwardingService::drain() {
@@ -64,6 +136,17 @@ void ForwardingService::drain() {
 
 void ForwardingService::shutdown() {
   for (auto& d : daemons_) d->shutdown();
+  if (rpc_ && !rpc_closed_) {
+    rpc_closed_ = true;
+    // Order matters: the daemons above have settled every promise, so
+    // each server's stop() final sweep can still ship the last
+    // responses over a live transport; only then do the transports
+    // close (joining their delivery threads - after this no handler
+    // can fire into a stub again).
+    for (auto& link : rpc_->ions) link.server->stop();
+    for (auto& link : rpc_->ions) link.transport->close();
+    rpc_->mapping_transport->close();
+  }
 }
 
 }  // namespace iofa::fwd

@@ -13,7 +13,9 @@
 #include "fwd/daemon.hpp"
 #include "fwd/mapping.hpp"
 #include "fwd/pfs_backend.hpp"
+#include "fwd/ports.hpp"
 #include "qos/enforcer.hpp"
+#include "rpc/options.hpp"
 
 namespace iofa::fwd {
 
@@ -39,6 +41,17 @@ struct ServiceConfig {
   /// sizing it to the workload is what keeps payload_heap_allocs() at
   /// zero under the bench.
   SlabPoolConfig slab;
+  /// Transport carrying the Client <-> ION and * <-> MappingStore
+  /// links. kInProc is today's direct wiring (zero frames, rpc.* fault
+  /// sites never checked); kShmRing and kTcp put every call behind the
+  /// versioned frame codec. kAuto reads IOFA_TRANSPORT, defaulting to
+  /// in-proc, so the whole suite runs over any transport unchanged.
+  rpc::TransportKind transport = rpc::TransportKind::kAuto;
+  /// Framed-transport knobs (ack timeout, resend backoff, dedup
+  /// window); validated at construction. Ignored by kInProc.
+  rpc::RpcOptions rpc;
+  /// Seed for the stubs' deterministic resend-backoff jitter.
+  std::uint64_t rpc_seed = 1;
 };
 
 class ForwardingService {
@@ -53,6 +66,19 @@ class ForwardingService {
   EmulatedPfs& pfs() { return *pfs_; }
   const EmulatedPfs& pfs() const { return *pfs_; }
   IonDaemon& daemon(int id) { return *daemons_[static_cast<size_t>(id)]; }
+
+  /// The transport actually carrying this deployment's links (kAuto
+  /// resolved against IOFA_TRANSPORT at construction).
+  rpc::TransportKind transport() const { return transport_; }
+
+  /// The client-side seam for ION `id`: the daemon itself in-proc, or
+  /// the RPC stub whose frames cross the configured transport. Client
+  /// shims submit through this, never through daemon() directly.
+  IonPort& ion_port(int id) { return *ion_ports_[static_cast<size_t>(id)]; }
+
+  /// The MappingStore seam shared by client views (fetch) and the
+  /// arbiter publish path.
+  MappingPort& mapping_port() { return *mapping_port_; }
 
   MappingStore& mapping_store() { return mapping_store_; }
   const MappingStore& mapping_store() const { return mapping_store_; }
@@ -90,7 +116,14 @@ class ForwardingService {
   const ServiceConfig& config() const { return config_; }
 
  private:
+  struct RpcLinks;  // transports + servers (framed transports only)
+
+  /// Build the port layer: direct wiring in-proc, else one chaos-
+  /// wrapped transport + server + stub per link.
+  void build_ports();
+
   ServiceConfig config_;
+  rpc::TransportKind transport_ = rpc::TransportKind::kInProc;
   std::unique_ptr<EmulatedPfs> pfs_;
   /// Built before the daemons: each IonParams carries a pointer to the
   /// pool so occupancy can back-pressure admission.
@@ -101,6 +134,12 @@ class ForwardingService {
   std::vector<std::unique_ptr<IonDaemon>> daemons_;
   MappingStore mapping_store_;
   std::unique_ptr<TokenBucket> fallback_limiter_;
+  /// Framed-transport state (null in-proc); declared before the ports
+  /// so the stubs never outlive their transports.
+  std::unique_ptr<RpcLinks> rpc_;
+  std::vector<std::unique_ptr<IonPort>> ion_ports_;
+  std::unique_ptr<MappingPort> mapping_port_;
+  bool rpc_closed_ = false;
 };
 
 }  // namespace iofa::fwd

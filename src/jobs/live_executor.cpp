@@ -53,6 +53,8 @@ fwd::ServiceConfig live_service_config(const LiveExecutorOptions& options,
   cfg.fallback_bandwidth = options.fallback_bandwidth;
   cfg.qos = options.qos;
   cfg.injector = injector;
+  cfg.transport = options.transport;
+  cfg.rpc = options.rpc;
   return cfg;
 }
 
@@ -120,6 +122,7 @@ void validate_live_options(const LiveExecutorOptions& options) {
     reject("qos requires admission.enabled");
   }
   qos::validate_qos_options(options.qos);
+  rpc::validate_rpc_options(options.rpc);
 }
 
 LiveRunResult run_queue_live(const std::vector<workload::AppSpec>& queue,

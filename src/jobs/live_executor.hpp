@@ -16,6 +16,7 @@
 #include "fwd/service.hpp"
 #include "platform/profile.hpp"
 #include "qos/tenant.hpp"
+#include "rpc/options.hpp"
 #include "workload/kernels.hpp"
 
 namespace iofa::jobs {
@@ -78,6 +79,16 @@ struct LiveExecutorOptions {
   /// HealthMonitor's sweep — so it requires health_period > 0. ION
   /// death still re-solves immediately. 0 = per-event re-solve.
   Seconds arbiter_epoch = 0.0;
+
+  // --- rpc transport (PR 10) -------------------------------------------
+  /// Transport carrying the Client <-> ION and mapping links
+  /// (ServiceConfig::transport). kAuto resolves IOFA_TRANSPORT and
+  /// defaults to in-proc, so every scenario/tool runs over any
+  /// transport unchanged.
+  rpc::TransportKind transport = rpc::TransportKind::kAuto;
+  /// Framed-transport knobs (ack timeout, resend backoff, dedup
+  /// window); validated by validate_live_options().
+  rpc::RpcOptions rpc;
 
   // --- multi-tenant QoS (PR 6) -----------------------------------------
   /// Tenant table: priority classes, reservations and per-job SLOs.

@@ -209,6 +209,11 @@ void RawPayloadRule::scan(const FileModel& f, Reporter& rep) {
   // allocation gate. Fill/scratch buffers that never enter a FwdRequest
   // justify themselves with an inline allow(raw-payload).
   if (!f.in_path("src/fwd")) return;
+  // The RPC endpoints are the frame-marshalling boundary: their
+  // vector<std::byte> values are wire frames (codec output), not
+  // forwarding payloads - actual payloads still enter FwdRequest as
+  // slab handles there.
+  if (f.in_path("fwd/rpc_endpoints.")) return;
   const auto& code = f.code();
   for (std::size_t i = 0; i < code.size(); ++i) {
     const Token& t = f.tokens()[code[i]];
@@ -218,6 +223,36 @@ void RawPayloadRule::scan(const FileModel& f, Reporter& rep) {
                "std::vector<std::byte> payload buffer in the forwarding "
                "path; acquire an iofa::Payload from the slab pool "
                "(common/slab_pool.hpp) or justify the raw buffer inline");
+  }
+}
+
+// --- raw-wire -------------------------------------------------------------
+
+void RawWireRule::scan(const FileModel& f, Reporter& rep) {
+  // Scope: the RPC layer, where every frame byte is supposed to be
+  // produced and interpreted by the versioned codec (rpc/codec.cpp) so
+  // the wire format has exactly one reader and one writer. A memcpy or
+  // reinterpret_cast on frame bytes anywhere else is a second, silent
+  // codec: it bypasses the checksum/length validation and drifts the
+  // moment kWireVersion moves. The codec itself is the sanctioned home
+  // of byte punning; OS-interface casts (sockaddr) justify themselves
+  // with an inline allow(raw-wire).
+  if (!f.in_path("src/rpc")) return;
+  if (f.in_path("rpc/codec.")) return;
+  const auto& code = f.code();
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Token& t = f.tokens()[code[i]];
+    const bool is_memcpy = t.is_ident("memcpy");
+    const bool is_cast = t.is_ident("reinterpret_cast");
+    if (!is_memcpy && !is_cast) continue;
+    rep.report(f, t.line, "raw-wire",
+               is_memcpy
+                   ? "memcpy on frame bytes outside the codec; frames are "
+                     "encoded/decoded only by rpc::encode / rpc::decode "
+                     "(rpc/codec.hpp) - or justify the copy inline"
+                   : "reinterpret_cast in the rpc layer; frame bytes are "
+                     "interpreted only by the codec (rpc/codec.hpp) - or "
+                     "justify the cast inline");
   }
 }
 

@@ -69,4 +69,13 @@ class RawPayloadRule : public Rule {
   void scan(const FileModel& file, Reporter& rep) override;
 };
 
+class RawWireRule : public Rule {
+ public:
+  std::string_view name() const override { return "raw-wire"; }
+  std::string_view description() const override {
+    return "rpc frame bytes are interpreted only inside the codec";
+  }
+  void scan(const FileModel& file, Reporter& rep) override;
+};
+
 }  // namespace iofa::lint

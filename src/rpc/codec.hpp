@@ -1,0 +1,67 @@
+#pragma once
+// The ONE place frame bytes are produced and consumed. Everything else
+// in src/rpc moves opaque std::vector<std::byte> frames around; the
+// iofa_lint raw-wire rule fails the build when memcpy or
+// reinterpret_cast touches frame bytes anywhere in src/rpc outside
+// this codec.
+//
+// Layout (all little-endian, fixed offsets - see kHeaderSize):
+//
+//   [ 0..4)   u32  magic      "IOFA"
+//   [ 4..5)   u8   version    kWireVersion
+//   [ 5..6)   u8   type       MsgType
+//   [ 6..8)   u16  reserved   must be 0
+//   [ 8..16)  u64  request id
+//   [16..20)  u32  body length
+//   [20..24)  u32  reserved   must be 0
+//   [24..32)  u64  FNV-1a over bytes [0..24) ++ body
+//   [32.. )   body
+//
+// The checksum covers the header (with the hash field excluded) AND
+// the body, so a bit flip anywhere in the frame - including in the
+// request id - is detected. decode() throws CodecError on any
+// malformation and never reads past the buffer.
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "rpc/frame.hpp"
+
+namespace iofa::rpc {
+
+/// Decoded frame: the request id from the header plus the typed body.
+struct Decoded {
+  std::uint64_t request_id = 0;
+  std::variant<SubmitRequestMsg, SubmitAckMsg, SubmitResponseMsg,
+               MappingGetMsg, MappingReplyMsg, MappingPublishMsg,
+               MappingPublishAckMsg>
+      msg;
+};
+
+std::vector<std::byte> encode(std::uint64_t request_id,
+                              const SubmitRequestMsg& m);
+std::vector<std::byte> encode(std::uint64_t request_id,
+                              const SubmitAckMsg& m);
+std::vector<std::byte> encode(std::uint64_t request_id,
+                              const SubmitResponseMsg& m);
+std::vector<std::byte> encode(std::uint64_t request_id,
+                              const MappingGetMsg& m);
+std::vector<std::byte> encode(std::uint64_t request_id,
+                              const MappingReplyMsg& m);
+std::vector<std::byte> encode(std::uint64_t request_id,
+                              const MappingPublishMsg& m);
+std::vector<std::byte> encode(std::uint64_t request_id,
+                              const MappingPublishAckMsg& m);
+
+/// Parse one frame. Throws CodecError on ANY malformation; a returned
+/// Decoded is fully validated (checksum included).
+Decoded decode(const std::vector<std::byte>& frame);
+
+/// The message type of a well-formed frame (header checks only; used
+/// for cheap routing and by tests). Throws CodecError when the header
+/// is malformed.
+MsgType peek_type(const std::vector<std::byte>& frame);
+
+}  // namespace iofa::rpc

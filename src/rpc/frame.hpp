@@ -1,0 +1,117 @@
+#pragma once
+// Typed message frames for the forwarding RPC boundary.
+//
+// Every message crossing a transport link is one frame: a fixed
+// little-endian header (magic, version, type, request id, body length,
+// FNV-1a checksum over header+body) followed by a type-specific body.
+// The wire structs below carry only plain value types - no promises,
+// no slab handles, no pointers - so a frame is meaningful on any side
+// of any transport. Conversion to/from the runtime's FwdRequest
+// envelope happens at the endpoints (src/fwd/rpc_endpoints), never in
+// the codec.
+//
+// Versioning: kWireVersion is part of the header; a decoder refuses
+// frames from a different version with CodecError, so mixed-version
+// deployments fail loudly at the boundary instead of corrupting state.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace iofa::rpc {
+
+inline constexpr std::uint32_t kWireMagic = 0x41464F49;  // "IOFA" LE
+inline constexpr std::uint8_t kWireVersion = 1;
+/// Fixed header size in bytes (see codec.cpp for the exact layout).
+inline constexpr std::size_t kHeaderSize = 32;
+/// Decoder refuses bodies above this (a flipped length bit must not
+/// turn into a multi-gigabyte allocation).
+inline constexpr std::size_t kMaxBodyLen = 64u << 20;
+
+/// Every malformed frame - truncated, bit-flipped, wrong magic/version,
+/// length mismatch, trailing bytes - surfaces as this one typed error.
+/// Decoders never crash, hang, or partially apply a bad frame.
+struct CodecError : std::runtime_error {
+  explicit CodecError(const std::string& why)
+      : std::runtime_error("rpc codec: " + why) {}
+};
+
+enum class MsgType : std::uint8_t {
+  kSubmitRequest = 1,   ///< client -> ION: one forwarded request
+  kSubmitAck = 2,       ///< ION -> client: try_submit outcome
+  kSubmitResponse = 3,  ///< ION -> client: terminal completion
+  kMappingGet = 4,      ///< client -> store: entry + epoch for a job
+  kMappingReply = 5,    ///< store -> client: epoch, entry (if any)
+  kMappingPublish = 6,  ///< arbiter -> store: serialized mapping
+  kMappingPublishAck = 7
+};
+
+/// Wire mirror of fwd::FwdOp (kept as its own enum so the codec never
+/// includes fwd headers; rpc_endpoints converts and a static_assert
+/// there pins the values).
+enum class WireOp : std::uint8_t { kWrite = 0, kRead = 1, kFsync = 2 };
+
+struct SubmitRequestMsg {
+  WireOp op = WireOp::kWrite;
+  std::uint32_t tenant = 0;
+  std::uint64_t file_id = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  double stream_weight = 1.0;
+  std::uint64_t deadline_us = 0;
+  std::string path;
+  /// Write payload bytes; empty in accounting-only mode.
+  std::vector<std::byte> payload;
+};
+
+/// Wire mirror of fwd::SubmitResult (same pinning story as WireOp).
+enum class WireSubmitResult : std::uint8_t {
+  kAccepted = 0,
+  kBusy = 1,
+  kDown = 2
+};
+
+struct SubmitAckMsg {
+  WireSubmitResult result = WireSubmitResult::kDown;
+};
+
+/// Terminal outcome classes a completion can carry back. The endpoint
+/// reconstructs the matching exception type so client retry logic is
+/// transport-agnostic.
+enum class WireStatus : std::uint8_t {
+  kOk = 0,
+  kIonDown = 1,
+  kExpired = 2,
+  kError = 3
+};
+
+struct SubmitResponseMsg {
+  WireStatus status = WireStatus::kOk;
+  /// Bytes transferred (kOk); the crashed/expiring ION id otherwise.
+  std::uint64_t value = 0;
+  /// Read data travelling back to the client; empty for writes,
+  /// fsyncs, and accounting-only reads.
+  std::vector<std::byte> data;
+};
+
+struct MappingGetMsg {
+  std::uint64_t job = 0;
+};
+
+struct MappingReplyMsg {
+  std::uint64_t epoch = 0;
+  bool found = false;
+  std::vector<std::int32_t> ions;
+};
+
+struct MappingPublishMsg {
+  /// core::Mapping::to_string() text; the server pushes it through the
+  /// production parser, so a torn publish is refused there exactly like
+  /// a torn mapping file.
+  std::string text;
+};
+
+struct MappingPublishAckMsg {};
+
+}  // namespace iofa::rpc

@@ -1,0 +1,72 @@
+#pragma once
+// Bounded MPSC frame ring: the shared-memory transport's per-direction
+// channel. Same slot protocol as the ION daemon's CompletionRing (the
+// classic Vyukov bounded-MPMC sequence scheme restricted to many
+// producers / one consumer), with two differences fitting the message
+// boundary:
+//
+//   * push() BLOCKS while the ring is full (frames must not be lost -
+//     losing them is the chaos layer's job, on purpose, with counters);
+//   * the consumer parks in pop_wait() until a frame or close() arrives.
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
+
+namespace iofa::rpc {
+
+class FrameRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 8).
+  explicit FrameRing(std::size_t capacity);
+
+  FrameRing(const FrameRing&) = delete;
+  FrameRing& operator=(const FrameRing&) = delete;
+
+  /// Multi-producer push; blocks while full, returns false once the
+  /// ring is closed (the frame is dropped - the link is dying).
+  bool push(std::vector<std::byte> frame)
+      IOFA_EXCLUDES(producer_mu_) IOFA_EXCLUDES(wake_mu_);
+
+  /// Single-consumer pop; parks until a frame is available or the ring
+  /// is closed AND drained (then nullopt).
+  std::optional<std::vector<std::byte>> pop_wait()
+      IOFA_EXCLUDES(wake_mu_) IOFA_EXCLUDES(producer_mu_);
+
+  void close() IOFA_EXCLUDES(wake_mu_) IOFA_EXCLUDES(producer_mu_);
+  bool is_closed() const { return closed_.load(std::memory_order_acquire); }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  bool try_push_locked(std::vector<std::byte>& frame);
+  std::optional<std::vector<std::byte>> try_pop();
+
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::vector<std::byte> frame;
+  };
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  std::atomic<bool> closed_{false};
+
+  /// Producers park here while the ring is full; the consumer signals
+  /// after recycling a slot. The mutex guards no data - it orders the
+  /// full re-check against the notify so wakeups cannot be lost.
+  Mutex producer_mu_;  // iofa-lint: allow(naked-mutex)
+  CondVar producer_cv_;
+
+  /// Consumer parking, same shape as CompletionRing.
+  std::atomic<bool> parked_{false};
+  Mutex wake_mu_;  // iofa-lint: allow(naked-mutex)
+  CondVar wake_cv_;
+};
+
+}  // namespace iofa::rpc

@@ -1,0 +1,71 @@
+#pragma once
+// Transport selection and RPC protocol knobs.
+//
+// The same fault/test/bench suites run unchanged over any transport:
+// kAuto (the default everywhere) resolves from the IOFA_TRANSPORT
+// environment variable, so CI's transport-matrix job just exports
+// IOFA_TRANSPORT=shm|tcp and re-runs the suites. Code that must pin a
+// transport (the message-chaos drills) sets the enum explicitly.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/units.hpp"
+#include "fault/backoff.hpp"
+
+namespace iofa::rpc {
+
+enum class TransportKind {
+  /// Resolve from IOFA_TRANSPORT ("inproc" when unset).
+  kAuto,
+  /// Direct function calls (today's behaviour, zero overhead). No
+  /// frames exist on this path, so rpc.* fault sites are never checked.
+  kInProc,
+  /// Shared-memory frame rings (MPSC completion-ring idiom) with one
+  /// delivery thread per direction.
+  kShmRing,
+  /// A real loopback TCP socket pair with length-prefixed frames.
+  kTcp
+};
+
+const char* to_string(TransportKind kind);
+
+/// Parse "inproc" / "shm" / "tcp" (what IOFA_TRANSPORT and the tools'
+/// --transport flag accept); nullopt for anything else.
+std::optional<TransportKind> parse_transport(const std::string& name);
+
+/// Resolve kAuto against the environment. Throws std::invalid_argument
+/// when IOFA_TRANSPORT holds an unknown value - a typo in a CI matrix
+/// must fail the job, not silently run in-proc.
+TransportKind resolve_transport(TransportKind configured);
+
+struct RpcOptions {
+  /// How long a client stub waits for a SubmitAck before resending the
+  /// same request id. Resends are at-least-once: the server's dedup
+  /// window answers duplicates from cache, so a resend can never
+  /// double-apply. The stub resends until an ack arrives (servers
+  /// always answer, even for crashed daemons), so the accounting
+  /// identity sees exactly one authoritative outcome per offer.
+  Seconds ack_timeout = 0.25;
+  /// Pacing between ack resends (deterministic seeded jitter).
+  fault::BackoffPolicy retry_backoff = {};
+  /// Request ids remembered per server for duplicate suppression.
+  /// Entries whose response is still pending are never evicted.
+  std::size_t dedup_window = 4096;
+  /// Frames per direction in the shm-ring transport (rounded up to a
+  /// power of two).
+  std::size_t ring_capacity = 1024;
+  /// Round-trip attempts for mapping fetch/publish before giving up
+  /// (a lost publish behaves like today's dropped mapping file: the
+  /// HealthMonitor self-heals it; a failed fetch keeps the client's
+  /// cached view).
+  int mapping_attempts = 4;
+};
+
+/// Reject nonsensical RPC knobs with std::invalid_argument (same
+/// contract as the overload/QoS knobs; validate_live_options calls it).
+void validate_rpc_options(const RpcOptions& options);
+
+}  // namespace iofa::rpc

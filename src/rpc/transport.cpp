@@ -1,0 +1,39 @@
+#include "rpc/transport.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "rpc/shm_ring_transport.hpp"
+#include "rpc/tcp_transport.hpp"
+
+namespace iofa::rpc {
+
+void LoopbackTransport::set_handler(int side, Handler handler) {
+  handlers_[side] = std::move(handler);
+}
+
+void LoopbackTransport::send(int side, std::vector<std::byte> frame) {
+  if (closed_) return;
+  Handler& peer = handlers_[1 - side];
+  if (peer) peer(std::move(frame));
+}
+
+void LoopbackTransport::close() { closed_ = true; }
+
+std::unique_ptr<Transport> make_transport(TransportKind kind,
+                                          const RpcOptions& options) {
+  switch (kind) {
+    case TransportKind::kShmRing:
+      return std::make_unique<ShmRingTransport>(options.ring_capacity);
+    case TransportKind::kTcp:
+      return std::make_unique<TcpTransport>();
+    case TransportKind::kAuto:
+    case TransportKind::kInProc:
+      break;
+  }
+  throw std::invalid_argument(
+      std::string("make_transport: no frame path for transport '") +
+      to_string(kind) + "'");
+}
+
+}  // namespace iofa::rpc

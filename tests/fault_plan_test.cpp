@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
 
+#include "fault/backoff.hpp"
 #include "fault/plan.hpp"
 
 namespace iofa::fault {
@@ -265,6 +267,149 @@ TEST(FaultPlanDsl, BusySiteDslRoundTripsAndValidates) {
   // stay on ion.<N>.
   EXPECT_FALSE(FaultPlan::parse("at 0.5 crash ion.0.busy\n").has_value());
   EXPECT_FALSE(FaultPlan::parse("at 0.5 restart ion.0.busy\n").has_value());
+}
+
+TEST(FaultPlanDsl, RpcSiteHelpers) {
+  EXPECT_EQ(rpc_req_site(3), "rpc.ion.3.req");
+  EXPECT_EQ(rpc_rsp_site(0), "rpc.ion.0.rsp");
+  EXPECT_TRUE(site_is_rpc("rpc.ion.0.req"));
+  EXPECT_TRUE(site_is_rpc("rpc.ion.12.rsp"));
+  EXPECT_TRUE(site_is_rpc(kRpcMappingReqSite));
+  EXPECT_TRUE(site_is_rpc(kRpcMappingRspSite));
+  EXPECT_FALSE(site_is_rpc("ion.0"));
+  EXPECT_FALSE(site_is_rpc("mapping.publish"));
+  EXPECT_TRUE(site_is_valid("rpc.ion.0.req"));
+  EXPECT_TRUE(site_is_valid(kRpcMappingReqSite));
+  EXPECT_FALSE(site_is_valid("rpc.ion..req"));
+  EXPECT_FALSE(site_is_valid("rpc.ion.0"));
+  EXPECT_FALSE(site_is_valid("rpc.ion.0.ack"));
+  EXPECT_FALSE(site_is_valid("rpc.mapping"));
+}
+
+TEST(FaultPlanDsl, MessageVerbsSurvivePrintParseRoundTrip) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.drop_msg(rpc_req_site(0), 3)
+      .drop_msg_prob(rpc_rsp_site(1), 0.125)
+      .dup_msg(rpc_req_site(2), 1)
+      .dup_msg_prob(kRpcMappingReqSite, 0.25)
+      .reorder_msg(rpc_rsp_site(0), 4)
+      .truncate_msg(kRpcMappingRspSite, 2)
+      .truncate_msg_prob(rpc_req_site(1), 0.0625)
+      .delay_msg(rpc_req_site(0), 5, 0.01);
+  ASSERT_EQ(plan.validate(), std::nullopt);
+
+  std::string error;
+  const auto reparsed = FaultPlan::parse(plan.to_string(), &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_EQ(*reparsed, plan);
+  EXPECT_EQ(reparsed->to_string(), plan.to_string());
+}
+
+TEST(FaultPlanDsl, MessageVerbsParseFromText) {
+  const std::string text =
+      "seed 5\n"
+      "after 3 dup rpc.ion.0.req\n"
+      "prob 0.25 drop rpc.ion.1.rsp\n"
+      "after 1 reorder rpc.mapping.req\n"
+      "after 2 truncate rpc.ion.0.rsp\n"
+      "after 4 delay rpc.mapping.rsp 0.05\n";
+  std::string error;
+  const auto plan = FaultPlan::parse(text, &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  ASSERT_EQ(plan->events.size(), 5u);
+  EXPECT_EQ(plan->events[0].kind, EventKind::Dup);
+  EXPECT_EQ(plan->events[0].after, 3u);
+  EXPECT_EQ(plan->events[1].kind, EventKind::Drop);
+  EXPECT_DOUBLE_EQ(plan->events[1].probability, 0.25);
+  EXPECT_EQ(plan->events[4].kind, EventKind::Delay);
+  EXPECT_DOUBLE_EQ(plan->events[4].duration, 0.05);
+}
+
+TEST(FaultPlanDsl, RejectsMessageVerbsOffRpcSites) {
+  // Frame verbs have exactly one home: the rpc.* frame sites.
+  EXPECT_FALSE(FaultPlan::parse("after 1 dup ion.0\n").has_value());
+  EXPECT_FALSE(FaultPlan::parse("after 1 reorder pfs.write\n").has_value());
+  EXPECT_FALSE(
+      FaultPlan::parse("after 1 truncate mapping.publish\n").has_value());
+  EXPECT_FALSE(
+      FaultPlan::parse("prob 0.5 delay ion.0.request 0.1\n").has_value());
+}
+
+TEST(FaultPlanDsl, RejectsLegacyVerbsOnRpcSites) {
+  // Crash a daemon, not its link; errors/stalls are check-site verbs.
+  EXPECT_FALSE(FaultPlan::parse("at 0.5 crash rpc.ion.0.req\n").has_value());
+  EXPECT_FALSE(
+      FaultPlan::parse("prob 0.5 error rpc.ion.0.req\n").has_value());
+  EXPECT_FALSE(
+      FaultPlan::parse("at 0.5 stall rpc.ion.0.rsp 0.1\n").has_value());
+  EXPECT_FALSE(
+      FaultPlan::parse("at 0.5 corrupt rpc.mapping.req\n").has_value());
+}
+
+TEST(FaultPlanDsl, RejectsTimeTriggeredMessageEvents) {
+  // Message events are per-frame ('after'/'prob'): a wall-clock trigger
+  // would break the k-th-frame determinism contract.
+  EXPECT_FALSE(FaultPlan::parse("at 0.5 dup rpc.ion.0.req\n").has_value());
+  EXPECT_FALSE(FaultPlan::parse("at 0.5 drop rpc.ion.0.req\n").has_value());
+  EXPECT_FALSE(
+      FaultPlan::parse("at 0.5 delay rpc.ion.0.req 0.1\n").has_value());
+}
+
+TEST(FaultPlanDsl, RejectsNonPositiveDelayDuration) {
+  EXPECT_FALSE(
+      FaultPlan::parse("after 1 delay rpc.ion.0.req 0\n").has_value());
+  EXPECT_FALSE(
+      FaultPlan::parse("after 1 delay rpc.ion.0.req -0.1\n").has_value());
+  EXPECT_NE(parse_error("after 1 delay rpc.ion.0.req\n").find("duration"),
+            std::string::npos);
+}
+
+// --- BackoffPolicy hardening (PR 10 satellite) ---------------------------
+
+TEST(BackoffPolicy, DefaultsAreValid) {
+  const BackoffPolicy p;
+  EXPECT_GT(p.base, 0.0);
+  EXPECT_GE(p.cap, p.base);
+  EXPECT_GT(p.multiplier, 0.0);
+  EXPECT_GE(p.jitter, 0.0);
+  EXPECT_LE(p.jitter, 1.0);
+}
+
+TEST(BackoffPolicy, PositionalCtorAcceptsSaneValues) {
+  const BackoffPolicy p(1e-3, 0.5, 2.0, 0.25);
+  EXPECT_DOUBLE_EQ(p.base, 1e-3);
+  EXPECT_DOUBLE_EQ(p.cap, 0.5);
+  EXPECT_DOUBLE_EQ(p.multiplier, 2.0);
+  EXPECT_DOUBLE_EQ(p.jitter, 0.25);
+  // Degenerate-but-legal: constant delay, no jitter.
+  EXPECT_NO_THROW(BackoffPolicy(0.1, 0.1, 1.0, 0.0));
+}
+
+TEST(BackoffPolicy, PositionalCtorRejectsDegenerateSchedules) {
+  // base <= 0 busy-spins every retry chain.
+  EXPECT_THROW(BackoffPolicy(0.0, 1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(BackoffPolicy(-1e-3, 1.0, 2.0), std::invalid_argument);
+  // cap < base inverts the ceiling.
+  EXPECT_THROW(BackoffPolicy(1.0, 0.5, 2.0), std::invalid_argument);
+  // multiplier <= 0 collapses or negates the growth.
+  EXPECT_THROW(BackoffPolicy(1e-3, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(BackoffPolicy(1e-3, 1.0, -2.0), std::invalid_argument);
+  // jitter outside [0, 1] produces negative delays.
+  EXPECT_THROW(BackoffPolicy(1e-3, 1.0, 2.0, -0.1), std::invalid_argument);
+  EXPECT_THROW(BackoffPolicy(1e-3, 1.0, 2.0, 1.5), std::invalid_argument);
+}
+
+TEST(BackoffPolicy, DelaysStayWithinTheJitteredEnvelope) {
+  const BackoffPolicy p(1e-3, 8e-3, 2.0, 0.5);
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    const Seconds d = backoff_delay(p, attempt, /*seed=*/17u);
+    EXPECT_GT(d, 0.0) << attempt;
+    EXPECT_LE(d, p.cap) << attempt;
+  }
+  // The stateless flavour is deterministic in (policy, attempt, seed).
+  EXPECT_DOUBLE_EQ(backoff_delay(p, 3, 17u), backoff_delay(p, 3, 17u));
+  EXPECT_NE(backoff_delay(p, 3, 17u), backoff_delay(p, 3, 18u));
 }
 
 }  // namespace

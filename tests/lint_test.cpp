@@ -68,6 +68,16 @@ class LintTest : public ::testing::Test {
     return p;
   }
 
+  /// Same, but under src/rpc - the raw-wire rule's home turf.
+  fs::path write_rpc_fixture(const std::string& name,
+                             const std::string& body) {
+    const fs::path rpc = dir_.parent_path() / "rpc";
+    fs::create_directories(rpc);
+    const fs::path p = rpc / name;
+    std::ofstream(p) << body;
+    return p;
+  }
+
   fs::path dir_;
 };
 
@@ -551,6 +561,69 @@ TEST_F(LintTest, RawPayloadOutOfScopeNotFlagged) {
   EXPECT_EQ(r.output.find("raw-payload"), std::string::npos) << r.output;
 }
 
+// -------------------------------------------------------------- raw-wire
+
+TEST_F(LintTest, RawWireMemcpyInRpcFlagged) {
+  const auto p = write_rpc_fixture(
+      "shm_fast.cpp",
+      "void ship(std::byte* slot, const std::vector<std::byte>& frame) {\n"
+      "  std::memcpy(slot, frame.data(), frame.size());\n"
+      "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("raw-wire"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("shm_fast.cpp:2"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, RawWireReinterpretCastFlagged) {
+  const auto p = write_rpc_fixture(
+      "peek.cpp",
+      "std::uint64_t id_of(const std::vector<std::byte>& frame) {\n"
+      "  return *reinterpret_cast<const std::uint64_t*>(frame.data() + 8);\n"
+      "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("raw-wire"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, RawWireCodecIsExempt) {
+  // The codec is the sanctioned home of byte punning: the one
+  // reader/writer of the wire format.
+  const auto p = write_rpc_fixture(
+      "codec.cpp",
+      "void put_u32(std::byte* at, std::uint32_t v) {\n"
+      "  std::memcpy(at, &v, sizeof v);\n"
+      "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("raw-wire"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, RawWireSuppressionHonoured) {
+  const auto p = write_rpc_fixture(
+      "tcp_accept.cpp",
+      "void bind_to(int fd, sockaddr_in& addr) {\n"
+      "  // iofa-lint: allow(raw-wire) - OS interface, not frame bytes.\n"
+      "  ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);\n"
+      "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("raw-wire"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, RawWireOutsideRpcNotFlagged) {
+  // memcpy elsewhere in the tree is someone else's business (payload
+  // staging, slab fills); the rule watches the rpc layer only.
+  const auto p = write_fixture(
+      "stage_copy.cpp",
+      "void fill(char* dst, const char* src, std::size_t n) {\n"
+      "  std::memcpy(dst, src, n);\n"
+      "}\n");
+  const auto r = run_lint(p);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("raw-wire"), std::string::npos) << r.output;
+}
+
 // ---------------------------------------------------------------- driver
 
 TEST_F(LintTest, DirectoryScanAggregatesFindings) {
@@ -815,13 +888,14 @@ TEST_F(MetricManifestTest, MetricManifestSuppressionHonoured) {
 
 // --------------------------------------------------------- driver (v2)
 
-TEST_F(LintTest, ListRulesShowsAllTwelve) {
+TEST_F(LintTest, ListRulesShowsAllThirteen) {
   const auto r = run_lint_cmd("--list-rules");
   EXPECT_EQ(r.exit_code, 0) << r.output;
   for (const char* rule :
        {"naked-mutex", "raw-sleep", "raw-rand", "raw-cout", "raw-thread",
-        "bare-units", "raw-token-bucket", "raw-payload", "swallowed-error",
-        "lock-order", "clock-hygiene", "metric-manifest"}) {
+        "bare-units", "raw-token-bucket", "raw-payload", "raw-wire",
+        "swallowed-error", "lock-order", "clock-hygiene",
+        "metric-manifest"}) {
     EXPECT_NE(r.output.find(rule), std::string::npos) << rule << "\n"
                                                       << r.output;
   }

@@ -1,0 +1,247 @@
+// Codec robustness (PR 10, satellite 2): every message type round-trips
+// bit-exactly, and EVERY malformed frame - truncated at any length,
+// bit-flipped anywhere, wrong magic/version/type/reserved - surfaces as
+// the one typed CodecError. The fuzz loops run under fixed seeds
+// (1/7/1337) so a failure reproduces from the printed seed; the
+// property they enforce is the codec's whole contract: never crash,
+// never hang, never partially apply a bad frame.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "rpc/codec.hpp"
+#include "rpc/frame.hpp"
+
+namespace iofa::rpc {
+namespace {
+
+SubmitRequestMsg sample_request() {
+  SubmitRequestMsg m;
+  m.op = WireOp::kWrite;
+  m.tenant = 3;
+  m.file_id = 0xDEADBEEFCAFEF00Dull;
+  m.offset = 4096;
+  m.size = 5;
+  m.stream_weight = 2.5;
+  m.deadline_us = 123456789;
+  m.path = "/ssd/rank0/ckpt.h5";
+  m.payload = {std::byte{1}, std::byte{2}, std::byte{3}, std::byte{4},
+               std::byte{5}};
+  return m;
+}
+
+TEST(RpcCodec, SubmitRequestRoundTrip) {
+  const SubmitRequestMsg m = sample_request();
+  const auto frame = encode(77, m);
+  EXPECT_EQ(peek_type(frame), MsgType::kSubmitRequest);
+  const Decoded d = decode(frame);
+  EXPECT_EQ(d.request_id, 77u);
+  const auto& got = std::get<SubmitRequestMsg>(d.msg);
+  EXPECT_EQ(got.op, m.op);
+  EXPECT_EQ(got.tenant, m.tenant);
+  EXPECT_EQ(got.file_id, m.file_id);
+  EXPECT_EQ(got.offset, m.offset);
+  EXPECT_EQ(got.size, m.size);
+  EXPECT_DOUBLE_EQ(got.stream_weight, m.stream_weight);
+  EXPECT_EQ(got.deadline_us, m.deadline_us);
+  EXPECT_EQ(got.path, m.path);
+  EXPECT_EQ(got.payload, m.payload);
+}
+
+TEST(RpcCodec, EmptyPayloadAndPathRoundTrip) {
+  SubmitRequestMsg m;
+  m.op = WireOp::kFsync;
+  const Decoded d = decode(encode(1, m));
+  const auto& got = std::get<SubmitRequestMsg>(d.msg);
+  EXPECT_TRUE(got.path.empty());
+  EXPECT_TRUE(got.payload.empty());
+}
+
+TEST(RpcCodec, SubmitAckRoundTrip) {
+  for (auto r : {WireSubmitResult::kAccepted, WireSubmitResult::kBusy,
+                 WireSubmitResult::kDown}) {
+    SubmitAckMsg m;
+    m.result = r;
+    const Decoded d = decode(encode(9, m));
+    EXPECT_EQ(d.request_id, 9u);
+    EXPECT_EQ(std::get<SubmitAckMsg>(d.msg).result, r);
+  }
+}
+
+TEST(RpcCodec, SubmitResponseRoundTrip) {
+  SubmitResponseMsg m;
+  m.status = WireStatus::kOk;
+  m.value = 8192;
+  m.data = {std::byte{0xAB}, std::byte{0xCD}};
+  const Decoded d = decode(encode(42, m));
+  const auto& got = std::get<SubmitResponseMsg>(d.msg);
+  EXPECT_EQ(got.status, WireStatus::kOk);
+  EXPECT_EQ(got.value, 8192u);
+  EXPECT_EQ(got.data, m.data);
+}
+
+TEST(RpcCodec, MappingMessagesRoundTrip) {
+  MappingGetMsg get;
+  get.job = 17;
+  EXPECT_EQ(std::get<MappingGetMsg>(decode(encode(5, get)).msg).job, 17u);
+
+  MappingReplyMsg reply;
+  reply.epoch = 12;
+  reply.found = true;
+  reply.ions = {0, 3, 5};
+  const Decoded dr = decode(encode(6, reply));
+  const auto& r = std::get<MappingReplyMsg>(dr.msg);
+  EXPECT_EQ(r.epoch, 12u);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.ions, reply.ions);
+
+  MappingPublishMsg pub;
+  pub.text = "epoch 3\njob 1 -> 0 2\n";
+  EXPECT_EQ(std::get<MappingPublishMsg>(decode(encode(7, pub)).msg).text,
+            pub.text);
+
+  EXPECT_TRUE(std::holds_alternative<MappingPublishAckMsg>(
+      decode(encode(8, MappingPublishAckMsg{})).msg));
+}
+
+// --- malformation: every failure is a typed CodecError -------------------
+
+TEST(RpcCodec, TruncationAtEveryLengthIsTypedError) {
+  const auto frame = encode(123, sample_request());
+  ASSERT_GT(frame.size(), kHeaderSize);
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    std::vector<std::byte> cut(frame.begin(),
+                               frame.begin() + static_cast<long>(len));
+    EXPECT_THROW(decode(cut), CodecError) << "length " << len;
+  }
+  // The full frame still decodes (the loop above must not be vacuous).
+  EXPECT_NO_THROW(decode(frame));
+}
+
+TEST(RpcCodec, TrailingBytesAreATypedError) {
+  auto frame = encode(1, SubmitAckMsg{});
+  frame.push_back(std::byte{0});
+  EXPECT_THROW(decode(frame), CodecError);
+}
+
+TEST(RpcCodec, WrongMagicVersionReservedAreTypedErrors) {
+  const auto good = encode(1, SubmitAckMsg{});
+  {
+    auto f = good;
+    f[0] = std::byte{0x00};  // magic
+    EXPECT_THROW(decode(f), CodecError);
+  }
+  {
+    auto f = good;
+    f[4] = std::byte{kWireVersion + 1};  // version
+    EXPECT_THROW(decode(f), CodecError);
+  }
+  {
+    auto f = good;
+    f[5] = std::byte{0x7F};  // unknown MsgType
+    EXPECT_THROW(decode(f), CodecError);
+  }
+  {
+    auto f = good;
+    f[6] = std::byte{1};  // reserved u16
+    EXPECT_THROW(decode(f), CodecError);
+  }
+  {
+    auto f = good;
+    f[20] = std::byte{1};  // reserved u32
+    EXPECT_THROW(decode(f), CodecError);
+  }
+}
+
+TEST(RpcCodec, ChecksumCatchesRequestIdFlip) {
+  auto frame = encode(0x0102030405060708ull, SubmitAckMsg{});
+  frame[8] ^= std::byte{0x01};  // request id is checksummed too
+  EXPECT_THROW(decode(frame), CodecError);
+}
+
+/// One fuzz round: take a well-formed frame, mangle it (truncate to a
+/// random length, or flip 1..8 random bits), and require decode() to
+/// either throw CodecError or - only when the mangling happened to be
+/// a no-op - return normally. Any other exception or a crash fails.
+void fuzz_frames(std::uint64_t seed) {
+  Rng rng(seed);
+  const std::vector<std::vector<std::byte>> corpus = {
+      encode(1, sample_request()),
+      encode(2, SubmitAckMsg{}),
+      encode(3,
+             [] {
+               SubmitResponseMsg m;
+               m.value = 77;
+               m.data.assign(64, std::byte{0x5A});
+               return m;
+             }()),
+      encode(4, MappingGetMsg{}),
+      encode(5,
+             [] {
+               MappingReplyMsg m;
+               m.found = true;
+               m.ions = {1, 2, 3, 4};
+               return m;
+             }()),
+      encode(6, MappingPublishMsg{"epoch 1\n"}),
+      encode(7, MappingPublishAckMsg{}),
+  };
+  for (int round = 0; round < 2000; ++round) {
+    auto frame = corpus[rng.uniform_int(
+        0, static_cast<int>(corpus.size()) - 1)];
+    bool mutated = false;
+    if (rng.uniform01() < 0.5) {
+      const auto len = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<int>(frame.size()) - 1));
+      frame.resize(len);
+      mutated = true;
+    } else {
+      const int flips = rng.uniform_int(1, 8);
+      for (int i = 0; i < flips; ++i) {
+        const auto pos = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<int>(frame.size()) - 1));
+        frame[pos] ^= std::byte{
+            static_cast<unsigned char>(1u << rng.uniform_int(0, 7))};
+        mutated = true;
+      }
+    }
+    try {
+      (void)decode(frame);
+      // Decoding can only succeed if the mangling restored a valid
+      // frame; with XOR flips that means the flips cancelled - allowed
+      // but astronomically rare. Truncation below header size never
+      // passes.
+      EXPECT_TRUE(!mutated || frame.size() >= kHeaderSize)
+          << "seed " << seed << " round " << round;
+    } catch (const CodecError&) {
+      // The contract: malformed frames surface exactly here.
+    } catch (...) {
+      FAIL() << "non-CodecError escape at seed " << seed << " round "
+             << round;
+    }
+  }
+}
+
+TEST(RpcCodecFuzz, Seed1) { fuzz_frames(1); }
+TEST(RpcCodecFuzz, Seed7) { fuzz_frames(7); }
+TEST(RpcCodecFuzz, Seed1337) { fuzz_frames(1337); }
+
+TEST(RpcCodec, OversizeBodyLengthIsRefusedWithoutAllocating) {
+  // Forge a header claiming a multi-gigabyte body: the length check
+  // must fire before any allocation happens (a flipped length bit must
+  // not become an OOM).
+  auto frame = encode(1, SubmitAckMsg{});
+  frame[16] = std::byte{0xFF};
+  frame[17] = std::byte{0xFF};
+  frame[18] = std::byte{0xFF};
+  frame[19] = std::byte{0x7F};
+  EXPECT_THROW(decode(frame), CodecError);
+}
+
+}  // namespace
+}  // namespace iofa::rpc

@@ -1,0 +1,413 @@
+// Transport layer (PR 10): the FrameRing channel, the three Transport
+// implementations behind one interface, the ChaosTransport decorator's
+// verb semantics, and the option/env plumbing that selects between
+// them. Everything here is below the endpoint layer - frames are
+// opaque byte vectors; the dedup/retry discipline is exercised by
+// fault_scenarios_test against a full ForwardingService.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/mutex.hpp"
+#include "fault/clock.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "rpc/chaos.hpp"
+#include "rpc/frame_ring.hpp"
+#include "rpc/options.hpp"
+#include "rpc/transport.hpp"
+
+namespace iofa::rpc {
+namespace {
+
+std::vector<std::byte> frame_of(int tag, std::size_t len = 4) {
+  std::vector<std::byte> f(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    f[i] = static_cast<std::byte>((tag + static_cast<int>(i)) & 0xFF);
+  }
+  return f;
+}
+
+// --- FrameRing -----------------------------------------------------------
+
+TEST(FrameRing, FifoOrderSingleProducer) {
+  FrameRing ring(8);
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(ring.push(frame_of(i)));
+  for (int i = 0; i < 6; ++i) {
+    auto f = ring.pop_wait();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(*f, frame_of(i));
+  }
+}
+
+TEST(FrameRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(FrameRing(3).capacity(), 8u);  // minimum 8
+  EXPECT_EQ(FrameRing(9).capacity(), 16u);
+  EXPECT_EQ(FrameRing(64).capacity(), 64u);
+}
+
+TEST(FrameRing, CloseDrainsThenReturnsNullopt) {
+  FrameRing ring(8);
+  ASSERT_TRUE(ring.push(frame_of(1)));
+  ASSERT_TRUE(ring.push(frame_of(2)));
+  ring.close();
+  EXPECT_FALSE(ring.push(frame_of(3)));  // refused after close
+  EXPECT_EQ(ring.pop_wait(), frame_of(1));
+  EXPECT_EQ(ring.pop_wait(), frame_of(2));
+  EXPECT_FALSE(ring.pop_wait().has_value());  // drained + closed
+}
+
+TEST(FrameRing, CloseWakesParkedConsumer) {
+  FrameRing ring(8);
+  std::thread consumer([&] {  // iofa-lint: allow(raw-thread)
+    EXPECT_FALSE(ring.pop_wait().has_value());
+  });
+  sleep_for_seconds(0.02);  // give the consumer time to park
+  ring.close();
+  consumer.join();
+}
+
+TEST(FrameRing, FullRingBlocksProducerUntilConsumed) {
+  FrameRing ring(8);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(ring.push(frame_of(i)));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {  // iofa-lint: allow(raw-thread)
+    ASSERT_TRUE(ring.push(frame_of(99)));
+    pushed.store(true);
+  });
+  sleep_for_seconds(0.02);
+  EXPECT_FALSE(pushed.load());  // still parked on the full ring
+  EXPECT_EQ(ring.pop_wait(), frame_of(0));
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  ring.close();
+}
+
+TEST(FrameRing, ConcurrentProducersLoseNothing) {
+  FrameRing ring(16);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::vector<std::thread> producers;  // iofa-lint: allow(raw-thread)
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        std::vector<std::byte> f(8);
+        f[0] = static_cast<std::byte>(p);
+        ASSERT_TRUE(ring.push(std::move(f)));
+      }
+    });
+  }
+  int counts[kProducers] = {};
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    auto f = ring.pop_wait();
+    ASSERT_TRUE(f.has_value());
+    ++counts[static_cast<int>((*f)[0])];
+  }
+  for (auto& t : producers) t.join();
+  for (int p = 0; p < kProducers; ++p) EXPECT_EQ(counts[p], kPerProducer);
+}
+
+// --- Transport implementations -------------------------------------------
+
+TEST(LoopbackTransport, DeliversBothDirectionsSynchronously) {
+  LoopbackTransport t;
+  std::vector<std::vector<std::byte>> at_server, at_client;
+  t.set_handler(kServerSide,
+                [&](std::vector<std::byte> f) { at_server.push_back(f); });
+  t.set_handler(kClientSide,
+                [&](std::vector<std::byte> f) { at_client.push_back(f); });
+  t.send(kClientSide, frame_of(1));
+  t.send(kServerSide, frame_of(2));
+  ASSERT_EQ(at_server.size(), 1u);
+  EXPECT_EQ(at_server[0], frame_of(1));
+  ASSERT_EQ(at_client.size(), 1u);
+  EXPECT_EQ(at_client[0], frame_of(2));
+  t.close();
+  t.send(kClientSide, frame_of(3));  // dropped, not delivered
+  EXPECT_EQ(at_server.size(), 1u);
+}
+
+/// Shared stress body: N frames each way, FIFO per direction, nothing
+/// lost. Runs against whatever make_transport() hands back, so shm and
+/// tcp satisfy the identical contract.
+void exercise_duplex(Transport& t, int frames) {
+  Mutex mu;
+  CondVar cv;
+  std::vector<std::vector<std::byte>> at_server, at_client;
+  t.set_handler(kServerSide, [&](std::vector<std::byte> f) {
+    MutexLock lk(mu);
+    at_server.push_back(std::move(f));
+    cv.notify_all();
+  });
+  t.set_handler(kClientSide, [&](std::vector<std::byte> f) {
+    MutexLock lk(mu);
+    at_client.push_back(std::move(f));
+    cv.notify_all();
+  });
+  std::thread c2s([&] {  // iofa-lint: allow(raw-thread)
+    for (int i = 0; i < frames; ++i) t.send(kClientSide, frame_of(i, 64));
+  });
+  std::thread s2c([&] {  // iofa-lint: allow(raw-thread)
+    for (int i = 0; i < frames; ++i) {
+      t.send(kServerSide, frame_of(i + 7, 48));
+    }
+  });
+  c2s.join();
+  s2c.join();
+  {
+    UniqueLock lk(mu);
+    const auto deadline =
+        monotonic_now() + std::chrono::duration_cast<MonotonicClock::duration>(
+                              std::chrono::duration<double>(5.0));
+    while (at_server.size() < static_cast<std::size_t>(frames) ||
+           at_client.size() < static_cast<std::size_t>(frames)) {
+      ASSERT_NE(cv.wait_until(lk, deadline), std::cv_status::timeout)
+          << "server got " << at_server.size() << ", client got "
+          << at_client.size();
+    }
+  }
+  for (int i = 0; i < frames; ++i) {
+    EXPECT_EQ(at_server[static_cast<std::size_t>(i)], frame_of(i, 64));
+    EXPECT_EQ(at_client[static_cast<std::size_t>(i)], frame_of(i + 7, 48));
+  }
+  t.close();
+}
+
+TEST(ShmRingTransport, DuplexFifoDelivery) {
+  RpcOptions opts;
+  opts.ring_capacity = 16;  // small ring: exercises producer parking
+  auto t = make_transport(TransportKind::kShmRing, opts);
+  exercise_duplex(*t, 2000);
+}
+
+TEST(TcpTransport, DuplexFifoDelivery) {
+  auto t = make_transport(TransportKind::kTcp, RpcOptions{});
+  exercise_duplex(*t, 500);
+}
+
+TEST(Transport, MakeTransportRefusesInProcKinds) {
+  EXPECT_THROW(make_transport(TransportKind::kInProc, RpcOptions{}),
+               std::invalid_argument);
+  EXPECT_THROW(make_transport(TransportKind::kAuto, RpcOptions{}),
+               std::invalid_argument);
+}
+
+TEST(Transport, CloseIsIdempotentAndDropsLateSends) {
+  for (auto kind : {TransportKind::kShmRing, TransportKind::kTcp}) {
+    auto t = make_transport(kind, RpcOptions{});
+    std::atomic<int> got{0};
+    t->set_handler(kServerSide,
+                   [&](std::vector<std::byte>) { got.fetch_add(1); });
+    t->set_handler(kClientSide, [&](std::vector<std::byte>) {});
+    t->close();
+    t->close();
+    t->send(kClientSide, frame_of(1));  // silently dropped
+    EXPECT_EQ(got.load(), 0) << to_string(kind);
+  }
+}
+
+// --- ChaosTransport verb semantics ---------------------------------------
+
+struct ChaosRig {
+  explicit ChaosRig(fault::FaultPlan plan)
+      : injector(std::move(plan), &clock) {
+    auto inner = std::make_unique<LoopbackTransport>();
+    chaos = std::make_unique<ChaosTransport>(std::move(inner), &injector,
+                                             fault::rpc_req_site(0),
+                                             fault::rpc_rsp_site(0));
+    chaos->set_handler(kServerSide, [this](std::vector<std::byte> f) {
+      at_server.push_back(std::move(f));
+    });
+    chaos->set_handler(kClientSide, [this](std::vector<std::byte> f) {
+      at_client.push_back(std::move(f));
+    });
+  }
+
+  fault::ManualFaultClock clock;
+  fault::FaultInjector injector;
+  std::unique_ptr<ChaosTransport> chaos;
+  std::vector<std::vector<std::byte>> at_server, at_client;
+};
+
+TEST(ChaosTransport, DropSwallowsExactlyTheTriggeredFrame) {
+  fault::FaultPlan plan;
+  plan.drop_msg(fault::rpc_req_site(0), 2);  // the 2nd client frame
+  ChaosRig rig(std::move(plan));
+  rig.chaos->send(kClientSide, frame_of(1));
+  rig.chaos->send(kClientSide, frame_of(2));
+  rig.chaos->send(kClientSide, frame_of(3));
+  ASSERT_EQ(rig.at_server.size(), 2u);
+  EXPECT_EQ(rig.at_server[0], frame_of(1));
+  EXPECT_EQ(rig.at_server[1], frame_of(3));
+  EXPECT_EQ(rig.injector.injected(fault::rpc_req_site(0)), 1u);
+}
+
+TEST(ChaosTransport, DupDeliversTheFrameTwice) {
+  fault::FaultPlan plan;
+  plan.dup_msg(fault::rpc_req_site(0), 1);
+  ChaosRig rig(std::move(plan));
+  rig.chaos->send(kClientSide, frame_of(5));
+  ASSERT_EQ(rig.at_server.size(), 2u);
+  EXPECT_EQ(rig.at_server[0], frame_of(5));
+  EXPECT_EQ(rig.at_server[1], frame_of(5));
+}
+
+TEST(ChaosTransport, TruncateCutsToHalfPrefix) {
+  fault::FaultPlan plan;
+  plan.truncate_msg(fault::rpc_req_site(0), 1);
+  ChaosRig rig(std::move(plan));
+  rig.chaos->send(kClientSide, frame_of(1, 8));
+  ASSERT_EQ(rig.at_server.size(), 1u);
+  const auto full = frame_of(1, 8);
+  const std::vector<std::byte> half(full.begin(), full.begin() + 4);
+  EXPECT_EQ(rig.at_server[0], half);
+}
+
+TEST(ChaosTransport, ReorderSwapsWithTheNextFrame) {
+  fault::FaultPlan plan;
+  plan.reorder_msg(fault::rpc_req_site(0), 1);
+  ChaosRig rig(std::move(plan));
+  rig.chaos->send(kClientSide, frame_of(1));
+  EXPECT_TRUE(rig.at_server.empty());  // held in the swap slot
+  rig.chaos->send(kClientSide, frame_of(2));
+  rig.chaos->send(kClientSide, frame_of(3));
+  ASSERT_EQ(rig.at_server.size(), 3u);
+  EXPECT_EQ(rig.at_server[0], frame_of(2));
+  EXPECT_EQ(rig.at_server[1], frame_of(1));
+  EXPECT_EQ(rig.at_server[2], frame_of(3));
+}
+
+TEST(ChaosTransport, HeldReorderFrameFlushesOnClose) {
+  fault::FaultPlan plan;
+  plan.reorder_msg(fault::rpc_req_site(0), 1);
+  ChaosRig rig(std::move(plan));
+  rig.chaos->send(kClientSide, frame_of(9));
+  EXPECT_TRUE(rig.at_server.empty());
+  rig.chaos->close();
+  ASSERT_EQ(rig.at_server.size(), 1u);
+  EXPECT_EQ(rig.at_server[0], frame_of(9));
+}
+
+TEST(ChaosTransport, DelayStallsTheSendingThread) {
+  fault::FaultPlan plan;
+  plan.delay_msg(fault::rpc_req_site(0), 1, 0.05);
+  ChaosRig rig(std::move(plan));
+  const auto t0 = monotonic_now();
+  rig.chaos->send(kClientSide, frame_of(1));
+  const double elapsed =
+      std::chrono::duration<double>(monotonic_now() - t0).count();
+  EXPECT_GE(elapsed, 0.045);
+  ASSERT_EQ(rig.at_server.size(), 1u);  // delayed, not lost
+}
+
+TEST(ChaosTransport, DirectionsUseTheirOwnSites) {
+  fault::FaultPlan plan;
+  plan.drop_msg(fault::rpc_rsp_site(0), 1);  // server->client only
+  ChaosRig rig(std::move(plan));
+  rig.chaos->send(kClientSide, frame_of(1));
+  rig.chaos->send(kServerSide, frame_of(2));  // dropped
+  rig.chaos->send(kServerSide, frame_of(3));
+  EXPECT_EQ(rig.at_server.size(), 1u);
+  ASSERT_EQ(rig.at_client.size(), 1u);
+  EXPECT_EQ(rig.at_client[0], frame_of(3));
+}
+
+TEST(ChaosTransport, NullInjectorIsPassThrough) {
+  auto inner = std::make_unique<LoopbackTransport>();
+  ChaosTransport chaos(std::move(inner), nullptr, fault::rpc_req_site(0),
+                       fault::rpc_rsp_site(0));
+  std::vector<std::vector<std::byte>> got;
+  chaos.set_handler(kServerSide,
+                    [&](std::vector<std::byte> f) { got.push_back(f); });
+  chaos.set_handler(kClientSide, [](std::vector<std::byte>) {});
+  for (int i = 0; i < 10; ++i) chaos.send(kClientSide, frame_of(i));
+  EXPECT_EQ(got.size(), 10u);
+}
+
+TEST(ChaosTransport, SameSeedSameDecisions) {
+  // prob-triggered drops replay identically: the surviving frame set
+  // is a pure function of (seed, site, check index).
+  auto survivors = [](std::uint64_t seed) {
+    fault::FaultPlan plan;
+    plan.seed = seed;
+    plan.drop_msg_prob(fault::rpc_req_site(0), 0.4);
+    ChaosRig rig(std::move(plan));
+    for (int i = 0; i < 200; ++i) rig.chaos->send(kClientSide, frame_of(i));
+    return rig.at_server;
+  };
+  const auto a = survivors(42);
+  EXPECT_EQ(a, survivors(42));
+  EXPECT_NE(a.size(), 200u);  // the plan actually dropped something
+  EXPECT_NE(survivors(43), a);
+}
+
+// --- options / env plumbing ----------------------------------------------
+
+TEST(RpcOptions, ParseTransportNames) {
+  EXPECT_EQ(parse_transport("inproc"), TransportKind::kInProc);
+  EXPECT_EQ(parse_transport("shm"), TransportKind::kShmRing);
+  EXPECT_EQ(parse_transport("tcp"), TransportKind::kTcp);
+  EXPECT_FALSE(parse_transport("").has_value());
+  EXPECT_FALSE(parse_transport("udp").has_value());
+  EXPECT_FALSE(parse_transport("SHM").has_value());
+}
+
+TEST(RpcOptions, ResolveTransportHonoursEnvironment) {
+  // Explicit kinds ignore the environment entirely.
+  ::setenv("IOFA_TRANSPORT", "tcp", 1);
+  EXPECT_EQ(resolve_transport(TransportKind::kShmRing),
+            TransportKind::kShmRing);
+  // kAuto follows it.
+  EXPECT_EQ(resolve_transport(TransportKind::kAuto), TransportKind::kTcp);
+  ::setenv("IOFA_TRANSPORT", "shm", 1);
+  EXPECT_EQ(resolve_transport(TransportKind::kAuto),
+            TransportKind::kShmRing);
+  // A typo in the matrix must fail loudly, not run in-proc silently.
+  ::setenv("IOFA_TRANSPORT", "smh", 1);
+  EXPECT_THROW(resolve_transport(TransportKind::kAuto),
+               std::invalid_argument);
+  ::unsetenv("IOFA_TRANSPORT");
+  EXPECT_EQ(resolve_transport(TransportKind::kAuto),
+            TransportKind::kInProc);
+}
+
+TEST(RpcOptions, ValidateRejectsNonsense) {
+  EXPECT_NO_THROW(validate_rpc_options(RpcOptions{}));
+  {
+    RpcOptions o;
+    o.ack_timeout = 0.0;
+    EXPECT_THROW(validate_rpc_options(o), std::invalid_argument);
+  }
+  {
+    RpcOptions o;
+    o.dedup_window = 0;
+    EXPECT_THROW(validate_rpc_options(o), std::invalid_argument);
+  }
+  {
+    RpcOptions o;
+    o.ring_capacity = 0;
+    EXPECT_THROW(validate_rpc_options(o), std::invalid_argument);
+  }
+  {
+    RpcOptions o;
+    o.mapping_attempts = 0;
+    EXPECT_THROW(validate_rpc_options(o), std::invalid_argument);
+  }
+  {
+    RpcOptions o;
+    o.retry_backoff.base = -1.0;
+    EXPECT_THROW(validate_rpc_options(o), std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace iofa::rpc

@@ -68,6 +68,9 @@ struct OverloadFlags {
   /// --qos-tenant specs; non-empty enables the QoS subsystem for the
   /// live drill (tenants matched to jobs by app label).
   std::vector<qos::TenantSpec> tenants;
+  /// --transport value ("inproc" / "shm" / "tcp"); empty = kAuto
+  /// (IOFA_TRANSPORT, defaulting to in-proc).
+  std::string transport;
 };
 
 /// Verify the overload accounting identity (overload.hpp) against the
@@ -257,6 +260,15 @@ int run_fault_drill(const std::string& plan_path,
     opts.qos.enabled = true;
     opts.qos.tenants = overload.tenants;
   }
+  if (!overload.transport.empty()) {
+    const auto kind = rpc::parse_transport(overload.transport);
+    if (!kind) {
+      std::cerr << "iofa_queue_sim: unknown --transport '"
+                << overload.transport << "' (want inproc, shm or tcp)\n";
+      return 2;
+    }
+    opts.transport = *kind;
+  }
 
   try {
     jobs::validate_live_options(opts);
@@ -370,6 +382,8 @@ int main(int argc, char** argv) {
       overload.breaker_threshold = std::stoi(argv[++i]);
     } else if (arg == "--fallback-mbps" && i + 1 < argc) {
       overload.fallback_mbps = std::stod(argv[++i]);
+    } else if (arg == "--transport" && i + 1 < argc) {
+      overload.transport = argv[++i];
     } else if (arg == "--check-accounting") {
       overload.check_accounting = true;
     } else if (arg == "--qos-tenant" && i + 1 < argc) {
@@ -408,6 +422,10 @@ int main(int argc, char** argv) {
                    "breakers tripping after N failures\n"
                    "  --fallback-mbps M        cap the direct-PFS "
                    "degradation path at M MiB/s (0 = uncapped)\n"
+                   "  --transport T            carry the client<->ION and "
+                   "mapping links over T = inproc|shm|tcp\n"
+                   "                           (default: IOFA_TRANSPORT, "
+                   "else inproc)\n"
                    "  --check-accounting       exit 3 unless the "
                    "fwd.overload.* identity (and, with QoS on, the\n"
                    "                           per-tenant qos.tenant.* "
